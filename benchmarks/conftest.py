@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+reproduced rows/series alongside the paper's values.  ``emit`` bypasses
+pytest's output capture so the reproduction report is visible in the
+benchmark run's console output (and in files it is tee'd to).
+"""
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print to the real stdout, bypassing pytest capture."""
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,78 @@
+"""Section VI-E discussion: Hi-Rise vs whole-fabric alternatives.
+
+The paper's discussion quantifies fabric power: the 2D Swizzle-Switch is
+"33% better than mesh and 28% better than flattened butterfly", and
+Hi-Rise's further 38% improvement compounds to "about 58% power savings
+over flattened butterfly".
+
+This benchmark rebuilds the comparison from this repository's calibrated
+router models plus documented global-wire estimates (the paper publishes
+no wire numbers): per-transaction transport energy for the classic mesh,
+a concentrated mesh, a flattened butterfly, and the two single switches.
+The invented wire constants make absolute percentages approximate, so the
+assertions check orderings and generous savings bands around the paper's
+figures — the *story* (single high-radix switch beats multi-hop fabrics;
+Hi-Rise compounds the saving) is what must hold.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.core import HiRiseConfig
+from repro.physical import cost_of
+from repro.physical.fabric import (
+    flattened_butterfly_cost,
+    mesh_fabric_cost,
+    single_switch_cost,
+)
+
+
+def experiment():
+    flat = cost_of("2d")
+    hirise = cost_of(HiRiseConfig())
+    return {
+        "mesh (classic)": mesh_fabric_cost(64, concentration=1),
+        "mesh (c=4)": mesh_fabric_cost(64, concentration=4),
+        "flattened butterfly": flattened_butterfly_cost(64, concentration=4),
+        "2D Swizzle-Switch": single_switch_cost(
+            flat.energy_pj, flat.frequency_ghz
+        ),
+        "Hi-Rise": single_switch_cost(
+            hirise.energy_pj, hirise.frequency_ghz
+        ),
+    }
+
+
+def test_fabric_energy_comparison(benchmark):
+    fabrics = run_once(benchmark, experiment)
+    lines = ["Section VI-E: per-transaction transport energy by fabric"]
+    for name, fabric in fabrics.items():
+        lines.append(
+            f"  {name:<22} {fabric.energy_pj:7.1f} pJ "
+            f"(avg hops {fabric.avg_hops:.2f}, latency {fabric.latency_ns:.2f} ns)"
+        )
+    emit("\n".join(lines))
+
+    mesh = fabrics["mesh (classic)"].energy_pj
+    cmesh = fabrics["mesh (c=4)"].energy_pj
+    butterfly = fabrics["flattened butterfly"].energy_pj
+    flat = fabrics["2D Swizzle-Switch"].energy_pj
+    hirise = fabrics["Hi-Rise"].energy_pj
+
+    # Energy ordering: Hi-Rise < 2D single switch < flattened butterfly
+    # < concentrated mesh < classic mesh.
+    assert hirise < flat < butterfly < cmesh < mesh
+
+    # The paper's relative claims, within generous bands (wire constants
+    # are estimates): 2D saves vs mesh (paper 33%) and vs FB (paper 28%);
+    # Hi-Rise saves vs FB (paper ~58%).
+    assert 0.15 < 1 - flat / cmesh < 0.60
+    assert 0.05 < 1 - flat / butterfly < 0.45
+    assert 0.35 < 1 - hirise / butterfly < 0.70
+
+    # Hi-Rise over 2D is the calibrated 38% (exact, no wire estimates).
+    assert 1 - hirise / flat == pytest.approx(0.38, abs=0.03)
+
+    # Latency: the single switches beat the classic mesh's accumulated
+    # hop delay but the flattened butterfly's two express hops are quick.
+    assert fabrics["Hi-Rise"].latency_ns < fabrics["mesh (classic)"].latency_ns

@@ -1,0 +1,95 @@
+"""Introduction motivation: one high-radix 3D switch vs a low-radix mesh.
+
+"Conventional interconnects constructed out of low-radix switches such as
+a 2D-Mesh do not scale well because of the decreased performance resulting
+from larger hop counts" (Section I).  This benchmark makes that concrete
+*cycle-accurately*: 64 terminals connected either by one radix-64 Hi-Rise
+switch or by an 8x8 mesh of radix-5 routers (the classic mesh, built from
+the same simulator components), compared at matched offered bandwidth.
+
+Router clocks come from the calibrated model; the tiny radix-5 routers
+clock much faster than the big switch, but their accumulated hop latency
+loses to the single-cycle radix-64 fabric by ~4x at low load, an
+advantage that persists under moderate load.  (The simulated mesh's links are idealised — full
+128-bit width at the router clock — so its *bandwidth* is optimistic
+here; the wiring/energy cost of such links is what the fabric-energy
+benchmark accounts for.)
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.network.engine import Simulation
+from repro.physical import cost_of
+from repro.physical.fabric import ROUTER_PIPELINE_CYCLES
+from repro.physical.geometry import flat2d_geometry
+from repro.physical.timing import frequency_ghz
+from repro.switches import SwizzleSwitch2D
+from repro.topology import MeshConfig, MeshInterconnect, MeshNetwork
+from repro.traffic import UniformRandomTraffic
+
+
+def build_mesh():
+    config = MeshConfig(rows=8, cols=8, concentration=1, layers=1)
+    mesh = MeshNetwork(config, lambda radix: SwizzleSwitch2D(radix))
+    # Radix-5 routers clock fast, but buffered VC routers pipeline over
+    # several stages; charge the same pipeline factor the analytical
+    # fabric model documents.
+    clock = frequency_ghz(flat2d_geometry(5)) / ROUTER_PIPELINE_CYCLES
+    return MeshInterconnect(mesh), clock
+
+
+def build_hirise():
+    config = HiRiseConfig()
+    return HiRiseSwitch(config), cost_of(config).frequency_ghz
+
+
+def measure(builder, load_per_ns, warmup=400, cycles=2000):
+    fabric, clock = builder()
+    load_cycle = min(1.0, load_per_ns / clock)
+    traffic = UniformRandomTraffic(64, load_cycle, seed=19)
+    sim = Simulation(fabric, traffic, warmup_cycles=warmup)
+    result = sim.run(cycles)
+    return {
+        "clock": clock,
+        "latency_ns": result.avg_latency_cycles / clock,
+        "accepted_per_ns": result.throughput_packets_per_cycle * clock,
+    }
+
+
+def test_mesh_vs_hirise_cycle_accurate(benchmark):
+    def experiment():
+        out = {}
+        for name, builder in (("8x8 mesh", build_mesh),
+                              ("Hi-Rise", build_hirise)):
+            out[name] = {
+                "low": measure(builder, load_per_ns=0.05),
+                "high": measure(builder, load_per_ns=0.15),
+            }
+        return out
+
+    results = run_once(benchmark, experiment)
+    lines = ["Intro motivation: 64 terminals, mesh vs single Hi-Rise"]
+    for name, data in results.items():
+        lines.append(
+            f"  {name:<9} @ {data['low']['clock']:.2f} GHz : "
+            f"latency {data['low']['latency_ns']:6.1f} ns at 0.05 pkts/in/ns, "
+            f"latency {data['high']['latency_ns']:6.1f} ns at 0.15"
+        )
+    emit("\n".join(lines))
+
+    mesh = results["8x8 mesh"]
+    hirise = results["Hi-Rise"]
+
+    # Low load: the single switch's one-traversal latency beats the
+    # mesh's accumulated hops by a wide margin (paper Section I).
+    assert hirise["low"]["latency_ns"] < 0.5 * mesh["low"]["latency_ns"]
+
+    # At a moderate load (below both fabrics' saturation) the >2x
+    # advantage persists.
+    assert hirise["high"]["latency_ns"] < 0.5 * mesh["high"]["latency_ns"]
+
+    # Both fabrics carry the light load fully.
+    assert mesh["low"]["accepted_per_ns"] == pytest.approx(3.2, rel=0.15)
+    assert hirise["low"]["accepted_per_ns"] == pytest.approx(3.2, rel=0.15)

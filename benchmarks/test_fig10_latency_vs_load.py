@@ -1,0 +1,60 @@
+"""Fig 10: latency versus load under uniform random traffic.
+
+Paper shapes (64-radix, loads in packets/input/ns, latency in ns):
+
+* the 3D configurations have ~20% lower zero-load latency than 2D (same
+  cycle count, higher clock);
+* the 1-channel switch saturates at a very low injection rate;
+* the 2-channel saturates below 2D; the 4-channel saturates above 2D;
+* the folded switch tracks 2D but saturates ~7% earlier.
+"""
+
+import math
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import fig10_latency_vs_load, render_series
+
+
+def test_fig10_reproduction(benchmark):
+    series = run_once(
+        benchmark,
+        lambda: fig10_latency_vs_load(
+            loads_per_ns=(0.03, 0.06, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35),
+            warmup_cycles=400,
+            measure_cycles=2000,
+        ),
+    )
+    emit(render_series(series, "Fig 10: latency vs load (uniform random)",
+                       ["pkts/in/ns", "latency ns", "accepted pkts/ns"]))
+
+    def zero_load_latency(name):
+        return series[name][0][1]
+
+    def accepted_at(name, load):
+        return dict((l, a) for l, _lat, a in series[name])[load]
+
+    # Zero-load latency: ~20% better for the 3D configurations.
+    improvement = 1 - zero_load_latency("3D 4-Channel") / zero_load_latency("2D")
+    assert improvement == pytest.approx(0.22, abs=0.08)
+
+    # Saturation ordering at the highest offered load.
+    top = 0.35
+    assert accepted_at("3D 4-Channel", top) > accepted_at("2D", top)
+    assert accepted_at("2D", top) > accepted_at("3D Folded", top)
+    assert accepted_at("3D Folded", top) > accepted_at("3D 2-Channel", top)
+    assert accepted_at("3D 2-Channel", top) > accepted_at("3D 1-Channel", top)
+
+    # The 1-channel configuration saturates at a very low rate (~0.13
+    # pkts/input/ns): by 0.15 its latency has exploded while the
+    # 4-channel configuration is still flat.
+    lat_c1 = dict((l, lat) for l, lat, _ in series["3D 1-Channel"])
+    lat_c4 = dict((l, lat) for l, lat, _ in series["3D 4-Channel"])
+    assert lat_c1[0.15] > 4 * lat_c1[0.03]
+    assert lat_c4[0.15] < 2.5 * lat_c4[0.03]
+
+    # Latency grows monotonically with load for every design.
+    for name, points in series.items():
+        latencies = [lat for _, lat, _ in points if not math.isnan(lat)]
+        assert all(b >= a * 0.95 for a, b in zip(latencies, latencies[1:])), name

@@ -1,0 +1,50 @@
+"""Fig 11(b): throughput versus load for the arbitration schemes (UR).
+
+Paper shapes: under uniform random traffic all three 3D schemes behave
+identically at cycle level (no fairness stress), so throughput ranks by
+clock: L-2-L LRG marginally above CLRG (2.24 vs 2.2 GHz), both ~15% above
+the 2D switch; WLRG matches the 3D family.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import fig11b_arbitration_throughput, render_series
+
+
+def test_fig11b_reproduction(benchmark):
+    series = run_once(
+        benchmark,
+        lambda: fig11b_arbitration_throughput(
+            loads_per_ns=(0.05, 0.15, 0.25, 0.35, 0.45),
+            warmup_cycles=400,
+            measure_cycles=2000,
+        ),
+    )
+    emit(render_series(series, "Fig 11(b): throughput vs load (UR)",
+                       ["pkts/in/ns", "pkts/ns"]))
+
+    def peak(name):
+        return max(tp for _, tp in series[name])
+
+    # All 3D schemes clearly above 2D at saturation (~15%).
+    for scheme in ("3D L-2-L LRG", "3D WLRG", "3D CLRG"):
+        assert peak(scheme) > 1.05 * peak("2D"), scheme
+    assert peak("3D CLRG") / peak("2D") == pytest.approx(
+        10.65 / 9.24, abs=0.08
+    )
+
+    # CLRG slightly below L-2-L LRG (pure clock effect).
+    assert peak("3D CLRG") < peak("3D L-2-L LRG")
+    assert peak("3D CLRG") > 0.95 * peak("3D L-2-L LRG")
+
+    # Below saturation, accepted tracks offered for every scheme.
+    for name, points in series.items():
+        load, accepted = points[0]
+        assert accepted == pytest.approx(load * 64, rel=0.1), name
+
+    # Accepted throughput never decreases with offered load (no
+    # throughput collapse past saturation).
+    for name, points in series.items():
+        rates = [tp for _, tp in points]
+        assert all(b >= a * 0.95 for a, b in zip(rates, rates[1:])), name

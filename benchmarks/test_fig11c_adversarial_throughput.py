@@ -1,0 +1,59 @@
+"""Fig 11(c): per-input throughput on the baseline's adversarial pattern.
+
+The Section III-B example: inputs {3, 7, 11, 15} on layer 1 (all binned
+to the same L2LC) and input {20} on layer 2, all requesting output 63.
+
+Paper shapes: under L-2-L LRG input 20 alternates with the shared channel
+and captures half the output — 4x the throughput of each layer-1 input —
+while WLRG and CLRG equalise all five inputs; the flat 2D switch is even
+by construction.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import fig11c_adversarial_throughput
+
+SHARED = (3, 7, 11, 15)
+LONE = 20
+
+
+def test_fig11c_reproduction(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: fig11c_adversarial_throughput(
+            warmup_cycles=1500, measure_cycles=12000
+        ),
+    )
+    lines = ["Fig 11(c): per-input throughput (packets/ns), adversarial"]
+    for name, tps in results.items():
+        lines.append(
+            f"  {name:<14} "
+            + "  ".join(f"i{src}:{tp:.4f}" for src, tp in sorted(tps.items()))
+        )
+    emit("\n".join(lines))
+
+    l2l = results["3D L-2-L LRG"]
+    wlrg = results["3D WLRG"]
+    clrg = results["3D CLRG"]
+    flat = results["2D"]
+
+    # L-2-L LRG: the lone input gets ~4x each shared input ({x,20,x,20,..}
+    # gives input 20 half the output, the four sharers an eighth each).
+    shared_mean = sum(l2l[s] for s in SHARED) / 4
+    assert l2l[LONE] == pytest.approx(4 * shared_mean, rel=0.10)
+
+    # WLRG and CLRG equalise (every input within 10% of the mean).
+    for scheme in (wlrg, clrg):
+        mean = sum(scheme.values()) / 5
+        for src, tp in scheme.items():
+            assert tp == pytest.approx(mean, rel=0.10), src
+
+    # The flat 2D switch is even.
+    mean = sum(flat.values()) / 5
+    for tp in flat.values():
+        assert tp == pytest.approx(mean, rel=0.05)
+
+    # Fair schemes deliver the same aggregate as the unfair one (the
+    # output is the bottleneck either way).
+    assert sum(clrg.values()) == pytest.approx(sum(l2l.values()), rel=0.15)

@@ -1,0 +1,46 @@
+"""Fig 12: sensitivity of frequency and area to TSV pitch.
+
+Paper shapes (4-channel 4-layer 64-radix Hi-Rise): area grows and
+frequency falls as TSV pitch increases (keep-out area is quadratic in
+pitch, TSV capacitance roughly linear); the sensitivity is mild near the
+0.8 um reference — a 25% larger pitch costs only ~1.7% area and ~1.8%
+frequency — and the 2D switch (no TSVs) is flat.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import fig12_tsv_pitch, render_series
+from repro.core import HiRiseConfig
+from repro.physical import cost_of
+from repro.physical.technology import Technology
+
+
+def test_fig12_reproduction(benchmark):
+    points = run_once(benchmark, fig12_tsv_pitch)
+    emit(render_series({"Hi-Rise 4-ch 4-layer": points},
+                       "Fig 12: TSV pitch sensitivity",
+                       ["pitch um", "GHz", "mm2"]))
+
+    pitches = [p for p, _, _ in points]
+    freqs = [f for _, f, _ in points]
+    areas = [a for _, _, a in points]
+
+    # Monotone: frequency falls, area grows with pitch.
+    assert freqs == sorted(freqs, reverse=True)
+    assert areas == sorted(areas)
+
+    # Mild sensitivity near the reference point (+25% pitch).
+    config = HiRiseConfig(arbitration="l2l_lrg")
+    base = cost_of(config)
+    bumped = cost_of(config, technology=Technology().with_tsv_pitch(1.0))
+    area_up = bumped.area_mm2 / base.area_mm2 - 1
+    freq_down = 1 - bumped.frequency_ghz / base.frequency_ghz
+    assert area_up == pytest.approx(0.017, abs=0.02)
+    assert freq_down == pytest.approx(0.018, abs=0.02)
+
+    # Large pitches hurt substantially (the "less advanced technology"
+    # regime of Section VI-C).
+    by_pitch = {p: (f, a) for p, f, a in points}
+    assert by_pitch[4.8][1] > 1.5 * by_pitch[0.8][1]   # area blow-up
+    assert by_pitch[4.8][0] < 0.8 * by_pitch[0.8][0]   # frequency loss

@@ -1,0 +1,46 @@
+"""Fig 9(a): operating frequency versus radix.
+
+Paper shapes: the 2D switch is faster at low radix (the hierarchy's
+two-stage overhead dominates small switches); beyond ~radix 32-48 every
+3D configuration is faster and the gap widens; the 1/2/4-channel curves
+converge as radix grows; at radix 64 the anchors are 1.69 GHz (2D) and
+2.24/2.46/2.64 GHz (4/2/1-channel).
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import fig9a_frequency_vs_radix, render_series
+
+
+def test_fig9a_reproduction(benchmark):
+    series = run_once(benchmark, fig9a_frequency_vs_radix)
+    emit(render_series(series, "Fig 9(a): frequency vs radix",
+                       ["radix", "GHz"]))
+    flat = dict(series["2D"])
+    c4 = dict(series["3D 4-Channel"])
+    c2 = dict(series["3D 2-Channel"])
+    c1 = dict(series["3D 1-Channel"])
+
+    # Anchors at radix 64.
+    assert flat[64] == pytest.approx(1.69, rel=0.03)
+    assert c4[64] == pytest.approx(2.24, rel=0.03)
+    assert c2[64] == pytest.approx(2.46, rel=0.03)
+    assert c1[64] == pytest.approx(2.64, rel=0.03)
+
+    # 2D wins at low radix, loses beyond the crossover.
+    for radix in (8, 16, 32):
+        assert flat[radix] > c4[radix]
+    for radix in (48, 64, 96, 128):
+        assert c4[radix] > flat[radix]
+
+    # The gap widens with radix.
+    assert c4[128] - flat[128] > c4[64] - flat[64] > 0
+
+    # Channel-multiplicity curves converge at high radix.
+    assert (c1[128] / c4[128]) < (c1[16] / c4[16])
+
+    # Every curve decreases monotonically with radix.
+    for name, points in series.items():
+        freqs = [f for _, f in points]
+        assert freqs == sorted(freqs, reverse=True), name

@@ -1,0 +1,38 @@
+"""Fig 9(b): operating frequency versus number of stacked layers.
+
+Paper shapes: frequency peaks at an intermediate layer count (few layers
+leave the per-layer switches large; many layers multiply the L2LCs); at
+radix 64 the optimum is 3-5 layers with the maximum at 4, and the optimum
+shifts toward more layers as radix grows.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import fig9b_frequency_vs_layers, render_series
+
+
+def test_fig9b_reproduction(benchmark):
+    series = run_once(benchmark, fig9b_frequency_vs_layers)
+    emit(render_series(series, "Fig 9(b): frequency vs stacked layers",
+                       ["layers", "GHz"]))
+
+    def best_layers(name):
+        points = dict(series[name])
+        return max(points, key=points.get)
+
+    # Radix 64: optimum in the 3-5 layer band.
+    assert best_layers("Radix 64") in (3, 4, 5)
+
+    # Optimum shifts toward more layers at higher radix.
+    assert best_layers("Radix 48") <= best_layers("Radix 128")
+
+    # Interior maximum: the curve falls off on both sides.
+    for name, points in series.items():
+        freqs = [f for _, f in points]
+        peak = freqs.index(max(freqs))
+        assert freqs[0] <= freqs[peak], name
+        assert freqs[-1] < freqs[peak], name
+
+    # Anchor: radix 64 at 4 layers is the 2.24 GHz design point.
+    assert dict(series["Radix 64"])[4] == pytest.approx(2.24, rel=0.03)

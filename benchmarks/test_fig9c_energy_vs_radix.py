@@ -1,0 +1,39 @@
+"""Fig 9(c): energy per 128-bit transaction versus radix.
+
+Paper shapes: 3D energy grows on a much gentler slope than 2D (whose long
+unrepeated buses make energy super-linear), so for a fixed energy budget
+the 3D switch affords a significantly higher radix; at radix 64 the
+anchors are 71 pJ (2D) and 42/39/37 pJ (4/2/1-channel).
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import fig9c_energy_vs_radix, render_series
+
+
+def test_fig9c_reproduction(benchmark):
+    series = run_once(benchmark, fig9c_energy_vs_radix)
+    emit(render_series(series, "Fig 9(c): energy per transaction vs radix",
+                       ["radix", "pJ"]))
+    flat = dict(series["2D"])
+    c4 = dict(series["3D 4-Channel"])
+    c1 = dict(series["3D 1-Channel"])
+
+    # Anchors at radix 64.
+    assert flat[64] == pytest.approx(71, rel=0.03)
+    assert c4[64] == pytest.approx(42, rel=0.03)
+    assert c1[64] == pytest.approx(37, rel=0.03)
+
+    # The 2D slope is much steeper at high radix.
+    slope_2d = flat[128] - flat[64]
+    slope_3d = c4[128] - c4[64]
+    assert slope_3d < slope_2d / 4
+
+    # Iso-energy: the 3D switch at radix 128 costs less than 2D at 64.
+    assert c4[128] < flat[64]
+
+    # Energy grows monotonically with radix for every configuration.
+    for name, points in series.items():
+        energies = [e for _, e in points]
+        assert energies == sorted(energies), name

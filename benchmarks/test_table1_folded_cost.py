@@ -1,0 +1,39 @@
+"""Table I: implementation cost of 2D versus the 3D folded switch.
+
+Paper values (64-radix, 4 layers, 128-bit):
+
+    2D        0.672 mm2  1.69 GHz  71 pJ  9.24 Tbps      0 TSVs
+    3D Folded 0.705 mm2  1.58 GHz  73 pJ  8.86 Tbps   8192 TSVs
+
+The headline claim: naively folding the 2D switch over four layers makes
+it *worse* on every axis except footprint — slower (TSV loading on every
+output line), slightly larger, and ~7% lower throughput.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import render_table, table1
+
+
+def test_table1_reproduction(benchmark):
+    rows = run_once(
+        benchmark, lambda: table1(warmup_cycles=300, measure_cycles=1500)
+    )
+    emit(render_table(rows, "Table I: 2D vs 3D folded (64-radix)"))
+    flat, folded = rows
+
+    # Cost model anchors (within 3%).
+    assert flat.area_mm2 == pytest.approx(0.672, rel=0.03)
+    assert folded.area_mm2 == pytest.approx(0.705, rel=0.03)
+    assert flat.frequency_ghz == pytest.approx(1.69, rel=0.03)
+    assert folded.frequency_ghz == pytest.approx(1.58, rel=0.03)
+    assert folded.tsv_count == 8192
+
+    # Shape: folding hurts frequency, energy, and throughput.
+    assert folded.frequency_ghz < flat.frequency_ghz
+    assert folded.energy_pj > flat.energy_pj
+    assert folded.throughput_tbps < flat.throughput_tbps
+    # ~7% throughput loss (frequency-driven; identical cycle behaviour).
+    ratio = folded.throughput_tbps / flat.throughput_tbps
+    assert ratio == pytest.approx(8.86 / 9.24, abs=0.04)

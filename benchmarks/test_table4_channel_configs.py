@@ -1,0 +1,52 @@
+"""Table IV: implementation cost of the channel-multiplicity design space.
+
+Paper values (64-radix; 3D switches are 4-layer; throughput is uniform
+random saturation in Tbps):
+
+    2D            0.672  1.69 GHz  71 pJ   9.24 Tbps     0 TSVs
+    3D Folded     0.705  1.58 GHz  73 pJ   8.86 Tbps  8192
+    3D 4-Channel  0.451  2.24 GHz  42 pJ  10.97 Tbps  6144
+    3D 2-Channel  0.315  2.46 GHz  39 pJ   7.65 Tbps  3072
+    3D 1-Channel  0.247  2.64 GHz  37 pJ   4.27 Tbps  1536
+
+Key shapes: the 1-channel switch starves on inter-layer bandwidth; the
+2-channel lands ~19% below 2D; the 4-channel beats 2D by ~15-18%.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import render_table, table4
+
+
+def test_table4_reproduction(benchmark):
+    rows = run_once(
+        benchmark, lambda: table4(warmup_cycles=400, measure_cycles=2000)
+    )
+    emit(render_table(rows, "Table IV: channel-multiplicity design space"))
+    by_name = {row.design: row for row in rows}
+    flat = by_name["2D 64x64"]
+    c4 = by_name["3D 4-Channel"]
+    c2 = by_name["3D 2-Channel"]
+    c1 = by_name["3D 1-Channel"]
+
+    # Every published throughput within 10%.
+    for row in rows:
+        assert row.throughput_tbps == pytest.approx(
+            row.paper_throughput_tbps, rel=0.10
+        ), row.design
+
+    # Shape: 4-channel beats 2D; 2-channel is below 2D; 1-channel is far
+    # below (the dedicated channels bottleneck, Section VI-A).
+    assert c4.throughput_tbps > flat.throughput_tbps * 1.05
+    assert c2.throughput_tbps < flat.throughput_tbps
+    assert c1.throughput_tbps < 0.55 * flat.throughput_tbps
+
+    # Cost ordering: fewer channels -> smaller, faster, leaner.
+    assert c1.area_mm2 < c2.area_mm2 < c4.area_mm2 < flat.area_mm2
+    assert c1.frequency_ghz > c2.frequency_ghz > c4.frequency_ghz
+    assert c1.tsv_count < c2.tsv_count < c4.tsv_count
+
+    # Headline: 4-channel saves ~33% area and ~40% energy over 2D.
+    assert 1 - c4.area_mm2 / flat.area_mm2 == pytest.approx(0.33, abs=0.03)
+    assert 1 - c4.energy_pj / flat.energy_pj == pytest.approx(0.40, abs=0.04)

@@ -1,0 +1,43 @@
+"""Table V: implementation cost of the arbitration variants.
+
+Paper values (64-radix; 3D switches are 4-channel 4-layer; WLRG is
+omitted because its hardware implementation is infeasible):
+
+    2D          0.672  1.69 GHz  71 pJ   9.24 Tbps     0 TSVs
+    3D L-2-L    0.451  2.24 GHz  42 pJ  10.97 Tbps  6144
+    3D CLRG     0.451  2.2  GHz  44 pJ  10.65 Tbps  6144
+
+Key shape: CLRG's fairness machinery costs *no area*, ~2% frequency and
+2 pJ over the baseline L-2-L LRG, while both 3D variants hold ~15% more
+throughput than the flat 2D switch (the abstract's headline numbers).
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.harness import render_table, table5
+
+
+def test_table5_reproduction(benchmark):
+    rows = run_once(
+        benchmark, lambda: table5(warmup_cycles=400, measure_cycles=2000)
+    )
+    emit(render_table(rows, "Table V: arbitration variants"))
+    flat, l2l, clrg = rows
+
+    assert clrg.frequency_ghz == pytest.approx(2.2, rel=0.03)
+    assert clrg.energy_pj == pytest.approx(44.0, rel=0.05)
+    assert clrg.throughput_tbps == pytest.approx(10.65, rel=0.10)
+    assert clrg.tsv_count == 6144
+
+    # CLRG pays no area over L-2-L LRG and only a small speed/energy tax.
+    assert clrg.area_mm2 == pytest.approx(l2l.area_mm2, rel=0.01)
+    assert clrg.frequency_ghz < l2l.frequency_ghz
+    assert l2l.frequency_ghz / clrg.frequency_ghz < 1.05
+    assert clrg.energy_pj - l2l.energy_pj == pytest.approx(2.0, abs=0.5)
+
+    # Both 3D variants beat the 2D switch on throughput by ~15%.
+    assert clrg.throughput_tbps / flat.throughput_tbps == pytest.approx(
+        10.65 / 9.24, abs=0.08
+    )
+    assert l2l.throughput_tbps > clrg.throughput_tbps

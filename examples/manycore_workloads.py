@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Run a Table VI workload mix on the 64-core system.
+
+Builds two identical 64-core systems — one over the flat 2D switch at its
+modelled 1.69 GHz, one over the Hi-Rise CLRG switch at 2.2 GHz — runs the
+same randomly allocated multi-programmed mix on both for equal wall-clock
+time, and reports per-mix system speedup.
+
+Run:  python examples/manycore_workloads.py [MixN]
+"""
+
+import sys
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.manycore import MIXES, ManyCoreSystem, SystemConfig, mix_core_assignment
+from repro.physical import cost_of
+from repro.switches import SwizzleSwitch2D
+
+
+def run_mix(mix, network_cycles_baseline=8000, seed=0) -> None:
+    print(f"{mix.name}: avg MPKI {mix.avg_mpki:.1f} "
+          f"(paper {mix.paper_avg_mpki}), "
+          f"{mix.total_instances} application instances")
+    for name, count in mix.entries:
+        print(f"    {name:<12} x{count}")
+
+    config = SystemConfig(seed=seed)
+    profiles = mix_core_assignment(mix, config.num_cores, seed=seed)
+    freq_2d = cost_of("2d").frequency_ghz
+    hirise = HiRiseConfig()
+    freq_3d = cost_of(hirise).frequency_ghz
+
+    base = ManyCoreSystem(SwizzleSwitch2D(64), freq_2d, profiles, config)
+    cand = ManyCoreSystem(HiRiseSwitch(hirise), freq_3d, profiles, config)
+
+    wall_ns = network_cycles_baseline / freq_2d
+    result_2d = base.run(network_cycles_baseline)
+    result_3d = cand.run(int(round(wall_ns * freq_3d)))
+
+    ipc_2d = result_2d.system_ipc
+    ipc_3d = result_3d.system_ipc
+    speedup = result_3d.total_instructions / result_2d.total_instructions
+    print(f"  2D switch      : aggregate IPC {ipc_2d:.1f}")
+    print(f"  Hi-Rise switch : aggregate IPC {ipc_3d:.1f}")
+    print(f"  speedup        : {speedup:.3f} "
+          f"(paper: {mix.paper_speedup:.2f})")
+    lat_2d = base.memory_latency.breakdown(base.network_cycle_ns)
+    lat_3d = cand.memory_latency.breakdown(cand.network_cycle_ns)
+    print(f"  memory latency : L2-hit {lat_2d.l2_hit_mean_ns:.1f} -> "
+          f"{lat_3d.l2_hit_mean_ns:.1f} ns, "
+          f"DRAM {lat_2d.dram_mean_ns:.0f} -> {lat_3d.dram_mean_ns:.0f} ns\n")
+
+
+def main() -> None:
+    wanted = sys.argv[1] if len(sys.argv) > 1 else None
+    mixes = [m for m in MIXES if wanted is None or m.name == wanted]
+    if not mixes:
+        names = ", ".join(m.name for m in MIXES)
+        raise SystemExit(f"unknown mix {wanted!r}; choose from: {names}")
+    if wanted is None:
+        # Default: the lightest and the heaviest mixes for a quick look.
+        mixes = [MIXES[0], MIXES[-1]]
+    for mix in mixes:
+        run_mix(mix)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""TSV-failure resilience: rerouting around faulty vertical channels.
+
+TSV yield is 3D integration's central manufacturing risk; a faulty bundle
+disables a whole layer-to-layer channel.  The switch model reroutes flows
+nominally binned to a failed channel onto the next healthy channel toward
+the same layer, so the fabric degrades gracefully instead of losing
+connectivity.  This example kills progressively more channels on the
+headline 4-channel switch and reports delivered throughput and the
+utilization shift onto the surviving channels.
+
+Run:  python examples/tsv_resilience.py
+"""
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.metrics import ProbedSwitch
+from repro.network.engine import Simulation
+from repro.traffic import UniformRandomTraffic
+
+FAILURE_STAGES = [
+    ("healthy", ()),
+    ("1 failed bundle", ((0, 3, 0),)),
+    ("3 failed bundles", ((0, 3, 0), (0, 3, 1), (0, 3, 2))),
+    ("6 failed bundles",
+     ((0, 3, 0), (0, 3, 1), (0, 3, 2),
+      (1, 3, 0), (2, 3, 0), (3, 0, 0))),
+]
+
+
+def main() -> None:
+    print("64-radix, 4-layer, 4-channel Hi-Rise under TSV bundle failures")
+    print("(overdriven uniform random traffic)\n")
+    baseline = None
+    for label, failed in FAILURE_STAGES:
+        config = HiRiseConfig(failed_channels=failed)
+        probe = ProbedSwitch(HiRiseSwitch(config))
+        traffic = UniformRandomTraffic(64, load=0.99, seed=7)
+        result = Simulation(probe, traffic, warmup_cycles=300).run(1500)
+        packets = result.throughput_packets_per_cycle
+        if baseline is None:
+            baseline = packets
+        survivors = probe.channel_utilizations()
+        util_0_3 = [
+            survivors.get(("ch", 0, 3, k), 0.0) for k in range(4)
+        ]
+        print(f"{label:<18} throughput {packets:5.2f} pkts/cycle "
+              f"({packets / baseline:6.1%} of healthy)")
+        print("                   L1->L4 channel utilization: "
+              + "  ".join(
+                  f"ch{k}:{'FAILED' if (0, 3, k) in set(failed) else f'{u:.2f}'}"
+                  for k, u in enumerate(util_0_3)
+              ))
+    print("\nFlows rebind to the next healthy channel; losing 3 of the 4")
+    print("channels toward one layer squeezes that path onto one channel")
+    print("while the rest of the switch is unaffected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure and write a consolidated report.
+
+This is the one-shot reproduction driver: it runs the full-quality harness
+for Tables I/IV/V/VI and Figs 9(a)-(c), 10, 11(a)-(c), 12, writes the
+rendered report to ``reproduction_report.txt`` and all raw series/rows as
+CSV under ``reproduction_data/``.
+
+Expect on the order of 5-10 minutes on a laptop; pass ``--fast`` for a
+reduced-quality pass (~2 minutes) with the same structure.
+
+Run:  python scripts/reproduce_all.py [--fast] [--outdir DIR]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.harness import (
+    export_rows_csv,
+    export_series_csv,
+    fig9a_frequency_vs_radix,
+    fig9b_frequency_vs_layers,
+    fig9c_energy_vs_radix,
+    fig10_latency_vs_load,
+    fig11a_hotspot_latency,
+    fig11b_arbitration_throughput,
+    fig11c_adversarial_throughput,
+    fig12_tsv_pitch,
+    render_series,
+    render_table,
+    table1,
+    table4,
+    table5,
+    table6,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced simulation lengths")
+    parser.add_argument("--outdir", default=".",
+                        help="where to write the report and CSVs")
+    args = parser.parse_args()
+
+    scale = 0.3 if args.fast else 1.0
+    sim = dict(warmup_cycles=int(500 * scale),
+               measure_cycles=int(3000 * scale))
+    heavy = dict(warmup_cycles=int(2000 * scale),
+                 measure_cycles=int(20000 * scale))
+    outdir = Path(args.outdir)
+    data_dir = outdir / "reproduction_data"
+    sections = []
+    start = time.time()
+
+    def stamp(label):
+        print(f"[{time.time() - start:6.1f}s] {label}", flush=True)
+
+    # ------------------------------------------------------------------
+    stamp("Table I / IV (cost + saturation simulations)")
+    rows4 = table4(**sim)
+    sections.append(render_table(rows4[:2], "Table I: 2D vs 3D folded"))
+    sections.append(render_table(rows4, "Table IV: channel multiplicity"))
+    export_rows_csv(rows4, data_dir / "table4.csv")
+
+    stamp("Table V (arbitration variants)")
+    rows5 = table5(**sim)
+    sections.append(render_table(rows5, "Table V: arbitration variants"))
+    export_rows_csv(rows5, data_dir / "table5.csv")
+
+    stamp("Table VI (eight 64-core workload mixes, two systems each)")
+    rows6 = table6(network_cycles_baseline=int(10000 * scale))
+    sections.append(render_table(rows6, "Table VI: application speedup"))
+    export_rows_csv(rows6, data_dir / "table6.csv")
+
+    stamp("Fig 9(a)-(c), Fig 12 (physical model)")
+    for name, series, columns in [
+        ("fig9a", fig9a_frequency_vs_radix(), ["radix", "GHz"]),
+        ("fig9b", fig9b_frequency_vs_layers(), ["layers", "GHz"]),
+        ("fig9c", fig9c_energy_vs_radix(), ["radix", "pJ"]),
+        ("fig12", {"Hi-Rise 4ch 4layer": fig12_tsv_pitch()},
+         ["pitch um", "GHz", "mm2"]),
+    ]:
+        sections.append(render_series(series, f"Fig {name[3:]}", columns))
+        export_series_csv(series, data_dir / f"{name}.csv", columns)
+
+    stamp("Fig 10 (latency vs load, five designs)")
+    series10 = fig10_latency_vs_load(**sim)
+    columns10 = ["pkts/in/ns", "latency ns", "accepted pkts/ns"]
+    sections.append(render_series(series10, "Fig 10", columns10))
+    export_series_csv(series10, data_dir / "fig10.csv", columns10)
+
+    stamp("Fig 11(b) (arbitration throughput)")
+    series11b = fig11b_arbitration_throughput(**sim)
+    sections.append(
+        render_series(series11b, "Fig 11(b)", ["pkts/in/ns", "pkts/ns"])
+    )
+    export_series_csv(series11b, data_dir / "fig11b.csv",
+                      ["pkts/in/ns", "pkts/ns"])
+
+    stamp("Fig 11(a) (hotspot fairness) and 11(c) (adversarial)")
+    lat11a = fig11a_hotspot_latency(**heavy)
+    series11a = {k: list(enumerate(v)) for k, v in lat11a.items()}
+    sections.append(
+        render_series(series11a, "Fig 11(a)", ["input", "latency cyc"])
+    )
+    export_series_csv(series11a, data_dir / "fig11a.csv",
+                      ["input", "latency cyc"])
+    tp11c = fig11c_adversarial_throughput(**heavy)
+    series11c = {k: sorted(v.items()) for k, v in tp11c.items()}
+    sections.append(
+        render_series(series11c, "Fig 11(c)", ["input", "pkts/ns"])
+    )
+    export_series_csv(series11c, data_dir / "fig11c.csv",
+                      ["input", "pkts/ns"])
+
+    report = outdir / "reproduction_report.txt"
+    report.write_text("\n\n\n".join(sections) + "\n")
+    stamp(f"done -> {report} and {data_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

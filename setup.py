@@ -1,0 +1,8 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables
+legacy editable installs (`--no-use-pep517` fallback on offline machines).
+"""
+from setuptools import setup
+
+setup()

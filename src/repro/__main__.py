@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``cost``     — implementation cost of a design point (Tables I/IV/V
+  columns) from the calibrated 32 nm model;
+* ``simulate`` — run a traffic pattern through a cycle-accurate switch and
+  report latency/throughput;
+* ``table``    — regenerate a paper table (1, 4, 5 or 6);
+* ``figure``   — regenerate a paper figure's data series (9a, 9b, 9c, 10,
+  11a, 11b, 11c, 12), optionally exporting CSV.
+
+Every command prints paper-vs-measured where the paper publishes a value.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.network.engine import Simulation
+from repro.physical import cost_of
+from repro.switches import FoldedSwitch3D, SwizzleSwitch2D
+from repro.traffic import HotspotTraffic, UniformRandomTraffic
+
+
+def _build_design(args):
+    if args.design == "2d":
+        return "2d"
+    if args.design == "folded":
+        return "folded"
+    return HiRiseConfig(
+        radix=args.radix,
+        layers=args.layers,
+        channel_multiplicity=args.channels,
+        arbitration=args.arbitration,
+    )
+
+
+def _build_switch(args):
+    if args.design == "2d":
+        return SwizzleSwitch2D(args.radix)
+    if args.design == "folded":
+        return FoldedSwitch3D(args.radix, args.layers)
+    return HiRiseSwitch(_build_design(args))
+
+
+def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--design", choices=["hirise", "2d", "folded"],
+                        default="hirise")
+    parser.add_argument("--radix", type=int, default=64)
+    parser.add_argument("--layers", type=int, default=4)
+    parser.add_argument("--channels", type=int, default=4)
+    parser.add_argument(
+        "--arbitration",
+        choices=["clrg", "l2l_lrg", "wlrg", "l2l_rr", "age"],
+        default="clrg",
+    )
+
+
+def cmd_cost(args) -> int:
+    design = _build_design(args)
+    cost = cost_of(design, radix=args.radix, layers=args.layers)
+    print(f"{cost.name}")
+    print(f"  area      : {cost.area_mm2:.3f} mm^2")
+    print(f"  frequency : {cost.frequency_ghz:.2f} GHz")
+    print(f"  energy    : {cost.energy_pj:.1f} pJ / 128-bit transaction")
+    print(f"  TSVs      : {cost.tsv_count}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    switch = _build_switch(args)
+    if args.traffic == "uniform":
+        traffic = UniformRandomTraffic(args.radix, args.load, seed=args.seed)
+    else:
+        traffic = HotspotTraffic(
+            args.radix, args.load, hotspot_output=args.radix - 1,
+            seed=args.seed,
+        )
+    sim = Simulation(switch, traffic, warmup_cycles=args.warmup)
+    result = sim.run(args.cycles)
+    print(f"simulated {args.cycles} cycles at load "
+          f"{args.load} packets/input/cycle ({args.traffic})")
+    print(f"  delivered  : {result.packets_ejected} packets")
+    print(f"  latency    : {result.avg_latency_cycles:.1f} cycles (mean)")
+    print(f"  throughput : {result.throughput_packets_per_cycle:.3f} "
+          f"packets/cycle")
+    return 0
+
+
+def cmd_table(args) -> int:
+    from repro.harness import render_table, table1, table4, table5, table6
+
+    scale = 0.4 if args.fast else 1.0
+    if args.which == "6":
+        rows = table6(network_cycles_baseline=int(8000 * scale))
+        print(render_table(rows, "Table VI: application speedup"))
+    else:
+        builder = {"1": table1, "4": table4, "5": table5}[args.which]
+        rows = builder(
+            warmup_cycles=int(500 * scale), measure_cycles=int(2500 * scale)
+        )
+        print(render_table(rows, f"Table {args.which}"))
+    if args.csv:
+        from repro.harness.export import export_rows_csv
+
+        path = export_rows_csv(rows, args.csv)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.harness import (
+        fig9a_frequency_vs_radix,
+        fig9b_frequency_vs_layers,
+        fig9c_energy_vs_radix,
+        fig10_latency_vs_load,
+        fig11a_hotspot_latency,
+        fig11b_arbitration_throughput,
+        fig11c_adversarial_throughput,
+        fig12_tsv_pitch,
+        render_series,
+    )
+
+    scale = 0.4 if args.fast else 1.0
+    sim_kwargs = dict(
+        warmup_cycles=int(500 * scale), measure_cycles=int(2500 * scale)
+    )
+    heavy_kwargs = dict(
+        warmup_cycles=int(2000 * scale), measure_cycles=int(20000 * scale)
+    )
+    if args.which == "9a":
+        series, columns = fig9a_frequency_vs_radix(), ["radix", "GHz"]
+    elif args.which == "9b":
+        series, columns = fig9b_frequency_vs_layers(), ["layers", "GHz"]
+    elif args.which == "9c":
+        series, columns = fig9c_energy_vs_radix(), ["radix", "pJ"]
+    elif args.which == "10":
+        series = fig10_latency_vs_load(**sim_kwargs)
+        columns = ["pkts/in/ns", "latency ns", "accepted pkts/ns"]
+    elif args.which == "11a":
+        latencies = fig11a_hotspot_latency(**heavy_kwargs)
+        series = {
+            name: list(enumerate(values))
+            for name, values in latencies.items()
+        }
+        columns = ["input", "latency cycles"]
+    elif args.which == "11b":
+        series = fig11b_arbitration_throughput(**sim_kwargs)
+        columns = ["pkts/in/ns", "pkts/ns"]
+    elif args.which == "11c":
+        throughputs = fig11c_adversarial_throughput(**heavy_kwargs)
+        series = {
+            name: sorted(values.items())
+            for name, values in throughputs.items()
+        }
+        columns = ["input", "pkts/ns"]
+    else:
+        series = {"Hi-Rise 4-ch 4-layer": fig12_tsv_pitch()}
+        columns = ["pitch um", "GHz", "mm2"]
+    print(render_series(series, f"Fig {args.which}", columns))
+    if args.csv:
+        from repro.harness.export import export_series_csv
+
+        path = export_series_csv(series, args.csv, columns)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hi-Rise (MICRO 2014) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cost = commands.add_parser("cost", help="implementation cost of a design")
+    _add_design_arguments(cost)
+    cost.set_defaults(handler=cmd_cost)
+
+    simulate = commands.add_parser("simulate", help="cycle-accurate run")
+    _add_design_arguments(simulate)
+    simulate.add_argument("--traffic", choices=["uniform", "hotspot"],
+                          default="uniform")
+    simulate.add_argument("--load", type=float, default=0.08)
+    simulate.add_argument("--cycles", type=int, default=4000)
+    simulate.add_argument("--warmup", type=int, default=500)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    table = commands.add_parser("table", help="regenerate a paper table")
+    table.add_argument("which", choices=["1", "4", "5", "6"])
+    table.add_argument("--fast", action="store_true",
+                       help="reduced simulation length")
+    table.add_argument("--csv", help="also export rows to this CSV path")
+    table.set_defaults(handler=cmd_table)
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "which",
+        choices=["9a", "9b", "9c", "10", "11a", "11b", "11c", "12"],
+    )
+    figure.add_argument("--fast", action="store_true")
+    figure.add_argument("--csv", help="also export series to this CSV path")
+    figure.set_defaults(handler=cmd_figure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Analytical models: capacity bounds, queueing estimates, connectivity.
+
+The cycle simulator *measures*; this subpackage *predicts*, giving the
+closed-form cross-checks a systems evaluation should have:
+
+* ``capacity`` — exact per-resource throughput bounds for fixed-route
+  (binned) traffic, explaining e.g. the 1-channel configuration's early
+  saturation and the Section VI-B pathological corner analytically;
+* ``queueing`` — M/D/1-style latency estimates for contested outputs and
+  zero-load latency, matching the simulator's hockey-stick onset;
+* ``connectivity`` — a networkx resource graph of the Hi-Rise datapath
+  for reachability proofs, including under injected TSV failures.
+
+Every prediction is validated against the simulator in the test suite.
+"""
+
+from repro.analysis.capacity import (
+    ResourceLoad,
+    bottleneck,
+    resource_loads,
+    throughput_bound,
+)
+from repro.analysis.queueing import (
+    md1_wait_cycles,
+    output_latency_estimate,
+    service_cycles,
+    zero_load_latency_cycles,
+)
+from repro.analysis.connectivity import (
+    build_resource_graph,
+    is_fully_connected,
+    reachable_outputs,
+)
+
+__all__ = [
+    "ResourceLoad",
+    "bottleneck",
+    "resource_loads",
+    "throughput_bound",
+    "md1_wait_cycles",
+    "output_latency_estimate",
+    "service_cycles",
+    "zero_load_latency_cycles",
+    "build_resource_graph",
+    "is_fully_connected",
+    "reachable_outputs",
+]

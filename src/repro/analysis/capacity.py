@@ -1,0 +1,135 @@
+"""Exact capacity bounds for fixed-route traffic on the Hi-Rise datapath.
+
+Under binned channel allocation every (input, output) flow has a fixed
+path: input port -> (intermediate output | one specific L2LC) -> final
+output.  Each resource serialises packets at ``1 / (flits + 1)`` packets
+per cycle (the packet's flits plus its arbitration cycle), so a demand
+matrix is sustainable iff every resource's aggregate load stays below its
+capacity — and the largest sustainable scaling of the demands is set by
+the most loaded resource.
+
+This reproduces the paper's structural arguments in closed form: the
+1-channel configuration saturates when one L2LC must carry 16 inputs'
+remote traffic; the Section VI-B pathological pattern is bounded by
+``c / (flits + 1)`` packets per cycle per layer pair; uniform random
+traffic's binding constraint for c >= 2 is the output (not the channels).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.config import AllocationPolicy, HiRiseConfig
+from repro.core.channels import make_allocation
+
+Demands = Dict[Tuple[int, int], float]
+"""Offered load per (src, dst) pair, in packets/cycle."""
+
+
+@dataclass(frozen=True)
+class ResourceLoad:
+    """Aggregate offered load and capacity of one datapath resource."""
+
+    resource: Tuple
+    load: float
+    capacity: float
+
+    @property
+    def utilisation(self) -> float:
+        return self.load / self.capacity
+
+
+def service_capacity(packet_flits: int) -> float:
+    """Packets/cycle one resource can serialise (flits + arbitration)."""
+    if packet_flits < 1:
+        raise ValueError("packets need at least one flit")
+    return 1.0 / (packet_flits + 1)
+
+
+def resource_loads(
+    config: HiRiseConfig,
+    demands: Demands,
+    packet_flits: int = 4,
+) -> List[ResourceLoad]:
+    """Per-resource loads for a demand matrix under fixed routing.
+
+    Covers input ports, final outputs, and (for cross-layer flows) the
+    L2LC each flow is binned to.  Priority allocation pools a layer
+    pair's channels into one resource of ``c``-fold capacity.
+
+    Raises:
+        ValueError: On out-of-range ports or negative demands.
+    """
+    capacity = service_capacity(packet_flits)
+    alloc = make_allocation(config)
+    loads: Dict[Tuple, float] = {}
+
+    def add(resource: Tuple, rate: float) -> None:
+        loads[resource] = loads.get(resource, 0.0) + rate
+
+    for (src, dst), rate in demands.items():
+        if not 0 <= src < config.radix or not 0 <= dst < config.radix:
+            raise ValueError(f"demand {src}->{dst} out of range")
+        if rate < 0:
+            raise ValueError("demands must be non-negative")
+        if rate == 0:
+            continue
+        add(("input", src), rate)
+        add(("output", dst), rate)
+        src_layer = config.layer_of_port(src)
+        dst_layer = config.layer_of_port(dst)
+        if src_layer == dst_layer:
+            continue
+        if config.allocation is AllocationPolicy.PRIORITY:
+            add(("pair", src_layer, dst_layer), rate)
+        else:
+            channel = alloc.channel_for(config.local_index(src), dst)
+            add(("ch", src_layer, dst_layer, channel), rate)
+
+    result = []
+    for resource, load in loads.items():
+        if resource[0] == "pair":
+            resource_capacity = capacity * config.channel_multiplicity
+        else:
+            resource_capacity = capacity
+        result.append(
+            ResourceLoad(resource=resource, load=load,
+                         capacity=resource_capacity)
+        )
+    return result
+
+
+def bottleneck(
+    config: HiRiseConfig,
+    demands: Demands,
+    packet_flits: int = 4,
+) -> ResourceLoad:
+    """The most utilised resource for a demand matrix.
+
+    Raises:
+        ValueError: If the demand matrix is empty.
+    """
+    loads = resource_loads(config, demands, packet_flits)
+    if not loads:
+        raise ValueError("no demands")
+    return max(loads, key=lambda entry: entry.utilisation)
+
+
+def throughput_bound(
+    config: HiRiseConfig,
+    demands: Demands,
+    packet_flits: int = 4,
+) -> float:
+    """Upper bound on deliverable aggregate throughput (packets/cycle).
+
+    The demand *pattern* is scaled until its bottleneck resource
+    saturates; the bound is the scaled aggregate (capped at the offered
+    aggregate when the pattern is already sustainable).  Exact for fixed
+    routing and work-conserving arbitration; the simulator lands below it
+    by its two-phase matching efficiency.
+    """
+    total = sum(demands.values())
+    if total == 0:
+        return 0.0
+    worst = bottleneck(config, demands, packet_flits)
+    scale = min(1.0, 1.0 / worst.utilisation)
+    return total * scale

@@ -1,0 +1,42 @@
+"""Arbitration schemes for matrix crossbars and the Hi-Rise switch.
+
+The 2D Swizzle-Switch embeds a self-updating Least Recently Granted (LRG)
+arbiter at each output (``lrg``).  The hierarchical Hi-Rise datapath
+decomposes arbitration into a local phase and an inter-layer phase, which is
+unfair under plain LRG composition (Section III-B.2 of the paper).  This
+subpackage provides the three inter-layer arbitration schemes the paper
+studies:
+
+* baseline layer-to-layer LRG (plain :class:`LRGArbiter` at both phases with
+  conditional local update, composed inside :mod:`repro.core.hirise`);
+* :class:`WLRGArbiter` — weighted LRG, fair but infeasible in hardware;
+* :class:`CLRGArbiter` — the paper's contribution: class-based LRG using
+  per-primary-input win counters (:class:`ClassCounterBank`) with LRG
+  tie-breaking inside a class.
+
+Two related-work comparison arbiters round out the set for ablation
+studies: :class:`RoundRobinArbiter` (iSLIP-style pointer rotation) and
+:class:`AgeArbiter` (oldest-first, the hardware-infeasible fairness
+ideal of Section VII).
+"""
+
+from repro.arbitration.base import Arbiter
+from repro.arbitration.lrg import LRGArbiter
+from repro.arbitration.classes import ClassCounterBank
+from repro.arbitration.clrg import CLRGArbiter
+from repro.arbitration.wlrg import WLRGArbiter
+from repro.arbitration.round_robin import RoundRobinArbiter
+from repro.arbitration.age import AgeArbiter
+from repro.arbitration.qos import QoSCLRGArbiter, WeightedClassCounterBank
+
+__all__ = [
+    "Arbiter",
+    "LRGArbiter",
+    "ClassCounterBank",
+    "CLRGArbiter",
+    "WLRGArbiter",
+    "RoundRobinArbiter",
+    "AgeArbiter",
+    "QoSCLRGArbiter",
+    "WeightedClassCounterBank",
+]

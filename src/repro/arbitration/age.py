@@ -1,0 +1,55 @@
+"""Age-based (oldest-cell-first) arbitration.
+
+Section VII discusses OCF and age-based arbitration (Abts & Weisser) as
+fairness alternatives the paper rejects for hardware: comparing timestamps
+across a high-radix switch in a single cycle is prohibitively expensive.
+The behavioural model is included so the ablation benchmarks can compare
+CLRG's fairness against the (hardware-infeasible) age-based ideal — the
+physical cost model intentionally has no entry for it.
+"""
+
+from typing import Iterable, Optional, Tuple
+
+from repro.arbitration.base import Arbiter
+
+
+class AgeArbiter(Arbiter):
+    """Grants the request with the largest age (oldest first).
+
+    Requests carry the age of the packet they represent (cycles since
+    generation); ties break toward the lowest slot index, mirroring a
+    deterministic comparator tree.
+    """
+
+    def __init__(self, num_slots: int) -> None:
+        super().__init__(num_slots)
+
+    def arbitrate_requests(
+        self, requests: Iterable[Tuple[int, int]]
+    ) -> Optional[Tuple[int, int]]:
+        """Pick a winner among ``(slot, age)`` requests."""
+        best: Optional[Tuple[int, int]] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for slot, age in requests:
+            self._check_slot(slot)
+            if age < 0:
+                raise ValueError("ages must be non-negative")
+            key = (-age, slot)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (slot, age)
+        return best
+
+    def commit(self, slot: int, age: int) -> None:
+        """Age-based arbitration is stateless: nothing to update."""
+        self._check_slot(slot)
+
+    # ------------------------------------------------------------------
+    # Arbiter interface (age-0 view for generic property tests)
+    # ------------------------------------------------------------------
+    def arbitrate(self, requests: Iterable[int]) -> Optional[int]:
+        winner = self.arbitrate_requests((slot, 0) for slot in requests)
+        return None if winner is None else winner[0]
+
+    def update(self, winner: int) -> None:
+        self.commit(winner, 0)

@@ -1,0 +1,34 @@
+"""Arbiter interface shared by all arbitration schemes."""
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional
+
+
+class Arbiter(ABC):
+    """Selects one winner among requesting slots.
+
+    Arbitration and the priority update are deliberately split: in the
+    Hi-Rise switch a local-switch winner only updates its priority when it
+    also wins the final output at the inter-layer switch (the update is
+    back-propagated), so the caller decides when :meth:`update` runs.
+    """
+
+    def __init__(self, num_slots: int) -> None:
+        if num_slots < 1:
+            raise ValueError("an arbiter needs at least one slot")
+        self.num_slots = num_slots
+
+    @abstractmethod
+    def arbitrate(self, requests: Iterable[int]) -> Optional[int]:
+        """Return the winning slot among ``requests`` (None if empty).
+
+        Does not change arbiter state; call :meth:`update` to commit.
+        """
+
+    @abstractmethod
+    def update(self, winner: int) -> None:
+        """Commit a grant: the winner becomes the most recently granted."""
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")

@@ -1,0 +1,72 @@
+"""Class counters for CLRG arbitration.
+
+Each inter-layer sub-block cross-point holds a short thermometer counter per
+primary input, tracking how often that input won this sub-block's final
+output.  The counter value is the input's *priority class*: class 0 (count
+0) is the highest priority.  To keep the hardware small and to forget
+bursts quickly, the counter is short (the paper finds 3 classes —
+thermometer codes {00, 01, 11} — sufficient for a 64-radix switch), and
+whenever any counter saturates, *all* counters in the sub-block are halved,
+preserving the relative class ordering.
+"""
+
+from typing import List
+
+
+class ClassCounterBank:
+    """Saturating win counters for one inter-layer sub-block.
+
+    Args:
+        num_inputs: Number of primary inputs tracked (the switch radix).
+        num_classes: Number of priority classes.  Counter values range over
+            ``0 .. num_classes - 1``; the paper's default is 3.
+    """
+
+    def __init__(self, num_inputs: int, num_classes: int = 3) -> None:
+        if num_inputs < 1:
+            raise ValueError("need at least one input")
+        if num_classes < 2:
+            raise ValueError("need at least two classes for CLRG to bite")
+        self.num_inputs = num_inputs
+        self.num_classes = num_classes
+        self._counts: List[int] = [0] * num_inputs
+        self._halvings = 0
+
+    @property
+    def max_count(self) -> int:
+        """The saturation value of each counter."""
+        return self.num_classes - 1
+
+    @property
+    def halvings(self) -> int:
+        """How many times the bank halved (for diagnostics and tests)."""
+        return self._halvings
+
+    def class_of(self, input_id: int) -> int:
+        """Priority class of an input; 0 is the highest priority class."""
+        self._check(input_id)
+        return self._counts[input_id]
+
+    def counts(self) -> List[int]:
+        """A copy of all counter values."""
+        return list(self._counts)
+
+    def record_win(self, input_id: int) -> None:
+        """Increment the winner's counter, halving the bank on saturation.
+
+        If the winner's counter already sits at the saturation value, the
+        whole bank is divided by two first (integer division), then the
+        increment is applied.  Relative class ordering is preserved by the
+        halving, exactly as Section III-B.4 requires.
+        """
+        self._check(input_id)
+        if self._counts[input_id] >= self.max_count:
+            self._counts = [count // 2 for count in self._counts]
+            self._halvings += 1
+        self._counts[input_id] += 1
+
+    def _check(self, input_id: int) -> None:
+        if not 0 <= input_id < self.num_inputs:
+            raise ValueError(
+                f"input {input_id} out of range [0, {self.num_inputs})"
+            )

@@ -1,0 +1,91 @@
+"""Class-based Least Recently Granted (CLRG) sub-block arbiter.
+
+This is the paper's contribution.  One CLRG arbiter guards one final output
+(one inter-layer sub-block).  Its requestor *slots* are the incoming
+layer-to-layer channels plus the local intermediate output — for a 4-layer,
+4-channel radix-64 switch that is 13 slots.  Each slot's request is made on
+behalf of a *primary input* (the input that won the slot at its local
+switch); the class counters are indexed by primary input, so fairness is
+enforced at input granularity even though tie-breaking LRG state exists
+only at channel granularity.
+
+Arbitration in one (hardware) cycle:
+
+1. among the requesting slots, find the best (lowest) class of their
+   primary inputs — lower count means less recent output usage;
+2. within that best class, pick the slot with the highest LRG priority;
+3. on commit: the winning primary input's counter increments (possibly
+   halving the bank), and the LRG is updated with the winning slot *even
+   when the class comparison alone decided the grant* (Section III-B.4:
+   "Even though LRG is not used for this arbitration cycle, it is still
+   updated").
+"""
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.arbitration.base import Arbiter
+from repro.arbitration.classes import ClassCounterBank
+from repro.arbitration.lrg import LRGArbiter
+
+
+class CLRGArbiter(Arbiter):
+    """CLRG arbiter for one inter-layer sub-block.
+
+    Args:
+        num_slots: Number of requesting channels (incoming L2LCs plus the
+            local intermediate output).
+        num_inputs: Number of primary inputs in the whole switch (counter
+            bank width; 64 for the paper's headline configuration).
+        num_classes: Number of priority classes (default 3, per the paper).
+        initial_order: Optional initial LRG priority order over slots.
+    """
+
+    def __init__(
+        self,
+        num_slots: int,
+        num_inputs: int,
+        num_classes: int = 3,
+        initial_order: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(num_slots)
+        self.counters = ClassCounterBank(num_inputs, num_classes)
+        self.lrg = LRGArbiter(num_slots, initial_order)
+
+    def arbitrate_requests(
+        self, requests: Iterable[Tuple[int, int]]
+    ) -> Optional[Tuple[int, int]]:
+        """Pick a winner among ``(slot, primary_input)`` requests.
+
+        Returns the winning ``(slot, primary_input)`` pair or None when no
+        slot requests.  Pure selection; call :meth:`commit` to update state.
+        """
+        best: Optional[Tuple[int, int]] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for slot, primary_input in requests:
+            self._check_slot(slot)
+            key = (self.counters.class_of(primary_input), self.lrg.rank(slot))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (slot, primary_input)
+        return best
+
+    def commit(self, slot: int, primary_input: int) -> None:
+        """Commit a grant: bump the input's class counter, update LRG."""
+        self.counters.record_win(primary_input)
+        self.lrg.update(slot)
+
+    # ------------------------------------------------------------------
+    # Arbiter interface (slot-only view, used by generic property tests)
+    # ------------------------------------------------------------------
+    def arbitrate(self, requests: Iterable[int]) -> Optional[int]:
+        """Slot-only arbitration treating each slot as its own input.
+
+        This degenerate view (primary input == slot) exists so the generic
+        :class:`Arbiter` contract and its property tests apply; the switch
+        models use :meth:`arbitrate_requests`.
+        """
+        winner = self.arbitrate_requests((slot, slot) for slot in requests)
+        return None if winner is None else winner[0]
+
+    def update(self, winner: int) -> None:
+        self.commit(winner, winner)

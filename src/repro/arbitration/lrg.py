@@ -1,0 +1,84 @@
+"""Least Recently Granted (LRG) matrix arbiter.
+
+This is the self-updating priority scheme of the 2D Swizzle-Switch: every
+output cross-point column stores a priority vector ordering the inputs; the
+requesting input with the highest priority (least recently granted) wins,
+and on a committed grant the winner drops to the lowest priority.
+
+The arbiter is modelled as an explicit priority order (index 0 = highest
+priority), which is exactly the total order the per-cross-point priority
+bits encode in hardware.
+"""
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.arbitration.base import Arbiter
+
+
+class LRGArbiter(Arbiter):
+    """An LRG arbiter over ``num_slots`` requestor slots.
+
+    Args:
+        num_slots: Number of requestor slots.
+        initial_order: Optional explicit initial priority order (highest
+            priority first).  Must be a permutation of ``range(num_slots)``.
+            Defaults to ascending slot order.  The paper's worked examples
+            (Figs 4 and 5) start from specific priority states; exposing the
+            initial order lets tests reproduce them exactly.
+    """
+
+    def __init__(
+        self,
+        num_slots: int,
+        initial_order: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(num_slots)
+        if initial_order is None:
+            order = list(range(num_slots))
+        else:
+            order = list(initial_order)
+            if sorted(order) != list(range(num_slots)):
+                raise ValueError(
+                    f"initial_order must be a permutation of 0..{num_slots - 1}"
+                )
+        self._order: List[int] = order
+        # rank[slot] = position in the priority order (0 = highest).
+        self._rank: List[int] = [0] * num_slots
+        self._recompute_ranks()
+
+    def _recompute_ranks(self) -> None:
+        for position, slot in enumerate(self._order):
+            self._rank[slot] = position
+
+    @property
+    def priority_order(self) -> List[int]:
+        """Current priority order, highest priority first (a copy)."""
+        return list(self._order)
+
+    def rank(self, slot: int) -> int:
+        """Priority rank of a slot (0 = highest priority)."""
+        self._check_slot(slot)
+        return self._rank[slot]
+
+    def arbitrate(self, requests: Iterable[int]) -> Optional[int]:
+        """The requesting slot with the best (lowest) rank, or None."""
+        winner: Optional[int] = None
+        best_rank = self.num_slots
+        for slot in requests:
+            self._check_slot(slot)
+            if self._rank[slot] < best_rank:
+                best_rank = self._rank[slot]
+                winner = slot
+        return winner
+
+    def update(self, winner: int) -> None:
+        """Demote the winner to the lowest priority (most recently granted)."""
+        self._check_slot(winner)
+        position = self._rank[winner]
+        # Shift everything after the winner up one rank; winner to the back.
+        order = self._order
+        for i in range(position, self.num_slots - 1):
+            order[i] = order[i + 1]
+            self._rank[order[i]] = i
+        order[self.num_slots - 1] = winner
+        self._rank[winner] = self.num_slots - 1

@@ -1,0 +1,84 @@
+"""QoS extension: weighted class counters for bandwidth differentiation.
+
+The Swizzle-Switch family supports quality-of-service arbitration
+(Satpathy et al., DAC 2012 — reference [15] of the paper).  CLRG's class
+counters extend naturally to QoS: charging input ``i`` a *cost* of
+``1/weight_i`` per win instead of 1 makes its long-run share of a
+contested output proportional to its weight, while keeping the exact
+cross-point structure (counters, priority-select muxes, halving on
+saturation).  In hardware the per-input increment step would be a small
+programmable constant per cross-point row.
+
+This is an extension beyond the paper (its future-work direction of
+integrating QoS into the 3D fabric); it is exercised by
+``benchmarks/test_extension_qos.py``.
+"""
+
+from typing import List, Optional, Sequence
+
+from repro.arbitration.classes import ClassCounterBank
+from repro.arbitration.clrg import CLRGArbiter
+
+
+class WeightedClassCounterBank(ClassCounterBank):
+    """Class counters whose increment is inversely weighted per input.
+
+    Args:
+        num_inputs: Number of primary inputs tracked.
+        num_classes: Counter range (saturation at ``num_classes - 1``).
+        weights: Service weight per input; an input with weight w is
+            charged ``1/w`` per win, so its sustainable share of a
+            contested output is proportional to w.  Defaults to 1.0
+            everywhere (plain CLRG behaviour).
+    """
+
+    def __init__(
+        self,
+        num_inputs: int,
+        num_classes: int = 3,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(num_inputs, num_classes)
+        if weights is None:
+            weights = [1.0] * num_inputs
+        weights = list(weights)
+        if len(weights) != num_inputs:
+            raise ValueError("need exactly one weight per input")
+        if any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive")
+        self.weights = weights
+        # Shadow the integer counters with float costs.
+        self._costs: List[float] = [0.0] * num_inputs
+
+    def class_of(self, input_id: int) -> float:  # type: ignore[override]
+        """Accumulated (weighted) cost; lower is higher priority."""
+        self._check(input_id)
+        return self._costs[input_id]
+
+    def counts(self) -> List[float]:  # type: ignore[override]
+        return list(self._costs)
+
+    def record_win(self, input_id: int) -> None:
+        self._check(input_id)
+        cost = 1.0 / self.weights[input_id]
+        if self._costs[input_id] + cost > self.max_count:
+            self._costs = [value / 2.0 for value in self._costs]
+            self._halvings += 1
+        self._costs[input_id] += cost
+
+
+class QoSCLRGArbiter(CLRGArbiter):
+    """A CLRG sub-block arbiter with per-input service weights."""
+
+    def __init__(
+        self,
+        num_slots: int,
+        num_inputs: int,
+        weights: Sequence[float],
+        num_classes: int = 3,
+        initial_order=None,
+    ) -> None:
+        super().__init__(num_slots, num_inputs, num_classes, initial_order)
+        self.counters = WeightedClassCounterBank(
+            num_inputs, num_classes, weights
+        )

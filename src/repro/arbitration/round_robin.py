@@ -1,0 +1,46 @@
+"""Round-robin arbiter (iSLIP-style pointer arbitration).
+
+Included as a comparison point: Section VII notes that "a single iteration
+of iSLIP is similar to the baseline L-2-L LRG" — its pointer update on a
+final-stage win composes exactly like the baseline and inherits the same
+unfairness, which the ablation benchmarks demonstrate.
+"""
+
+from typing import Iterable, Optional
+
+from repro.arbitration.base import Arbiter
+
+
+class RoundRobinArbiter(Arbiter):
+    """A rotating-pointer arbiter over ``num_slots`` requestors.
+
+    The requesting slot at or after the pointer wins; committing a grant
+    advances the pointer past the winner (the iSLIP update rule).
+    """
+
+    def __init__(self, num_slots: int, start: int = 0) -> None:
+        super().__init__(num_slots)
+        self._check_slot(start)
+        self._pointer = start
+
+    @property
+    def pointer(self) -> int:
+        """Slot currently holding the highest priority."""
+        return self._pointer
+
+    def arbitrate(self, requests: Iterable[int]) -> Optional[int]:
+        requesting = set()
+        for slot in requests:
+            self._check_slot(slot)
+            requesting.add(slot)
+        if not requesting:
+            return None
+        for offset in range(self.num_slots):
+            slot = (self._pointer + offset) % self.num_slots
+            if slot in requesting:
+                return slot
+        raise AssertionError("unreachable: a requestor must win")
+
+    def update(self, winner: int) -> None:
+        self._check_slot(winner)
+        self._pointer = (winner + 1) % self.num_slots

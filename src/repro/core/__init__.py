@@ -1,0 +1,33 @@
+"""The Hi-Rise 3D switch — the paper's primary contribution.
+
+``HiRiseSwitch`` is a cycle-accurate model of the hierarchical 3D switch:
+N inputs/outputs split over L layers, a local switch and an inter-layer
+switch per layer, and ``c`` dedicated layer-to-layer channels (L2LCs)
+between every pair of layers.  Arbitration is two-phase within a single
+cycle and supports the paper's three schemes (baseline layer-to-layer LRG,
+weighted LRG, and the proposed class-based LRG).
+"""
+
+from repro.core.config import (
+    AllocationPolicy,
+    ArbitrationScheme,
+    HiRiseConfig,
+)
+from repro.core.channels import (
+    InputBinnedAllocation,
+    OutputBinnedAllocation,
+    PriorityAllocation,
+    make_allocation,
+)
+from repro.core.hirise import HiRiseSwitch
+
+__all__ = [
+    "AllocationPolicy",
+    "ArbitrationScheme",
+    "HiRiseConfig",
+    "HiRiseSwitch",
+    "InputBinnedAllocation",
+    "OutputBinnedAllocation",
+    "PriorityAllocation",
+    "make_allocation",
+]

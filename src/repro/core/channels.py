@@ -1,0 +1,98 @@
+"""Layer-to-layer channel (L2LC) allocation policies.
+
+When the channel multiplicity ``c`` is greater than one, a rule is needed
+to decide which of the ``c`` channels toward the destination layer an input
+uses (Section III-A):
+
+* **input binned** — each input has a fixed channel, interleaved by input
+  index (input ``i`` uses channel ``i mod c``), so each L2LC services
+  ``N/(L*c)`` pre-assigned inputs;
+* **output binned** — the channel is fixed by the destination output's
+  local index instead;
+* **priority based** — any input may use any free channel; a priority mux
+  over all N/L inputs assigns winners to free channels in priority order
+  (more flexible under adversarial traffic, but the serialised arbitration
+  costs cycle time — the physical model charges for it).
+"""
+
+from abc import ABC, abstractmethod
+
+from repro.core.config import AllocationPolicy, HiRiseConfig
+
+
+class ChannelAllocation(ABC):
+    """Strategy mapping a request to the L2LC channel(s) it may use."""
+
+    def __init__(self, config: HiRiseConfig) -> None:
+        self.config = config
+
+    @property
+    @abstractmethod
+    def is_binned(self) -> bool:
+        """True when each request maps to exactly one fixed channel."""
+
+    @abstractmethod
+    def channel_for(self, local_input: int, dst_output: int) -> int:
+        """The fixed channel a request must use (binned policies only).
+
+        Args:
+            local_input: Requesting input's index within its layer.
+            dst_output: Global destination output port.
+
+        Raises:
+            NotImplementedError: For non-binned (priority) allocation.
+        """
+
+
+class InputBinnedAllocation(ChannelAllocation):
+    """Fixed channel by input index, interleaved (``i mod c``)."""
+
+    @property
+    def is_binned(self) -> bool:
+        return True
+
+    def channel_for(self, local_input: int, dst_output: int) -> int:
+        return local_input % self.config.channel_multiplicity
+
+
+class OutputBinnedAllocation(ChannelAllocation):
+    """Fixed channel by the destination output's local index."""
+
+    @property
+    def is_binned(self) -> bool:
+        return True
+
+    def channel_for(self, local_input: int, dst_output: int) -> int:
+        local_output = self.config.local_index(dst_output)
+        return local_output % self.config.channel_multiplicity
+
+
+class PriorityAllocation(ChannelAllocation):
+    """Any input may use any free channel; assignment is by priority mux.
+
+    The switch model resolves this policy with a per-(layer, destination
+    layer) LRG order: requesting inputs are ranked and matched to the free
+    channels in order.  ``channel_for`` is therefore undefined here.
+    """
+
+    @property
+    def is_binned(self) -> bool:
+        return False
+
+    def channel_for(self, local_input: int, dst_output: int) -> int:
+        raise NotImplementedError(
+            "priority allocation has no fixed channel; the switch assigns "
+            "free channels in priority order"
+        )
+
+
+def make_allocation(config: HiRiseConfig) -> ChannelAllocation:
+    """Instantiate the allocation strategy named in the configuration."""
+    policy = config.allocation
+    if policy is AllocationPolicy.INPUT_BINNED:
+        return InputBinnedAllocation(config)
+    if policy is AllocationPolicy.OUTPUT_BINNED:
+        return OutputBinnedAllocation(config)
+    if policy is AllocationPolicy.PRIORITY:
+        return PriorityAllocation(config)
+    raise ValueError(f"unknown allocation policy: {policy}")

@@ -1,0 +1,69 @@
+"""CSV export of regenerated tables and figure series.
+
+Plotting is out of scope offline, but every harness product can be dumped
+to CSV for external tooling: figure series become long-format files
+(series, x, y, ...) and table rows become one row per design point with
+paper columns alongside measured ones.
+"""
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.harness.tables import CostRow, SpeedupRow
+
+
+def export_series_csv(
+    series: Dict[str, List[Tuple]],
+    path: Union[str, Path],
+    columns: Sequence[str],
+) -> Path:
+    """Write figure series in long format: series name + value columns.
+
+    Args:
+        series: Mapping of series name to rows of points.
+        path: Output file path (parent directories are created).
+        columns: Names for the point tuple's positions.
+
+    Returns:
+        The path written.
+
+    Raises:
+        ValueError: If a point's width does not match ``columns``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", *columns])
+        for name, points in series.items():
+            for point in points:
+                if len(point) != len(columns):
+                    raise ValueError(
+                        f"point {point!r} does not match columns {columns!r}"
+                    )
+                writer.writerow([name, *point])
+    return path
+
+
+def export_rows_csv(
+    rows: Sequence[Union[CostRow, SpeedupRow]],
+    path: Union[str, Path],
+) -> Path:
+    """Write table rows (cost or speedup dataclasses) as CSV.
+
+    Raises:
+        ValueError: If ``rows`` is empty (no header can be derived).
+    """
+    if not rows:
+        raise ValueError("no rows to export")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fields = [field.name for field in dataclasses.fields(rows[0])]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        for row in rows:
+            writer.writerow([getattr(row, name) for name in fields])
+    return path

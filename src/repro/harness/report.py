@@ -1,0 +1,63 @@
+"""Text rendering of regenerated tables and figure series."""
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.harness.tables import CostRow, SpeedupRow
+
+
+def _fmt(value, digits=3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.{digits}g}" if abs(value) < 1000 else f"{value:.0f}"
+
+
+def render_table(rows: Sequence[Union[CostRow, SpeedupRow]], title: str) -> str:
+    """Render cost or speedup rows as aligned text with paper columns."""
+    lines = [title, "=" * len(title)]
+    if rows and isinstance(rows[0], CostRow):
+        header = (
+            f"{'Design':<18} {'Configuration':<24} "
+            f"{'Area mm2':>14} {'Freq GHz':>14} {'E pJ':>12} "
+            f"{'Tbps':>14} {'#TSVs':>12}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rows:
+            lines.append(
+                f"{row.design:<18} {row.configuration:<24} "
+                f"{_fmt(row.area_mm2):>6} ({_fmt(row.paper_area_mm2):>5}) "
+                f"{_fmt(row.frequency_ghz):>6} ({_fmt(row.paper_frequency_ghz):>5}) "
+                f"{_fmt(row.energy_pj, 3):>5} ({_fmt(row.paper_energy_pj):>4}) "
+                f"{_fmt(row.throughput_tbps):>6} ({_fmt(row.paper_throughput_tbps):>5}) "
+                f"{row.tsv_count:>5} ({_fmt(row.paper_tsv_count):>5})"
+            )
+        lines.append("(measured value first, paper value in parentheses)")
+    else:
+        header = (
+            f"{'Mix':<6} {'avg MPKI':>16} {'Speedup':>18}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rows:
+            lines.append(
+                f"{row.mix:<6} "
+                f"{_fmt(row.avg_mpki):>7} ({_fmt(row.paper_avg_mpki):>5}) "
+                f"{_fmt(row.speedup):>8} ({_fmt(row.paper_speedup):>5})"
+            )
+        lines.append("(measured value first, paper value in parentheses)")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, List[Tuple]], title: str, columns: Sequence[str]
+) -> str:
+    """Render figure data series as aligned text blocks."""
+    lines = [title, "=" * len(title)]
+    for name, points in series.items():
+        lines.append(f"\n[{name}]")
+        lines.append("  ".join(f"{c:>12}" for c in columns))
+        for point in points:
+            lines.append("  ".join(f"{_fmt(v, 4):>12}" for v in point))
+    return "\n".join(lines)

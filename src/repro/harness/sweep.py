@@ -1,0 +1,129 @@
+"""Generic parameter sweeps with replication and confidence intervals.
+
+The figure functions cover the paper's sweeps; this module provides the
+machinery for *new* studies: cross any parameter grid with any scalar
+measurement, optionally replicating each point over seeds to get
+confidence intervals, and render or export the result like any other
+harness product.
+"""
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.confidence import ConfidenceInterval, replicate
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured grid point."""
+
+    parameters: Dict[str, object]
+    value: float
+    interval: Optional[ConfidenceInterval] = None
+
+
+Measurement = Callable[..., float]
+"""Measurement callable: keyword parameters (+ ``seed``) -> scalar."""
+
+
+def parameter_grid(**axes: Sequence) -> List[Dict[str, object]]:
+    """Cross the named axes into a list of parameter dictionaries.
+
+    >>> parameter_grid(a=[1, 2], b=["x"])
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    combinations = itertools.product(*(axes[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combinations]
+
+
+def run_sweep(
+    measurement: Measurement,
+    grid: Sequence[Dict[str, object]],
+    replications: int = 1,
+    confidence: float = 0.95,
+    base_seed: int = 0,
+) -> List[SweepPoint]:
+    """Measure every grid point, optionally replicated over seeds.
+
+    Args:
+        measurement: Called as ``measurement(seed=..., **parameters)``;
+            must return a scalar.
+        grid: Parameter dictionaries (see :func:`parameter_grid`).
+        replications: Independent seeds per point; with more than one, a
+            t-confidence interval accompanies each point.
+
+    Raises:
+        ValueError: If ``replications`` is not positive.
+    """
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    points: List[SweepPoint] = []
+    for parameters in grid:
+        if replications == 1:
+            value = float(measurement(seed=base_seed, **parameters))
+            points.append(SweepPoint(parameters=dict(parameters), value=value))
+        else:
+            interval = replicate(
+                lambda seed: float(measurement(seed=seed, **parameters)),
+                num_replications=replications,
+                confidence=confidence,
+                base_seed=base_seed,
+            )
+            points.append(
+                SweepPoint(
+                    parameters=dict(parameters),
+                    value=interval.mean,
+                    interval=interval,
+                )
+            )
+    return points
+
+
+def render_sweep(points: Sequence[SweepPoint], title: str) -> str:
+    """Aligned text rendering of sweep results."""
+    lines = [title, "=" * len(title)]
+    if not points:
+        lines.append("(no points)")
+        return "\n".join(lines)
+    names = list(points[0].parameters)
+    header = "  ".join(f"{name:>12}" for name in names) + f"  {'value':>12}"
+    if points[0].interval is not None:
+        header += f"  {'95% hw':>10}"
+    lines.append(header)
+    for point in points:
+        row = "  ".join(
+            f"{str(point.parameters[name]):>12}" for name in names
+        )
+        row += f"  {point.value:>12.4g}"
+        if point.interval is not None:
+            row += f"  {point.interval.half_width:>10.3g}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def to_series(
+    points: Sequence[SweepPoint],
+    x: str,
+    series_by: Optional[str] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Regroup sweep points into figure-style series for export.
+
+    Args:
+        x: Parameter name used as the x-axis.
+        series_by: Optional parameter whose values name the series (a
+            single unnamed series otherwise).
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for point in points:
+        key = (
+            str(point.parameters[series_by]) if series_by is not None
+            else "sweep"
+        )
+        series.setdefault(key, []).append(
+            (point.parameters[x], point.value)
+        )
+    return series

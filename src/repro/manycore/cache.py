@@ -1,0 +1,86 @@
+"""Shared L2 bank model.
+
+One bank per tile (Table III: 64 banks, 256 KB each, 6-cycle latency, 32
+MSHRs).  The bank is pipelined: every accepted request completes a fixed
+access latency after arrival, bounded by the MSHR count; whether it hits
+is drawn from the *requesting core's* benchmark profile (the synthetic
+equivalent of the trace's address stream hitting this bank's arrays).
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class L2Request:
+    """A request resident in the bank's MSHRs."""
+
+    core_id: int
+    request_id: int
+    l2_miss_ratio: float
+    ready_cycle: int
+
+
+class L2Bank:
+    """One address-interleaved shared L2 bank."""
+
+    def __init__(
+        self,
+        bank_id: int,
+        latency_cycles: int,
+        mshr_limit: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if latency_cycles < 1:
+            raise ValueError("L2 latency must be at least one cycle")
+        if mshr_limit < 1:
+            raise ValueError("need at least one MSHR")
+        self.bank_id = bank_id
+        self.latency_cycles = latency_cycles
+        self.mshr_limit = mshr_limit
+        self.rng = rng
+        self._inflight: Deque[L2Request] = deque()
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._inflight)
+
+    def accept(
+        self, core_id: int, request_id: int, l2_miss_ratio: float, cycle: int
+    ) -> bool:
+        """Accept a request into the MSHRs; False when full (retry later)."""
+        if len(self._inflight) >= self.mshr_limit:
+            self.rejected += 1
+            return False
+        self._inflight.append(
+            L2Request(
+                core_id=core_id,
+                request_id=request_id,
+                l2_miss_ratio=l2_miss_ratio,
+                ready_cycle=cycle + self.latency_cycles,
+            )
+        )
+        return True
+
+    def completions(self, cycle: int) -> List[Tuple[L2Request, bool]]:
+        """Requests whose access finished this cycle, with hit/miss drawn.
+
+        Returns a list of (request, hit) pairs; misses must be forwarded
+        to a memory controller by the caller.
+        """
+        done: List[Tuple[L2Request, bool]] = []
+        while self._inflight and self._inflight[0].ready_cycle <= cycle:
+            request = self._inflight.popleft()
+            hit = bool(self.rng.random() >= request.l2_miss_ratio)
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+            done.append((request, hit))
+        return done

@@ -1,0 +1,72 @@
+"""Memory controller model.
+
+Table III: 8 on-chip memory controllers, 4 DDR channels each at 16 GB/s,
+80 ns access latency, request queues.  The model is a bandwidth-limited
+server: a controller starts one 64-byte access per ``service_interval``
+cycles per channel group (aggregate bandwidth), and each access completes
+``access_latency`` after it starts.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+
+@dataclass
+class DramRequest:
+    core_id: int
+    request_id: int
+    arrival_cycle: int
+
+
+class MemoryController:
+    """One memory controller with queued, bandwidth-limited service."""
+
+    def __init__(
+        self,
+        mc_id: int,
+        access_latency_cycles: int,
+        service_interval_cycles: float,
+        queue_limit: int = 256,
+    ) -> None:
+        if access_latency_cycles < 1:
+            raise ValueError("DRAM latency must be at least one cycle")
+        if service_interval_cycles <= 0:
+            raise ValueError("service interval must be positive")
+        self.mc_id = mc_id
+        self.access_latency_cycles = access_latency_cycles
+        self.service_interval_cycles = service_interval_cycles
+        self.queue_limit = queue_limit
+        self._queue: Deque[DramRequest] = deque()
+        self._inflight: Deque[Tuple[int, DramRequest]] = deque()
+        self._next_service = 0.0
+        self.served = 0
+        self.rejected = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue) + len(self._inflight)
+
+    def accept(self, core_id: int, request_id: int, cycle: int) -> bool:
+        """Queue a DRAM request; False when the queue is full."""
+        if len(self._queue) >= self.queue_limit:
+            self.rejected += 1
+            return False
+        self._queue.append(DramRequest(core_id, request_id, cycle))
+        return True
+
+    def step(self, cycle: int) -> List[DramRequest]:
+        """Start eligible accesses and return those completing this cycle."""
+        # Start new accesses as bandwidth allows.
+        while self._queue and self._next_service <= cycle:
+            request = self._queue.popleft()
+            self._inflight.append(
+                (cycle + self.access_latency_cycles, request)
+            )
+            start = max(self._next_service, float(cycle))
+            self._next_service = start + self.service_interval_cycles
+        done: List[DramRequest] = []
+        while self._inflight and self._inflight[0][0] <= cycle:
+            done.append(self._inflight.popleft()[1])
+            self.served += 1
+        return done

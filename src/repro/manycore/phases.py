@@ -1,0 +1,139 @@
+"""Phased benchmark profiles: time-varying memory intensity.
+
+Real SPEC traces alternate between compute-bound and memory-bound phases;
+a single average MPKI hides the bursts that stress the interconnect (and
+that CLRG's counter-halving rule is designed to forgive, Section III-B.4).
+``PhasedProfile`` cycles through (instruction-count, L1 MPKI, L2 MPKI)
+phases as the core retires instructions, while exposing the same interface
+the constant :class:`BenchmarkProfile` offers, so cores and the system are
+oblivious to which kind they run.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.manycore.workloads import BenchmarkProfile
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase of a benchmark."""
+
+    instructions: float
+    l1_mpki: float
+    l2_mpki: float
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError("a phase must span a positive instruction count")
+        if self.l1_mpki < 0 or self.l2_mpki < 0:
+            raise ValueError("MPKI values must be non-negative")
+        if self.l2_mpki > self.l1_mpki:
+            raise ValueError("L2 misses cannot exceed L1 misses")
+
+
+@dataclass(frozen=True)
+class PhasedProfile:
+    """A benchmark whose miss rates vary by phase.
+
+    Phases repeat cyclically over retired instructions.  The aggregate
+    (instruction-weighted) MPKI is exposed through the same properties as
+    :class:`BenchmarkProfile` so workload accounting stays uniform.
+    """
+
+    name: str
+    phases: Tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("need at least one phase")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    @property
+    def period(self) -> float:
+        """Instructions in one full cycle through the phases."""
+        return sum(phase.instructions for phase in self.phases)
+
+    def _phase_at(self, instructions: float) -> Phase:
+        position = instructions % self.period
+        for phase in self.phases:
+            if position < phase.instructions:
+                return phase
+            position -= phase.instructions
+        return self.phases[-1]
+
+    # ------------------------------------------------------------------
+    # Instantaneous rates (what the core model samples)
+    # ------------------------------------------------------------------
+    def l1_mpki_at(self, instructions: float) -> float:
+        """L1 MPKI of the phase active after ``instructions`` retired."""
+        return self._phase_at(instructions).l1_mpki
+
+    def l2_ratio_at(self, instructions: float) -> float:
+        """L2 miss ratio of the phase active at this progress point."""
+        phase = self._phase_at(instructions)
+        if phase.l1_mpki == 0:
+            return 0.0
+        return phase.l2_mpki / phase.l1_mpki
+
+    # ------------------------------------------------------------------
+    # Aggregates (BenchmarkProfile-compatible accounting)
+    # ------------------------------------------------------------------
+    @property
+    def l1_mpki(self) -> float:
+        weighted = sum(p.instructions * p.l1_mpki for p in self.phases)
+        return weighted / self.period
+
+    @property
+    def l2_mpki(self) -> float:
+        weighted = sum(p.instructions * p.l2_mpki for p in self.phases)
+        return weighted / self.period
+
+    @property
+    def total_mpki(self) -> float:
+        return self.l1_mpki + self.l2_mpki
+
+    @property
+    def l2_miss_ratio(self) -> float:
+        if self.l1_mpki == 0:
+            return 0.0
+        return self.l2_mpki / self.l1_mpki
+
+
+def with_phases(
+    profile: BenchmarkProfile,
+    burst_ratio: float = 4.0,
+    duty_cycle: float = 0.25,
+    period_instructions: float = 50_000.0,
+) -> PhasedProfile:
+    """Derive a two-phase (burst/quiet) profile with the same average MPKI.
+
+    Args:
+        profile: The constant profile to phase.
+        burst_ratio: Burst-phase MPKI relative to the quiet phase.
+        duty_cycle: Fraction of instructions spent in the burst phase.
+        period_instructions: Length of one burst+quiet cycle.
+
+    The instruction-weighted averages equal the source profile's rates, so
+    mixes keep their Table VI MPKI while the *temporal* load becomes
+    bursty.
+    """
+    if burst_ratio < 1.0:
+        raise ValueError("burst ratio must be >= 1")
+    if not 0.0 < duty_cycle < 1.0:
+        raise ValueError("duty cycle must be in (0, 1)")
+    # Solve quiet-rate q: duty*burst_ratio*q + (1-duty)*q = average.
+    denominator = duty_cycle * burst_ratio + (1.0 - duty_cycle)
+    quiet_scale = 1.0 / denominator
+    burst_scale = burst_ratio * quiet_scale
+    burst = Phase(
+        instructions=period_instructions * duty_cycle,
+        l1_mpki=profile.l1_mpki * burst_scale,
+        l2_mpki=profile.l2_mpki * burst_scale,
+    )
+    quiet = Phase(
+        instructions=period_instructions * (1.0 - duty_cycle),
+        l1_mpki=profile.l1_mpki * quiet_scale,
+        l2_mpki=profile.l2_mpki * quiet_scale,
+    )
+    return PhasedProfile(name=f"{profile.name}-phased", phases=(burst, quiet))

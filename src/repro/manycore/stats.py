@@ -1,0 +1,136 @@
+"""Memory-request latency instrumentation for the many-core system.
+
+Tracks every request from issue to reply and attributes its latency to the
+level that served it (shared L2 hit vs DRAM), giving the per-core and
+system-level breakdowns an interconnect study needs: how much of average
+memory latency is network, how it shifts between the 2D and Hi-Rise
+fabrics, and which cores are hurt most.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.metrics.stats import LatencyStats
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one memory request (cycles in the network domain)."""
+
+    core_id: int
+    issue_cycle: int
+    reply_cycle: Optional[int] = None
+    served_by_dram: bool = False
+
+    @property
+    def latency(self) -> int:
+        if self.reply_cycle is None:
+            raise ValueError("request still in flight")
+        return self.reply_cycle - self.issue_cycle
+
+
+class MemoryLatencyTracker:
+    """Accumulates request lifecycles and summarises them.
+
+    The system calls :meth:`issued` when a core creates a request,
+    :meth:`went_to_dram` when the home L2 misses, and :meth:`replied` when
+    the data returns to the core.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[int, RequestRecord] = {}
+        self.completed: List[RequestRecord] = []
+
+    def issued(self, request_id: int, core_id: int, cycle: int) -> None:
+        """Record a new request leaving its core.
+
+        Raises:
+            ValueError: On a duplicate in-flight request id.
+        """
+        if request_id in self._inflight:
+            raise ValueError(f"request {request_id} already in flight")
+        self._inflight[request_id] = RequestRecord(
+            core_id=core_id, issue_cycle=cycle
+        )
+
+    def went_to_dram(self, request_id: int) -> None:
+        """Mark an in-flight request as an L2 miss headed to memory."""
+        record = self._inflight.get(request_id)
+        if record is not None:
+            record.served_by_dram = True
+
+    def replied(self, request_id: int, cycle: int) -> None:
+        """Complete a request when its data reply reaches the core."""
+        record = self._inflight.pop(request_id, None)
+        if record is None:
+            return  # tracking may be attached mid-run; ignore strangers
+        record.reply_cycle = cycle
+        self.completed.append(record)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    def latencies(
+        self, dram_only: Optional[bool] = None, core_id: Optional[int] = None
+    ) -> List[int]:
+        """Completed latencies, optionally filtered by level or core."""
+        return [
+            record.latency
+            for record in self.completed
+            if (dram_only is None or record.served_by_dram == dram_only)
+            and (core_id is None or record.core_id == core_id)
+        ]
+
+    def summary(self, dram_only: Optional[bool] = None) -> LatencyStats:
+        """Latency distribution summary (cycles).
+
+        Raises:
+            ValueError: If no matching request completed.
+        """
+        return LatencyStats.from_samples(self.latencies(dram_only))
+
+    def dram_fraction(self) -> float:
+        """Fraction of completed requests that went to memory."""
+        if not self.completed:
+            return 0.0
+        dram = sum(1 for record in self.completed if record.served_by_dram)
+        return dram / len(self.completed)
+
+    def breakdown(self, network_cycle_ns: float) -> "LatencyBreakdown":
+        """Mean latency split by serving level, converted to nanoseconds.
+
+        Raises:
+            ValueError: If nothing completed yet.
+        """
+        if not self.completed:
+            raise ValueError("no completed requests to summarise")
+        hits = self.latencies(dram_only=False)
+        misses = self.latencies(dram_only=True)
+        return LatencyBreakdown(
+            mean_ns=sum(r.latency for r in self.completed)
+            / len(self.completed) * network_cycle_ns,
+            l2_hit_mean_ns=(
+                sum(hits) / len(hits) * network_cycle_ns if hits else None
+            ),
+            dram_mean_ns=(
+                sum(misses) / len(misses) * network_cycle_ns
+                if misses else None
+            ),
+            dram_fraction=self.dram_fraction(),
+            completed=len(self.completed),
+        )
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Mean memory latency by serving level, in nanoseconds."""
+
+    mean_ns: float
+    l2_hit_mean_ns: Optional[float]
+    dram_mean_ns: Optional[float]
+    dram_fraction: float
+    completed: int

@@ -1,0 +1,211 @@
+"""Benchmark profiles and the Table VI workload mixes.
+
+Each benchmark is characterised by its per-core network load: L1 MPKI
+(requests from the core into the shared L2, all of which may cross the
+switch) and L2 MPKI (requests that continue to a memory controller).  The
+paper reports only the aggregate ``avg. MPKI`` per mix — the sum of L1 and
+L2 MPKI averaged over cores — so individual benchmark values were fitted
+by bounded least squares against all eight published mix averages
+simultaneously, anchored at public SPEC CPU2006 / commercial-workload
+characterisation priors.  Every mix's recomputed average lands within
+0.1 MPKI of Table VI (asserted in the test suite).
+
+The split between L1 and L2 MPKI uses a fixed locality ratio (L2 misses
+are ~35% of L1 misses), a documented modelling choice; only their sum is
+constrained by the paper.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+# Fraction of L1 misses that also miss in the shared L2.
+L2_MISS_FRACTION = 0.35
+
+# Total (L1 + L2) MPKI per benchmark, fitted against Table VI.
+_TOTAL_MPKI: Dict[str, float] = {
+    "Gems": 84.9,
+    "applu": 9.1,
+    "art": 43.8,
+    "astar": 11.6,
+    "barnes": 13.5,
+    "deal": 13.4,
+    "gcc": 2.2,
+    "gromacs": 3.8,
+    "hmmer": 20.1,
+    "lbm": 53.4,
+    "leslie": 23.9,
+    "libquantum": 46.8,
+    "mcf": 150.0,
+    "milc": 49.1,
+    "namd": 21.2,
+    "ocean": 32.6,
+    "omnet": 41.8,
+    "povray": 7.3,
+    "sap": 53.7,
+    "sjas": 54.8,
+    "sjbb": 36.6,
+    "sjeng": 0.2,
+    "soplex": 43.2,
+    "swim": 53.5,
+    "tonto": 0.2,
+    "tpcw": 70.4,
+    "xalan": 29.1,
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Synthetic memory-reference profile of one benchmark instance."""
+
+    name: str
+    l1_mpki: float
+    l2_mpki: float
+
+    def __post_init__(self) -> None:
+        if self.l1_mpki < 0 or self.l2_mpki < 0:
+            raise ValueError("MPKI values must be non-negative")
+        if self.l2_mpki > self.l1_mpki:
+            raise ValueError("L2 misses cannot exceed L1 misses")
+
+    @property
+    def total_mpki(self) -> float:
+        """L1 + L2 MPKI: the paper's per-core network load measure."""
+        return self.l1_mpki + self.l2_mpki
+
+    @property
+    def l2_miss_ratio(self) -> float:
+        """Probability an L2 access (an L1 miss) misses in the L2."""
+        if self.l1_mpki == 0:
+            return 0.0
+        return self.l2_mpki / self.l1_mpki
+
+    # Instantaneous-rate interface shared with PhasedProfile: a constant
+    # profile's rates do not depend on progress.
+    def l1_mpki_at(self, instructions: float) -> float:
+        """L1 MPKI after ``instructions`` retired (constant here)."""
+        return self.l1_mpki
+
+    def l2_ratio_at(self, instructions: float) -> float:
+        """L2 miss ratio after ``instructions`` retired (constant here)."""
+        return self.l2_miss_ratio
+
+
+def _profile(name: str) -> BenchmarkProfile:
+    total = _TOTAL_MPKI[name]
+    l2 = total * L2_MISS_FRACTION / (1.0 + L2_MISS_FRACTION)
+    return BenchmarkProfile(name=name, l1_mpki=total - l2, l2_mpki=l2)
+
+
+BENCHMARKS: Dict[str, BenchmarkProfile] = {
+    name: _profile(name) for name in _TOTAL_MPKI
+}
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One multi-programmed workload from Table VI.
+
+    Attributes:
+        name: Mix name (Mix1..Mix8).
+        entries: (benchmark, instance count) pairs.  Counts are exactly as
+            published; Mix7's published counts sum to 63, leaving one core
+            idle.
+        paper_avg_mpki: The ``avg. MPKI`` column of Table VI.
+        paper_speedup: The published Hi-Rise over 2D system speedup.
+    """
+
+    name: str
+    entries: Tuple[Tuple[str, int], ...]
+    paper_avg_mpki: float
+    paper_speedup: float
+
+    @property
+    def total_instances(self) -> int:
+        return sum(count for _, count in self.entries)
+
+    @property
+    def avg_mpki(self) -> float:
+        """Recomputed average MPKI per core (should match the paper)."""
+        weighted = sum(
+            BENCHMARKS[name].total_mpki * count for name, count in self.entries
+        )
+        return weighted / self.total_instances
+
+
+MIXES: List[WorkloadMix] = [
+    WorkloadMix(
+        "Mix1",
+        (("milc", 11), ("applu", 11), ("astar", 10),
+         ("sjeng", 11), ("tonto", 11), ("hmmer", 10)),
+        15.0, 1.02,
+    ),
+    WorkloadMix(
+        "Mix2",
+        (("sjas", 11), ("gcc", 11), ("sjbb", 11),
+         ("gromacs", 11), ("sjeng", 10), ("xalan", 10)),
+        21.3, 1.04,
+    ),
+    WorkloadMix(
+        "Mix3",
+        (("milc", 11), ("libquantum", 10), ("astar", 11),
+         ("barnes", 11), ("tpcw", 11), ("povray", 10)),
+        33.3, 1.06,
+    ),
+    WorkloadMix(
+        "Mix4",
+        (("astar", 11), ("swim", 11), ("leslie", 10),
+         ("omnet", 10), ("sjas", 11), ("art", 11)),
+        38.4, 1.06,
+    ),
+    WorkloadMix(
+        "Mix5",
+        (("mcf", 11), ("ocean", 10), ("gromacs", 10),
+         ("lbm", 11), ("deal", 11), ("sap", 11)),
+        52.2, 1.08,
+    ),
+    WorkloadMix(
+        "Mix6",
+        (("mcf", 10), ("namd", 11), ("hmmer", 11),
+         ("tpcw", 11), ("omnet", 10), ("swim", 11)),
+        58.4, 1.09,
+    ),
+    WorkloadMix(
+        "Mix7",
+        (("Gems", 10), ("sjbb", 11), ("sjas", 11),
+         ("mcf", 10), ("xalan", 11), ("sap", 10)),
+        66.9, 1.16,
+    ),
+    WorkloadMix(
+        "Mix8",
+        (("milc", 11), ("tpcw", 10), ("Gems", 11),
+         ("mcf", 11), ("sjas", 11), ("soplex", 10)),
+        76.0, 1.15,
+    ),
+]
+
+
+def mix_core_assignment(
+    mix: WorkloadMix, num_cores: int = 64, seed: int = 0
+) -> List[BenchmarkProfile]:
+    """Randomly allocate a mix's instances to cores (Section VI-D: "the
+    applications' allocation is done randomly, and is oblivious of the
+    layer-to-layer dependencies in the switch").
+
+    Cores beyond the mix's instance count (Mix7 has 63) run an idle
+    profile with zero MPKI.
+    """
+    if mix.total_instances > num_cores:
+        raise ValueError(
+            f"{mix.name} has {mix.total_instances} instances for "
+            f"{num_cores} cores"
+        )
+    profiles: List[BenchmarkProfile] = []
+    for name, count in mix.entries:
+        profiles.extend([BENCHMARKS[name]] * count)
+    while len(profiles) < num_cores:
+        profiles.append(BenchmarkProfile(name="idle", l1_mpki=0.0, l2_mpki=0.0))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_cores)
+    return [profiles[i] for i in order]

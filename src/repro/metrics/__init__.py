@@ -1,0 +1,31 @@
+"""Statistics: latency distributions, fairness indices, saturation search."""
+
+from repro.metrics.stats import LatencyStats, summarize
+from repro.metrics.fairness import jain_index, max_min_ratio
+from repro.metrics.probe import ProbedSwitch
+from repro.metrics.confidence import (
+    ConfidenceInterval,
+    batch_means,
+    replicate,
+    t_interval,
+)
+from repro.metrics.saturation import (
+    accepted_throughput,
+    latency_vs_load,
+    saturation_throughput,
+)
+
+__all__ = [
+    "ProbedSwitch",
+    "ConfidenceInterval",
+    "batch_means",
+    "replicate",
+    "t_interval",
+    "LatencyStats",
+    "summarize",
+    "jain_index",
+    "max_min_ratio",
+    "accepted_throughput",
+    "latency_vs_load",
+    "saturation_throughput",
+]

@@ -1,0 +1,44 @@
+"""Fairness indices over per-input service measurements.
+
+The paper argues fairness qualitatively from per-input latency (Fig 11a)
+and per-input throughput (Fig 11c); these indices condense the same data
+into single numbers the tests can assert on.
+"""
+
+from typing import Sequence
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 is perfectly fair, 1/n maximally unfair.
+
+    Raises:
+        ValueError: If the sample is empty or contains negatives.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 1.0  # nobody served: vacuously fair
+    square_sum = sum(v * v for v in values)
+    return (total * total) / (len(values) * square_sum)
+
+
+def max_min_ratio(values: Sequence[float]) -> float:
+    """Ratio of best- to worst-served value (1.0 = perfectly even).
+
+    Raises:
+        ValueError: If the sample is empty, has negatives, or the minimum
+            is zero while the maximum is not (infinite disparity).
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    top, bottom = max(values), min(values)
+    if bottom == 0:
+        if top == 0:
+            return 1.0
+        return float("inf")
+    return top / bottom

@@ -1,0 +1,113 @@
+"""Switch observability: per-resource utilization probes.
+
+``ProbedSwitch`` wraps any :class:`SwitchModel` and samples its state each
+cycle: delivered flits per port, busy fraction of every final output and —
+for the Hi-Rise switch — of every layer-to-layer channel and intermediate
+output.  This is the measurement layer behind the allocation-policy
+ablation (which channel allocation keeps the scarce vertical channels
+busiest) and is generally useful for diagnosing bottlenecks.
+"""
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.engine import SwitchModel
+from repro.network.flit import Flit
+from repro.network.packet import Packet
+
+
+class ProbedSwitch(SwitchModel):
+    """A transparent utilization-sampling wrapper around a switch model."""
+
+    def __init__(self, switch: SwitchModel) -> None:
+        self.switch = switch
+        self.num_ports = switch.num_ports
+        self.cycles_observed = 0
+        self.flits_out_by_port: Counter = Counter()
+        self.flits_in_by_port: Counter = Counter()
+        self._output_busy: Counter = Counter()
+        self._resource_busy: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # SwitchModel interface (delegating)
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        self.flits_in_by_port[packet.src] += packet.num_flits
+        self.switch.inject(packet)
+
+    def step(self, cycle: int) -> List[Flit]:
+        ejected = self.switch.step(cycle)
+        self.cycles_observed += 1
+        for flit in ejected:
+            self.flits_out_by_port[flit.dst] += 1
+        output_owner = getattr(self.switch, "output_owner", None)
+        if output_owner is not None:
+            for output, owner in enumerate(output_owner):
+                if owner is not None:
+                    self._output_busy[output] += 1
+        resource_owner = getattr(self.switch, "resource_owner", None)
+        if resource_owner is not None:
+            for resource in resource_owner:
+                self._resource_busy[resource] += 1
+        return ejected
+
+    def occupancy(self) -> int:
+        return self.switch.occupancy()
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def output_utilization(self, output: int) -> float:
+        """Fraction of observed cycles the output held a connection."""
+        if self.cycles_observed == 0:
+            return 0.0
+        return self._output_busy[output] / self.cycles_observed
+
+    def resource_utilization(self, resource: Tuple) -> float:
+        """Busy fraction of a Hi-Rise resource key (L2LC or intermediate)."""
+        if self.cycles_observed == 0:
+            return 0.0
+        return self._resource_busy[resource] / self.cycles_observed
+
+    def channel_utilizations(self) -> Dict[Tuple, float]:
+        """Busy fraction of every layer-to-layer channel observed busy.
+
+        Keys are the Hi-Rise resource tuples
+        ``("ch", src_layer, dst_layer, channel)``.  Channels that never
+        carried traffic do not appear; use the switch configuration to
+        enumerate the full set.
+        """
+        if self.cycles_observed == 0:
+            return {}
+        return {
+            resource: busy / self.cycles_observed
+            for resource, busy in self._resource_busy.items()
+            if resource[0] == "ch"
+        }
+
+    def mean_channel_utilization(self) -> float:
+        """Average busy fraction over every L2LC of the wrapped Hi-Rise.
+
+        Returns 0.0 when the wrapped switch has no channels (e.g. a flat
+        2D switch).
+        """
+        config = getattr(self.switch, "config", None)
+        if config is None or self.cycles_observed == 0:
+            return 0.0
+        total_channels = config.vertical_bus_count
+        if total_channels == 0:
+            return 0.0
+        busy = sum(
+            count
+            for resource, count in self._resource_busy.items()
+            if resource[0] == "ch"
+        )
+        return busy / (total_channels * self.cycles_observed)
+
+    def delivered_flit_rate(self, port: Optional[int] = None) -> float:
+        """Delivered flits/cycle, aggregate or for one output port."""
+        if self.cycles_observed == 0:
+            return 0.0
+        if port is None:
+            return sum(self.flits_out_by_port.values()) / self.cycles_observed
+        return self.flits_out_by_port[port] / self.cycles_observed

@@ -1,0 +1,51 @@
+"""Latency statistics over a simulation run."""
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.network.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a packet-latency sample (in cycles)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        """Build the summary from raw latency samples.
+
+        Raises:
+            ValueError: If the sample is empty.
+        """
+        if not samples:
+            raise ValueError("cannot summarise an empty latency sample")
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            maximum=float(ordered[-1]),
+        )
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already sorted sample."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    index = max(0, math.ceil(q * len(ordered)) - 1)
+    return float(ordered[index])
+
+
+def summarize(result: SimulationResult) -> LatencyStats:
+    """Latency summary of a :class:`SimulationResult`."""
+    return LatencyStats.from_samples(result.packet_latencies)

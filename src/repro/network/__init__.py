@@ -1,0 +1,38 @@
+"""Network substrate: flits, packets, virtual channels, ports, cycle engine.
+
+This subpackage provides the building blocks shared by every switch model in
+the repository: the flit/packet data model (``flit``, ``packet``), buffered
+input ports with virtual channels (``vc``, ``port``), and the cycle-driven
+simulation loop that couples a traffic source to a switch model
+(``engine``).
+
+The default parameters follow Section V of the Hi-Rise paper: 4 virtual
+channels per port, 4-flit buffers per virtual channel, 128-bit flits and
+4-flit packets.
+"""
+
+from repro.network.flit import Flit
+from repro.network.packet import Packet, PacketFactory
+from repro.network.vc import VirtualChannel
+from repro.network.port import InputPort, PortConfig
+from repro.network.engine import Simulation, SimulationResult, SwitchModel
+
+FLIT_BITS = 128
+"""Flit width in bits used throughout the paper (matches the data bus)."""
+
+PACKET_FLITS = 4
+"""Packet length in flits used for all simulations in the paper."""
+
+__all__ = [
+    "Flit",
+    "Packet",
+    "PacketFactory",
+    "VirtualChannel",
+    "InputPort",
+    "PortConfig",
+    "Simulation",
+    "SimulationResult",
+    "SwitchModel",
+    "FLIT_BITS",
+    "PACKET_FLITS",
+]

@@ -1,0 +1,197 @@
+"""Cycle-driven simulation engine.
+
+``SwitchModel`` is the interface every switch implementation in this
+repository satisfies (2D Swizzle-Switch, 3D folded switch, Hi-Rise).  The
+``Simulation`` class couples a traffic source to a switch model and drives
+the canonical loop:
+
+    for each cycle:
+        generate packets          (traffic source)
+        enqueue at input ports    (switch.inject)
+        advance the switch        (switch.step -> ejected flits)
+        record statistics
+
+Statistics are accumulated only after an optional warm-up period, which is
+the standard methodology for measuring saturation throughput and latency.
+"""
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Protocol
+
+from repro.network.flit import Flit
+from repro.network.packet import Packet
+
+
+class TrafficSource(Protocol):
+    """Anything that can generate packets for a given cycle."""
+
+    def packets_for_cycle(self, cycle: int) -> Iterable[Packet]:
+        """Packets generated during ``cycle`` (possibly none)."""
+        ...
+
+
+class SwitchModel(ABC):
+    """Common interface of all cycle-accurate switch models."""
+
+    num_ports: int
+
+    @abstractmethod
+    def inject(self, packet: Packet) -> None:
+        """Hand a generated packet to the source queue of its input port."""
+
+    @abstractmethod
+    def step(self, cycle: int) -> List[Flit]:
+        """Advance one cycle; return the flits ejected at outputs."""
+
+    @abstractmethod
+    def occupancy(self) -> int:
+        """Total flits currently inside the switch (buffers + source queues)."""
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate results of one simulation run.
+
+    Attributes:
+        cycles: Number of measured cycles (after warm-up).
+        packets_injected: Packets generated during the measured window.
+        packets_ejected: Packets fully delivered during the measured window.
+        flits_ejected: Flits delivered during the measured window.
+        packet_latencies: Per-packet latency in cycles (generation to tail
+            ejection) for packets that completed in the measured window.
+        per_input_ejected: Delivered packet count by source port.
+        per_input_latency_sum: Sum of delivered packet latencies by source.
+        per_output_ejected: Delivered packet count by destination port.
+    """
+
+    cycles: int = 0
+    packets_injected: int = 0
+    packets_ejected: int = 0
+    flits_ejected: int = 0
+    packet_latencies: List[int] = field(default_factory=list)
+    per_input_ejected: Dict[int, int] = field(default_factory=dict)
+    per_input_latency_sum: Dict[int, int] = field(default_factory=dict)
+    per_output_ejected: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        """Mean packet latency in cycles over the measured window."""
+        if not self.packet_latencies:
+            return float("nan")
+        return sum(self.packet_latencies) / len(self.packet_latencies)
+
+    @property
+    def throughput_packets_per_cycle(self) -> float:
+        """Aggregate accepted throughput in packets per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.packets_ejected / self.cycles
+
+    @property
+    def throughput_flits_per_cycle(self) -> float:
+        """Aggregate accepted throughput in flits per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.flits_ejected / self.cycles
+
+    def per_input_throughput(self, num_ports: int) -> List[float]:
+        """Delivered packets per cycle for each input port."""
+        if self.cycles == 0:
+            return [0.0] * num_ports
+        return [
+            self.per_input_ejected.get(port, 0) / self.cycles
+            for port in range(num_ports)
+        ]
+
+    def per_input_avg_latency(self, num_ports: int) -> List[float]:
+        """Mean delivered-packet latency (cycles) for each input port."""
+        result = []
+        for port in range(num_ports):
+            count = self.per_input_ejected.get(port, 0)
+            if count == 0:
+                result.append(float("nan"))
+            else:
+                result.append(self.per_input_latency_sum[port] / count)
+        return result
+
+
+class Simulation:
+    """Couples a traffic source to a switch model and runs the cycle loop."""
+
+    def __init__(
+        self,
+        switch: SwitchModel,
+        traffic: TrafficSource,
+        warmup_cycles: int = 0,
+    ) -> None:
+        if warmup_cycles < 0:
+            raise ValueError("warm-up must be non-negative")
+        self.switch = switch
+        self.traffic = traffic
+        self.warmup_cycles = warmup_cycles
+        self._cycle = 0
+        # Tail flits observed before the measurement window opened; their
+        # packets must not be counted even if observed again (they cannot
+        # be), but packets created during warm-up that finish during the
+        # window are counted: the window measures delivered traffic.
+
+    @property
+    def cycle(self) -> int:
+        """The next cycle to be simulated."""
+        return self._cycle
+
+    def run(self, measure_cycles: int, drain: bool = False) -> SimulationResult:
+        """Run warm-up plus ``measure_cycles`` measured cycles.
+
+        Args:
+            measure_cycles: Number of cycles in the measurement window.
+            drain: If True, after the measurement window keep cycling
+                (without injecting) until the switch is empty, still
+                recording deliveries.  Useful for closed-form workloads
+                where every generated packet must be accounted for.
+
+        Returns:
+            The accumulated :class:`SimulationResult`.
+        """
+        result = SimulationResult()
+        end_warmup = self._cycle + self.warmup_cycles
+        end_measure = end_warmup + measure_cycles
+
+        while self._cycle < end_measure:
+            measuring = self._cycle >= end_warmup
+            self._tick(result, measuring, inject=True)
+        if drain:
+            idle_cycles = 0
+            while self.switch.occupancy() > 0 and idle_cycles < 100000:
+                before = self.switch.occupancy()
+                self._tick(result, measuring=True, inject=False)
+                idle_cycles = idle_cycles + 1 if self.switch.occupancy() == before else 0
+        return result
+
+    def _tick(self, result: SimulationResult, measuring: bool, inject: bool) -> None:
+        cycle = self._cycle
+        if inject:
+            for packet in self.traffic.packets_for_cycle(cycle):
+                self.switch.inject(packet)
+                if measuring:
+                    result.packets_injected += 1
+        ejected = self.switch.step(cycle)
+        if measuring:
+            result.cycles += 1
+            result.flits_ejected += len(ejected)
+            for flit in ejected:
+                if flit.is_tail:
+                    result.packets_ejected += 1
+                    latency = cycle - flit.created_cycle
+                    result.packet_latencies.append(latency)
+                    result.per_input_ejected[flit.src] = (
+                        result.per_input_ejected.get(flit.src, 0) + 1
+                    )
+                    result.per_input_latency_sum[flit.src] = (
+                        result.per_input_latency_sum.get(flit.src, 0) + latency
+                    )
+                    result.per_output_ejected[flit.dst] = (
+                        result.per_output_ejected.get(flit.dst, 0) + 1
+                    )
+        self._cycle += 1

@@ -1,0 +1,49 @@
+"""Flit: the unit of switch-level flow control.
+
+A packet is decomposed into flits before injection.  The head flit carries
+the routing information (source and destination port); body and tail flits
+follow the head on the connection the head established.  Timestamps are
+plain cycle counts stamped by the simulation engine.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Flit:
+    """One flit of a packet.
+
+    Attributes:
+        packet_id: Identifier of the packet this flit belongs to.
+        src: Source input port of the switch.
+        dst: Destination output port of the switch.
+        seq: Position of this flit within its packet (0 = head).
+        num_flits: Total number of flits in the parent packet.
+        created_cycle: Cycle at which the parent packet was generated
+            (source-queueing time counts toward packet latency).
+        injected_cycle: Cycle at which this flit entered an input buffer.
+        ejected_cycle: Cycle at which this flit left the switch.
+        payload: Optional opaque payload carried to the destination
+            (used by the many-core simulator to carry memory requests).
+    """
+
+    packet_id: int
+    src: int
+    dst: int
+    seq: int
+    num_flits: int
+    created_cycle: int = 0
+    injected_cycle: Optional[int] = None
+    ejected_cycle: Optional[int] = None
+    payload: object = field(default=None, repr=False)
+
+    @property
+    def is_head(self) -> bool:
+        """True for the first flit of a packet (carries routing info)."""
+        return self.seq == 0
+
+    @property
+    def is_tail(self) -> bool:
+        """True for the last flit of a packet (releases the connection)."""
+        return self.seq == self.num_flits - 1

@@ -1,0 +1,82 @@
+"""Virtual channel: a bounded flit FIFO with packet-granularity allocation.
+
+A virtual channel is allocated to a packet when its head flit is enqueued
+and freed when the tail flit is dequeued.  This mirrors the per-port virtual
+channel buffers of the paper's simulator (4 VCs x 4 flits per port).
+"""
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.network.flit import Flit
+
+
+class VirtualChannel:
+    """A single virtual channel buffer at an input port."""
+
+    def __init__(self, depth: int = 4) -> None:
+        if depth < 1:
+            raise ValueError("virtual channel depth must be >= 1")
+        self.depth = depth
+        self._fifo: Deque[Flit] = deque()
+        self._owner_packet: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def owner_packet(self) -> Optional[int]:
+        """Packet id currently holding this VC, or None if free."""
+        return self._owner_packet
+
+    @property
+    def is_free(self) -> bool:
+        """True when no packet owns this VC (a new head flit may enter)."""
+        return self._owner_packet is None
+
+    @property
+    def has_space(self) -> bool:
+        """True when the FIFO can accept another flit."""
+        return len(self._fifo) < self.depth
+
+    def can_accept(self, flit: Flit) -> bool:
+        """Whether the given flit may be enqueued right now.
+
+        A head flit needs the VC to be free; a body/tail flit must belong to
+        the packet that owns the VC.  Both need buffer space.
+        """
+        if not self.has_space:
+            return False
+        if flit.is_head:
+            return self.is_free
+        return self._owner_packet == flit.packet_id
+
+    def push(self, flit: Flit) -> None:
+        """Enqueue a flit, allocating the VC on a head flit.
+
+        Raises:
+            RuntimeError: If :meth:`can_accept` would have returned False.
+        """
+        if not self.can_accept(flit):
+            raise RuntimeError(
+                f"VC cannot accept flit {flit.packet_id}.{flit.seq} "
+                f"(owner={self._owner_packet}, occupancy={len(self._fifo)})"
+            )
+        if flit.is_head:
+            self._owner_packet = flit.packet_id
+        self._fifo.append(flit)
+
+    def front(self) -> Optional[Flit]:
+        """The flit at the head of the FIFO, or None when empty."""
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> Flit:
+        """Dequeue the front flit, freeing the VC after the tail flit.
+
+        Raises:
+            IndexError: If the VC is empty.
+        """
+        flit = self._fifo.popleft()
+        if flit.is_tail and not self._fifo:
+            self._owner_packet = None
+        return flit

@@ -1,0 +1,60 @@
+"""Physical cost models: area, cycle time, energy, and TSVs in 32 nm.
+
+The paper evaluates implementation cost with SPICE netlists in a
+commercial 32 nm SOI process, verified against Swizzle-Switch silicon.
+Offline, this subpackage substitutes an *analytical* model built from the
+same structural quantities the netlists capture — wire spans across the
+cross-point grid, per-stage overheads (sense amps, drivers, latches), and
+TSV parasitics — with its free constants least-squares calibrated against
+the paper's published design points (Tables I, IV and V).  The calibration
+residuals are asserted in the test suite and recorded in EXPERIMENTS.md.
+
+Main entry point: :func:`repro.physical.costmodel.cost_of`, which returns
+the area/frequency/energy/TSV tuple for the flat 2D switch, the folded 3D
+switch, or any Hi-Rise configuration.
+"""
+
+from repro.physical.technology import Technology, TSVParams
+from repro.physical.geometry import (
+    SwitchGeometry,
+    flat2d_geometry,
+    folded3d_geometry,
+    hirise_geometry,
+)
+from repro.physical.calibration import (
+    AreaConstants,
+    DelayConstants,
+    EnergyConstants,
+    calibrated_area,
+    calibrated_delay,
+    calibrated_energy,
+)
+from repro.physical.timing import cycle_time_ns, frequency_ghz
+from repro.physical.energy import energy_per_transaction_pj
+from repro.physical.area import area_mm2
+from repro.physical.costmodel import SwitchCost, cost_of, throughput_tbps
+from repro.physical.power import PowerEstimate, average_power
+
+__all__ = [
+    "Technology",
+    "TSVParams",
+    "SwitchGeometry",
+    "flat2d_geometry",
+    "folded3d_geometry",
+    "hirise_geometry",
+    "AreaConstants",
+    "DelayConstants",
+    "EnergyConstants",
+    "calibrated_area",
+    "calibrated_delay",
+    "calibrated_energy",
+    "cycle_time_ns",
+    "frequency_ghz",
+    "energy_per_transaction_pj",
+    "area_mm2",
+    "SwitchCost",
+    "cost_of",
+    "throughput_tbps",
+    "PowerEstimate",
+    "average_power",
+]

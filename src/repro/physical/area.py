@@ -1,0 +1,42 @@
+"""Silicon area of a switch implementation.
+
+The matrix switches are wire-limited: area is the cross-point grid (each
+cross-point spans a flit-wide bundle in both directions, two stacked metal
+layers at double pitch) plus the keep-out area punched by TSVs.  The
+keep-out per TSV scales with the square of the TSV pitch (Fig 12).
+"""
+
+from typing import Optional
+
+from repro.physical.calibration import AreaConstants, calibrated_area
+from repro.physical.geometry import SwitchGeometry
+from repro.physical.technology import Technology
+
+
+def area_mm2(
+    geometry: SwitchGeometry,
+    technology: Optional[Technology] = None,
+    constants: Optional[AreaConstants] = None,
+) -> float:
+    """Total silicon area over all layers, in mm^2."""
+    tech = technology or Technology()
+    k = constants or calibrated_area()
+    width_scale = (tech.flit_bits / 128.0) ** 2
+    pitch_scale_sq = tech.tsv.pitch_scale ** 2
+    return (
+        k.per_crosspoint_mm2 * geometry.crosspoints * width_scale
+        + k.per_tsv_mm2 * geometry.tsv_count(tech.flit_bits) * pitch_scale_sq
+    )
+
+
+def footprint_mm2(
+    geometry: SwitchGeometry,
+    technology: Optional[Technology] = None,
+    constants: Optional[AreaConstants] = None,
+) -> float:
+    """Per-layer footprint: total area divided by the stacked layers.
+
+    This is the compactness benefit of 3D stacking the paper highlights —
+    the folded and Hi-Rise switches occupy 1/L of the 2D floorplan shadow.
+    """
+    return area_mm2(geometry, technology, constants) / geometry.layers

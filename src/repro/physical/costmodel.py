@@ -1,0 +1,90 @@
+"""Top-level implementation-cost model: one call per design point.
+
+``cost_of`` maps a design ("2d", "folded", or a :class:`HiRiseConfig`) to
+its area, operating frequency, energy per transaction and TSV count — the
+columns of Tables I, IV and V.  ``throughput_tbps`` converts a simulated
+saturation rate (flits/cycle) into the paper's Tbps units using the
+design's modelled frequency.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.config import HiRiseConfig
+from repro.physical.area import area_mm2
+from repro.physical.energy import energy_per_transaction_pj
+from repro.physical.geometry import (
+    SwitchGeometry,
+    flat2d_geometry,
+    folded3d_geometry,
+    hirise_geometry,
+)
+from repro.physical.technology import Technology
+from repro.physical.timing import frequency_ghz
+
+
+@dataclass(frozen=True)
+class SwitchCost:
+    """Implementation cost of one design point (a table row)."""
+
+    name: str
+    area_mm2: float
+    frequency_ghz: float
+    energy_pj: float
+    tsv_count: int
+
+    def throughput_tbps(self, flits_per_cycle: float, flit_bits: int = 128) -> float:
+        """Aggregate throughput in Tbps for a given delivered flit rate."""
+        return flits_per_cycle * flit_bits * self.frequency_ghz / 1000.0
+
+
+def geometry_of(
+    design: Union[str, HiRiseConfig],
+    radix: int = 64,
+    layers: int = 4,
+) -> SwitchGeometry:
+    """Geometry for a named baseline or a Hi-Rise configuration.
+
+    Args:
+        design: ``"2d"``, ``"folded"``, or a :class:`HiRiseConfig`.
+        radix: Radix for the named baselines.
+        layers: Layer count for the folded baseline.
+    """
+    if isinstance(design, HiRiseConfig):
+        return hirise_geometry(design)
+    if design == "2d":
+        return flat2d_geometry(radix)
+    if design == "folded":
+        return folded3d_geometry(radix, layers)
+    raise ValueError(f"unknown design {design!r}; use '2d', 'folded' or a HiRiseConfig")
+
+
+def cost_of(
+    design: Union[str, HiRiseConfig],
+    radix: int = 64,
+    layers: int = 4,
+    technology: Optional[Technology] = None,
+) -> SwitchCost:
+    """Area/frequency/energy/TSV cost of a design point."""
+    tech = technology or Technology()
+    geometry = geometry_of(design, radix=radix, layers=layers)
+    return SwitchCost(
+        name=geometry.name,
+        area_mm2=area_mm2(geometry, tech),
+        frequency_ghz=frequency_ghz(geometry, tech),
+        energy_pj=energy_per_transaction_pj(geometry, tech),
+        tsv_count=geometry.tsv_count(tech.flit_bits),
+    )
+
+
+def throughput_tbps(
+    flits_per_cycle: float,
+    design: Union[str, HiRiseConfig],
+    radix: int = 64,
+    layers: int = 4,
+    technology: Optional[Technology] = None,
+) -> float:
+    """Convenience wrapper: simulated flit rate -> Tbps for a design."""
+    cost = cost_of(design, radix=radix, layers=layers, technology=technology)
+    tech = technology or Technology()
+    return cost.throughput_tbps(flits_per_cycle, tech.flit_bits)

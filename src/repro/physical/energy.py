@@ -1,0 +1,43 @@
+"""Energy per 128-bit transaction.
+
+A transaction charges the input and output bus bundles of every stage it
+traverses (plus the embedded arbitration phase, which reuses the same
+wires — the cost is folded into the per-span constant by calibration), a
+fixed per-stage term for sense amps/latches/drivers, the TSV feed-through
+capacitance per vertical crossing, and a small CLRG adder for the class
+counters and priority-select muxes (Table V: 44 vs 42 pJ).
+"""
+
+from typing import Optional
+
+from repro.core.config import ArbitrationScheme
+from repro.physical.calibration import EnergyConstants, calibrated_energy
+from repro.physical.geometry import SwitchGeometry
+from repro.physical.technology import Technology
+
+
+def energy_per_transaction_pj(
+    geometry: SwitchGeometry,
+    technology: Optional[Technology] = None,
+    constants: Optional[EnergyConstants] = None,
+) -> float:
+    """Energy of one flit-wide transaction through the switch, in pJ.
+
+    Scales with the square of the supply voltage and (for the TSV term)
+    linearly with TSV pitch relative to the paper's conditions.
+    """
+    tech = technology or Technology()
+    k = constants or calibrated_energy()
+    energy = (
+        k.per_stage_pj * geometry.num_stages
+        + k.per_span_pj * geometry.span_linear
+        + k.per_span_sq_pj * geometry.span_quadratic
+        + k.per_tsv_crossing_pj * geometry.tsv_crossings * tech.tsv.pitch_scale
+    )
+    if geometry.arbitration is ArbitrationScheme.CLRG:
+        energy += k.clrg_extra_pj
+    # Energy is CV^2-dominated; the calibration point is 1.0 V.
+    voltage_scale = tech.voltage_v * tech.voltage_v
+    # Bus energy scales with flit width; the calibration point is 128 bits.
+    width_scale = tech.flit_bits / 128.0
+    return energy * voltage_scale * width_scale

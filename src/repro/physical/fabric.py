@@ -1,0 +1,141 @@
+"""Fabric-level energy/latency comparison: single switch vs multi-hop NoCs.
+
+Section VI-E positions Hi-Rise against whole-fabric alternatives: "[the 2D
+Swizzle-Switch's] power is 33% better than mesh and 28% better than
+flattened butterfly.  Hi-Rise further improves over the 2D Swizzle-Switch
+power by about 38%, giving us about 58% power savings over flattened
+butterfly."
+
+A multi-hop fabric pays per transaction: one router traversal per hop plus
+the inter-router link wires.  Router costs come from the same calibrated
+32 nm model as everything else (a mesh router is a small flat
+Swizzle-Switch); link wires use an estimated global-wire energy/delay per
+mm (documented constants — the paper publishes no wire numbers), with hop
+counts and link lengths from standard uniform-random averages on a k x k
+layout.  The comparison targets the paper's *relative* claims, so the
+benchmark asserts savings bands, not absolute watts.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.physical.energy import energy_per_transaction_pj
+from repro.physical.geometry import flat2d_geometry
+from repro.physical.technology import Technology
+from repro.physical.timing import cycle_time_ns
+
+# Global-wire estimates for 32 nm repeated wires (documented estimates;
+# see module docstring).
+LINK_ENERGY_PJ_PER_BIT_MM = 0.08
+LINK_DELAY_NS_PER_MM = 0.10
+
+# Canonical buffered VC routers pipeline route/VA/SA/ST over several
+# stages; the Swizzle-Switch's single-cycle traversal is one of its
+# headline advantages.  Documented estimate for the comparison fabrics.
+ROUTER_PIPELINE_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class FabricCost:
+    """Average per-transaction cost of moving one flit across a fabric."""
+
+    name: str
+    energy_pj: float
+    latency_ns: float
+    avg_hops: float
+
+
+def _link_energy_pj(length_mm: float, flit_bits: int) -> float:
+    return LINK_ENERGY_PJ_PER_BIT_MM * flit_bits * length_mm
+
+
+def mesh_fabric_cost(
+    terminals: int = 64,
+    concentration: int = 1,
+    node_pitch_mm: float = 1.0,
+    technology: Optional[Technology] = None,
+) -> FabricCost:
+    """Average cost of a conventional 2D mesh of low-radix routers.
+
+    Uniform random traffic on a k x k router grid averages 2k/3 hops; each
+    hop is one (concentration + 4)-port router traversal plus one
+    ``node_pitch_mm`` link, and the path touches hops+1 routers.
+    ``concentration`` terminals share each router (1 = the classic mesh).
+    """
+    tech = technology or Technology()
+    if terminals % concentration != 0:
+        raise ValueError("terminals must divide by the concentration")
+    routers = terminals // concentration
+    k = math.isqrt(routers)
+    if k * k != routers:
+        raise ValueError("mesh comparison expects a square router grid")
+    avg_hops = 2.0 * k / 3.0
+    router = flat2d_geometry(concentration + 4)
+    router_energy = energy_per_transaction_pj(router, tech)
+    router_delay = cycle_time_ns(router, tech) * ROUTER_PIPELINE_CYCLES
+    pitch = node_pitch_mm * concentration ** 0.5
+    energy = (avg_hops + 1) * router_energy + avg_hops * _link_energy_pj(
+        pitch, tech.flit_bits
+    )
+    latency = (avg_hops + 1) * router_delay + avg_hops * (
+        LINK_DELAY_NS_PER_MM * pitch
+    )
+    return FabricCost(
+        f"2D mesh ({k}x{k}, c={concentration})", energy, latency, avg_hops
+    )
+
+
+def flattened_butterfly_cost(
+    terminals: int = 64,
+    concentration: int = 4,
+    node_pitch_mm: float = 1.0,
+    technology: Optional[Technology] = None,
+) -> FabricCost:
+    """Average cost of a concentrated flattened-butterfly fabric.
+
+    With concentration ``c`` on a k x k router grid, every router pair in a
+    row/column is directly linked: at most 2 hops (average ~1.75 for
+    uniform traffic counting same-router pairs), over long express links
+    that average ~k/3 node pitches each.
+    """
+    tech = technology or Technology()
+    routers = terminals // concentration
+    k = math.isqrt(routers)
+    if k * k != routers:
+        raise ValueError("flattened butterfly expects a square router grid")
+    radix = concentration + 2 * (k - 1)
+    router = flat2d_geometry(radix)
+    router_energy = energy_per_transaction_pj(router, tech)
+    router_delay = cycle_time_ns(router, tech) * ROUTER_PIPELINE_CYCLES
+    # Same router: 0 hops (prob 1/routers); same row or column: 1 hop;
+    # otherwise 2 hops.
+    p_same = 1.0 / routers
+    p_one = 2.0 * (k - 1) / routers
+    p_two = 1.0 - p_same - p_one
+    avg_hops = p_one * 1 + p_two * 2
+    avg_link_mm = (k / 3.0) * concentration ** 0.5 * node_pitch_mm
+    energy = (avg_hops + 1) * router_energy + avg_hops * _link_energy_pj(
+        avg_link_mm, tech.flit_bits
+    )
+    latency = (avg_hops + 1) * router_delay + avg_hops * (
+        LINK_DELAY_NS_PER_MM * avg_link_mm
+    )
+    return FabricCost(
+        f"flattened butterfly ({k}x{k}, c={concentration})",
+        energy, latency, avg_hops,
+    )
+
+
+def single_switch_cost(
+    energy_pj: float,
+    frequency_ghz: float,
+    zero_load_cycles: float = 4.0,
+) -> FabricCost:
+    """Wrap a single-switch design point as a fabric cost (zero hops)."""
+    return FabricCost(
+        "single switch",
+        energy_pj,
+        zero_load_cycles / frequency_ghz,
+        avg_hops=0.0,
+    )

@@ -1,0 +1,174 @@
+"""Structural geometry of switch implementations.
+
+Every physical estimate (area, cycle time, energy) is a function of the
+same structural quantities: the cross-point grid spans of each pipeline
+stage, the number of vertical (TSV) crossings on the critical path, and
+the total count of vertical bus wires.  This module derives those
+quantities for the three designs the paper compares.
+
+Spans are measured in *cross-point units*: a stage with R input rows and C
+output columns has an input bus crossing C cross-points and an output bus
+crossing R cross-points, each of physical length proportional to the
+flit-width wire bundle (two stacked metal layers at double pitch — the
+constant of proportionality is absorbed by calibration).
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.config import AllocationPolicy, ArbitrationScheme, HiRiseConfig
+
+
+@dataclass(frozen=True)
+class SwitchGeometry:
+    """Structural quantities feeding the area/timing/energy models.
+
+    Attributes:
+        name: Human-readable design name.
+        stages: Serial pipeline stages as (rows, cols) cross-point grids on
+            the critical path (the 2D switch has one, Hi-Rise has two).
+        crosspoints: Total cross-points across the whole design (all
+            layers, all sub-blocks) — drives silicon area.
+        tsv_crossings: Vertical layer crossings on the critical path.
+        vertical_buses: Count of flit-wide vertical buses (TSV columns =
+            vertical_buses x flit bits).
+        layers: Stacked silicon layers (1 for the flat switch).
+        arbitration: Arbitration scheme (CLRG pays small delay/energy
+            adders at the inter-layer cross-points).
+        priority_mux_channels: Non-zero when the Hi-Rise switch uses
+            priority-based channel allocation: arbitration over that many
+            channels is serialised into the local stage.
+    """
+
+    name: str
+    stages: Tuple[Tuple[int, int], ...]
+    crosspoints: int
+    tsv_crossings: int
+    vertical_buses: int
+    layers: int = 1
+    arbitration: ArbitrationScheme = ArbitrationScheme.L2L_LRG
+    priority_mux_channels: int = 0
+
+    @property
+    def span_linear(self) -> int:
+        """Sum of (rows + cols) over critical-path stages."""
+        return sum(rows + cols for rows, cols in self.stages)
+
+    @property
+    def span_quadratic(self) -> int:
+        """Sum of (rows^2 + cols^2) over critical-path stages.
+
+        Captures the super-linear RC growth of long unrepeated buses that
+        makes the flat switch's delay and energy curves steepen at high
+        radix (Fig 9a/9c).
+        """
+        return sum(rows * rows + cols * cols for rows, cols in self.stages)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def tsv_count(self, flit_bits: int) -> int:
+        """Total TSV columns: one per bit of every vertical bus.
+
+        Matches the paper's counting: the folded 64-radix, 128-bit switch
+        needs 64 x 128 = 8192; the 4-channel 4-layer Hi-Rise needs
+        4 x 3 x 4 x 128 = 6144.
+        """
+        return self.vertical_buses * flit_bits
+
+
+def flat2d_geometry(radix: int) -> SwitchGeometry:
+    """The flat 2D Swizzle-Switch: one radix x radix matrix."""
+    if radix < 2:
+        raise ValueError("radix must be >= 2")
+    return SwitchGeometry(
+        name=f"2D {radix}x{radix}",
+        stages=((radix, radix),),
+        crosspoints=radix * radix,
+        tsv_crossings=0,
+        vertical_buses=0,
+        layers=1,
+    )
+
+
+def folded3d_geometry(radix: int, layers: int = 4) -> SwitchGeometry:
+    """The folded 3D baseline: a radix x radix matrix split over layers.
+
+    Folding does not shrink the electrical span — every output bus still
+    crosses all ``radix`` inputs' cross-points (now spread over layers and
+    joined by TSVs) and every input bus crosses all ``radix`` outputs —
+    which is exactly why Table I shows the folded switch *slower* than 2D.
+    """
+    if layers < 2:
+        raise ValueError("folding needs at least two layers")
+    if radix % layers != 0:
+        raise ValueError("radix must divide evenly across layers")
+    return SwitchGeometry(
+        name=f"3D Folded [{radix // layers}x{radix}]x{layers}",
+        stages=((radix, radix),),
+        crosspoints=radix * radix,
+        tsv_crossings=layers - 1,
+        vertical_buses=radix,
+        layers=layers,
+    )
+
+
+def hirise_sweep_geometry(
+    radix: int,
+    layers: int,
+    channel_multiplicity: int,
+    arbitration: ArbitrationScheme = ArbitrationScheme.L2L_LRG,
+) -> SwitchGeometry:
+    """Hi-Rise geometry for design sweeps, without divisibility limits.
+
+    Fig 9(b) sweeps the layer count continuously (2-7) at radices that do
+    not always divide evenly; this variant sizes the per-layer switches
+    with ceil(radix / layers) ports, the worst-case layer that sets the
+    critical path and dominates area.
+    """
+    if layers < 2:
+        raise ValueError("need at least two layers")
+    if radix < layers:
+        raise ValueError("radix must be at least the layer count")
+    if channel_multiplicity < 1:
+        raise ValueError("channel multiplicity must be >= 1")
+    ports = -(-radix // layers)  # ceil
+    channels = channel_multiplicity * (layers - 1)
+    crosspoints_per_layer = ports * (ports + channels) + ports * (channels + 1)
+    return SwitchGeometry(
+        name=f"3D {channel_multiplicity}-Channel r{radix} L{layers}",
+        stages=((ports, ports + channels), (channels + 1, 1)),
+        crosspoints=crosspoints_per_layer * layers,
+        tsv_crossings=layers - 1,
+        vertical_buses=channels * layers,
+        layers=layers,
+        arbitration=arbitration,
+    )
+
+
+def hirise_geometry(config: HiRiseConfig) -> SwitchGeometry:
+    """Hi-Rise: local switch stage + inter-layer sub-block stage."""
+    ports = config.ports_per_layer
+    channels = config.channels_per_layer
+    local_stage = (ports, ports + channels)
+    inter_stage = (channels + 1, 1)
+    crosspoints_per_layer = (
+        ports * (ports + channels)        # local switch grid
+        + ports * (channels + 1)          # sub-blocks (one column each)
+    )
+    priority_channels = (
+        config.channel_multiplicity
+        if config.allocation is AllocationPolicy.PRIORITY
+        else 0
+    )
+    return SwitchGeometry(
+        name=f"3D {config.channel_multiplicity}-Channel",
+        stages=(local_stage, inter_stage),
+        crosspoints=crosspoints_per_layer * config.layers,
+        tsv_crossings=config.layers - 1,
+        vertical_buses=config.vertical_bus_count,
+        layers=config.layers,
+        arbitration=config.arbitration,
+        priority_mux_channels=priority_channels,
+    )

@@ -1,0 +1,79 @@
+"""Power estimation: combining cycle activity with the energy model.
+
+The paper reports energy per transaction (Tables I/IV/V) and discusses
+power comparisons against mesh and flattened-butterfly fabrics (Section
+VI-E: Hi-Rise improves on the 2D Swizzle-Switch power by ~38%).  This
+module converts a simulation's delivered traffic into average switch
+power: dynamic power is transactions/second times energy/transaction,
+plus a leakage floor proportional to silicon area.
+
+The leakage density default is a typical 32 nm HP-process figure (tens of
+mW/mm^2); it is a documented estimate — the paper publishes no leakage
+split — and only matters at very low load.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.config import HiRiseConfig
+from repro.network.engine import SimulationResult
+from repro.physical.costmodel import cost_of
+from repro.physical.technology import Technology
+
+LEAKAGE_MW_PER_MM2 = 30.0
+"""Leakage power density estimate for 32 nm (mW per mm^2 of switch area)."""
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Average power of a switch during a measured simulation window."""
+
+    dynamic_w: float
+    leakage_w: float
+    transactions_per_second: float
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+    def energy_per_bit_pj(self, flit_bits: int = 128) -> float:
+        """Average transport energy per delivered payload bit."""
+        if self.transactions_per_second == 0:
+            return float("inf")
+        joules_per_transaction = self.dynamic_w / self.transactions_per_second
+        return joules_per_transaction / flit_bits * 1e12
+
+
+def average_power(
+    result: SimulationResult,
+    design: Union[str, HiRiseConfig],
+    radix: int = 64,
+    layers: int = 4,
+    technology: Optional[Technology] = None,
+    leakage_mw_per_mm2: float = LEAKAGE_MW_PER_MM2,
+) -> PowerEstimate:
+    """Average switch power over a simulation's measured window.
+
+    A *transaction* is one flit traversal (the paper's energy numbers are
+    per 128-bit transaction, i.e. per flit at the modelled width).
+
+    Args:
+        result: Measured window of a cycle simulation of ``design``.
+        design: ``"2d"``, ``"folded"`` or a :class:`HiRiseConfig` — must be
+            the design that produced ``result``.
+
+    Raises:
+        ValueError: If the result has no measured cycles.
+    """
+    if result.cycles == 0:
+        raise ValueError("result has no measured cycles")
+    cost = cost_of(design, radix=radix, layers=layers, technology=technology)
+    flits_per_cycle = result.flits_ejected / result.cycles
+    transactions_per_second = flits_per_cycle * cost.frequency_ghz * 1e9
+    dynamic_w = transactions_per_second * cost.energy_pj * 1e-12
+    leakage_w = cost.area_mm2 * leakage_mw_per_mm2 * 1e-3
+    return PowerEstimate(
+        dynamic_w=dynamic_w,
+        leakage_w=leakage_w,
+        transactions_per_second=transactions_per_second,
+    )

@@ -1,0 +1,58 @@
+"""Technology parameters: 32 nm SOI process and TSV technology.
+
+Defaults follow Table II of the paper (typical process corner, 27 C, 1 V;
+Tezzaron-class TSVs with 0.8 um minimum pitch, 0.2 fF feed-through
+capacitance, 1.5 ohm resistance).
+"""
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class TSVParams:
+    """Through-silicon via technology parameters (paper Table II)."""
+
+    pitch_um: float = 0.8
+    feedthrough_cap_ff: float = 0.2
+    resistance_ohm: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.pitch_um <= 0:
+            raise ValueError("TSV pitch must be positive")
+        if self.feedthrough_cap_ff < 0 or self.resistance_ohm < 0:
+            raise ValueError("TSV parasitics must be non-negative")
+
+    @property
+    def pitch_scale(self) -> float:
+        """Pitch relative to the paper's 0.8 um reference technology.
+
+        TSV capacitance (hence delay and energy contribution) scales
+        roughly linearly with pitch; keep-out silicon area scales with the
+        square of the pitch.
+        """
+        return self.pitch_um / 0.8
+
+    def with_pitch(self, pitch_um: float) -> "TSVParams":
+        """A copy with a different pitch (for Fig 12 sweeps)."""
+        return replace(self, pitch_um=pitch_um)
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process and design conditions used in the paper's evaluation."""
+
+    node_nm: int = 32
+    voltage_v: float = 1.0
+    temperature_c: float = 27.0
+    flit_bits: int = 128
+    tsv: TSVParams = field(default_factory=TSVParams)
+
+    def __post_init__(self) -> None:
+        if self.flit_bits < 1:
+            raise ValueError("flit width must be at least one bit")
+        if self.voltage_v <= 0:
+            raise ValueError("supply voltage must be positive")
+
+    def with_tsv_pitch(self, pitch_um: float) -> "Technology":
+        """A copy with a different TSV pitch (for Fig 12 sweeps)."""
+        return replace(self, tsv=self.tsv.with_pitch(pitch_um))

@@ -1,0 +1,49 @@
+"""Cycle time and operating frequency of a switch implementation.
+
+The cycle time is the serial sum of stage delays on the critical path
+(the Hi-Rise two-phase clock evaluates the local switch in phase 1 and the
+inter-layer switch in phase 2 of the same cycle), a TSV loading term per
+vertical crossing, plus small adders for the CLRG cross-point muxes and,
+under priority-based channel allocation, the serialised channel mux
+(Section III-A notes priority allocation "incurs higher delay because
+arbitration across L2LCs is now serialized"; the paper publishes no number
+for it, so the penalty is modelled as one extra per-stage overhead per
+additional channel — documented as an estimate in DESIGN.md).
+"""
+
+from typing import Optional
+
+from repro.core.config import ArbitrationScheme
+from repro.physical.calibration import DelayConstants, calibrated_delay
+from repro.physical.geometry import SwitchGeometry
+from repro.physical.technology import Technology
+
+
+def cycle_time_ns(
+    geometry: SwitchGeometry,
+    technology: Optional[Technology] = None,
+    constants: Optional[DelayConstants] = None,
+) -> float:
+    """Clock period of the given switch geometry in nanoseconds."""
+    tech = technology or Technology()
+    k = constants or calibrated_delay()
+    period = (
+        k.per_stage_ns * geometry.num_stages
+        + k.per_span_ns * geometry.span_linear
+        + k.per_span_sq_ns * geometry.span_quadratic
+        + k.per_tsv_crossing_ns * geometry.tsv_crossings * tech.tsv.pitch_scale
+    )
+    if geometry.arbitration is ArbitrationScheme.CLRG:
+        period += k.clrg_extra_ns
+    if geometry.priority_mux_channels > 1:
+        period += k.per_stage_ns * (geometry.priority_mux_channels - 1)
+    return period
+
+
+def frequency_ghz(
+    geometry: SwitchGeometry,
+    technology: Optional[Technology] = None,
+    constants: Optional[DelayConstants] = None,
+) -> float:
+    """Operating frequency in GHz."""
+    return 1.0 / cycle_time_ns(geometry, technology, constants)

@@ -1,0 +1,14 @@
+"""Baseline switch models: the flat 2D Swizzle-Switch and the 3D folded switch.
+
+Both baselines are matrix crossbars with embedded per-output LRG
+arbitration.  The 3D folded switch (Sewell et al.) is *behaviourally*
+identical to the 2D switch — folding redistributes inputs/outputs over
+layers without changing the datapath or arbitration — so its cycle model
+subclasses the 2D model; the differences (TSV count, wire loading, clock
+frequency) live in :mod:`repro.physical`.
+"""
+
+from repro.switches.swizzle2d import SwizzleSwitch2D
+from repro.switches.folded3d import FoldedSwitch3D
+
+__all__ = ["SwizzleSwitch2D", "FoldedSwitch3D"]

@@ -1,0 +1,55 @@
+"""Cycle model of the baseline 3D folded switch (Sewell et al.).
+
+Folding a 2D Swizzle-Switch over L silicon layers redistributes the inputs
+and outputs (N/L of each per layer) but leaves the datapath a single
+radix-N matrix with the same LRG arbitration: every layer has a cross-point
+for all N outputs and the 64 output buses run through all layers on TSVs.
+Cycle-for-cycle the folded switch therefore behaves exactly like the 2D
+switch; what changes is physical — more capacitance (TSVs), hence a lower
+clock, and a very large TSV count (N x flit-width = 8192 for the paper's
+64-radix, 128-bit switch).  Those effects are modelled in
+:mod:`repro.physical`.
+"""
+
+from typing import Optional
+
+from repro.network.port import PortConfig
+from repro.switches.swizzle2d import SwizzleSwitch2D
+
+
+class FoldedSwitch3D(SwizzleSwitch2D):
+    """Radix-N 2D switch folded over ``layers`` silicon layers.
+
+    Args:
+        radix: Switch radix; must divide evenly by ``layers``.
+        layers: Number of stacked silicon layers.
+        port_config: Virtual-channel configuration for every input port.
+    """
+
+    def __init__(
+        self,
+        radix: int,
+        layers: int = 4,
+        port_config: Optional[PortConfig] = None,
+    ) -> None:
+        if layers < 2:
+            raise ValueError("a folded switch needs at least two layers")
+        if radix % layers != 0:
+            raise ValueError(
+                f"radix {radix} must divide evenly across {layers} layers"
+            )
+        super().__init__(radix, port_config)
+        self.layers = layers
+        self.ports_per_layer = radix // layers
+
+    def layer_of_port(self, port: int) -> int:
+        """Silicon layer (0-based) hosting the given input/output port."""
+        if not 0 <= port < self.radix:
+            raise ValueError(f"port {port} out of range")
+        return port // self.ports_per_layer
+
+    def local_index(self, port: int) -> int:
+        """Index of the port within its layer."""
+        if not 0 <= port < self.radix:
+            raise ValueError(f"port {port} out of range")
+        return port % self.ports_per_layer

@@ -1,0 +1,128 @@
+"""Cycle-accurate model of the flat 2D Swizzle-Switch.
+
+The Swizzle-Switch is a matrix crossbar with arbitration embedded in the
+cross-points: each output column holds an LRG priority vector over all
+inputs.  A cycle is spent either arbitrating for an output or streaming a
+data flit across an established connection ("arbitrate or transmit in a
+single cycle"), so a ``k``-flit packet occupies its output for ``k + 1``
+cycles.  Connections persist from the head flit's grant until the tail flit
+transfers.
+
+Cycle order within :meth:`step`:
+
+1. *transmit* — every established connection moves one flit to its output;
+   tails release the input and the output (a freed output can be
+   re-arbitrated in the same cycle's arbitration phase);
+2. *refill*  — each input port moves up to one flit from its source queue
+   into a virtual channel;
+3. *arbitrate* — idle inputs present the destination of their candidate
+   head flit; each free output grants its highest-LRG-priority requestor
+   and the winner's priority drops to the bottom.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.arbitration.lrg import LRGArbiter
+from repro.network.engine import SwitchModel
+from repro.network.flit import Flit
+from repro.network.packet import Packet
+from repro.network.port import InputPort, PortConfig
+
+
+class SwizzleSwitch2D(SwitchModel):
+    """A radix-N flat matrix crossbar with per-output LRG arbitration.
+
+    Args:
+        radix: Number of input ports (= number of output ports).
+        port_config: Virtual-channel configuration for every input port.
+    """
+
+    def __init__(self, radix: int, port_config: Optional[PortConfig] = None) -> None:
+        if radix < 2:
+            raise ValueError("radix must be >= 2")
+        self.radix = radix
+        self.num_ports = radix
+        self.ports: List[InputPort] = [
+            InputPort(i, port_config) for i in range(radix)
+        ]
+        self.output_arbiters: List[LRGArbiter] = [
+            LRGArbiter(radix) for _ in range(radix)
+        ]
+        # output -> input currently holding it (None = free).
+        self.output_owner: List[Optional[int]] = [None] * radix
+        # input -> output it currently drives (mirror of output_owner).
+        self.input_target: List[Optional[int]] = [None] * radix
+
+    # ------------------------------------------------------------------
+    # SwitchModel interface
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        if not 0 <= packet.src < self.radix:
+            raise ValueError(f"source port {packet.src} out of range")
+        if not 0 <= packet.dst < self.radix:
+            raise ValueError(f"destination port {packet.dst} out of range")
+        self.ports[packet.src].enqueue_packet(packet)
+
+    def step(self, cycle: int) -> List[Flit]:
+        ejected = self._transmit(cycle)
+        for port in self.ports:
+            port.refill(cycle)
+        # An output (or input) whose tail transferred this cycle had its
+        # wires busy with data, so it cannot also arbitrate this cycle:
+        # every packet pays one arbitration cycle ("arbitrate or transmit
+        # in a single cycle").
+        cooling_outputs = {f.dst for f in ejected if f.is_tail}
+        cooling_inputs = {f.src for f in ejected if f.is_tail}
+        self._arbitrate(cooling_inputs, cooling_outputs)
+        return ejected
+
+    def occupancy(self) -> int:
+        return sum(port.total_occupancy() for port in self.ports)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _transmit(self, cycle: int) -> List[Flit]:
+        ejected: List[Flit] = []
+        for port in self.ports:
+            if port.active_has_flit():
+                flit = port.transmit()
+                flit.ejected_cycle = cycle
+                ejected.append(flit)
+                if flit.is_tail:
+                    self.output_owner[flit.dst] = None
+                    self.input_target[flit.src] = None
+        return ejected
+
+    def _arbitrate(self, cooling_inputs=frozenset(), cooling_outputs=frozenset()) -> None:
+        # Gather one request per idle input.
+        requests_by_output: Dict[int, List[int]] = {}
+        candidate_vcs: Dict[int, int] = {}
+
+        def viable(flit: Flit) -> bool:
+            return (
+                self.output_owner[flit.dst] is None
+                and flit.dst not in cooling_outputs
+            )
+
+        for port in self.ports:
+            if port.port_id in cooling_inputs:
+                continue
+            vc = port.candidate_vc(viable)
+            if vc is None:
+                continue
+            front = port.vcs[vc].front()
+            assert front is not None and front.is_head
+            candidate_vcs[port.port_id] = vc
+            requests_by_output.setdefault(front.dst, []).append(port.port_id)
+
+        for output, requestors in requests_by_output.items():
+            if self.output_owner[output] is not None:
+                continue
+            arbiter = self.output_arbiters[output]
+            winner = arbiter.arbitrate(requestors)
+            assert winner is not None
+            arbiter.update(winner)
+            self.ports[winner].grant(candidate_vcs[winner])
+            self.output_owner[output] = winner
+            self.input_target[winner] = output

@@ -1,0 +1,23 @@
+"""Kilo-core topologies built from Hi-Rise switches (Section VI-E).
+
+The paper's discussion section sketches how true 3D switches compose into
+larger networks: a 2D mesh of Hi-Rise switches for 3D chips (Fig 13),
+where XY routing is dimension-ordered in the mesh plane and each Hi-Rise
+switch provides adaptive Z (inter-layer) routing internally.  This
+subpackage implements that topology over the cycle-accurate switch models,
+with concentration (multiple terminals per switch) as used by prior
+high-radix NoC proposals.
+"""
+
+from repro.topology.routing import RoutingDecision, xy_route
+from repro.topology.mesh import MeshConfig, MeshNetwork, NocPacket
+from repro.topology.adapter import MeshInterconnect
+
+__all__ = [
+    "MeshConfig",
+    "MeshInterconnect",
+    "MeshNetwork",
+    "NocPacket",
+    "RoutingDecision",
+    "xy_route",
+]

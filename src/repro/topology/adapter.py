@@ -1,0 +1,91 @@
+"""Adapter: drive a mesh of 3D switches through the SwitchModel interface.
+
+``MeshInterconnect`` presents the whole mesh as one big switch whose ports
+are the mesh's terminals, so everything written against
+:class:`~repro.network.engine.SwitchModel` — the simulation engine, the
+traffic generators, and notably the :mod:`repro.manycore` system — runs
+unchanged on the Fig 13 kilo-core topology.
+
+Terminal numbering is node-major: terminal ``t`` of the ``i``-th node (in
+the mesh's x-major construction order) is global port
+``i * concentration + t``.
+
+Each end-to-end packet is delivered as a single synthetic head+tail flit
+carrying the original payload; latency semantics are preserved via the NoC
+packet's creation cycle, while the flit-level serialisation happens inside
+the per-hop router models.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.network.engine import SwitchModel
+from repro.network.flit import Flit
+from repro.network.packet import Packet
+from repro.topology.mesh import MeshNetwork
+
+
+class MeshInterconnect(SwitchModel):
+    """The whole mesh, viewed as one ``total_terminals``-port switch."""
+
+    def __init__(self, mesh: MeshNetwork) -> None:
+        self.mesh = mesh
+        config = mesh.config
+        self.num_ports = config.total_terminals
+        self._nodes_in_order: List[Tuple[int, int]] = [
+            (x, y) for x in range(config.cols) for y in range(config.rows)
+        ]
+        self._node_index: Dict[Tuple[int, int], int] = {
+            node: index for index, node in enumerate(self._nodes_in_order)
+        }
+
+    # ------------------------------------------------------------------
+    # Port mapping
+    # ------------------------------------------------------------------
+    def locate(self, port: int) -> Tuple[Tuple[int, int], int]:
+        """Global port -> (mesh node, terminal index)."""
+        if not 0 <= port < self.num_ports:
+            raise ValueError(f"port {port} out of range [0, {self.num_ports})")
+        concentration = self.mesh.config.concentration
+        node = self._nodes_in_order[port // concentration]
+        return node, port % concentration
+
+    def global_port(self, node: Tuple[int, int], terminal: int) -> int:
+        """(mesh node, terminal index) -> global port."""
+        concentration = self.mesh.config.concentration
+        if not 0 <= terminal < concentration:
+            raise ValueError(f"terminal {terminal} out of range")
+        return self._node_index[node] * concentration + terminal
+
+    # ------------------------------------------------------------------
+    # SwitchModel interface
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        src_node, src_terminal = self.locate(packet.src)
+        dst_node, dst_terminal = self.locate(packet.dst)
+        noc = self.mesh.create_packet(
+            src_node, src_terminal, dst_node, dst_terminal,
+            num_flits=packet.num_flits,
+            payload=packet.payload,
+        )
+        # Preserve the caller's generation timestamp for latency stats.
+        noc.created_cycle = packet.created_cycle
+
+    def step(self, cycle: int) -> List[Flit]:
+        delivered = self.mesh.step()
+        flits: List[Flit] = []
+        for noc in delivered:
+            flit = Flit(
+                packet_id=noc.packet_id,
+                src=self.global_port(noc.src_node, noc.src_terminal),
+                dst=self.global_port(noc.dst_node, noc.dst_terminal),
+                seq=0,
+                num_flits=1,
+                created_cycle=noc.created_cycle,
+                payload=noc.payload,
+            )
+            flit.ejected_cycle = cycle
+            flits.append(flit)
+        return flits
+
+    def occupancy(self) -> int:
+        return self.mesh.occupancy()

@@ -1,0 +1,329 @@
+"""A 2D mesh NoC whose routers are cycle-accurate Hi-Rise switches.
+
+Each mesh node hosts ``concentration`` terminals (cores/cache slices) plus
+four mesh links (E/W/N/S); the node's router is any :class:`SwitchModel`
+of radix ``concentration + 4`` — a Hi-Rise switch for 3D chips, or the
+flat 2D switch as a baseline.  Mesh link ports are spread across the
+stacked layers (one per layer when four layers are used), so vertical (Z)
+adaptivity stays inside each switch exactly as Fig 13 intends.
+
+Packets route XY in the mesh plane.  Each inter-switch hop is realised as
+a fresh single-switch packet (entry port -> exit port) carrying the NoC
+packet as payload; handing a packet to the neighbour's input queue costs
+one cycle, modelling a registered link.  Inter-router buffering is the
+neighbour's network-interface queue (unbounded — the model omits link
+level backpressure; XY ordering plus sink-always-drains makes delivery
+deadlock-free).
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.network.engine import SwitchModel
+from repro.network.packet import PacketFactory
+from repro.topology.routing import RoutingDecision, xy_route
+
+_DIRECTIONS = (
+    RoutingDecision.EAST,
+    RoutingDecision.WEST,
+    RoutingDecision.NORTH,
+    RoutingDecision.SOUTH,
+)
+_OPPOSITE = {
+    RoutingDecision.EAST: RoutingDecision.WEST,
+    RoutingDecision.WEST: RoutingDecision.EAST,
+    RoutingDecision.NORTH: RoutingDecision.SOUTH,
+    RoutingDecision.SOUTH: RoutingDecision.NORTH,
+}
+_DELTA = {
+    RoutingDecision.EAST: (1, 0),
+    RoutingDecision.WEST: (-1, 0),
+    RoutingDecision.NORTH: (0, 1),
+    RoutingDecision.SOUTH: (0, -1),
+}
+
+
+@dataclass
+class NocPacket:
+    """An end-to-end packet in the mesh network."""
+
+    packet_id: int
+    src_node: Tuple[int, int]
+    src_terminal: int
+    dst_node: Tuple[int, int]
+    dst_terminal: int
+    num_flits: int = 4
+    created_cycle: int = 0
+    delivered_cycle: Optional[int] = None
+    hops: int = 0
+    payload: object = None
+
+    @property
+    def latency(self) -> int:
+        if self.delivered_cycle is None:
+            raise ValueError(f"NoC packet {self.packet_id} still in flight")
+        return self.delivered_cycle - self.created_cycle
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    """Shape of the mesh and of each node's router.
+
+    Attributes:
+        rows/cols: Mesh dimensions.
+        concentration: Terminals per node.
+        layers: Stacked layers of each node's switch; mesh link ports are
+            interleaved one per layer (``layers`` should divide the radix
+            when the router is a Hi-Rise switch).
+        links_per_direction: Parallel mesh links per direction, spread
+            across layers (an extension enabling layer-aware routing).
+        layer_aware: Choose the outgoing link whose port sits on the same
+            layer the packet entered on, minimising vertical (L2LC)
+            traversal inside the router — the Section VI-E suggestion
+            that "layer-aware routing algorithms that minimize the
+            traversal of traffic in the vertical direction will ...
+            alleviate the L2LC bottleneck".  With a single link per
+            direction the flag has no effect.
+    """
+
+    rows: int = 4
+    cols: int = 4
+    concentration: int = 12
+    layers: int = 4
+    links_per_direction: int = 1
+    layer_aware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("mesh must have at least one node")
+        if self.concentration < 1:
+            raise ValueError("need at least one terminal per node")
+        if self.layers < 1:
+            raise ValueError("need at least one layer")
+        if self.links_per_direction < 1:
+            raise ValueError("need at least one link per direction")
+        if self.radix % self.layers != 0:
+            raise ValueError(
+                f"radix {self.radix} must divide evenly over "
+                f"{self.layers} layers"
+            )
+        mesh_ports = [
+            self.mesh_port(d, link)
+            for d in _DIRECTIONS
+            for link in range(self.links_per_direction)
+        ]
+        if len(mesh_ports) != len(set(mesh_ports)):
+            raise ValueError(
+                "mesh link ports collide; increase concentration or "
+                "reduce links_per_direction"
+            )
+
+    @property
+    def radix(self) -> int:
+        """Router radix: terminals plus the mesh link ports."""
+        return self.concentration + 4 * self.links_per_direction
+
+    @property
+    def total_terminals(self) -> int:
+        return self.rows * self.cols * self.concentration
+
+    def mesh_port(self, direction: RoutingDecision, link: int = 0) -> int:
+        """Switch port of a mesh link, spread across stacked layers.
+
+        Link ``l`` of direction ``d`` occupies slot ``d * links + l``;
+        slots wind across layers so the links of one direction land on
+        distinct layers (enabling layer-aware link choice), and with one
+        link per direction and L >= 4 layers the four directions land on
+        distinct layers (the last port of each layer).
+        """
+        if not 0 <= link < self.links_per_direction:
+            raise ValueError(f"link {link} out of range")
+        index = _DIRECTIONS.index(direction)
+        slot = index * self.links_per_direction + link
+        ports_per_layer = self.radix // self.layers
+        layer = slot % self.layers
+        offset = slot // self.layers
+        return layer * ports_per_layer + (ports_per_layer - 1 - offset)
+
+    def port_layer(self, port: int) -> int:
+        """Stacked layer hosting a switch port."""
+        return port // (self.radix // self.layers)
+
+    def link_for_layer(self, direction: RoutingDecision, layer: int) -> int:
+        """The direction's link whose port lies closest to ``layer``.
+
+        Used by layer-aware routing to keep a transiting packet on (or
+        near) its entry layer, minimising L2LC usage inside the router.
+        """
+        return min(
+            range(self.links_per_direction),
+            key=lambda link: abs(
+                self.port_layer(self.mesh_port(direction, link)) - layer
+            ),
+        )
+
+    def all_mesh_ports(self) -> Dict[int, Tuple[RoutingDecision, int]]:
+        """Mapping of every mesh link port to its (direction, link)."""
+        return {
+            self.mesh_port(d, link): (d, link)
+            for d in _DIRECTIONS
+            for link in range(self.links_per_direction)
+        }
+
+    def terminal_port(self, terminal: int) -> int:
+        """Switch port of a local terminal (skipping mesh link ports)."""
+        if not 0 <= terminal < self.concentration:
+            raise ValueError(f"terminal {terminal} out of range")
+        mesh_ports = set(self.all_mesh_ports())
+        count = -1
+        for port in range(self.radix):
+            if port in mesh_ports:
+                continue
+            count += 1
+            if count == terminal:
+                return port
+        raise AssertionError("unreachable: terminal ports exhausted")
+
+
+class MeshNetwork:
+    """A rows x cols mesh of cycle-accurate switches."""
+
+    def __init__(
+        self,
+        config: MeshConfig,
+        switch_factory: Callable[[int], SwitchModel],
+    ) -> None:
+        self.config = config
+        self.nodes: Dict[Tuple[int, int], SwitchModel] = {}
+        for x in range(config.cols):
+            for y in range(config.rows):
+                switch = switch_factory(config.radix)
+                if switch.num_ports != config.radix:
+                    raise ValueError(
+                        f"factory produced radix {switch.num_ports}, "
+                        f"mesh needs {config.radix}"
+                    )
+                self.nodes[(x, y)] = switch
+        self._hop_packets = PacketFactory()
+        self._payloads: Dict[Tuple[Tuple[int, int], int], NocPacket] = {}
+        self._next_id = 0
+        self.delivered: List[NocPacket] = []
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def create_packet(
+        self,
+        src_node: Tuple[int, int],
+        src_terminal: int,
+        dst_node: Tuple[int, int],
+        dst_terminal: int,
+        num_flits: int = 4,
+        payload: object = None,
+    ) -> NocPacket:
+        """Create and inject a NoC packet at its source terminal."""
+        self._check_node(src_node)
+        self._check_node(dst_node)
+        packet = NocPacket(
+            packet_id=self._next_id,
+            src_node=src_node,
+            src_terminal=src_terminal,
+            dst_node=dst_node,
+            dst_terminal=dst_terminal,
+            num_flits=num_flits,
+            created_cycle=self.cycle,
+            payload=payload,
+        )
+        self._next_id += 1
+        entry_port = self.config.terminal_port(src_terminal)
+        self._launch_hop(packet, src_node, entry_port)
+        return packet
+
+    def _check_node(self, node: Tuple[int, int]) -> None:
+        if node not in self.nodes:
+            raise ValueError(f"node {node} outside the mesh")
+
+    def _launch_hop(
+        self, packet: NocPacket, node: Tuple[int, int], entry_port: int
+    ) -> None:
+        decision = xy_route(node, packet.dst_node)
+        if decision is RoutingDecision.LOCAL:
+            exit_port = self.config.terminal_port(packet.dst_terminal)
+        else:
+            exit_port = self.config.mesh_port(
+                decision, self._choose_link(decision, entry_port, packet)
+            )
+        hop = self._hop_packets.create(
+            entry_port, exit_port, created_cycle=self.cycle,
+            num_flits=packet.num_flits, payload=packet,
+        )
+        self.nodes[node].inject(hop)
+
+    def _choose_link(
+        self,
+        direction: RoutingDecision,
+        entry_port: int,
+        packet: NocPacket,
+    ) -> int:
+        """Pick the outgoing mesh link for a transiting packet.
+
+        Layer-aware mode keeps the packet on its entry layer (minimising
+        vertical channel traversal inside the router); otherwise links are
+        spread round-robin by packet id, oblivious to layers.
+        """
+        links = self.config.links_per_direction
+        if links == 1:
+            return 0
+        if self.config.layer_aware:
+            return self.config.link_for_layer(
+                direction, self.config.port_layer(entry_port)
+            )
+        return packet.packet_id % links
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+    def step(self) -> List[NocPacket]:
+        """Advance every router one cycle; return packets delivered."""
+        arrivals: List[Tuple[NocPacket, Tuple[int, int], int]] = []
+        delivered_now: List[NocPacket] = []
+        mesh_ports = self.config.all_mesh_ports()
+        for node, switch in self.nodes.items():
+            for flit in switch.step(self.cycle):
+                key = (node, flit.packet_id)
+                if flit.is_head:
+                    self._payloads[key] = flit.payload
+                if not flit.is_tail:
+                    continue
+                packet = self._payloads.pop(key)
+                exit_link = mesh_ports.get(flit.dst)
+                if exit_link is None:
+                    packet.delivered_cycle = self.cycle
+                    self.delivered.append(packet)
+                    delivered_now.append(packet)
+                else:
+                    direction, link = exit_link
+                    packet.hops += 1
+                    dx, dy = _DELTA[direction]
+                    neighbour = (node[0] + dx, node[1] + dy)
+                    # The wire of link k continues into the neighbour's
+                    # opposite-direction port of the same link index.
+                    entry = self.config.mesh_port(_OPPOSITE[direction], link)
+                    arrivals.append((packet, neighbour, entry))
+        # Hand packets to neighbours after all routers stepped, so a hop
+        # costs at least one registered-link cycle.
+        for packet, neighbour, entry in arrivals:
+            self._check_node(neighbour)
+            self._launch_hop(packet, neighbour, entry)
+        self.cycle += 1
+        return delivered_now
+
+    def run(self, cycles: int) -> None:
+        """Advance the whole mesh the given number of cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def occupancy(self) -> int:
+        """Flits currently buffered anywhere in the mesh."""
+        return sum(switch.occupancy() for switch in self.nodes.values())

@@ -1,0 +1,47 @@
+"""Dimension-ordered (XY) routing for the mesh of 3D switches.
+
+Section VI-E: "The topology is a 2D mesh of 3D switches.  This allows
+routing algorithms to be XY dimensionally ordered, while the 3D switch can
+provide the adaptable Z dimension routing."  Deadlock freedom follows from
+dimension order in the mesh plane; the Z dimension never leaves a switch.
+"""
+
+import enum
+from typing import Tuple
+
+
+class RoutingDecision(enum.Enum):
+    """Next hop out of a mesh node."""
+
+    LOCAL = "local"   # destination terminal is on this switch
+    EAST = "east"     # +x
+    WEST = "west"     # -x
+    NORTH = "north"   # +y
+    SOUTH = "south"   # -y
+
+
+def xy_route(
+    current: Tuple[int, int], destination: Tuple[int, int]
+) -> RoutingDecision:
+    """XY dimension-ordered routing: correct x first, then y.
+
+    Args:
+        current: (x, y) of the switch holding the packet.
+        destination: (x, y) of the destination switch.
+    """
+    cx, cy = current
+    dx, dy = destination
+    if cx < dx:
+        return RoutingDecision.EAST
+    if cx > dx:
+        return RoutingDecision.WEST
+    if cy < dy:
+        return RoutingDecision.NORTH
+    if cy > dy:
+        return RoutingDecision.SOUTH
+    return RoutingDecision.LOCAL
+
+
+def hop_count(src: Tuple[int, int], dst: Tuple[int, int]) -> int:
+    """Manhattan distance between two mesh nodes."""
+    return abs(src[0] - dst[0]) + abs(src[1] - dst[1])

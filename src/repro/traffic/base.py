@@ -1,0 +1,77 @@
+"""Base class for synthetic traffic generators."""
+
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.network.packet import Packet, PacketFactory
+
+
+class SyntheticTraffic(ABC):
+    """Bernoulli per-input injection with a pattern-specific destination.
+
+    Each cycle, every *active* input generates a packet with probability
+    ``load`` (packets/input/cycle); the destination comes from the
+    subclass's :meth:`destination` hook.  All randomness flows through an
+    explicitly seeded :class:`numpy.random.Generator` so runs are
+    reproducible.
+
+    Args:
+        num_ports: Switch radix.
+        load: Injection probability per input per cycle, in [0, 1].
+        packet_flits: Packet length (paper default: 4 flits).
+        seed: RNG seed.
+        active_inputs: Inputs that inject (default: all).
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        load: float,
+        packet_flits: int = 4,
+        seed: int = 1,
+        active_inputs: Optional[List[int]] = None,
+    ) -> None:
+        if num_ports < 2:
+            raise ValueError("need at least two ports")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1] packets/input/cycle")
+        self.num_ports = num_ports
+        self.load = load
+        self.factory = PacketFactory(packet_flits)
+        self.rng = np.random.default_rng(seed)
+        if active_inputs is None:
+            self.active_inputs = list(range(num_ports))
+        else:
+            for port in active_inputs:
+                if not 0 <= port < num_ports:
+                    raise ValueError(f"active input {port} out of range")
+            self.active_inputs = list(active_inputs)
+
+    @abstractmethod
+    def destination(self, src: int) -> Optional[int]:
+        """Destination for a packet from ``src`` (None suppresses it)."""
+
+    def should_inject(self, src: int, cycle: int) -> bool:
+        """Injection decision for ``src`` this cycle (Bernoulli by default)."""
+        return bool(self.rng.random() < self.load)
+
+    def packets_for_cycle(self, cycle: int) -> Iterator[Packet]:
+        """Packets generated during ``cycle`` (the TrafficSource protocol)."""
+        for src in self.active_inputs:
+            if not self.should_inject(src, cycle):
+                continue
+            dst = self.destination(src)
+            if dst is None:
+                continue
+            if not 0 <= dst < self.num_ports:
+                raise ValueError(f"destination {dst} out of range")
+            yield self.factory.create(src, dst, created_cycle=cycle)
+
+    def uniform_destination(self, src: int, exclude_self: bool = True) -> int:
+        """A uniformly random destination, excluding ``src`` by default."""
+        if not exclude_self:
+            return int(self.rng.integers(self.num_ports))
+        dst = int(self.rng.integers(self.num_ports - 1))
+        return dst if dst < src else dst + 1

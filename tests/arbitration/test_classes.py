@@ -1,0 +1,73 @@
+"""Unit tests for the CLRG class counter bank."""
+
+import pytest
+
+from repro.arbitration.classes import ClassCounterBank
+
+
+class TestClassCounterBank:
+    def test_all_start_in_highest_class(self):
+        bank = ClassCounterBank(num_inputs=8)
+        assert all(bank.class_of(i) == 0 for i in range(8))
+
+    def test_win_moves_to_lower_class(self):
+        bank = ClassCounterBank(8)
+        bank.record_win(3)
+        assert bank.class_of(3) == 1
+        assert bank.class_of(0) == 0
+
+    def test_default_three_classes(self):
+        bank = ClassCounterBank(4)
+        assert bank.num_classes == 3
+        assert bank.max_count == 2
+
+    def test_halving_on_saturation_preserves_order(self):
+        bank = ClassCounterBank(4, num_classes=3)
+        bank.record_win(0)          # counts: 1 0 0 0
+        bank.record_win(1)
+        bank.record_win(1)          # counts: 1 2 0 0
+        # Input 1 is saturated; its next win halves everyone first.
+        bank.record_win(1)          # halve -> 0 1 0 0, then +1 -> 0 2 0 0
+        assert bank.counts() == [0, 2, 0, 0]
+        assert bank.halvings == 1
+
+    def test_relative_ordering_preserved_across_halving(self):
+        bank = ClassCounterBank(3, num_classes=4)
+        for _ in range(3):
+            bank.record_win(0)      # 3 0 0 (saturated)
+        bank.record_win(1)          # 3 1 0
+        before = bank.counts()
+        bank.record_win(0)          # halve: 1 0 0 -> +1: 2 0 0
+        after = bank.counts()
+        # Input 0 still in a strictly lower-priority class than 1 and 2.
+        assert after[0] > after[1] >= after[2]
+        assert before[0] > before[1]
+
+    def test_counter_never_exceeds_max(self):
+        bank = ClassCounterBank(2, num_classes=3)
+        for _ in range(50):
+            bank.record_win(0)
+            assert 0 <= bank.class_of(0) <= bank.max_count
+
+    def test_burst_forgiveness(self):
+        """After a burst saturates an input, halving quickly forgets it."""
+        bank = ClassCounterBank(4, num_classes=3)
+        for _ in range(20):
+            bank.record_win(0)
+        burst_class = bank.class_of(0)
+        # Another input now wins repeatedly; each saturation halves input
+        # 0's stale count toward zero.
+        for _ in range(6):
+            bank.record_win(1)
+        assert bank.class_of(0) < burst_class
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClassCounterBank(0)
+        with pytest.raises(ValueError):
+            ClassCounterBank(4, num_classes=1)
+        bank = ClassCounterBank(4)
+        with pytest.raises(ValueError):
+            bank.record_win(4)
+        with pytest.raises(ValueError):
+            bank.class_of(-1)

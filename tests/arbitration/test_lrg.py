@@ -1,0 +1,94 @@
+"""Unit tests for the LRG matrix arbiter."""
+
+import pytest
+
+from repro.arbitration.lrg import LRGArbiter
+
+
+class TestLRGBasics:
+    def test_initial_order_is_ascending(self):
+        arb = LRGArbiter(4)
+        assert arb.priority_order == [0, 1, 2, 3]
+
+    def test_explicit_initial_order(self):
+        arb = LRGArbiter(4, initial_order=[3, 1, 0, 2])
+        assert arb.priority_order == [3, 1, 0, 2]
+        assert arb.rank(3) == 0
+        assert arb.rank(2) == 3
+
+    def test_initial_order_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            LRGArbiter(3, initial_order=[0, 0, 1])
+        with pytest.raises(ValueError):
+            LRGArbiter(3, initial_order=[0, 1])
+
+    def test_highest_priority_requestor_wins(self):
+        arb = LRGArbiter(4, initial_order=[2, 0, 3, 1])
+        assert arb.arbitrate([0, 1, 3]) == 0
+        assert arb.arbitrate([1, 3]) == 3
+        assert arb.arbitrate([1]) == 1
+
+    def test_no_requests_no_winner(self):
+        assert LRGArbiter(4).arbitrate([]) is None
+
+    def test_arbitrate_does_not_mutate(self):
+        arb = LRGArbiter(4)
+        arb.arbitrate([1, 2])
+        assert arb.priority_order == [0, 1, 2, 3]
+
+    def test_update_demotes_winner_to_back(self):
+        arb = LRGArbiter(4)
+        arb.update(0)
+        assert arb.priority_order == [1, 2, 3, 0]
+        arb.update(2)
+        assert arb.priority_order == [1, 3, 0, 2]
+
+    def test_out_of_range_slot_raises(self):
+        arb = LRGArbiter(4)
+        with pytest.raises(ValueError):
+            arb.arbitrate([4])
+        with pytest.raises(ValueError):
+            arb.update(-1)
+
+
+class TestLRGFairness:
+    def test_round_robin_under_full_contention(self):
+        """With every slot always requesting, LRG degenerates to a fair
+        round-robin: each slot wins exactly once per num_slots grants."""
+        arb = LRGArbiter(5)
+        grants = []
+        for _ in range(20):
+            winner = arb.arbitrate(range(5))
+            arb.update(winner)
+            grants.append(winner)
+        for start in range(0, 20, 5):
+            assert sorted(grants[start:start + 5]) == [0, 1, 2, 3, 4]
+
+    def test_least_recently_granted_wins(self):
+        arb = LRGArbiter(3)
+        arb.update(0)
+        arb.update(1)
+        # 2 has never been granted: it must beat both.
+        assert arb.arbitrate([0, 1, 2]) == 2
+
+    def test_non_requesting_slot_keeps_priority(self):
+        arb = LRGArbiter(3)
+        for _ in range(4):
+            winner = arb.arbitrate([1, 2])
+            arb.update(winner)
+        # Slot 0 never requested, never granted: still the highest.
+        assert arb.arbitrate([0, 1, 2]) == 0
+
+    def test_starvation_freedom_bound(self):
+        """A requesting slot waits at most num_slots - 1 grants."""
+        arb = LRGArbiter(8)
+        waits = {slot: 0 for slot in range(8)}
+        for _ in range(100):
+            winner = arb.arbitrate(range(8))
+            arb.update(winner)
+            for slot in range(8):
+                if slot == winner:
+                    waits[slot] = 0
+                else:
+                    waits[slot] += 1
+                    assert waits[slot] <= 7

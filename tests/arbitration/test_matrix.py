@@ -1,0 +1,86 @@
+"""Tests of the bit-accurate priority-matrix arbiter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arbitration.lrg import LRGArbiter
+from repro.arbitration.matrix import MatrixArbiter
+
+
+class TestMatrixBasics:
+    def test_initial_bits_encode_ascending_order(self):
+        arb = MatrixArbiter(3)
+        assert arb.bits[0][1] and arb.bits[0][2] and arb.bits[1][2]
+        assert not arb.bits[1][0] and not arb.bits[2][0]
+        arb.validate()
+
+    def test_explicit_initial_order(self):
+        arb = MatrixArbiter(3, initial_order=[2, 0, 1])
+        assert arb.priority_order() == [2, 0, 1]
+        assert arb.bits[2][0] and arb.bits[2][1] and arb.bits[0][1]
+
+    def test_update_moves_winner_to_back(self):
+        arb = MatrixArbiter(4)
+        arb.update(0)
+        assert arb.priority_order() == [1, 2, 3, 0]
+        arb.validate()
+
+    def test_arbitrate_picks_unoutranked_requestor(self):
+        arb = MatrixArbiter(4, initial_order=[3, 1, 0, 2])
+        assert arb.arbitrate([0, 1, 2]) == 1
+        assert arb.arbitrate([2]) == 2
+        assert arb.arbitrate([]) is None
+
+    def test_priority_bit_count_matches_hardware(self):
+        """A radix-64 column stores 64 x 63 / 2 independent bits (the
+        paper describes an N-bit priority vector per cross-point; the
+        matrix view shows the independent-bit count)."""
+        assert MatrixArbiter(64).priority_bit_count() == 2016
+
+    def test_bad_initial_order(self):
+        with pytest.raises(ValueError):
+            MatrixArbiter(3, initial_order=[0, 0, 2])
+
+    def test_slot_range(self):
+        arb = MatrixArbiter(3)
+        with pytest.raises(ValueError):
+            arb.arbitrate([3])
+        with pytest.raises(ValueError):
+            arb.update(-1)
+
+
+class TestEquivalenceWithListLRG:
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.lists(
+            st.tuples(
+                st.booleans(),  # True: arbitrate+update a request set
+                st.integers(min_value=0, max_value=1023),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_and_list_always_agree(self, num_slots, operations):
+        """Any interleaving of arbitrations and updates produces identical
+        winners and identical priority orders in both representations."""
+        matrix = MatrixArbiter(num_slots)
+        reference = LRGArbiter(num_slots)
+        for do_arbitrate, mask in operations:
+            requests = [
+                slot for slot in range(num_slots) if mask & (1 << slot)
+            ]
+            if do_arbitrate and requests:
+                winner_matrix = matrix.arbitrate(requests)
+                winner_list = reference.arbitrate(requests)
+                assert winner_matrix == winner_list
+                matrix.update(winner_matrix)
+                reference.update(winner_list)
+            elif requests:
+                slot = requests[0]
+                matrix.update(slot)
+                reference.update(slot)
+            matrix.validate()
+            assert matrix.priority_order() == reference.priority_order

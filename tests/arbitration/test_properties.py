@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the arbitration primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arbitration.classes import ClassCounterBank
+from repro.arbitration.clrg import CLRGArbiter
+from repro.arbitration.lrg import LRGArbiter
+from repro.arbitration.wlrg import WLRGArbiter
+
+
+@st.composite
+def lrg_and_requests(draw):
+    num_slots = draw(st.integers(min_value=1, max_value=16))
+    requests = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_slots - 1),
+            unique=True,
+            max_size=num_slots,
+        )
+    )
+    return LRGArbiter(num_slots), requests
+
+
+class TestLRGProperties:
+    @given(lrg_and_requests())
+    def test_winner_is_a_requestor(self, case):
+        arb, requests = case
+        winner = arb.arbitrate(requests)
+        if requests:
+            assert winner in requests
+        else:
+            assert winner is None
+
+    @given(lrg_and_requests())
+    def test_winner_outranks_all_other_requestors(self, case):
+        arb, requests = case
+        winner = arb.arbitrate(requests)
+        if winner is not None:
+            assert all(arb.rank(winner) <= arb.rank(r) for r in requests)
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.lists(st.integers(min_value=0, max_value=11), min_size=1, max_size=200),
+    )
+    def test_order_stays_a_permutation(self, num_slots, updates):
+        arb = LRGArbiter(num_slots)
+        for update in updates:
+            arb.update(update % num_slots)
+            assert sorted(arb.priority_order) == list(range(num_slots))
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.lists(st.integers(min_value=0, max_value=11), min_size=1, max_size=50),
+    )
+    def test_updated_slot_is_always_last(self, num_slots, updates):
+        arb = LRGArbiter(num_slots)
+        for update in updates:
+            slot = update % num_slots
+            arb.update(slot)
+            assert arb.priority_order[-1] == slot
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=25)
+    def test_full_contention_grant_counts_balanced(self, num_slots, rounds):
+        arb = LRGArbiter(num_slots)
+        counts = [0] * num_slots
+        for _ in range(rounds):
+            winner = arb.arbitrate(range(num_slots))
+            arb.update(winner)
+            counts[winner] += 1
+        assert max(counts) - min(counts) <= 1
+
+
+class TestClassCounterProperties:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=2, max_value=5),
+        st.lists(st.integers(min_value=0, max_value=15), max_size=300),
+    )
+    def test_counts_bounded(self, num_inputs, num_classes, wins):
+        bank = ClassCounterBank(num_inputs, num_classes)
+        for win in wins:
+            bank.record_win(win % num_inputs)
+            assert all(
+                0 <= count <= bank.max_count for count in bank.counts()
+            )
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.lists(st.integers(min_value=0, max_value=15), max_size=300),
+    )
+    def test_untouched_input_never_outclassed(self, num_inputs, wins):
+        """An input that never wins stays in the highest-priority class."""
+        bank = ClassCounterBank(num_inputs)
+        for win in wins:
+            bank.record_win(win % (num_inputs - 1))  # input n-1 never wins
+        assert bank.class_of(num_inputs - 1) == 0
+
+
+class TestCLRGProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=15),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_winner_minimises_class_then_rank(self, raw_requests):
+        # Deduplicate slots (one request per channel per cycle).
+        requests = list({slot: (slot, inp) for slot, inp in raw_requests}.values())
+        arb = CLRGArbiter(4, 16)
+        arb.commit(0, requests[0][1])  # perturb state
+        winner = arb.arbitrate_requests(requests)
+        assert winner in requests
+        w_class = arb.counters.class_of(winner[1])
+        assert all(
+            w_class < arb.counters.class_of(inp)
+            or (
+                w_class == arb.counters.class_of(inp)
+                and arb.lrg.rank(winner[0]) <= arb.lrg.rank(slot)
+            )
+            for slot, inp in requests
+        )
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_state_stays_consistent(self, winners):
+        arb = CLRGArbiter(4, 8)
+        for winner in winners:
+            arb.commit(winner, winner)
+        assert sorted(arb.lrg.priority_order) == [0, 1, 2, 3]
+        assert all(0 <= c <= arb.counters.max_count for c in arb.counters.counts())
+
+
+class TestWLRGProperties:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30)
+    def test_service_proportional_to_weights(self, num_rounds, w0, w1):
+        arb = WLRGArbiter(2)
+        grants = [0, 0]
+        total = num_rounds * (w0 + w1)
+        for _ in range(total):
+            winner = arb.arbitrate_requests([(0, w0), (1, w1)])
+            arb.commit(*winner)
+            grants[winner[0]] += 1
+        assert grants[0] == num_rounds * w0
+        assert grants[1] == num_rounds * w1

@@ -1,0 +1,84 @@
+"""Tests of the QoS-weighted CLRG extension."""
+
+import pytest
+
+from repro.arbitration.qos import QoSCLRGArbiter, WeightedClassCounterBank
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.network.engine import Simulation
+from repro.traffic import AdversarialTraffic
+
+
+class TestWeightedBank:
+    def test_uniform_weights_match_plain_behaviour(self):
+        bank = WeightedClassCounterBank(4)
+        bank.record_win(0)
+        assert bank.class_of(0) == pytest.approx(1.0)
+        assert bank.class_of(1) == 0.0
+
+    def test_heavier_weight_charged_less(self):
+        bank = WeightedClassCounterBank(2, weights=[2.0, 1.0])
+        bank.record_win(0)
+        bank.record_win(1)
+        assert bank.class_of(0) == pytest.approx(0.5)
+        assert bank.class_of(1) == pytest.approx(1.0)
+
+    def test_halving_preserves_ratios(self):
+        bank = WeightedClassCounterBank(2, num_classes=3, weights=[1.0, 1.0])
+        bank.record_win(0)
+        bank.record_win(0)     # at saturation boundary (2.0)
+        bank.record_win(1)
+        bank.record_win(0)     # would exceed 2 -> halve all, then add
+        counts = bank.counts()
+        assert counts[0] == pytest.approx(2.0)
+        assert counts[1] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedClassCounterBank(2, weights=[1.0])
+        with pytest.raises(ValueError):
+            WeightedClassCounterBank(2, weights=[1.0, 0.0])
+
+
+class TestQoSArbiter:
+    def test_share_proportional_to_weight(self):
+        """Two always-requesting inputs with 2:1 weights should receive
+        grants in a 2:1 ratio."""
+        weights = [1.0] * 8
+        weights[0] = 2.0
+        arb = QoSCLRGArbiter(num_slots=2, num_inputs=8, weights=weights)
+        grants = {0: 0, 1: 0}
+        for _ in range(300):
+            winner = arb.arbitrate_requests([(0, 0), (1, 1)])
+            arb.commit(*winner)
+            grants[winner[1]] += 1
+        assert grants[0] / grants[1] == pytest.approx(2.0, rel=0.1)
+
+
+class TestQoSConfig:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HiRiseConfig(radix=8, layers=2, qos_weights=(1.0,) * 4)
+        with pytest.raises(ValueError):
+            HiRiseConfig(radix=8, layers=2, arbitration="l2l_lrg",
+                         qos_weights=(1.0,) * 8)
+        with pytest.raises(ValueError):
+            HiRiseConfig(radix=8, layers=2, qos_weights=(0.0,) * 8)
+
+    def test_switch_honours_weights_end_to_end(self):
+        """Inputs 0 (weight 3) and 5 (weight 1) on different layers both
+        flood output 6: delivered shares approach 3:1."""
+        weights = [1.0] * 8
+        weights[0] = 3.0
+        config = HiRiseConfig(
+            radix=8, layers=2, channel_multiplicity=1,
+            arbitration="clrg", qos_weights=tuple(weights),
+            num_classes=8,
+        )
+        switch = HiRiseSwitch(config)
+        traffic = AdversarialTraffic(8, 1.0, {0: 6, 5: 6}, seed=2)
+        result = Simulation(switch, traffic, warmup_cycles=300).run(4000)
+        per_input = result.per_input_throughput(8)
+        assert per_input[0] / per_input[5] == pytest.approx(3.0, rel=0.15)
+
+    def test_default_has_no_weights(self):
+        assert HiRiseConfig().qos_weights is None

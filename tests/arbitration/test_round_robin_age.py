@@ -1,0 +1,117 @@
+"""Tests of the related-work comparison arbiters (round-robin, age)."""
+
+import pytest
+
+from repro.arbitration.age import AgeArbiter
+from repro.arbitration.round_robin import RoundRobinArbiter
+
+
+class TestRoundRobin:
+    def test_pointer_selects_next_requestor(self):
+        arb = RoundRobinArbiter(4, start=2)
+        assert arb.arbitrate([0, 3]) == 3
+        assert arb.arbitrate([0, 1]) == 0  # wraps past 2, 3
+
+    def test_update_advances_past_winner(self):
+        arb = RoundRobinArbiter(4)
+        arb.update(1)
+        assert arb.pointer == 2
+        arb.update(3)
+        assert arb.pointer == 0
+
+    def test_full_contention_is_round_robin(self):
+        arb = RoundRobinArbiter(3)
+        grants = []
+        for _ in range(9):
+            winner = arb.arbitrate(range(3))
+            arb.update(winner)
+            grants.append(winner)
+        assert grants == [0, 1, 2] * 3
+
+    def test_no_requests(self):
+        assert RoundRobinArbiter(4).arbitrate([]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(4, start=4)
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(4).arbitrate([5])
+
+    def test_starvation_freedom(self):
+        arb = RoundRobinArbiter(5)
+        waits = {slot: 0 for slot in range(5)}
+        for _ in range(50):
+            winner = arb.arbitrate(range(5))
+            arb.update(winner)
+            for slot in range(5):
+                waits[slot] = 0 if slot == winner else waits[slot] + 1
+                assert waits[slot] <= 4
+
+
+class TestAge:
+    def test_oldest_wins(self):
+        arb = AgeArbiter(4)
+        assert arb.arbitrate_requests([(0, 5), (1, 17), (2, 3)]) == (1, 17)
+
+    def test_tie_breaks_to_lowest_slot(self):
+        arb = AgeArbiter(4)
+        assert arb.arbitrate_requests([(2, 9), (1, 9)]) == (1, 9)
+
+    def test_stateless_commit(self):
+        arb = AgeArbiter(3)
+        arb.commit(0, 10)
+        assert arb.arbitrate_requests([(0, 1), (1, 2)]) == (1, 2)
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(ValueError):
+            AgeArbiter(2).arbitrate_requests([(0, -1)])
+
+    def test_generic_view(self):
+        arb = AgeArbiter(3)
+        assert arb.arbitrate([2, 1]) == 1
+        arb.update(1)
+
+    def test_no_requests(self):
+        assert AgeArbiter(3).arbitrate_requests([]) is None
+
+
+class TestSchemesInHiRise:
+    @pytest.mark.parametrize("arbitration", ["l2l_rr", "age"])
+    def test_extra_schemes_deliver_traffic(self, arbitration):
+        from repro.core import HiRiseConfig, HiRiseSwitch
+        from repro.network.engine import Simulation
+        from repro.traffic import UniformRandomTraffic
+
+        config = HiRiseConfig(
+            radix=16, layers=4, channel_multiplicity=2,
+            arbitration=arbitration,
+        )
+        switch = HiRiseSwitch(config)
+        traffic = UniformRandomTraffic(16, load=0.1, seed=3)
+        result = Simulation(switch, traffic).run(600, drain=True)
+        assert result.packets_ejected == result.packets_injected
+        assert result.packets_ejected > 0
+
+    def test_age_scheme_serves_oldest_backlog_first(self):
+        """With two layers backlogged toward one output, the age scheme
+        alternates by wait time rather than by channel priority."""
+        from repro.core import HiRiseConfig, HiRiseSwitch
+        from repro.traffic import TraceTraffic
+
+        config = HiRiseConfig(
+            radix=64, layers=4, channel_multiplicity=1, arbitration="age"
+        )
+        switch = HiRiseSwitch(config)
+        # Input 0 (L1) queues first; input 20 (L2) queues 1 cycle later.
+        trace = TraceTraffic(
+            [(0, 0, 63)] * 6 + [(1, 20, 63)] * 6, packet_flits=1
+        )
+        winners = []
+        for cycle in range(60):
+            for packet in trace.packets_for_cycle(cycle):
+                switch.inject(packet)
+            winners.extend(f.src for f in switch.step(cycle))
+        # Strict alternation after the first grant: equally old heads.
+        assert winners[0] == 0
+        assert set(winners[:8]) == {0, 20}
+        assert winners.count(0) >= 3 and winners.count(20) >= 3

@@ -1,0 +1,63 @@
+"""Unit tests for the weighted LRG arbiter."""
+
+import pytest
+
+from repro.arbitration.wlrg import WLRGArbiter
+
+
+class TestWLRG:
+    def test_selection_is_plain_lrg(self):
+        arb = WLRGArbiter(3, initial_order=[2, 0, 1])
+        assert arb.arbitrate_requests([(0, 4), (1, 1)]) == (0, 4)
+
+    def test_weighted_hold_defers_demotion(self):
+        arb = WLRGArbiter(2, initial_order=[0, 1])
+        # Slot 0 carries 3 requestors: it keeps priority for 3 grants.
+        for expected_served in (1, 2):
+            winner = arb.arbitrate_requests([(0, 3), (1, 1)])
+            assert winner == (0, 3)
+            arb.commit(*winner)
+            assert arb.served_count(0) == expected_served
+            assert arb.lrg.priority_order == [0, 1]
+        winner = arb.arbitrate_requests([(0, 3), (1, 1)])
+        assert winner == (0, 3)
+        arb.commit(*winner)
+        # Third grant exhausts the weight: slot 0 demoted, counter reset.
+        assert arb.lrg.priority_order == [1, 0]
+        assert arb.served_count(0) == 0
+
+    def test_weight_one_behaves_like_lrg(self):
+        arb = WLRGArbiter(2)
+        arb.commit(0, 1)
+        assert arb.lrg.priority_order == [1, 0]
+
+    def test_proportional_service(self):
+        """Slot 0 (4 requestors) must receive 4x the grants of slot 1."""
+        arb = WLRGArbiter(2)
+        grants = {0: 0, 1: 0}
+        for _ in range(40):
+            winner = arb.arbitrate_requests([(0, 4), (1, 1)])
+            arb.commit(*winner)
+            grants[winner[0]] += 1
+        assert grants[0] == 32
+        assert grants[1] == 8
+
+    def test_live_weight_shrink_demotes_promptly(self):
+        arb = WLRGArbiter(2, initial_order=[0, 1])
+        arb.commit(0, 4)
+        arb.commit(0, 4)
+        # The channel drained: weight now 2, already served 2 -> demote.
+        arb.commit(0, 2)
+        assert arb.lrg.priority_order == [1, 0]
+
+    def test_rejects_bad_weight(self):
+        arb = WLRGArbiter(2)
+        with pytest.raises(ValueError):
+            arb.arbitrate_requests([(0, 0)])
+
+    def test_generic_view(self):
+        arb = WLRGArbiter(3)
+        winner = arb.arbitrate([1, 2])
+        assert winner == 1
+        arb.update(winner)
+        assert arb.lrg.priority_order == [0, 2, 1]

@@ -1,0 +1,79 @@
+"""Unit tests for L2LC allocation policies."""
+
+import pytest
+
+from repro.core import HiRiseConfig
+from repro.core.channels import (
+    InputBinnedAllocation,
+    OutputBinnedAllocation,
+    PriorityAllocation,
+    make_allocation,
+)
+
+
+class TestInputBinned:
+    def test_interleaved_by_input(self):
+        config = HiRiseConfig(channel_multiplicity=4)
+        alloc = InputBinnedAllocation(config)
+        assert alloc.is_binned
+        assert [alloc.channel_for(i, dst_output=63) for i in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+    def test_each_channel_services_n_over_lc_inputs(self):
+        config = HiRiseConfig(channel_multiplicity=4)
+        alloc = InputBinnedAllocation(config)
+        by_channel = {}
+        for local_input in range(config.ports_per_layer):
+            by_channel.setdefault(
+                alloc.channel_for(local_input, 0), []
+            ).append(local_input)
+        assert all(
+            len(inputs) == config.inputs_per_channel
+            for inputs in by_channel.values()
+        )
+
+    def test_destination_does_not_matter(self):
+        config = HiRiseConfig(channel_multiplicity=2)
+        alloc = InputBinnedAllocation(config)
+        assert alloc.channel_for(5, 16) == alloc.channel_for(5, 63)
+
+
+class TestOutputBinned:
+    def test_binned_by_destination_local_index(self):
+        config = HiRiseConfig(channel_multiplicity=4)
+        alloc = OutputBinnedAllocation(config)
+        assert alloc.is_binned
+        # Outputs 48 and 52 on layer 3 have local indices 0 and 4 -> both
+        # map to channel 0; output 49 (local 1) maps to channel 1.
+        assert alloc.channel_for(0, 48) == 0
+        assert alloc.channel_for(0, 52) == 0
+        assert alloc.channel_for(0, 49) == 1
+
+    def test_source_does_not_matter(self):
+        config = HiRiseConfig(channel_multiplicity=2)
+        alloc = OutputBinnedAllocation(config)
+        assert alloc.channel_for(0, 33) == alloc.channel_for(9, 33)
+
+
+class TestPriority:
+    def test_not_binned_and_no_fixed_channel(self):
+        config = HiRiseConfig(allocation="priority")
+        alloc = PriorityAllocation(config)
+        assert not alloc.is_binned
+        with pytest.raises(NotImplementedError):
+            alloc.channel_for(0, 63)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "policy,cls",
+        [
+            ("input_binned", InputBinnedAllocation),
+            ("output_binned", OutputBinnedAllocation),
+            ("priority", PriorityAllocation),
+        ],
+    )
+    def test_make_allocation(self, policy, cls):
+        config = HiRiseConfig(allocation=policy)
+        assert isinstance(make_allocation(config), cls)

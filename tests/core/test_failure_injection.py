@@ -1,0 +1,111 @@
+"""Tests of TSV failure injection (failed L2LCs) and rerouting."""
+
+import pytest
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.metrics import ProbedSwitch
+from repro.network.engine import Simulation
+from repro.traffic import TraceTraffic, UniformRandomTraffic
+
+
+class TestConfigValidation:
+    def test_accepts_partial_failures(self):
+        config = HiRiseConfig(failed_channels=((0, 3, 0), (1, 2, 3)))
+        assert (0, 3, 0) in config.failed_channels
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            HiRiseConfig(failed_channels=((0, 4, 0),))
+        with pytest.raises(ValueError):
+            HiRiseConfig(failed_channels=((0, 1, 4),))
+        with pytest.raises(ValueError):
+            HiRiseConfig(failed_channels=((1, 1, 0),))
+
+    def test_rejects_disconnecting_failures(self):
+        all_channels = tuple((0, 1, k) for k in range(4))
+        with pytest.raises(ValueError):
+            HiRiseConfig(failed_channels=all_channels)
+
+    def test_single_channel_pair_cannot_fail(self):
+        with pytest.raises(ValueError):
+            HiRiseConfig(channel_multiplicity=1, failed_channels=((0, 1, 0),))
+
+
+class TestRerouting:
+    def test_healthy_channel_remap(self):
+        config = HiRiseConfig(failed_channels=((0, 3, 1),))
+        switch = HiRiseSwitch(config)
+        assert switch.healthy_channel(0, 3, 1) == 2
+        assert switch.healthy_channel(0, 3, 0) == 0   # unaffected
+        assert switch.healthy_channel(1, 3, 1) == 1   # other pair unaffected
+
+    def test_failed_channel_never_carries_traffic(self):
+        config = HiRiseConfig(
+            radix=16, layers=4, channel_multiplicity=2,
+            failed_channels=((0, 1, 0), (2, 3, 1)),
+        )
+        probe = ProbedSwitch(HiRiseSwitch(config))
+        traffic = UniformRandomTraffic(16, load=0.4, seed=6)
+        Simulation(probe, traffic).run(600, drain=True)
+        utilizations = probe.channel_utilizations()
+        assert ("ch", 0, 1, 0) not in utilizations
+        assert ("ch", 2, 3, 1) not in utilizations
+
+    def test_rerouted_flow_still_delivers(self):
+        """A flow binned to a failed channel reroutes and delivers."""
+        config = HiRiseConfig(
+            radix=16, layers=4, channel_multiplicity=2,
+            failed_channels=((0, 3, 0),),
+        )
+        probe = ProbedSwitch(HiRiseSwitch(config))
+        # Local input 0 on layer 0 nominally bins to channel 0 (0 % 2).
+        events = [(c, 0, 13) for c in range(0, 100, 6)]
+        result = Simulation(probe, TraceTraffic(events)).run(200, drain=True)
+        assert result.packets_ejected == len(events)
+        assert probe.resource_utilization(("ch", 0, 3, 1)) > 0
+        assert probe.resource_utilization(("ch", 0, 3, 0)) == 0
+
+    def test_priority_allocation_avoids_failed(self):
+        config = HiRiseConfig(
+            radix=16, layers=4, channel_multiplicity=2,
+            allocation="priority", failed_channels=((0, 1, 0),),
+        )
+        probe = ProbedSwitch(HiRiseSwitch(config))
+        traffic = UniformRandomTraffic(16, load=0.5, seed=8)
+        Simulation(probe, traffic).run(600, drain=True)
+        assert ("ch", 0, 1, 0) not in probe.channel_utilizations()
+
+    def test_full_connectivity_under_failures(self):
+        config = HiRiseConfig(
+            radix=8, layers=2, channel_multiplicity=2,
+            failed_channels=((0, 1, 0), (1, 0, 1)),
+        )
+        switch = HiRiseSwitch(config)
+        events = []
+        cycle = 0
+        for src in range(8):
+            for dst in range(8):
+                if src != dst:
+                    events.append((cycle, src, dst))
+                    cycle += 10
+        result = Simulation(
+            switch, TraceTraffic(events, packet_flits=2)
+        ).run(cycle + 40, drain=True)
+        assert result.packets_ejected == 56
+
+    def test_throughput_degrades_gracefully(self):
+        """Killing half the channels toward one layer costs bandwidth on
+        that path but far less than half of total throughput."""
+        def saturation(failed):
+            config = HiRiseConfig(
+                radix=16, layers=4, channel_multiplicity=2,
+                failed_channels=failed,
+            )
+            traffic = UniformRandomTraffic(16, load=0.99, seed=9)
+            sim = Simulation(HiRiseSwitch(config), traffic, warmup_cycles=200)
+            return sim.run(1500).throughput_packets_per_cycle
+
+        healthy = saturation(())
+        degraded = saturation(((0, 1, 0), (0, 2, 0), (0, 3, 0)))
+        assert degraded < healthy
+        assert degraded > 0.7 * healthy

@@ -1,0 +1,102 @@
+"""Tests of the CLI entry point and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.harness.export import export_rows_csv, export_series_csv
+from repro.harness.tables import CostRow, SpeedupRow
+
+
+class TestExportSeries:
+    def test_long_format(self, tmp_path):
+        series = {"A": [(1, 2.0), (3, 4.0)], "B": [(5, 6.0)]}
+        path = export_series_csv(series, tmp_path / "out.csv", ["x", "y"])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["series", "x", "y"]
+        assert rows[1] == ["A", "1", "2.0"]
+        assert rows[3] == ["B", "5", "6.0"]
+
+    def test_width_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv({"A": [(1, 2, 3)]}, tmp_path / "x.csv", ["x", "y"])
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = export_series_csv({"A": [(1, 1)]},
+                                 tmp_path / "deep" / "dir" / "x.csv",
+                                 ["x", "y"])
+        assert path.exists()
+
+
+class TestExportRows:
+    def test_cost_rows(self, tmp_path):
+        row = CostRow(
+            design="X", configuration="c", area_mm2=1.0, frequency_ghz=2.0,
+            energy_pj=3.0, throughput_tbps=4.0, tsv_count=5,
+        )
+        path = export_rows_csv([row], tmp_path / "rows.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert "design" in rows[0] and "paper_area_mm2" in rows[0]
+        assert rows[1][0] == "X"
+
+    def test_speedup_rows(self, tmp_path):
+        row = SpeedupRow(mix="Mix1", avg_mpki=15.0, speedup=1.02,
+                         paper_avg_mpki=15.0, paper_speedup=1.02)
+        path = export_rows_csv([row], tmp_path / "s.csv")
+        assert path.exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_rows_csv([], tmp_path / "empty.csv")
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cost_command(self, capsys):
+        assert main(["cost", "--design", "hirise"]) == 0
+        out = capsys.readouterr().out
+        assert "mm^2" in out and "GHz" in out and "6144" in out
+
+    def test_cost_2d(self, capsys):
+        assert main(["cost", "--design", "2d"]) == 0
+        assert "0.672" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        code = main([
+            "simulate", "--radix", "8", "--layers", "2", "--channels", "1",
+            "--cycles", "300", "--warmup", "50", "--load", "0.05",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out
+
+    def test_simulate_hotspot_2d(self, capsys):
+        code = main([
+            "simulate", "--design", "2d", "--radix", "8",
+            "--traffic", "hotspot", "--cycles", "300", "--warmup", "50",
+            "--load", "0.02",
+        ])
+        assert code == 0
+        assert "hotspot" in capsys.readouterr().out
+
+    def test_figure_12_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig12.csv"
+        assert main(["figure", "12", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        assert "Fig 12" in capsys.readouterr().out
+
+    def test_figure_9a(self, capsys):
+        assert main(["figure", "9a"]) == 0
+        assert "3D 4-Channel" in capsys.readouterr().out
+
+    def test_invalid_choices_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "7"])
+        with pytest.raises(SystemExit):
+            main(["figure", "13"])

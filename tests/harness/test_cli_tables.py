@@ -1,0 +1,47 @@
+"""CLI table regeneration (fast mode) and engine edge cases."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.network.engine import Simulation
+from repro.switches import SwizzleSwitch2D
+from repro.traffic import TraceTraffic
+
+
+class TestCliTable:
+    def test_table1_fast_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "table1.csv"
+        assert main(["table", "1", "--fast", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "3D Folded" in out
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "throughput_tbps" in header
+
+
+class TestEngineEdgeCases:
+    def test_drain_gives_up_on_stuck_switch(self):
+        """A switch that can never deliver must not hang the drain loop."""
+
+        class StuckSwitch(SwizzleSwitch2D):
+            def step(self, cycle):
+                return []  # never moves anything
+
+        switch = StuckSwitch(4)
+        trace = TraceTraffic([(0, 0, 1)])
+        result = Simulation(switch, trace).run(10, drain=True)
+        assert result.packets_ejected == 0
+        assert switch.occupancy() > 0  # still stuck, but we returned
+
+    def test_run_zero_cycles(self):
+        sim = Simulation(SwizzleSwitch2D(4), TraceTraffic([]))
+        result = sim.run(0)
+        assert result.cycles == 0
+
+    def test_consecutive_runs_accumulate_cycles(self):
+        sim = Simulation(SwizzleSwitch2D(4), TraceTraffic([(0, 0, 1)]))
+        sim.run(5)
+        assert sim.cycle == 5
+        sim.run(5)
+        assert sim.cycle == 10

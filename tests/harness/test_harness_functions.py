@@ -1,0 +1,103 @@
+"""Fast integration tests of the harness table/figure functions.
+
+The benchmarks run these at full quality; here they run at drastically
+reduced simulation lengths to validate structure, units and wiring.
+"""
+
+import math
+
+import pytest
+
+from repro.harness import (
+    fig9a_frequency_vs_radix,
+    fig9b_frequency_vs_layers,
+    fig9c_energy_vs_radix,
+    fig10_latency_vs_load,
+    fig11b_arbitration_throughput,
+    fig11c_adversarial_throughput,
+    fig12_tsv_pitch,
+    render_series,
+    render_table,
+    table1,
+    table5,
+    table6,
+)
+from repro.manycore import MIXES
+
+
+class TestTables:
+    def test_table1_structure(self):
+        rows = table1(warmup_cycles=100, measure_cycles=400)
+        assert [row.design for row in rows] == ["2D 64x64", "3D Folded [16x64]x4"]
+        for row in rows:
+            assert row.area_mm2 > 0
+            assert row.frequency_ghz > 0
+            assert row.throughput_tbps > 0
+            assert row.paper_frequency_ghz is not None
+
+    def test_table5_includes_clrg_variant(self):
+        rows = table5(warmup_cycles=100, measure_cycles=400)
+        assert len(rows) == 3
+        assert rows[1].configuration == rows[2].configuration
+        assert rows[2].paper_frequency_ghz == 2.2
+
+    def test_table6_single_mix(self):
+        rows = table6(network_cycles_baseline=1500, mixes=[MIXES[0]])
+        assert len(rows) == 1
+        assert rows[0].mix == "Mix1"
+        assert 0.9 < rows[0].speedup < 1.2
+
+    def test_render_table_contains_both_value_sets(self):
+        rows = table1(warmup_cycles=50, measure_cycles=200)
+        text = render_table(rows, "T")
+        assert "0.672" in text  # paper area appears
+        assert "8192" in text   # folded TSVs
+
+
+class TestFigures:
+    def test_fig9_series_shapes(self):
+        a = fig9a_frequency_vs_radix(radices=(16, 64))
+        assert set(a) == {"2D", "3D 4-Channel", "3D 2-Channel", "3D 1-Channel"}
+        assert all(len(points) == 2 for points in a.values())
+        b = fig9b_frequency_vs_layers(radices=(64,), layer_range=(2, 4))
+        assert list(b) == ["Radix 64"]
+        c = fig9c_energy_vs_radix(radices=(64,))
+        assert c["2D"][0][1] == pytest.approx(71, rel=0.05)
+
+    def test_fig10_units(self):
+        series = fig10_latency_vs_load(
+            loads_per_ns=(0.05,), warmup_cycles=100, measure_cycles=500
+        )
+        assert set(series) == {
+            "2D", "3D 4-Channel", "3D 2-Channel", "3D 1-Channel", "3D Folded",
+        }
+        load, latency_ns, accepted = series["2D"][0]
+        assert load == 0.05
+        # 4-flit packet at 1.69 GHz: zero-load latency a few ns.
+        assert 1.5 < latency_ns < 8.0
+        assert accepted == pytest.approx(0.05 * 64, rel=0.2)
+
+    def test_fig11b_low_load_point(self):
+        series = fig11b_arbitration_throughput(
+            loads_per_ns=(0.05,), warmup_cycles=100, measure_cycles=500
+        )
+        for name, points in series.items():
+            assert points[0][1] == pytest.approx(3.2, rel=0.2), name
+
+    def test_fig11c_keys_are_the_paper_inputs(self):
+        results = fig11c_adversarial_throughput(
+            warmup_cycles=200, measure_cycles=1500
+        )
+        for shares in results.values():
+            assert sorted(shares) == [3, 7, 11, 15, 20]
+
+    def test_fig12_reference_point(self):
+        points = fig12_tsv_pitch(pitches_um=(0.8,))
+        pitch, freq, area = points[0]
+        assert pitch == 0.8
+        assert freq == pytest.approx(2.24, rel=0.03)
+        assert area == pytest.approx(0.451, rel=0.03)
+
+    def test_render_series_formats_all_points(self):
+        text = render_series({"S": [(1, 2.5)]}, "Title", ["x", "y"])
+        assert "Title" in text and "[S]" in text and "2.5" in text

@@ -1,0 +1,60 @@
+"""Tests of the text report renderer."""
+
+from repro.harness.report import render_series, render_table
+from repro.harness.tables import CostRow, SpeedupRow
+
+
+def cost_row(**overrides):
+    base = dict(
+        design="3D 4-Channel", configuration="[(16x28), 16.(13x1)]x4",
+        area_mm2=0.454, frequency_ghz=2.19, energy_pj=44.1,
+        throughput_tbps=10.4, tsv_count=6144,
+        paper_area_mm2=0.451, paper_frequency_ghz=2.2,
+        paper_energy_pj=44.0, paper_throughput_tbps=10.65,
+        paper_tsv_count=6144,
+    )
+    base.update(overrides)
+    return CostRow(**base)
+
+
+class TestRenderTable:
+    def test_cost_rows_show_measured_and_paper(self):
+        text = render_table([cost_row()], "Table V")
+        assert "Table V" in text
+        assert "0.454" in text and "0.451" in text
+        assert "6144" in text
+        assert "parentheses" in text
+
+    def test_missing_paper_values_render_dash(self):
+        row = cost_row(
+            paper_area_mm2=None, paper_frequency_ghz=None,
+            paper_energy_pj=None, paper_throughput_tbps=None,
+            paper_tsv_count=None,
+        )
+        text = render_table([row], "T")
+        assert "( -)" in text or "(    -)" in text or "-" in text
+
+    def test_speedup_rows(self):
+        rows = [
+            SpeedupRow(mix="Mix8", avg_mpki=76.0, speedup=1.19,
+                       paper_avg_mpki=76.0, paper_speedup=1.15),
+        ]
+        text = render_table(rows, "Table VI")
+        assert "Mix8" in text and "1.19" in text and "1.15" in text
+
+    def test_mixed_precision_formatting(self):
+        text = render_table([cost_row(area_mm2=0.6718234)], "T")
+        assert "0.672" in text  # 3 significant digits
+
+
+class TestRenderSeries:
+    def test_multiple_series_blocks(self):
+        series = {"A": [(1, 2.0)], "B": [(3, 4.0), (5, 6.0)]}
+        text = render_series(series, "Fig X", ["x", "y"])
+        assert "[A]" in text and "[B]" in text
+        assert text.count("\n[") == 2
+
+    def test_wide_points(self):
+        series = {"S": [(0.05, 2.9, 3.1)]}
+        text = render_series(series, "Fig 10", ["load", "lat", "acc"])
+        assert "0.05" in text and "2.9" in text and "3.1" in text

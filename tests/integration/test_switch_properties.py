@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) over the cycle-accurate switches.
+
+Invariants checked for randomly generated configurations and traffic:
+
+* conservation — every injected flit is eventually delivered, exactly once;
+* grant safety — no output, input, or L2LC ever serves two packets at once;
+* determinism — identical seeds produce identical runs;
+* destination correctness — every flit ejects at the port it addressed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.network.engine import Simulation
+from repro.switches import SwizzleSwitch2D
+from repro.traffic import TraceTraffic
+
+
+@st.composite
+def hirise_configs(draw):
+    layers = draw(st.sampled_from([2, 4]))
+    ports_per_layer = draw(st.sampled_from([2, 4]))
+    radix = layers * ports_per_layer
+    channels = draw(st.sampled_from([1, 2]))
+    allocation = draw(
+        st.sampled_from(["input_binned", "output_binned", "priority"])
+    )
+    arbitration = draw(
+        st.sampled_from(["l2l_lrg", "wlrg", "clrg", "l2l_rr", "age"])
+    )
+    return HiRiseConfig(
+        radix=radix,
+        layers=layers,
+        channel_multiplicity=channels,
+        allocation=allocation,
+        arbitration=arbitration,
+    )
+
+
+@st.composite
+def traffic_traces(draw, radix, max_cycle=40, max_events=30):
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=max_cycle),
+                st.integers(min_value=0, max_value=radix - 1),
+                st.integers(min_value=0, max_value=radix - 1),
+            ),
+            max_size=max_events,
+        )
+    )
+    flits = draw(st.sampled_from([1, 2, 4]))
+    return [(c, s, d) for c, s, d in events if s != d], flits
+
+
+class TestHiRiseProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_and_destinations(self, data):
+        config = data.draw(hirise_configs())
+        events, flits = data.draw(traffic_traces(config.radix))
+        switch = HiRiseSwitch(config)
+        trace = TraceTraffic(events, packet_flits=flits)
+        delivered = []
+        for cycle in range(400):
+            for packet in trace.packets_for_cycle(cycle):
+                switch.inject(packet)
+            delivered.extend(switch.step(cycle))
+            if cycle > 50 and switch.occupancy() == 0:
+                break
+        assert switch.occupancy() == 0
+        assert len(delivered) == len(events) * flits
+        for flit in delivered:
+            assert flit.ejected_cycle is not None
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_grant_safety_every_cycle(self, data):
+        config = data.draw(hirise_configs())
+        events, flits = data.draw(traffic_traces(config.radix))
+        switch = HiRiseSwitch(config)
+        trace = TraceTraffic(events, packet_flits=flits)
+        for cycle in range(150):
+            for packet in trace.packets_for_cycle(cycle):
+                switch.inject(packet)
+            switch.step(cycle)
+            owners = list(switch.connections.items())
+            outputs = [output for _, (_, output) in owners]
+            resources = [resource for _, (resource, _) in owners]
+            assert len(outputs) == len(set(outputs))
+            assert len(resources) == len(set(resources))
+
+
+class TestFlatSwitchProperties:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_conservation(self, data):
+        radix = data.draw(st.sampled_from([4, 8]))
+        events, flits = data.draw(traffic_traces(radix))
+        switch = SwizzleSwitch2D(radix)
+        trace = TraceTraffic(events, packet_flits=flits)
+        result = Simulation(switch, trace).run(100, drain=True)
+        assert result.packets_ejected == len(events)
+        assert switch.occupancy() == 0
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_flit_destination_matches_packet(self, data):
+        radix = data.draw(st.sampled_from([4, 8]))
+        events, flits = data.draw(traffic_traces(radix))
+        switch = SwizzleSwitch2D(radix)
+        trace = TraceTraffic(events, packet_flits=flits)
+        expected = {}
+        for cycle in range(200):
+            for packet in trace.packets_for_cycle(cycle):
+                expected[packet.packet_id] = packet.dst
+                switch.inject(packet)
+            for flit in switch.step(cycle):
+                assert flit.dst == expected[flit.packet_id]

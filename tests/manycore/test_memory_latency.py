@@ -1,0 +1,90 @@
+"""Tests of the memory-latency instrumentation."""
+
+import pytest
+
+from repro.manycore import BenchmarkProfile, ManyCoreSystem, SystemConfig
+from repro.manycore.stats import MemoryLatencyTracker
+from repro.switches import SwizzleSwitch2D
+
+
+class TestTrackerUnit:
+    def test_lifecycle(self):
+        tracker = MemoryLatencyTracker()
+        tracker.issued(1, core_id=3, cycle=10)
+        assert tracker.in_flight == 1
+        tracker.went_to_dram(1)
+        tracker.replied(1, cycle=250)
+        assert tracker.in_flight == 0
+        [record] = tracker.completed
+        assert record.latency == 240
+        assert record.served_by_dram
+        assert tracker.dram_fraction() == 1.0
+
+    def test_duplicate_issue_rejected(self):
+        tracker = MemoryLatencyTracker()
+        tracker.issued(1, 0, 0)
+        with pytest.raises(ValueError):
+            tracker.issued(1, 0, 5)
+
+    def test_unknown_reply_ignored(self):
+        tracker = MemoryLatencyTracker()
+        tracker.replied(99, cycle=5)  # attached mid-run: no crash
+        assert tracker.completed == []
+
+    def test_filters(self):
+        tracker = MemoryLatencyTracker()
+        tracker.issued(1, core_id=0, cycle=0)
+        tracker.replied(1, cycle=10)
+        tracker.issued(2, core_id=1, cycle=0)
+        tracker.went_to_dram(2)
+        tracker.replied(2, cycle=200)
+        assert tracker.latencies(dram_only=False) == [10]
+        assert tracker.latencies(dram_only=True) == [200]
+        assert tracker.latencies(core_id=0) == [10]
+        assert tracker.dram_fraction() == 0.5
+
+    def test_breakdown_requires_data(self):
+        with pytest.raises(ValueError):
+            MemoryLatencyTracker().breakdown(0.5)
+
+
+def run_system(l1_mpki=30.0, l2_mpki=10.0, cycles=4000, freq=2.0):
+    profiles = [BenchmarkProfile("m", l1_mpki, l2_mpki)] * 8
+    config = SystemConfig(num_cores=8, num_memory_controllers=2, seed=2)
+    system = ManyCoreSystem(SwizzleSwitch2D(8), freq, profiles, config)
+    system.run(cycles)
+    return system
+
+
+class TestSystemIntegration:
+    def test_every_reply_tracked(self):
+        system = run_system()
+        tracker = system.memory_latency
+        replied = sum(core.replies_received for core in system.cores)
+        assert len(tracker.completed) == replied
+        assert tracker.in_flight == sum(
+            core.outstanding for core in system.cores
+        )
+
+    def test_dram_fraction_matches_profile(self):
+        system = run_system(l1_mpki=40.0, l2_mpki=14.0)
+        fraction = system.memory_latency.dram_fraction()
+        assert fraction == pytest.approx(14.0 / 40.0, abs=0.05)
+
+    def test_breakdown_magnitudes(self):
+        """L2 hits cost a few ns (network + 3 ns bank); DRAM requests add
+        the 80 ns access on top."""
+        system = run_system()
+        breakdown = system.memory_latency.breakdown(
+            system.network_cycle_ns
+        )
+        assert 2.0 < breakdown.l2_hit_mean_ns < 25.0
+        assert breakdown.dram_mean_ns > 80.0
+        assert breakdown.dram_mean_ns < 200.0
+        assert breakdown.l2_hit_mean_ns < breakdown.dram_mean_ns
+        assert breakdown.completed == len(system.memory_latency.completed)
+
+    def test_faster_network_cuts_hit_latency_in_ns(self):
+        slow = run_system(freq=1.0).memory_latency.breakdown(1.0)
+        fast = run_system(freq=2.5).memory_latency.breakdown(1 / 2.5)
+        assert fast.l2_hit_mean_ns < slow.l2_hit_mean_ns

@@ -1,0 +1,134 @@
+"""Tests of phased (time-varying) benchmark profiles."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import BENCHMARKS, BenchmarkProfile
+from repro.manycore.core import CoreParams, SyntheticCore
+from repro.manycore.phases import Phase, PhasedProfile, with_phases
+
+
+class TestPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Phase(instructions=0, l1_mpki=1.0, l2_mpki=0.5)
+        with pytest.raises(ValueError):
+            Phase(instructions=100, l1_mpki=1.0, l2_mpki=2.0)
+        with pytest.raises(ValueError):
+            Phase(instructions=100, l1_mpki=-1.0, l2_mpki=0.0)
+
+
+class TestPhasedProfile:
+    def profile(self):
+        return PhasedProfile(
+            "test",
+            (
+                Phase(instructions=1000, l1_mpki=100.0, l2_mpki=35.0),
+                Phase(instructions=3000, l1_mpki=4.0, l2_mpki=1.0),
+            ),
+        )
+
+    def test_instantaneous_rates_by_position(self):
+        profile = self.profile()
+        assert profile.l1_mpki_at(0) == 100.0
+        assert profile.l1_mpki_at(999) == 100.0
+        assert profile.l1_mpki_at(1000) == 4.0
+        assert profile.l1_mpki_at(3999) == 4.0
+        assert profile.l1_mpki_at(4000) == 100.0  # wraps around
+
+    def test_weighted_averages(self):
+        profile = self.profile()
+        assert profile.l1_mpki == pytest.approx((1000 * 100 + 3000 * 4) / 4000)
+        assert profile.l2_mpki == pytest.approx((1000 * 35 + 3000 * 1) / 4000)
+        assert profile.total_mpki == pytest.approx(
+            profile.l1_mpki + profile.l2_mpki
+        )
+
+    def test_l2_ratio_tracks_phase(self):
+        profile = self.profile()
+        assert profile.l2_ratio_at(0) == pytest.approx(0.35)
+        assert profile.l2_ratio_at(2000) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedProfile("empty", ())
+
+
+class TestWithPhases:
+    def test_average_preserved(self):
+        base = BENCHMARKS["milc"]
+        phased = with_phases(base, burst_ratio=4.0, duty_cycle=0.25)
+        assert phased.l1_mpki == pytest.approx(base.l1_mpki)
+        assert phased.l2_mpki == pytest.approx(base.l2_mpki)
+
+    def test_burst_is_burstier(self):
+        base = BENCHMARKS["milc"]
+        phased = with_phases(base, burst_ratio=4.0, duty_cycle=0.25)
+        burst, quiet = phased.phases
+        assert burst.l1_mpki == pytest.approx(4 * quiet.l1_mpki)
+        assert burst.l1_mpki > base.l1_mpki > quiet.l1_mpki
+
+    def test_validation(self):
+        base = BENCHMARKS["milc"]
+        with pytest.raises(ValueError):
+            with_phases(base, burst_ratio=0.5)
+        with pytest.raises(ValueError):
+            with_phases(base, duty_cycle=1.0)
+
+
+class TestCoreWithPhases:
+    def measured_mpki(self, profile, instructions=200_000):
+        core = SyntheticCore(0, profile, CoreParams(),
+                             np.random.default_rng(3))
+        misses = 0
+        while core.retired_instructions < instructions:
+            misses += core.advance(50.0)
+            while core.outstanding:
+                core.receive_reply()
+        return misses / core.retired_instructions * 1000
+
+    def test_average_rate_matches_profile(self):
+        profile = with_phases(
+            BenchmarkProfile("x", l1_mpki=30.0, l2_mpki=10.0),
+            period_instructions=5000.0,
+        )
+        assert self.measured_mpki(profile) == pytest.approx(30.0, rel=0.1)
+
+    def test_miss_stream_is_phase_modulated(self):
+        """Misses cluster in burst phases: per-window counts are far more
+        variable than for the equal-average constant profile."""
+        def fano_factor(profile):
+            core = SyntheticCore(0, profile, CoreParams(mshr_limit=64,
+                                                        miss_window=64),
+                                 np.random.default_rng(7))
+            counts = []
+            for _ in range(1500):
+                counts.append(core.advance(100.0))
+                while core.outstanding:
+                    core.receive_reply()
+            return np.var(counts) / np.mean(counts)
+
+        constant = BenchmarkProfile("c", l1_mpki=20.0, l2_mpki=7.0)
+        phased = with_phases(constant, burst_ratio=8.0, duty_cycle=0.125,
+                             period_instructions=4000.0)
+        # The constant stream is Poisson-like (Fano ~ 1); phase modulation
+        # makes it markedly over-dispersed.
+        assert fano_factor(constant) == pytest.approx(1.0, abs=0.25)
+        assert fano_factor(phased) > 1.8 * fano_factor(constant)
+
+    def test_zero_rate_phase_resumes(self):
+        profile = PhasedProfile(
+            "onoff",
+            (
+                Phase(instructions=1000, l1_mpki=0.0, l2_mpki=0.0),
+                Phase(instructions=1000, l1_mpki=50.0, l2_mpki=10.0),
+            ),
+        )
+        core = SyntheticCore(0, profile, CoreParams(),
+                             np.random.default_rng(5))
+        misses = 0
+        while core.retired_instructions < 10_000:
+            misses += core.advance(100.0)
+            while core.outstanding:
+                core.receive_reply()
+        assert misses > 0  # the memory-bound phases did fire

@@ -1,0 +1,123 @@
+"""Integration tests of the many-core system simulation."""
+
+import pytest
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.manycore import (
+    MIXES,
+    BenchmarkProfile,
+    ManyCoreSystem,
+    SystemConfig,
+    mix_core_assignment,
+    system_speedup,
+)
+from repro.manycore.core import CoreParams
+from repro.switches import SwizzleSwitch2D
+
+
+def small_system(profiles=None, cores=8, freq=2.0, seed=0):
+    config = SystemConfig(num_cores=cores, num_memory_controllers=2, seed=seed)
+    if profiles is None:
+        profiles = [
+            BenchmarkProfile("synthetic", l1_mpki=30.0, l2_mpki=10.0)
+        ] * cores
+    switch = SwizzleSwitch2D(cores)
+    return ManyCoreSystem(switch, freq, profiles, config)
+
+
+class TestConstruction:
+    def test_radix_must_match_cores(self):
+        with pytest.raises(ValueError):
+            ManyCoreSystem(
+                SwizzleSwitch2D(16), 2.0,
+                [BenchmarkProfile("x", 1.0, 0.5)] * 8,
+                SystemConfig(num_cores=8),
+            )
+
+    def test_profile_count_checked(self):
+        with pytest.raises(ValueError):
+            ManyCoreSystem(
+                SwizzleSwitch2D(8), 2.0,
+                [BenchmarkProfile("x", 1.0, 0.5)] * 4,
+                SystemConfig(num_cores=8, num_memory_controllers=2),
+            )
+
+
+class TestExecution:
+    def test_compute_bound_cores_run_at_full_ipc(self):
+        profiles = [BenchmarkProfile("cpu", 0.0, 0.0)] * 8
+        system = small_system(profiles)
+        result = system.run(2000)
+        for ipc in result.per_core_ipc():
+            assert ipc == pytest.approx(2.0, rel=0.01)  # 2-wide, never stalls
+
+    def test_memory_bound_cores_slow_down(self):
+        heavy = [BenchmarkProfile("mem", l1_mpki=100.0, l2_mpki=35.0)] * 8
+        system = small_system(heavy)
+        result = system.run(3000)
+        assert 0 < result.system_ipc < 1.0 * 8  # well below peak 2.0/core
+
+    def test_requests_are_conserved(self):
+        system = small_system()
+        system.run(3000)
+        issued = sum(core.misses_issued for core in system.cores)
+        replied = sum(core.replies_received for core in system.cores)
+        in_flight = sum(core.outstanding for core in system.cores)
+        assert issued == replied + in_flight
+        assert issued > 0
+
+    def test_l2_miss_traffic_reaches_memory_controllers(self):
+        system = small_system()
+        system.run(3000)
+        assert sum(mc.served for mc in system.mcs) > 0
+
+    def test_determinism(self):
+        a = small_system(seed=5).run(1500)
+        b = small_system(seed=5).run(1500)
+        assert a.retired_per_core == b.retired_per_core
+
+    def test_higher_mpki_lowers_ipc(self):
+        light = small_system(
+            [BenchmarkProfile("l", 5.0, 2.0)] * 8, seed=1
+        ).run(2500)
+        heavy = small_system(
+            [BenchmarkProfile("h", 120.0, 40.0)] * 8, seed=1
+        ).run(2500)
+        assert heavy.system_ipc < light.system_ipc
+
+    def test_faster_network_helps_memory_bound_cores(self):
+        heavy = [BenchmarkProfile("mem", 100.0, 35.0)] * 8
+        slow = small_system(heavy, freq=1.0, seed=2)
+        fast = small_system(heavy, freq=2.5, seed=2)
+        wall_ns = 2000.0
+        r_slow = slow.run(int(wall_ns * 1.0))
+        r_fast = fast.run(int(wall_ns * 2.5))
+        ipc_slow = r_slow.total_instructions / wall_ns
+        ipc_fast = r_fast.total_instructions / wall_ns
+        assert ipc_fast > ipc_slow * 1.02
+
+
+class TestSpeedup:
+    def test_hirise_beats_2d_on_heavy_mix(self):
+        """A memory-heavy mix must show a clear Hi-Rise advantage (the
+        Table VI trend), with the switches at their modelled clocks."""
+        speedup = system_speedup(
+            MIXES[7],  # Mix8, 76 MPKI
+            lambda: SwizzleSwitch2D(64),
+            lambda: HiRiseSwitch(HiRiseConfig()),
+            baseline_frequency_ghz=1.69,
+            candidate_frequency_ghz=2.2,
+            network_cycles_baseline=4000,
+        )
+        assert speedup > 1.05
+
+    def test_light_mix_speedup_is_modest(self):
+        speedup = system_speedup(
+            MIXES[0],  # Mix1, 15 MPKI
+            lambda: SwizzleSwitch2D(64),
+            lambda: HiRiseSwitch(HiRiseConfig()),
+            baseline_frequency_ghz=1.69,
+            candidate_frequency_ghz=2.2,
+            network_cycles_baseline=4000,
+        )
+        assert 0.98 < speedup < 1.06

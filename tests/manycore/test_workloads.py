@@ -1,0 +1,89 @@
+"""Tests of benchmark profiles and the Table VI workload mixes."""
+
+import pytest
+
+from repro.manycore import BENCHMARKS, MIXES, BenchmarkProfile, mix_core_assignment
+
+
+class TestProfiles:
+    def test_all_table6_benchmarks_present(self):
+        expected = {
+            "milc", "applu", "astar", "sjeng", "tonto", "hmmer", "sjas",
+            "gcc", "sjbb", "gromacs", "xalan", "libquantum", "barnes",
+            "tpcw", "povray", "swim", "leslie", "omnet", "art", "mcf",
+            "ocean", "lbm", "deal", "sap", "namd", "Gems", "soplex",
+        }
+        assert expected == set(BENCHMARKS)
+
+    def test_l2_never_exceeds_l1(self):
+        for profile in BENCHMARKS.values():
+            assert profile.l2_mpki <= profile.l1_mpki
+            assert 0 <= profile.l2_miss_ratio <= 1
+
+    def test_total_is_sum(self):
+        for profile in BENCHMARKS.values():
+            assert profile.total_mpki == pytest.approx(
+                profile.l1_mpki + profile.l2_mpki
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("bad", l1_mpki=1.0, l2_mpki=2.0)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("bad", l1_mpki=-1.0, l2_mpki=0.0)
+
+    def test_memory_intensity_ordering(self):
+        """mcf and Gems are the heavy hitters; sjeng/tonto are compute
+        bound — matching the qualitative SPEC characterisation."""
+        assert BENCHMARKS["mcf"].total_mpki > BENCHMARKS["milc"].total_mpki
+        assert BENCHMARKS["Gems"].total_mpki > BENCHMARKS["astar"].total_mpki
+        assert BENCHMARKS["sjeng"].total_mpki < 2
+        assert BENCHMARKS["tonto"].total_mpki < 2
+
+
+class TestMixes:
+    def test_eight_mixes(self):
+        assert [mix.name for mix in MIXES] == [f"Mix{i}" for i in range(1, 9)]
+
+    @pytest.mark.parametrize("mix", MIXES, ids=lambda m: m.name)
+    def test_avg_mpki_matches_table6(self, mix):
+        """The fitted benchmark MPKIs must reproduce the avg MPKI column."""
+        assert mix.avg_mpki == pytest.approx(mix.paper_avg_mpki, abs=0.15)
+
+    @pytest.mark.parametrize("mix", MIXES, ids=lambda m: m.name)
+    def test_instance_counts(self, mix):
+        # Published counts; Mix7 sums to 63 in the paper.
+        expected = 63 if mix.name == "Mix7" else 64
+        assert mix.total_instances == expected
+
+    def test_mpki_monotone_with_speedup_trend(self):
+        """Table VI orders mixes by MPKI; speedups broadly follow."""
+        mpkis = [mix.paper_avg_mpki for mix in MIXES]
+        assert mpkis == sorted(mpkis)
+        assert MIXES[-1].paper_speedup > MIXES[0].paper_speedup
+
+
+class TestAssignment:
+    def test_assignment_covers_all_instances(self):
+        profiles = mix_core_assignment(MIXES[0], 64, seed=3)
+        assert len(profiles) == 64
+        names = sorted(p.name for p in profiles)
+        expected = sorted(
+            name for name, count in MIXES[0].entries for _ in range(count)
+        )
+        assert names == expected
+
+    def test_mix7_pads_with_idle_core(self):
+        profiles = mix_core_assignment(MIXES[6], 64, seed=0)
+        assert sum(1 for p in profiles if p.name == "idle") == 1
+
+    def test_assignment_is_seeded_shuffle(self):
+        a = mix_core_assignment(MIXES[1], 64, seed=7)
+        b = mix_core_assignment(MIXES[1], 64, seed=7)
+        c = mix_core_assignment(MIXES[1], 64, seed=8)
+        assert [p.name for p in a] == [p.name for p in b]
+        assert [p.name for p in a] != [p.name for p in c]
+
+    def test_too_many_instances_rejected(self):
+        with pytest.raises(ValueError):
+            mix_core_assignment(MIXES[0], 32)

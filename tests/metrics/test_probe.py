@@ -1,0 +1,75 @@
+"""Tests of the utilization probe."""
+
+import pytest
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.metrics import ProbedSwitch
+from repro.network.engine import Simulation
+from repro.switches import SwizzleSwitch2D
+from repro.traffic import TraceTraffic, UniformRandomTraffic
+
+
+def run(probe, traffic, cycles):
+    sim = Simulation(probe, traffic, warmup_cycles=0)
+    return sim.run(cycles, drain=False)
+
+
+class TestProbeDelegation:
+    def test_transparent_to_simulation_results(self):
+        bare = SwizzleSwitch2D(8)
+        probed = ProbedSwitch(SwizzleSwitch2D(8))
+        t1 = UniformRandomTraffic(8, 0.2, seed=9)
+        t2 = UniformRandomTraffic(8, 0.2, seed=9)
+        r_bare = Simulation(bare, t1).run(500)
+        r_probed = Simulation(probed, t2).run(500)
+        assert r_bare.packets_ejected == r_probed.packets_ejected
+        assert r_bare.packet_latencies == r_probed.packet_latencies
+
+    def test_occupancy_delegates(self):
+        probe = ProbedSwitch(SwizzleSwitch2D(4))
+        probe.inject(TraceTraffic([(0, 0, 1)]).factory.create(0, 1, 0))
+        assert probe.occupancy() == probe.switch.occupancy() == 4
+
+
+class TestMeasurements:
+    def test_empty_probe_reports_zero(self):
+        probe = ProbedSwitch(SwizzleSwitch2D(4))
+        assert probe.output_utilization(0) == 0.0
+        assert probe.delivered_flit_rate() == 0.0
+        assert probe.mean_channel_utilization() == 0.0
+
+    def test_single_flow_output_utilization(self):
+        """A back-to-back flow keeps its output busy ~4/5 of cycles (four
+        data cycles plus one arbitration cycle per packet)."""
+        probe = ProbedSwitch(SwizzleSwitch2D(8))
+        events = [(c, 0, 5) for c in range(0, 400, 2)]
+        run(probe, TraceTraffic(events), 400)
+        assert probe.output_utilization(5) == pytest.approx(0.8, abs=0.05)
+        assert probe.output_utilization(3) == 0.0
+        assert probe.delivered_flit_rate(5) == pytest.approx(0.8, abs=0.05)
+
+    def test_channel_utilization_on_hirise(self):
+        config = HiRiseConfig(radix=8, layers=2, channel_multiplicity=1)
+        probe = ProbedSwitch(HiRiseSwitch(config))
+        # Cross-layer flow: local input 0 on layer 0 -> output on layer 1.
+        events = [(c, 0, 5) for c in range(0, 400, 2)]
+        run(probe, TraceTraffic(events), 400)
+        utilizations = probe.channel_utilizations()
+        assert ("ch", 0, 1, 0) in utilizations
+        assert utilizations[("ch", 0, 1, 0)] == pytest.approx(0.8, abs=0.05)
+        assert probe.mean_channel_utilization() > 0.0
+
+    def test_utilizations_bounded(self):
+        config = HiRiseConfig(radix=16, layers=4, channel_multiplicity=2)
+        probe = ProbedSwitch(HiRiseSwitch(config))
+        run(probe, UniformRandomTraffic(16, 0.5, seed=2), 500)
+        for value in probe.channel_utilizations().values():
+            assert 0.0 <= value <= 1.0
+        for output in range(16):
+            assert 0.0 <= probe.output_utilization(output) <= 1.0
+
+    def test_flat_switch_has_no_channels(self):
+        probe = ProbedSwitch(SwizzleSwitch2D(8))
+        run(probe, UniformRandomTraffic(8, 0.3, seed=1), 300)
+        assert probe.channel_utilizations() == {}
+        assert probe.mean_channel_utilization() == 0.0

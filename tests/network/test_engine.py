@@ -1,0 +1,72 @@
+"""Tests of the simulation engine and result accounting."""
+
+import math
+
+import pytest
+
+from repro.network.engine import Simulation, SimulationResult
+from repro.switches import SwizzleSwitch2D
+from repro.traffic import TraceTraffic, UniformRandomTraffic
+
+
+class TestSimulationResult:
+    def test_empty_result_semantics(self):
+        result = SimulationResult()
+        assert result.throughput_packets_per_cycle == 0.0
+        assert math.isnan(result.avg_latency_cycles)
+
+    def test_per_input_helpers(self):
+        result = SimulationResult(
+            cycles=10,
+            per_input_ejected={0: 5, 1: 0},
+            per_input_latency_sum={0: 50},
+        )
+        throughput = result.per_input_throughput(2)
+        assert throughput == [0.5, 0.0]
+        latency = result.per_input_avg_latency(2)
+        assert latency[0] == 10.0
+        assert math.isnan(latency[1])
+
+
+class TestSimulationLoop:
+    def test_trace_delivery_and_conservation(self):
+        switch = SwizzleSwitch2D(4)
+        trace = TraceTraffic([(0, 0, 1), (0, 2, 3), (5, 1, 2)], packet_flits=2)
+        sim = Simulation(switch, trace)
+        result = sim.run(measure_cycles=30, drain=True)
+        assert result.packets_injected == 3
+        assert result.packets_ejected == 3
+        assert result.flits_ejected == 6
+        assert switch.occupancy() == 0
+
+    def test_zero_load_latency_is_packet_length(self):
+        # One isolated 4-flit packet: granted the cycle it arrives, flits
+        # eject over the next 4 cycles -> latency 4 cycles.
+        switch = SwizzleSwitch2D(4)
+        trace = TraceTraffic([(0, 0, 1)], packet_flits=4)
+        result = Simulation(switch, trace).run(20, drain=True)
+        assert result.packet_latencies == [4]
+
+    def test_warmup_not_measured(self):
+        switch = SwizzleSwitch2D(8)
+        traffic = UniformRandomTraffic(8, load=0.05, seed=3)
+        sim = Simulation(switch, traffic, warmup_cycles=100)
+        result = sim.run(measure_cycles=0)
+        assert result.cycles == 0
+        assert result.packets_ejected == 0
+        assert sim.cycle == 100
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError):
+            Simulation(SwizzleSwitch2D(4), TraceTraffic([]), warmup_cycles=-1)
+
+    def test_injected_counted_in_window_only(self):
+        switch = SwizzleSwitch2D(4)
+        trace = TraceTraffic([(0, 0, 1), (50, 2, 3)], packet_flits=1)
+        sim = Simulation(switch, trace, warmup_cycles=10)
+        result = sim.run(measure_cycles=100, drain=True)
+        # Packet at cycle 0 falls in warm-up: not counted as injected, but
+        # its delivery happens before the window so it is not ejected
+        # either; the cycle-50 packet is fully measured.
+        assert result.packets_injected == 1
+        assert result.packets_ejected == 1

@@ -1,0 +1,69 @@
+"""Unit tests for the flit/packet data model."""
+
+import pytest
+
+from repro.network.flit import Flit
+from repro.network.packet import Packet, PacketFactory
+
+
+class TestFlit:
+    def test_head_and_tail_flags(self):
+        head = Flit(packet_id=1, src=0, dst=5, seq=0, num_flits=4)
+        body = Flit(packet_id=1, src=0, dst=5, seq=2, num_flits=4)
+        tail = Flit(packet_id=1, src=0, dst=5, seq=3, num_flits=4)
+        assert head.is_head and not head.is_tail
+        assert not body.is_head and not body.is_tail
+        assert tail.is_tail and not tail.is_head
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        flit = Flit(packet_id=1, src=0, dst=5, seq=0, num_flits=1)
+        assert flit.is_head and flit.is_tail
+
+
+class TestPacket:
+    def test_to_flits_order_and_identity(self):
+        packet = Packet(packet_id=7, src=3, dst=9, num_flits=4, created_cycle=11)
+        flits = packet.to_flits()
+        assert len(flits) == 4
+        assert [f.seq for f in flits] == [0, 1, 2, 3]
+        assert all(f.packet_id == 7 for f in flits)
+        assert all(f.src == 3 and f.dst == 9 for f in flits)
+        assert all(f.created_cycle == 11 for f in flits)
+        assert flits[0].is_head and flits[-1].is_tail
+
+    def test_payload_travels_on_head_only(self):
+        packet = Packet(packet_id=1, src=0, dst=1, num_flits=3, payload="req")
+        flits = packet.to_flits()
+        assert flits[0].payload == "req"
+        assert flits[1].payload is None and flits[2].payload is None
+
+    def test_latency_requires_ejection(self):
+        packet = Packet(packet_id=1, src=0, dst=1, created_cycle=5)
+        with pytest.raises(ValueError):
+            _ = packet.latency
+        packet.ejected_cycle = 25
+        assert packet.latency == 20
+
+    def test_rejects_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Packet(packet_id=1, src=0, dst=1, num_flits=0)
+        with pytest.raises(ValueError):
+            Packet(packet_id=1, src=-1, dst=1)
+
+
+class TestPacketFactory:
+    def test_ids_are_unique_and_monotonic(self):
+        factory = PacketFactory()
+        packets = [factory.create(0, 1, created_cycle=i) for i in range(10)]
+        ids = [p.packet_id for p in packets]
+        assert ids == sorted(set(ids))
+        assert factory.packets_created == 10
+
+    def test_default_and_override_flit_count(self):
+        factory = PacketFactory(num_flits=4)
+        assert factory.create(0, 1, 0).num_flits == 4
+        assert factory.create(0, 1, 0, num_flits=1).num_flits == 1
+
+    def test_rejects_zero_flits(self):
+        with pytest.raises(ValueError):
+            PacketFactory(num_flits=0)

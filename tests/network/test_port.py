@@ -1,0 +1,151 @@
+"""Unit tests for input ports (refill, candidate selection, connections)."""
+
+import pytest
+
+from repro.network.packet import Packet
+from repro.network.port import InputPort, PortConfig
+
+
+def make_packet(pid, dst, num_flits=4, src=0):
+    return Packet(packet_id=pid, src=src, dst=dst, num_flits=num_flits)
+
+
+class TestPortConfig:
+    def test_defaults_match_paper(self):
+        config = PortConfig()
+        assert config.num_vcs == 4
+        assert config.vc_depth == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PortConfig(num_vcs=0)
+        with pytest.raises(ValueError):
+            PortConfig(vc_depth=0)
+
+
+class TestRefill:
+    def test_one_flit_per_cycle(self):
+        port = InputPort(0)
+        port.enqueue_packet(make_packet(1, dst=3))
+        assert len(port.source_queue) == 4
+        port.refill(cycle=0)
+        assert len(port.source_queue) == 3
+        assert port.buffered_flits() == 1
+
+    def test_head_goes_to_free_vc_body_follows(self):
+        port = InputPort(0, PortConfig(num_vcs=2, vc_depth=4))
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=2))
+        port.refill(0)
+        port.refill(1)
+        assert port.vcs[0].owner_packet == 1
+        assert len(port.vcs[0]) == 2
+        assert len(port.vcs[1]) == 0
+
+    def test_second_packet_takes_second_vc(self):
+        port = InputPort(0, PortConfig(num_vcs=2, vc_depth=1))
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=1))
+        port.enqueue_packet(make_packet(2, dst=5, num_flits=1))
+        port.refill(0)
+        port.refill(1)
+        assert port.vcs[0].owner_packet == 1
+        assert port.vcs[1].owner_packet == 2
+
+    def test_stalls_when_no_vc_available(self):
+        port = InputPort(0, PortConfig(num_vcs=1, vc_depth=1))
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=2))
+        port.refill(0)  # head occupies the only slot
+        port.refill(1)  # body cannot enter (vc full)
+        assert port.buffered_flits() == 1
+        assert len(port.source_queue) == 1
+
+    def test_records_injection_cycle(self):
+        port = InputPort(0)
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=1))
+        port.refill(17)
+        assert port.vcs[0].front().injected_cycle == 17
+
+
+class TestCandidateSelection:
+    def test_candidate_is_head_flit_vc(self):
+        port = InputPort(0)
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=1))
+        port.refill(0)
+        vc = port.candidate_vc()
+        assert vc == 0
+        assert port.requested_output() == 3
+
+    def test_no_candidate_when_empty_or_busy(self):
+        port = InputPort(0)
+        assert port.candidate_vc() is None
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=2))
+        port.refill(0)
+        port.grant(0)
+        assert port.is_busy
+        assert port.candidate_vc() is None
+
+    def test_viability_filter_skips_blocked_vc(self):
+        port = InputPort(0, PortConfig(num_vcs=2, vc_depth=4))
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=1))
+        port.enqueue_packet(make_packet(2, dst=5, num_flits=1))
+        port.refill(0)
+        port.refill(1)
+        # Output 3 busy: the filter must route the request to packet 2.
+        vc = port.candidate_vc(viable=lambda f: f.dst != 3)
+        assert vc == 1
+        assert port.vcs[vc].front().dst == 5
+
+    def test_round_robin_rotates_after_grant(self):
+        port = InputPort(0, PortConfig(num_vcs=2, vc_depth=4))
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=1))
+        port.enqueue_packet(make_packet(2, dst=5, num_flits=1))
+        port.refill(0)
+        port.refill(1)
+        assert port.candidate_vc() == 0
+        port.grant(0)
+        port.transmit()  # completes packet 1 (single flit)
+        assert port.candidate_vc() == 1
+
+
+class TestConnection:
+    def test_transmit_streams_and_releases_on_tail(self):
+        port = InputPort(0)
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=2))
+        port.refill(0)
+        port.refill(1)
+        port.grant(0)
+        assert port.is_busy
+        first = port.transmit()
+        assert first.is_head and port.is_busy
+        second = port.transmit()
+        assert second.is_tail and not port.is_busy
+
+    def test_grant_while_busy_raises(self):
+        port = InputPort(0)
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=2))
+        port.refill(0)
+        port.grant(0)
+        with pytest.raises(RuntimeError):
+            port.grant(0)
+
+    def test_transmit_without_connection_raises(self):
+        with pytest.raises(RuntimeError):
+            InputPort(0).transmit()
+
+    def test_active_has_flit_tracks_buffer(self):
+        port = InputPort(0)
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=2))
+        port.refill(0)
+        port.grant(0)
+        assert port.active_has_flit()
+        port.transmit()
+        assert not port.active_has_flit()  # body not refilled yet
+        port.refill(1)
+        assert port.active_has_flit()
+
+    def test_occupancy_accounting(self):
+        port = InputPort(0)
+        port.enqueue_packet(make_packet(1, dst=3, num_flits=4))
+        assert port.total_occupancy() == 4
+        port.refill(0)
+        assert port.total_occupancy() == 4
+        assert port.buffered_flits() == 1

@@ -1,0 +1,81 @@
+"""Unit tests for virtual channel buffers."""
+
+import pytest
+
+from repro.network.packet import Packet
+from repro.network.vc import VirtualChannel
+
+
+def flits_of(packet_id, num_flits, src=0, dst=1):
+    return Packet(packet_id=packet_id, src=src, dst=dst, num_flits=num_flits).to_flits()
+
+
+class TestVirtualChannel:
+    def test_allocation_on_head_release_on_tail(self):
+        vc = VirtualChannel(depth=4)
+        assert vc.is_free
+        flits = flits_of(1, 3)
+        for f in flits:
+            vc.push(f)
+        assert vc.owner_packet == 1
+        vc.pop()
+        vc.pop()
+        assert vc.owner_packet == 1  # tail still inside
+        tail = vc.pop()
+        assert tail.is_tail
+        assert vc.is_free
+
+    def test_rejects_foreign_body_flit(self):
+        vc = VirtualChannel(depth=4)
+        vc.push(flits_of(1, 2)[0])
+        foreign = flits_of(2, 2)[1]
+        assert not vc.can_accept(foreign)
+        with pytest.raises(RuntimeError):
+            vc.push(foreign)
+
+    def test_rejects_head_when_occupied(self):
+        vc = VirtualChannel(depth=4)
+        vc.push(flits_of(1, 2)[0])
+        other_head = flits_of(2, 2)[0]
+        assert not vc.can_accept(other_head)
+
+    def test_depth_limit(self):
+        vc = VirtualChannel(depth=2)
+        flits = flits_of(1, 4)
+        vc.push(flits[0])
+        vc.push(flits[1])
+        assert not vc.has_space
+        assert not vc.can_accept(flits[2])
+
+    def test_fifo_order(self):
+        vc = VirtualChannel(depth=4)
+        flits = flits_of(1, 4)
+        for f in flits:
+            vc.push(f)
+        assert [vc.pop().seq for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_next_packet_reuses_freed_vc(self):
+        vc = VirtualChannel(depth=2)
+        first = flits_of(1, 1)[0]
+        vc.push(first)
+        vc.pop()
+        second = flits_of(2, 1)[0]
+        assert vc.can_accept(second)
+        vc.push(second)
+        assert vc.owner_packet == 2
+
+    def test_front_and_len(self):
+        vc = VirtualChannel(depth=4)
+        assert vc.front() is None
+        flits = flits_of(1, 2)
+        vc.push(flits[0])
+        assert vc.front() is flits[0]
+        assert len(vc) == 1
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            VirtualChannel(depth=0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            VirtualChannel().pop()

@@ -1,0 +1,61 @@
+"""Tests of the fabric-level comparison models."""
+
+import pytest
+
+from repro.physical.fabric import (
+    FabricCost,
+    flattened_butterfly_cost,
+    mesh_fabric_cost,
+    single_switch_cost,
+)
+
+
+class TestMeshFabric:
+    def test_classic_mesh_hop_count(self):
+        fabric = mesh_fabric_cost(64, concentration=1)
+        assert fabric.avg_hops == pytest.approx(16 / 3)
+
+    def test_concentration_cuts_hops(self):
+        classic = mesh_fabric_cost(64, concentration=1)
+        concentrated = mesh_fabric_cost(64, concentration=4)
+        assert concentrated.avg_hops < classic.avg_hops
+        assert concentrated.energy_pj < classic.energy_pj
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mesh_fabric_cost(60, concentration=1)  # not a square
+        with pytest.raises(ValueError):
+            mesh_fabric_cost(64, concentration=3)  # doesn't divide
+
+
+class TestFlattenedButterfly:
+    def test_two_hop_diameter(self):
+        fabric = flattened_butterfly_cost(64, concentration=4)
+        assert fabric.avg_hops < 2.0
+        assert fabric.avg_hops > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flattened_butterfly_cost(60, concentration=4)
+
+
+class TestSingleSwitch:
+    def test_wraps_design_point(self):
+        fabric = single_switch_cost(44.0, 2.2)
+        assert fabric.energy_pj == 44.0
+        assert fabric.latency_ns == pytest.approx(4 / 2.2)
+        assert fabric.avg_hops == 0.0
+
+
+class TestSectionVIEStory:
+    def test_energy_ordering(self):
+        """Single high-radix switches beat multi-hop fabrics on transport
+        energy, FB beats mesh — the Section VI-E ordering."""
+        mesh = mesh_fabric_cost(64, concentration=1)
+        butterfly = flattened_butterfly_cost(64, concentration=4)
+        flat = single_switch_cost(71.0, 1.69)
+        hirise = single_switch_cost(44.1, 2.2)
+        assert (
+            hirise.energy_pj < flat.energy_pj
+            < butterfly.energy_pj < mesh.energy_pj
+        )

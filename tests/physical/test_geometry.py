@@ -1,0 +1,100 @@
+"""Tests of the structural geometry derivations."""
+
+import pytest
+
+from repro.core import HiRiseConfig
+from repro.physical.geometry import (
+    flat2d_geometry,
+    folded3d_geometry,
+    hirise_geometry,
+    hirise_sweep_geometry,
+)
+
+
+class TestFlat2D:
+    def test_spans_and_crosspoints(self):
+        g = flat2d_geometry(64)
+        assert g.stages == ((64, 64),)
+        assert g.span_linear == 128
+        assert g.crosspoints == 4096
+        assert g.tsv_count(128) == 0
+        assert g.layers == 1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            flat2d_geometry(1)
+
+
+class TestFolded:
+    def test_electrical_span_unchanged_by_folding(self):
+        g = folded3d_geometry(64, 4)
+        assert g.stages == ((64, 64),)
+        assert g.crosspoints == 4096
+
+    def test_tsv_count_matches_table1(self):
+        """Table I: the folded 64-radix, 128-bit switch needs 8192 TSVs."""
+        assert folded3d_geometry(64, 4).tsv_count(128) == 8192
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            folded3d_geometry(64, 1)
+        with pytest.raises(ValueError):
+            folded3d_geometry(63, 4)
+
+
+class TestHiRise:
+    @pytest.mark.parametrize(
+        "c,local,sub,tsvs",
+        [
+            (4, (16, 28), 13, 6144),
+            (2, (16, 22), 7, 3072),
+            (1, (16, 19), 4, 1536),
+        ],
+    )
+    def test_table4_configurations(self, c, local, sub, tsvs):
+        config = HiRiseConfig(channel_multiplicity=c)
+        g = hirise_geometry(config)
+        assert g.stages[0] == local
+        assert g.stages[1] == (sub, 1)
+        assert g.tsv_count(128) == tsvs
+
+    def test_crosspoints_much_leaner_than_folded(self):
+        """The hierarchical datapath needs far fewer cross-points than the
+        folded baseline's full 64x64 grid (Section II-B)."""
+        hirise = hirise_geometry(HiRiseConfig(channel_multiplicity=4))
+        folded = folded3d_geometry(64, 4)
+        assert hirise.crosspoints < 0.7 * folded.crosspoints
+
+    def test_two_stages_on_critical_path(self):
+        g = hirise_geometry(HiRiseConfig())
+        assert g.num_stages == 2
+
+    def test_priority_allocation_flagged(self):
+        g = hirise_geometry(HiRiseConfig(allocation="priority"))
+        assert g.priority_mux_channels == 4
+        g = hirise_geometry(HiRiseConfig(allocation="input_binned"))
+        assert g.priority_mux_channels == 0
+
+
+class TestSweepGeometry:
+    def test_matches_exact_geometry_when_divisible(self):
+        exact = hirise_geometry(
+            HiRiseConfig(radix=64, layers=4, channel_multiplicity=4,
+                         arbitration="l2l_lrg")
+        )
+        sweep = hirise_sweep_geometry(64, 4, 4)
+        assert sweep.stages == exact.stages
+        assert sweep.crosspoints == exact.crosspoints
+        assert sweep.tsv_count(128) == exact.tsv_count(128)
+
+    def test_uneven_split_uses_ceiling(self):
+        g = hirise_sweep_geometry(64, 3, 4)
+        assert g.stages[0][0] == 22  # ceil(64/3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hirise_sweep_geometry(64, 1, 4)
+        with pytest.raises(ValueError):
+            hirise_sweep_geometry(2, 4, 4)
+        with pytest.raises(ValueError):
+            hirise_sweep_geometry(64, 4, 0)

@@ -1,0 +1,75 @@
+"""Tests of the power estimation model."""
+
+import pytest
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.network.engine import Simulation, SimulationResult
+from repro.physical.power import PowerEstimate, average_power
+from repro.switches import SwizzleSwitch2D
+from repro.traffic import UniformRandomTraffic
+
+
+def run_design(design, factory, load, cycles=1500):
+    traffic = UniformRandomTraffic(64, load, seed=5)
+    sim = Simulation(factory(), traffic, warmup_cycles=200)
+    return sim.run(cycles)
+
+
+class TestAveragePower:
+    def test_requires_measured_cycles(self):
+        with pytest.raises(ValueError):
+            average_power(SimulationResult(), "2d")
+
+    def test_dynamic_power_scales_with_load(self):
+        low = run_design("2d", lambda: SwizzleSwitch2D(64), load=0.02)
+        high = run_design("2d", lambda: SwizzleSwitch2D(64), load=0.10)
+        p_low = average_power(low, "2d")
+        p_high = average_power(high, "2d")
+        assert p_high.dynamic_w > 3 * p_low.dynamic_w
+        assert p_high.leakage_w == pytest.approx(p_low.leakage_w)
+
+    def test_saturated_2d_power_magnitude(self):
+        """At saturation the 2D switch moves ~0.64 flits/cycle/port x 64
+        ports x 1.69 GHz x 71 pJ ~ 4.9 W — the multi-watt range expected
+        of a 10 Tbps-class fabric."""
+        result = run_design("2d", lambda: SwizzleSwitch2D(64), load=0.99)
+        estimate = average_power(result, "2d")
+        assert 3.0 < estimate.dynamic_w < 7.0
+
+    def test_hirise_beats_2d_power_at_matched_bandwidth(self):
+        """Section VI-E: Hi-Rise improves the 2D switch's power by ~38% —
+        a pure energy-per-transaction effect once the offered traffic is
+        matched in packets/ns (the same workload on both fabrics)."""
+        from repro.physical import cost_of
+
+        config = HiRiseConfig()
+        load_per_ns = 0.15  # packets/input/ns, below both saturations
+        f2d = cost_of("2d").frequency_ghz
+        f3d = cost_of(config).frequency_ghz
+        r2d = run_design("2d", lambda: SwizzleSwitch2D(64),
+                         load=load_per_ns / f2d)
+        r3d = run_design(config, lambda: HiRiseSwitch(config),
+                         load=load_per_ns / f3d)
+        p2d = average_power(r2d, "2d")
+        p3d = average_power(r3d, config)
+        ratio = p3d.dynamic_w / p2d.dynamic_w
+        assert ratio == pytest.approx(44.0 / 71.0, abs=0.08)
+
+    def test_energy_per_bit(self):
+        estimate = PowerEstimate(
+            dynamic_w=1.28, leakage_w=0.0, transactions_per_second=1e10
+        )
+        # 1.28 W / 1e10 trans/s = 128 pJ/transaction = 1 pJ/bit at 128 b.
+        assert estimate.energy_per_bit_pj() == pytest.approx(1.0)
+
+    def test_idle_energy_per_bit_is_infinite(self):
+        estimate = PowerEstimate(
+            dynamic_w=0.0, leakage_w=0.1, transactions_per_second=0.0
+        )
+        assert estimate.energy_per_bit_pj() == float("inf")
+
+    def test_total_includes_leakage(self):
+        estimate = PowerEstimate(
+            dynamic_w=1.0, leakage_w=0.02, transactions_per_second=1e9
+        )
+        assert estimate.total_w == pytest.approx(1.02)

@@ -1,0 +1,157 @@
+"""The physical model must reproduce the paper's scaling *trends*.
+
+These tests assert the qualitative claims of Section VI-A and VI-C: where
+curves cross, where optima sit, and which direction sensitivities point —
+the content of Figs 9(a), 9(b), 9(c) and 12.
+"""
+
+import pytest
+
+from repro.core import HiRiseConfig
+from repro.physical import (
+    cost_of,
+    energy_per_transaction_pj,
+    flat2d_geometry,
+    frequency_ghz,
+    hirise_geometry,
+)
+from repro.physical.geometry import hirise_sweep_geometry
+from repro.physical.technology import Technology
+
+
+def hirise_freq(radix, layers=4, channels=4):
+    return frequency_ghz(hirise_sweep_geometry(radix, layers, channels))
+
+
+class TestFig9aFrequencyVsRadix:
+    def test_2d_faster_at_low_radix(self):
+        """The hierarchical overhead makes 3D slower below ~radix 32."""
+        for radix in (8, 16, 32):
+            assert frequency_ghz(flat2d_geometry(radix)) > hirise_freq(radix)
+
+    def test_3d_faster_beyond_crossover(self):
+        for radix in (48, 64, 96, 128):
+            assert hirise_freq(radix) > frequency_ghz(flat2d_geometry(radix))
+
+    def test_gap_widens_with_radix(self):
+        gap_64 = hirise_freq(64) - frequency_ghz(flat2d_geometry(64))
+        gap_128 = hirise_freq(128) - frequency_ghz(flat2d_geometry(128))
+        assert gap_128 > gap_64
+
+    def test_channel_multiplicity_converges_at_high_radix(self):
+        """Fig 9a: the 1/2/4-channel curves converge as radix grows."""
+        ratio_small = hirise_freq(16, channels=1) / hirise_freq(16, channels=4)
+        ratio_large = hirise_freq(128, channels=1) / hirise_freq(128, channels=4)
+        assert ratio_large < ratio_small
+
+    def test_scalability_extends_to_radix_96(self):
+        """Intro claim: Hi-Rise reaches radix 96 at the 2D switch's
+        radix-64 operating frequency."""
+        assert hirise_freq(96) >= frequency_ghz(flat2d_geometry(64))
+
+
+class TestFig9bFrequencyVsLayers:
+    def test_radix64_optimum_is_3_to_5_layers(self):
+        freqs = {layers: hirise_freq(64, layers=layers) for layers in range(2, 8)}
+        best = max(freqs, key=freqs.get)
+        assert best in (3, 4, 5)
+
+    def test_optimum_shifts_up_with_radix(self):
+        def best_layers(radix):
+            freqs = {
+                layers: hirise_freq(radix, layers=layers)
+                for layers in range(2, 9)
+            }
+            return max(freqs, key=freqs.get)
+
+        assert best_layers(48) <= best_layers(128)
+
+    def test_curve_falls_off_on_both_sides(self):
+        freqs = [hirise_freq(64, layers=layers) for layers in range(2, 9)]
+        peak = freqs.index(max(freqs))
+        assert freqs[0] < freqs[peak]
+        assert freqs[-1] < freqs[peak]
+
+
+class TestFig9cEnergyVsRadix:
+    def test_3d_energy_slope_is_gentler(self):
+        def energies(builder):
+            return [builder(radix) for radix in (32, 64, 128)]
+
+        e2d = energies(lambda r: energy_per_transaction_pj(flat2d_geometry(r)))
+        e3d = energies(
+            lambda r: energy_per_transaction_pj(hirise_sweep_geometry(r, 4, 4))
+        )
+        slope_2d = e2d[-1] - e2d[0]
+        slope_3d = e3d[-1] - e3d[0]
+        assert slope_3d < slope_2d / 3
+
+    def test_iso_energy_radix_is_much_higher_for_3d(self):
+        """Fig 9c: for the 2D switch's radix-64 energy, 3D affords a
+        significantly higher radix."""
+        e2d_64 = energy_per_transaction_pj(flat2d_geometry(64))
+        e3d_128 = energy_per_transaction_pj(hirise_sweep_geometry(128, 4, 4))
+        assert e3d_128 < e2d_64
+
+
+class TestFig12TsvPitch:
+    def test_area_grows_and_frequency_falls_with_pitch(self):
+        config = HiRiseConfig()
+        costs = [
+            cost_of(config, technology=Technology().with_tsv_pitch(pitch))
+            for pitch in (0.8, 1.6, 3.2, 4.8)
+        ]
+        areas = [c.area_mm2 for c in costs]
+        freqs = [c.frequency_ghz for c in costs]
+        assert areas == sorted(areas)
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_25_percent_pitch_increase_is_small(self):
+        """Section VI-C: +25% pitch costs only ~1.7% area, ~1.8% freq."""
+        config = HiRiseConfig()
+        base = cost_of(config)
+        bumped = cost_of(config, technology=Technology().with_tsv_pitch(1.0))
+        area_increase = bumped.area_mm2 / base.area_mm2 - 1
+        freq_drop = 1 - bumped.frequency_ghz / base.frequency_ghz
+        assert 0 < area_increase < 0.05
+        assert 0 < freq_drop < 0.05
+
+    def test_2d_insensitive_to_tsv_pitch(self):
+        base = cost_of("2d")
+        bumped = cost_of("2d", technology=Technology().with_tsv_pitch(4.0))
+        assert bumped.area_mm2 == pytest.approx(base.area_mm2)
+        assert bumped.frequency_ghz == pytest.approx(base.frequency_ghz)
+
+
+class TestScalingSanity:
+    def test_area_monotone_in_radix(self):
+        areas = [cost_of("2d", radix=r).area_mm2 for r in (16, 32, 64, 128)]
+        assert areas == sorted(areas)
+
+    def test_priority_allocation_pays_delay(self):
+        binned = cost_of(HiRiseConfig(allocation="input_binned"))
+        priority = cost_of(HiRiseConfig(allocation="priority"))
+        assert priority.frequency_ghz < binned.frequency_ghz
+
+    def test_wider_flit_costs_area_and_energy(self):
+        narrow = Technology()
+        wide = Technology(flit_bits=256)
+        config = HiRiseConfig()
+        assert (
+            cost_of(config, technology=wide).area_mm2
+            > cost_of(config, technology=narrow).area_mm2
+        )
+        assert (
+            cost_of(config, technology=wide).energy_pj
+            > cost_of(config, technology=narrow).energy_pj
+        )
+
+    def test_voltage_scaling_quadratic(self):
+        low = Technology(voltage_v=0.5)
+        base = Technology()
+        config = HiRiseConfig()
+        ratio = (
+            cost_of(config, technology=low).energy_pj
+            / cost_of(config, technology=base).energy_pj
+        )
+        assert ratio == pytest.approx(0.25)

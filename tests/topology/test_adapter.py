@@ -1,0 +1,111 @@
+"""Tests of the mesh-as-a-switch adapter and the kilo-core system."""
+
+import pytest
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.manycore import BenchmarkProfile, ManyCoreSystem, SystemConfig
+from repro.network.engine import Simulation
+from repro.topology import MeshConfig, MeshInterconnect, MeshNetwork
+from repro.traffic import TraceTraffic, UniformRandomTraffic
+
+
+def build_interconnect(rows=2, cols=2, concentration=8, channels=2):
+    config = MeshConfig(rows=rows, cols=cols, concentration=concentration,
+                        layers=4)
+    mesh = MeshNetwork(
+        config,
+        lambda radix: HiRiseSwitch(
+            HiRiseConfig(radix=radix, layers=4,
+                         channel_multiplicity=channels)
+        ),
+    )
+    return MeshInterconnect(mesh)
+
+
+class TestPortMapping:
+    def test_roundtrip(self):
+        interconnect = build_interconnect()
+        assert interconnect.num_ports == 32
+        for port in range(32):
+            node, terminal = interconnect.locate(port)
+            assert interconnect.global_port(node, terminal) == port
+
+    def test_out_of_range(self):
+        interconnect = build_interconnect()
+        with pytest.raises(ValueError):
+            interconnect.locate(32)
+        with pytest.raises(ValueError):
+            interconnect.global_port((0, 0), 8)
+
+
+class TestAsSwitchModel:
+    def test_delivers_with_simulation_engine(self):
+        interconnect = build_interconnect()
+        trace = TraceTraffic([(0, 0, 31), (0, 9, 17), (4, 3, 3 + 8)],
+                             packet_flits=2)
+        result = Simulation(interconnect, trace).run(150, drain=True)
+        assert result.packets_ejected == 3
+        assert interconnect.occupancy() == 0
+
+    def test_payload_travels_end_to_end(self):
+        interconnect = build_interconnect()
+        from repro.network.packet import PacketFactory
+
+        packet = PacketFactory(2).create(0, 31, 0, payload="hello")
+        interconnect.inject(packet)
+        payloads = []
+        for cycle in range(100):
+            for flit in interconnect.step(cycle):
+                payloads.append(flit.payload)
+        assert payloads == ["hello"]
+
+    def test_uniform_traffic_conservation(self):
+        interconnect = build_interconnect()
+        traffic = UniformRandomTraffic(32, 0.05, seed=13, packet_flits=2)
+        result = Simulation(interconnect, traffic).run(400, drain=True)
+        assert result.packets_ejected == result.packets_injected
+
+    def test_latency_reflects_distance(self):
+        interconnect = build_interconnect()
+        # Same node (port 0 -> 5) vs diagonal corner (port 0 -> 31).
+        near = TraceTraffic([(0, 0, 5)], packet_flits=1)
+        far = TraceTraffic([(0, 0, 31)], packet_flits=1)
+        r_near = Simulation(build_interconnect(), near).run(80, drain=True)
+        r_far = Simulation(build_interconnect(), far).run(80, drain=True)
+        assert r_far.packet_latencies[0] > r_near.packet_latencies[0]
+
+
+class TestKiloCoreSystem:
+    def test_manycore_runs_on_mesh(self):
+        """The 64-core system runs unchanged on a mesh interconnect."""
+        interconnect = build_interconnect(rows=2, cols=2, concentration=16)
+        assert interconnect.num_ports == 64
+        profiles = [BenchmarkProfile("m", l1_mpki=20.0, l2_mpki=7.0)] * 64
+        system = ManyCoreSystem(
+            interconnect, 2.0, profiles,
+            SystemConfig(num_cores=64, num_memory_controllers=4),
+        )
+        result = system.run(2500)
+        assert result.total_instructions > 0
+        issued = sum(core.misses_issued for core in system.cores)
+        replied = sum(core.replies_received for core in system.cores)
+        in_flight = sum(core.outstanding for core in system.cores)
+        assert issued == replied + in_flight
+        assert issued > 0
+
+    def test_mesh_system_slower_than_single_switch(self):
+        """Multi-hop mesh latency costs IPC versus one radix-64 switch on
+        the same (memory-heavy) workload."""
+        profiles = [BenchmarkProfile("m", l1_mpki=80.0, l2_mpki=28.0)] * 64
+        config = SystemConfig(num_cores=64, num_memory_controllers=4, seed=1)
+
+        single = ManyCoreSystem(
+            HiRiseSwitch(HiRiseConfig()), 2.0, profiles, config
+        )
+        meshed = ManyCoreSystem(
+            build_interconnect(rows=2, cols=2, concentration=16),
+            2.0, profiles, config,
+        )
+        r_single = single.run(2500)
+        r_mesh = meshed.run(2500)
+        assert r_mesh.system_ipc < r_single.system_ipc

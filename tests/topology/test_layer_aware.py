@@ -1,0 +1,120 @@
+"""Tests of multi-link mesh routing and the layer-aware extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.metrics import ProbedSwitch
+from repro.topology import MeshConfig, MeshNetwork, RoutingDecision
+
+DIRECTIONS = (
+    RoutingDecision.EAST,
+    RoutingDecision.WEST,
+    RoutingDecision.NORTH,
+    RoutingDecision.SOUTH,
+)
+
+
+class TestMultiLinkConfig:
+    def test_radix_grows_with_links(self):
+        config = MeshConfig(concentration=8, layers=4, links_per_direction=2)
+        assert config.radix == 16
+
+    def test_single_link_keeps_legacy_port_layout(self):
+        single = MeshConfig(concentration=12, layers=4)
+        layers = {
+            single.port_layer(single.mesh_port(d)) for d in DIRECTIONS
+        }
+        assert layers == {0, 1, 2, 3}
+
+    def test_links_of_one_direction_span_layers(self):
+        config = MeshConfig(concentration=8, layers=4, links_per_direction=4,
+                            rows=2, cols=2)
+        layers = {
+            config.port_layer(config.mesh_port(RoutingDecision.EAST, link))
+            for link in range(4)
+        }
+        assert layers == {0, 1, 2, 3}
+
+    def test_ports_all_distinct(self):
+        config = MeshConfig(concentration=8, layers=4, links_per_direction=2)
+        ports = list(config.all_mesh_ports())
+        assert len(ports) == len(set(ports)) == 8
+        terminals = {config.terminal_port(t) for t in range(8)}
+        assert not terminals & set(ports)
+
+    def test_link_for_layer_prefers_same_layer(self):
+        config = MeshConfig(concentration=8, layers=4, links_per_direction=4,
+                            rows=2, cols=2)
+        for layer in range(4):
+            link = config.link_for_layer(RoutingDecision.EAST, layer)
+            port = config.mesh_port(RoutingDecision.EAST, link)
+            assert config.port_layer(port) == layer
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshConfig(links_per_direction=0)
+        with pytest.raises(ValueError):
+            MeshConfig(concentration=9, layers=4)  # radix 13 not divisible
+        with pytest.raises(ValueError):
+            MeshConfig(concentration=12, layers=4).mesh_port(
+                RoutingDecision.EAST, link=1
+            )
+
+
+def build_mesh(layer_aware, seed=3):
+    config = MeshConfig(
+        rows=2, cols=2, concentration=8, layers=4,
+        links_per_direction=4, layer_aware=layer_aware,
+    )
+    probes = {}
+
+    def factory(radix):
+        probe = ProbedSwitch(
+            HiRiseSwitch(HiRiseConfig(radix=radix, layers=4,
+                                      channel_multiplicity=2))
+        )
+        probes[len(probes)] = probe
+        return probe
+
+    return MeshNetwork(config, factory), probes
+
+
+def drive_uniform(mesh, seed=3, packets=200, cycles=500):
+    rng = np.random.default_rng(seed)
+    created = []
+    for _ in range(packets):
+        src = (int(rng.integers(2)), int(rng.integers(2)))
+        dst = (int(rng.integers(2)), int(rng.integers(2)))
+        created.append(
+            mesh.create_packet(
+                src, int(rng.integers(8)), dst, int(rng.integers(8)),
+                num_flits=2,
+            )
+        )
+        mesh.step()
+    mesh.run(cycles)
+    return created
+
+
+class TestLayerAwareRouting:
+    def test_delivery_under_both_modes(self):
+        for layer_aware in (False, True):
+            mesh, _ = build_mesh(layer_aware)
+            packets = drive_uniform(mesh)
+            assert all(p.delivered_cycle is not None for p in packets)
+
+    def test_layer_aware_reduces_vertical_channel_traffic(self):
+        """Keeping transiting packets on their entry layer must lower the
+        routers' L2LC utilization (Section VI-E's motivation)."""
+        naive_mesh, naive_probes = build_mesh(layer_aware=False)
+        aware_mesh, aware_probes = build_mesh(layer_aware=True)
+        drive_uniform(naive_mesh)
+        drive_uniform(aware_mesh)
+        naive_util = sum(
+            p.mean_channel_utilization() for p in naive_probes.values()
+        )
+        aware_util = sum(
+            p.mean_channel_utilization() for p in aware_probes.values()
+        )
+        assert aware_util < naive_util

@@ -1,0 +1,131 @@
+"""Tests of XY routing and the mesh of 3D switches."""
+
+import pytest
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.switches import SwizzleSwitch2D
+from repro.topology import MeshConfig, MeshNetwork, RoutingDecision, xy_route
+from repro.topology.routing import hop_count
+
+
+class TestXYRouting:
+    def test_local(self):
+        assert xy_route((2, 3), (2, 3)) is RoutingDecision.LOCAL
+
+    def test_x_corrected_first(self):
+        assert xy_route((0, 0), (3, 2)) is RoutingDecision.EAST
+        assert xy_route((3, 0), (1, 2)) is RoutingDecision.WEST
+
+    def test_y_after_x(self):
+        assert xy_route((2, 0), (2, 3)) is RoutingDecision.NORTH
+        assert xy_route((2, 3), (2, 1)) is RoutingDecision.SOUTH
+
+    def test_hop_count(self):
+        assert hop_count((0, 0), (3, 2)) == 5
+        assert hop_count((1, 1), (1, 1)) == 0
+
+
+class TestMeshConfig:
+    def test_radix_includes_mesh_ports(self):
+        config = MeshConfig(concentration=12)
+        assert config.radix == 16
+        assert config.total_terminals == 4 * 4 * 12
+
+    def test_mesh_ports_spread_over_layers(self):
+        config = MeshConfig(concentration=12, layers=4)
+        layers = {
+            direction: config.mesh_port(direction) // (config.radix // 4)
+            for direction in (
+                RoutingDecision.EAST,
+                RoutingDecision.WEST,
+                RoutingDecision.NORTH,
+                RoutingDecision.SOUTH,
+            )
+        }
+        assert sorted(layers.values()) == [0, 1, 2, 3]
+
+    def test_terminal_ports_disjoint_from_mesh_ports(self):
+        config = MeshConfig(concentration=12, layers=4)
+        mesh = {
+            config.mesh_port(d)
+            for d in (
+                RoutingDecision.EAST,
+                RoutingDecision.WEST,
+                RoutingDecision.NORTH,
+                RoutingDecision.SOUTH,
+            )
+        }
+        terminals = {config.terminal_port(t) for t in range(12)}
+        assert not mesh & terminals
+        assert len(terminals) == 12
+        assert mesh | terminals == set(range(16))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshConfig(rows=0)
+        with pytest.raises(ValueError):
+            MeshConfig(concentration=0)
+        with pytest.raises(ValueError):
+            MeshConfig().terminal_port(12)
+
+
+def hirise_mesh(rows=2, cols=2, concentration=12):
+    config = MeshConfig(rows=rows, cols=cols, concentration=concentration)
+    return MeshNetwork(
+        config,
+        lambda radix: HiRiseSwitch(
+            HiRiseConfig(radix=radix, layers=4, channel_multiplicity=2)
+        ),
+    )
+
+
+class TestMeshNetwork:
+    def test_local_delivery_same_node(self):
+        mesh = hirise_mesh()
+        packet = mesh.create_packet((0, 0), 0, (0, 0), 5)
+        mesh.run(30)
+        assert packet.delivered_cycle is not None
+        assert packet.hops == 0
+
+    def test_cross_mesh_delivery_and_hop_count(self):
+        mesh = hirise_mesh()
+        packet = mesh.create_packet((0, 0), 0, (1, 1), 3)
+        mesh.run(80)
+        assert packet.delivered_cycle is not None
+        assert packet.hops == hop_count((0, 0), (1, 1)) == 2
+
+    def test_all_pairs_delivery(self):
+        mesh = hirise_mesh()
+        packets = []
+        for src in mesh.nodes:
+            for dst in mesh.nodes:
+                packets.append(mesh.create_packet(src, 1, dst, 2, num_flits=2))
+        mesh.run(400)
+        assert all(p.delivered_cycle is not None for p in packets)
+        assert mesh.occupancy() == 0
+
+    def test_latency_grows_with_distance(self):
+        mesh = hirise_mesh(rows=4, cols=4)
+        near = mesh.create_packet((0, 0), 0, (0, 1), 0)
+        far = mesh.create_packet((0, 0), 1, (3, 3), 0)
+        mesh.run(300)
+        assert near.latency < far.latency
+
+    def test_works_with_flat_switch_routers(self):
+        config = MeshConfig(rows=2, cols=2, concentration=4, layers=1)
+        mesh = MeshNetwork(config, lambda radix: SwizzleSwitch2D(radix))
+        packet = mesh.create_packet((0, 0), 0, (1, 1), 3)
+        mesh.run(100)
+        assert packet.delivered_cycle is not None
+
+    def test_factory_radix_checked(self):
+        config = MeshConfig(rows=1, cols=1, concentration=4)
+        with pytest.raises(ValueError):
+            MeshNetwork(config, lambda radix: SwizzleSwitch2D(radix + 1))
+
+    def test_kilocore_scale_configuration(self):
+        """A 4x4 mesh of radix-64 Hi-Rise switches with concentration 60
+        reaches 960 terminals — the kilo-core regime of Section VI-E."""
+        config = MeshConfig(rows=4, cols=4, concentration=60, layers=4)
+        assert config.radix == 64
+        assert config.total_terminals == 960

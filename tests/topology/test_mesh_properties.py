@@ -1,0 +1,81 @@
+"""Property-based tests of the mesh network (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.switches import SwizzleSwitch2D
+from repro.topology import MeshConfig, MeshNetwork
+from repro.topology.routing import hop_count
+
+
+@st.composite
+def mesh_cases(draw):
+    rows = draw(st.integers(min_value=1, max_value=3))
+    cols = draw(st.integers(min_value=1, max_value=3))
+    concentration = draw(st.sampled_from([4, 8]))
+    use_hirise = draw(st.booleans())
+    packets = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=cols - 1),
+                st.integers(min_value=0, max_value=rows - 1),
+                st.integers(min_value=0, max_value=concentration - 1),
+                st.integers(min_value=0, max_value=cols - 1),
+                st.integers(min_value=0, max_value=rows - 1),
+                st.integers(min_value=0, max_value=concentration - 1),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    return rows, cols, concentration, use_hirise, packets
+
+
+def build(rows, cols, concentration, use_hirise):
+    config = MeshConfig(rows=rows, cols=cols, concentration=concentration,
+                        layers=4)
+    if use_hirise:
+        factory = lambda radix: HiRiseSwitch(
+            HiRiseConfig(radix=radix, layers=4, channel_multiplicity=1)
+        )
+    else:
+        factory = lambda radix: SwizzleSwitch2D(radix)
+    return MeshNetwork(config, factory)
+
+
+class TestMeshProperties:
+    @given(mesh_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_everything_delivered_with_exact_hop_counts(self, case):
+        """All packets deliver; each takes exactly the Manhattan distance
+        in mesh hops (XY routing is minimal and livelock-free)."""
+        rows, cols, concentration, use_hirise, specs = case
+        mesh = build(rows, cols, concentration, use_hirise)
+        packets = []
+        for sx, sy, st_, dx, dy, dt in specs:
+            packets.append(
+                mesh.create_packet((sx, sy), st_, (dx, dy), dt, num_flits=2)
+            )
+            mesh.step()
+        mesh.run(600)
+        for packet in packets:
+            assert packet.delivered_cycle is not None
+            assert packet.hops == hop_count(packet.src_node, packet.dst_node)
+        assert mesh.occupancy() == 0
+
+    @given(mesh_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_latency_at_least_serialisation_plus_hops(self, case):
+        rows, cols, concentration, use_hirise, specs = case
+        mesh = build(rows, cols, concentration, use_hirise)
+        packets = []
+        for sx, sy, st_, dx, dy, dt in specs:
+            packets.append(
+                mesh.create_packet((sx, sy), st_, (dx, dy), dt, num_flits=2)
+            )
+            mesh.step()
+        mesh.run(600)
+        for packet in packets:
+            minimum = 2 * (packet.hops + 1) - 1  # 2 flits per traversal
+            assert packet.latency >= minimum

@@ -1,0 +1,223 @@
+"""Tests of the synthetic traffic generators."""
+
+import pytest
+
+from repro.core import HiRiseConfig
+from repro.traffic import (
+    AdversarialTraffic,
+    BurstyTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    TraceTraffic,
+    UniformRandomTraffic,
+    interlayer_worstcase,
+    paper_adversarial_demands,
+)
+
+
+def collect(traffic, cycles):
+    packets = []
+    for cycle in range(cycles):
+        packets.extend(traffic.packets_for_cycle(cycle))
+    return packets
+
+
+class TestUniformRandom:
+    def test_rate_matches_load(self):
+        traffic = UniformRandomTraffic(16, load=0.25, seed=1)
+        packets = collect(traffic, 4000)
+        rate = len(packets) / (4000 * 16)
+        assert rate == pytest.approx(0.25, rel=0.05)
+
+    def test_destinations_cover_all_ports_roughly_evenly(self):
+        traffic = UniformRandomTraffic(8, load=1.0, seed=2)
+        packets = collect(traffic, 2000)
+        counts = {dst: 0 for dst in range(8)}
+        for packet in packets:
+            counts[packet.dst] += 1
+        total = sum(counts.values())
+        for dst, count in counts.items():
+            assert count / total == pytest.approx(1 / 8, rel=0.1)
+
+    def test_self_traffic_excluded_by_default(self):
+        traffic = UniformRandomTraffic(8, load=1.0, seed=3)
+        assert all(p.src != p.dst for p in collect(traffic, 200))
+
+    def test_self_traffic_optional(self):
+        traffic = UniformRandomTraffic(4, load=1.0, seed=3, exclude_self=False)
+        assert any(p.src == p.dst for p in collect(traffic, 200))
+
+    def test_deterministic_under_seed(self):
+        a = collect(UniformRandomTraffic(8, 0.5, seed=42), 100)
+        b = collect(UniformRandomTraffic(8, 0.5, seed=42), 100)
+        assert [(p.src, p.dst) for p in a] == [(p.src, p.dst) for p in b]
+
+    def test_load_validation(self):
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(8, load=1.5)
+
+    def test_active_inputs_restriction(self):
+        traffic = UniformRandomTraffic(8, 1.0, seed=1, active_inputs=[2, 5])
+        assert {p.src for p in collect(traffic, 100)} == {2, 5}
+
+
+class TestHotspot:
+    def test_all_packets_target_hotspot(self):
+        traffic = HotspotTraffic(64, load=0.5, hotspot_output=63, seed=4)
+        packets = collect(traffic, 200)
+        assert packets
+        assert all(p.dst == 63 for p in packets)
+
+    def test_background_load_spreads(self):
+        traffic = HotspotTraffic(
+            16, load=0.2, hotspot_output=7, seed=4, background_load=0.3
+        )
+        packets = collect(traffic, 1000)
+        non_hotspot = [p for p in packets if p.dst != 7]
+        assert non_hotspot
+        assert all(p.dst != 7 for p in non_hotspot)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(8, 0.5, hotspot_output=8)
+
+
+class TestBursty:
+    def test_long_run_rate_close_to_load(self):
+        traffic = BurstyTraffic(8, load=0.3, burst_length=6.0, seed=5)
+        packets = collect(traffic, 20000)
+        rate = len(packets) / (20000 * 8)
+        assert rate == pytest.approx(0.3, rel=0.15)
+
+    def test_burstiness_exceeds_bernoulli(self):
+        """Back-to-back injections are much likelier than under Bernoulli."""
+        traffic = BurstyTraffic(
+            2, load=0.2, burst_length=8.0, seed=6, active_inputs=[0]
+        )
+        injections = [
+            bool(list(traffic.packets_for_cycle(c))) for c in range(20000)
+        ]
+        pairs = sum(
+            1 for a, b in zip(injections, injections[1:]) if a and b
+        )
+        ons = sum(injections)
+        conditional = pairs / max(ons, 1)
+        assert conditional > 0.6  # Bernoulli(0.2) would give ~0.2
+
+    def test_per_burst_destination_held(self):
+        traffic = BurstyTraffic(
+            4, load=0.5, burst_length=10.0, seed=7, per_burst_destination=True
+        )
+        packets = collect(traffic, 500)
+        # Within any consecutive run from one source, destination changes
+        # are far rarer than packets (bursts hold their destination).
+        by_src = {}
+        for packet in packets:
+            by_src.setdefault(packet.src, []).append(packet.dst)
+        changes = sum(
+            sum(1 for a, b in zip(dsts, dsts[1:]) if a != b)
+            for dsts in by_src.values()
+        )
+        assert changes < len(packets) / 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyTraffic(8, 0.3, burst_length=0.5)
+        with pytest.raises(ValueError):
+            BurstyTraffic(8, 1.0, burst_length=4.0)
+
+
+class TestAdversarial:
+    def test_paper_demands(self):
+        demands = paper_adversarial_demands()
+        assert demands == {3: 63, 7: 63, 11: 63, 15: 63, 20: 63}
+
+    def test_fixed_destinations(self):
+        traffic = AdversarialTraffic(64, 1.0, paper_adversarial_demands(), seed=8)
+        packets = collect(traffic, 50)
+        assert {p.src for p in packets} <= {3, 7, 11, 15, 20}
+        assert all(p.dst == 63 for p in packets)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdversarialTraffic(8, 1.0, {})
+        with pytest.raises(ValueError):
+            AdversarialTraffic(8, 1.0, {9: 0})
+
+
+class TestInterlayerWorstcase:
+    def test_no_within_layer_traffic(self):
+        config = HiRiseConfig(radix=64, layers=4, channel_multiplicity=1)
+        demands = interlayer_worstcase(config)
+        assert len(demands) == 64
+        for src, dst in demands.items():
+            assert config.layer_of_port(src) != config.layer_of_port(dst)
+
+    def test_channel_sharers_request_distinct_outputs(self):
+        config = HiRiseConfig(radix=64, layers=4, channel_multiplicity=4)
+        demands = interlayer_worstcase(config)
+        by_channel = {}
+        for src, dst in demands.items():
+            key = (
+                config.layer_of_port(src),
+                config.local_index(src) % config.channel_multiplicity,
+            )
+            by_channel.setdefault(key, []).append(dst)
+        for dsts in by_channel.values():
+            assert len(dsts) == len(set(dsts))
+
+
+class TestPermutation:
+    def test_transpose_is_involution(self):
+        traffic = PermutationTraffic(64, 1.0, pattern="transpose", seed=1)
+        from repro.traffic.permutation import transpose
+
+        for src in range(64):
+            assert transpose(transpose(src, 64), 64) == src
+
+    def test_bit_complement(self):
+        from repro.traffic.permutation import bit_complement
+
+        assert bit_complement(0, 64) == 63
+        assert bit_complement(21, 64) == 42
+
+    def test_bit_reverse(self):
+        from repro.traffic.permutation import bit_reverse
+
+        assert bit_reverse(1, 8) == 4
+        assert bit_reverse(bit_reverse(5, 64), 64) == 5
+
+    def test_shuffle_rotates(self):
+        from repro.traffic.permutation import shuffle
+
+        assert shuffle(1, 8) == 2
+        assert shuffle(4, 8) == 1
+
+    def test_self_destinations_suppressed(self):
+        traffic = PermutationTraffic(16, 1.0, pattern="bit_complement", seed=1)
+        packets = collect(traffic, 20)
+        assert all(p.src != p.dst for p in packets)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PermutationTraffic(48, 1.0, pattern="transpose")
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            PermutationTraffic(16, 1.0, pattern="nope")
+
+
+class TestTrace:
+    def test_replays_exact_events(self):
+        trace = TraceTraffic([(0, 1, 2), (0, 3, 4), (5, 1, 6)], packet_flits=2)
+        c0 = list(trace.packets_for_cycle(0))
+        c1 = list(trace.packets_for_cycle(1))
+        c5 = list(trace.packets_for_cycle(5))
+        assert [(p.src, p.dst) for p in c0] == [(1, 2), (3, 4)]
+        assert c1 == []
+        assert [(p.src, p.dst) for p in c5] == [(1, 6)]
+        assert trace.total_events == 3
+
+    def test_rejects_negative_cycle(self):
+        with pytest.raises(ValueError):
+            TraceTraffic([(-1, 0, 1)])

@@ -1,0 +1,49 @@
+"""Tests of trace CSV round-tripping."""
+
+import pytest
+
+from repro.traffic import TraceTraffic
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        original = TraceTraffic(
+            [(0, 1, 2), (0, 3, 4), (7, 5, 6)], packet_flits=2
+        )
+        path = original.to_csv(tmp_path / "trace.csv")
+        loaded = TraceTraffic.from_csv(path, packet_flits=2)
+        assert loaded.events() == original.events()
+        assert loaded.total_events == 3
+
+    def test_events_sorted_by_cycle(self):
+        trace = TraceTraffic([(5, 0, 1), (0, 2, 3), (5, 4, 5)])
+        assert trace.events() == [(0, 2, 3), (5, 0, 1), (5, 4, 5)]
+
+    def test_csv_content(self, tmp_path):
+        path = TraceTraffic([(1, 2, 3)]).to_csv(tmp_path / "t.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "cycle,src,dst"
+        assert lines[1] == "1,2,3"
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            TraceTraffic.from_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("cycle,src,dst\n1,x,3\n")
+        with pytest.raises(ValueError):
+            TraceTraffic.from_csv(path)
+
+    def test_loaded_trace_replays_identically(self, tmp_path):
+        from repro.network.engine import Simulation
+        from repro.switches import SwizzleSwitch2D
+
+        events = [(c, c % 4, (c + 1) % 4) for c in range(0, 30, 3)]
+        path = TraceTraffic(events).to_csv(tmp_path / "t.csv")
+        loaded = TraceTraffic.from_csv(path)
+        a = Simulation(SwizzleSwitch2D(4), TraceTraffic(events)).run(80, drain=True)
+        b = Simulation(SwizzleSwitch2D(4), loaded).run(80, drain=True)
+        assert a.packet_latencies == b.packet_latencies
