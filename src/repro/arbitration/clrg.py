@@ -60,12 +60,19 @@ class CLRGArbiter(Arbiter):
         slot requests.  Pure selection; call :meth:`commit` to update state.
         """
         best: Optional[Tuple[int, int]] = None
-        best_key: Optional[Tuple[int, int]] = None
+        best_class = best_rank = 0
+        class_of = self.counters.class_of
+        rank = self.lrg._rank
+        num_slots = self.num_slots
         for slot, primary_input in requests:
-            self._check_slot(slot)
-            key = (self.counters.class_of(primary_input), self.lrg.rank(slot))
-            if best_key is None or key < best_key:
-                best_key = key
+            if not 0 <= slot < num_slots:
+                self._check_slot(slot)
+            slot_class = class_of(primary_input)
+            slot_rank = rank[slot]
+            if (best is None or slot_class < best_class
+                    or (slot_class == best_class and slot_rank < best_rank)):
+                best_class = slot_class
+                best_rank = slot_rank
                 best = (slot, primary_input)
         return best
 

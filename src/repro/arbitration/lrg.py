@@ -5,9 +5,12 @@ output cross-point column stores a priority vector ordering the inputs; the
 requesting input with the highest priority (least recently granted) wins,
 and on a committed grant the winner drops to the lowest priority.
 
-The arbiter is modelled as an explicit priority order (index 0 = highest
-priority), which is exactly the total order the per-cross-point priority
-bits encode in hardware.
+The priority vector is modelled as a *recency key* per slot: a smaller key
+means granted less recently, i.e. higher priority.  Keys start as the
+positions of the initial priority order and a grant simply stamps the
+winner with the next key, which makes the demotion O(1) while encoding
+exactly the same total order as the per-cross-point priority bits do in
+hardware.  Keys are always distinct, so comparisons never tie.
 """
 
 from typing import Iterable, List, Optional, Sequence
@@ -41,44 +44,40 @@ class LRGArbiter(Arbiter):
                 raise ValueError(
                     f"initial_order must be a permutation of 0..{num_slots - 1}"
                 )
-        self._order: List[int] = order
-        # rank[slot] = position in the priority order (0 = highest).
+        # rank[slot] = recency key; smaller = less recently granted =
+        # higher priority.  Only relative order matters to comparisons.
         self._rank: List[int] = [0] * num_slots
-        self._recompute_ranks()
-
-    def _recompute_ranks(self) -> None:
-        for position, slot in enumerate(self._order):
+        for position, slot in enumerate(order):
             self._rank[slot] = position
+        # Next key to stamp a winner with (strictly above all live keys).
+        self._stamp = num_slots
 
     @property
     def priority_order(self) -> List[int]:
         """Current priority order, highest priority first (a copy)."""
-        return list(self._order)
+        return sorted(range(self.num_slots), key=self._rank.__getitem__)
 
     def rank(self, slot: int) -> int:
         """Priority rank of a slot (0 = highest priority)."""
         self._check_slot(slot)
-        return self._rank[slot]
+        key = self._rank[slot]
+        return sum(1 for other in self._rank if other < key)
 
     def arbitrate(self, requests: Iterable[int]) -> Optional[int]:
-        """The requesting slot with the best (lowest) rank, or None."""
+        """The requesting slot with the best (lowest) recency key, or None."""
+        rank = self._rank
         winner: Optional[int] = None
-        best_rank = self.num_slots
+        best_key = 0
         for slot in requests:
             self._check_slot(slot)
-            if self._rank[slot] < best_rank:
-                best_rank = self._rank[slot]
+            key = rank[slot]
+            if winner is None or key < best_key:
+                best_key = key
                 winner = slot
         return winner
 
     def update(self, winner: int) -> None:
         """Demote the winner to the lowest priority (most recently granted)."""
         self._check_slot(winner)
-        position = self._rank[winner]
-        # Shift everything after the winner up one rank; winner to the back.
-        order = self._order
-        for i in range(position, self.num_slots - 1):
-            order[i] = order[i + 1]
-            self._rank[order[i]] = i
-        order[self.num_slots - 1] = winner
-        self._rank[winner] = self.num_slots - 1
+        self._rank[winner] = self._stamp
+        self._stamp += 1

@@ -54,14 +54,15 @@ class WLRGArbiter(Arbiter):
         Returns the winning ``(slot, weight)`` or None.
         """
         best: Optional[Tuple[int, int]] = None
-        best_rank = self.num_slots
+        best_key = 0
+        lrg_key = self.lrg._rank
         for slot, weight in requests:
             self._check_slot(slot)
             if weight < 1:
                 raise ValueError("weights must be >= 1")
-            rank = self.lrg.rank(slot)
-            if rank < best_rank:
-                best_rank = rank
+            key = lrg_key[slot]
+            if best is None or key < best_key:
+                best_key = key
                 best = (slot, weight)
         return best
 

@@ -20,12 +20,14 @@ from repro.core.channels import (
     make_allocation,
 )
 from repro.core.hirise import HiRiseSwitch
+from repro.core.reference import ReferenceHiRiseSwitch
 
 __all__ = [
     "AllocationPolicy",
     "ArbitrationScheme",
     "HiRiseConfig",
     "HiRiseSwitch",
+    "ReferenceHiRiseSwitch",
     "InputBinnedAllocation",
     "OutputBinnedAllocation",
     "PriorityAllocation",

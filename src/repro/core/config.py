@@ -61,6 +61,14 @@ class HiRiseConfig:
             extension).  The switch never grants a failed channel; under
             binned allocation, flows nominally bound to one are rerouted
             to the next healthy channel toward the same layer.
+
+    Construction also builds hot-path lookup tables (not dataclass
+    fields): ``layer_of_port_table`` / ``local_index_table`` (per-port
+    layer and local index), ``num_resources`` (size of the flat resource
+    id space), ``slot_of_channel_table`` (sub-block slot per channel id)
+    and ``resource_key_table`` (id -> tuple key).  The validating methods
+    (:meth:`layer_of_port`, :meth:`local_index`, ...) delegate to these
+    tables; the cycle kernel indexes them directly.
     """
 
     radix: int = 64
@@ -127,6 +135,48 @@ class HiRiseConfig:
                         f"every channel {src}->{dst} failed: the switch "
                         "would be disconnected"
                     )
+        self._build_lookup_tables()
+
+    def _build_lookup_tables(self) -> None:
+        # Construction-time lookup tables backing the hot-path mappings.
+        # Validation happens once here; the public methods stay validating
+        # for API callers while the cycle kernel indexes the raw tables.
+        ppl = self.radix // self.layers
+        cmult = self.channel_multiplicity
+        object.__setattr__(
+            self, "layer_of_port_table",
+            tuple(port // ppl for port in range(self.radix)),
+        )
+        object.__setattr__(
+            self, "local_index_table",
+            tuple(port % ppl for port in range(self.radix)),
+        )
+        # Flat resource-id space: intermediate outputs occupy [0, radix)
+        # (the id of an intermediate output IS its final output's global
+        # port id), L2LCs occupy [radix, num_resources) in
+        # (src_layer, dst_layer, channel) row-major order.  Ids for the
+        # src == dst diagonal exist but are never requested.
+        object.__setattr__(
+            self, "num_resources",
+            self.radix + self.layers * self.layers * cmult,
+        )
+        slot_table = []
+        key_table: List[Tuple] = [
+            ("int", port // ppl, port % ppl) for port in range(self.radix)
+        ]
+        for src in range(self.layers):
+            for dst in range(self.layers):
+                for channel in range(cmult):
+                    key_table.append(("ch", src, dst, channel))
+                    if src == dst:
+                        slot_table.append(-1)  # diagonal: never a sub-block slot
+                    else:
+                        adjusted = src if src < dst else src - 1
+                        slot_table.append(adjusted * cmult + channel)
+        object.__setattr__(
+            self, "slot_of_channel_table", tuple(slot_table)
+        )
+        object.__setattr__(self, "resource_key_table", tuple(key_table))
 
     # ------------------------------------------------------------------
     # Geometry
@@ -183,16 +233,24 @@ class HiRiseConfig:
     # Port <-> layer mapping
     # ------------------------------------------------------------------
     def layer_of_port(self, port: int) -> int:
-        """Silicon layer (0-based) hosting the given port."""
+        """Silicon layer (0-based) hosting the given port.
+
+        Validates ``port`` for API callers; the cycle kernel indexes
+        :attr:`layer_of_port_table` directly (validated at construction).
+        """
         if not 0 <= port < self.radix:
             raise ValueError(f"port {port} out of range [0, {self.radix})")
-        return port // self.ports_per_layer
+        return self.layer_of_port_table[port]
 
     def local_index(self, port: int) -> int:
-        """Index of the port within its layer's local switch."""
+        """Index of the port within its layer's local switch.
+
+        Validates ``port`` for API callers; the cycle kernel indexes
+        :attr:`local_index_table` directly (validated at construction).
+        """
         if not 0 <= port < self.radix:
             raise ValueError(f"port {port} out of range [0, {self.radix})")
-        return port % self.ports_per_layer
+        return self.local_index_table[port]
 
     def global_port(self, layer: int, local_index: int) -> int:
         """Global port id of ``local_index`` on ``layer``."""
@@ -231,6 +289,55 @@ class HiRiseConfig:
             raise ValueError("a layer has no L2LC to itself")
         adjusted = src_layer if src_layer < dst_layer else src_layer - 1
         return adjusted * self.channel_multiplicity + channel
+
+    # ------------------------------------------------------------------
+    # Flat resource ids (fast-path cycle kernel)
+    # ------------------------------------------------------------------
+    def intermediate_resource_id(self, dst_port: int) -> int:
+        """Flat resource id of the intermediate output feeding ``dst_port``.
+
+        Intermediate-output ids coincide with global output port ids, so
+        this is the identity map on ``[0, radix)`` (validated).
+        """
+        if not 0 <= dst_port < self.radix:
+            raise ValueError(
+                f"port {dst_port} out of range [0, {self.radix})"
+            )
+        return dst_port
+
+    def channel_resource_id(
+        self, src_layer: int, dst_layer: int, channel: int
+    ) -> int:
+        """Flat resource id of L2LC (``src_layer`` -> ``dst_layer``, ``channel``).
+
+        Channel ids are dense in ``[radix, num_resources)``; the
+        ``src_layer == dst_layer`` diagonal is representable but never
+        granted by the switch.
+        """
+        if not 0 <= src_layer < self.layers or not 0 <= dst_layer < self.layers:
+            raise ValueError(
+                f"layer pair {src_layer}->{dst_layer} out of range"
+            )
+        if not 0 <= channel < self.channel_multiplicity:
+            raise ValueError(f"channel {channel} out of range")
+        return self.radix + (
+            (src_layer * self.layers + dst_layer) * self.channel_multiplicity
+            + channel
+        )
+
+    def resource_key(self, resource_id: int) -> Tuple:
+        """Human-readable key for a flat resource id.
+
+        Returns ``("int", layer, local_output)`` for intermediate outputs
+        and ``("ch", src_layer, dst_layer, channel)`` for L2LCs — the
+        tuple keys the seed kernel used, kept for probes and reports.
+        """
+        if not 0 <= resource_id < self.num_resources:
+            raise ValueError(
+                f"resource id {resource_id} out of range "
+                f"[0, {self.num_resources})"
+            )
+        return self.resource_key_table[resource_id]
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -1,4 +1,4 @@
-"""Cycle-accurate model of the Hi-Rise 3D switch.
+"""Cycle-accurate model of the Hi-Rise 3D switch (fast-path kernel).
 
 Structure (Section III-A): the N inputs and N outputs are split evenly over
 L layers.  Each layer has a *local switch* routing its N/L inputs to N/L
@@ -24,10 +24,22 @@ clocking, Section IV-C):
 A winning packet locks its whole path — input port, local resource (L2LC or
 intermediate output), and final output — until its tail flit transfers, and
 data moves end-to-end in one cycle per flit, exactly like the flat switch.
+
+**Fast-path representation.**  Resources are flat integer ids
+(``repro.core.config`` builds the tables): an intermediate output's id is
+its final output's global port id (``[0, radix)``); L2LC ids are dense in
+``[radix, num_resources)`` in ``(src_layer, dst_layer, channel)`` row-major
+order.  ``resource_owner`` is a plain list indexed by id (``-1`` = free),
+cooling state is per-id/per-port bytearrays cleared incrementally, and the
+per-(port, destination) resource an arbitration request would occupy is
+precomputed at construction, so the viability check allocates nothing per
+cycle.  The arbitration *decisions* are bit-identical to the frozen seed
+kernel (:mod:`repro.core.reference`), enforced by
+``tests/core/test_golden_equivalence.py``.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.arbitration.age import AgeArbiter
 from repro.arbitration.clrg import CLRGArbiter
@@ -41,30 +53,91 @@ from repro.network.flit import Flit
 from repro.network.packet import Packet
 from repro.network.port import InputPort
 
-# Resource keys: ("int", layer, local_output) for intermediate outputs,
-# ("ch", src_layer, dst_layer, channel) for layer-to-layer channels.
-ResourceKey = Tuple
 
-
-@dataclass
+@dataclass(slots=True)
 class _LocalWin:
     """Outcome of one phase-1 (local switch) arbitration."""
 
     input_port: int          # global id of the winning primary input
     dst_output: int          # global final output it requests
     weight: int              # live requestor count (for WLRG)
-    resource: ResourceKey    # the resource this winner would occupy
+    resource: int            # flat id of the resource this winner occupies
     local_arbiter: LRGArbiter
     local_slot: int          # slot to update in the local arbiter on a win
     age: int = 0             # head-flit wait in cycles (for AGE arbitration)
 
 
+class _BinnedViability:
+    """Closure-free head-flit viability check for binned allocation.
+
+    One instance per input port, built at construction: ``rid_of_dst``
+    maps every destination to the single flat resource id a request from
+    this port would occupy (the dedicated intermediate output for
+    same-layer traffic, the failure-remapped binned L2LC otherwise).
+    Calling the instance allocates nothing — it replaces the two nested
+    closures the seed kernel rebuilt for every port on every cycle.
+    """
+
+    __slots__ = ("switch", "rid_of_dst")
+
+    def __init__(self, switch: "HiRiseSwitch", rid_of_dst: Tuple[int, ...]):
+        self.switch = switch
+        self.rid_of_dst = rid_of_dst
+
+    def __call__(self, flit: Flit) -> bool:
+        sw = self.switch
+        dst = flit.dst
+        if sw.output_owner[dst] is not None or sw._out_cooling[dst]:
+            return False
+        rid = self.rid_of_dst[dst]
+        return sw.resource_owner[rid] < 0 and not sw._res_cooling[rid]
+
+
+class _PriorityViability:
+    """Closure-free head-flit viability check for priority allocation.
+
+    ``rids_of_dst`` maps every destination to the tuple of resource ids
+    any of which could carry the request: a single intermediate-output id
+    for same-layer traffic, the healthy L2LC ids toward the destination
+    layer (in channel order) otherwise.
+    """
+
+    __slots__ = ("switch", "rids_of_dst")
+
+    def __init__(
+        self, switch: "HiRiseSwitch", rids_of_dst: Tuple[Tuple[int, ...], ...]
+    ):
+        self.switch = switch
+        self.rids_of_dst = rids_of_dst
+
+    def __call__(self, flit: Flit) -> bool:
+        sw = self.switch
+        dst = flit.dst
+        if sw.output_owner[dst] is not None or sw._out_cooling[dst]:
+            return False
+        owner = sw.resource_owner
+        cooling = sw._res_cooling
+        for rid in self.rids_of_dst[dst]:
+            if owner[rid] < 0 and not cooling[rid]:
+                return True
+        return False
+
+
 class HiRiseSwitch(SwitchModel):
-    """Cycle-accurate Hi-Rise switch.
+    """Cycle-accurate Hi-Rise switch (optimized fast-path kernel).
 
     Args:
         config: Architectural parameters (radix, layers, channel
             multiplicity, allocation policy, arbitration scheme).
+
+    Public state (kept from the seed kernel, re-keyed to flat ids):
+    ``resource_owner`` is a list indexed by flat resource id (``-1`` =
+    free), ``output_owner`` a list indexed by output port (``None`` =
+    free), ``connections`` a dict ``input -> (resource_id, output)``.
+    The per-resource arbiters remain tuple-keyed dictionaries
+    (``int_arbiters``, ``chan_arbiters``, ``pair_arbiters``,
+    ``subblock_arbiters``) so tests and walkthroughs can seed specific
+    priority states.
     """
 
     def __init__(self, config: Optional[HiRiseConfig] = None) -> None:
@@ -75,6 +148,8 @@ class HiRiseSwitch(SwitchModel):
         self.ports: List[InputPort] = [
             InputPort(i, cfg.port_config) for i in range(cfg.radix)
         ]
+        # Per-port source queues, pre-resolved: inject() appends directly.
+        self._queues = [port.source_queue for port in self.ports]
 
         ports_per_layer = cfg.ports_per_layer
         # Phase-1 arbiters, all over local input indices.
@@ -100,17 +175,117 @@ class HiRiseSwitch(SwitchModel):
             output: self._make_subblock_arbiter() for output in range(cfg.radix)
         }
 
-        # Path state.
-        self.resource_owner: Dict[ResourceKey, int] = {}
+        # Path state, flat-indexed.
+        self.resource_owner: List[int] = [-1] * cfg.num_resources
         self.output_owner: List[Optional[int]] = [None] * cfg.radix
-        # input -> (resource, output) of its live connection.
-        self.connections: Dict[int, Tuple[ResourceKey, int]] = {}
-        # Paths whose tail transferred this cycle (arbitration blackout).
-        self._cooling_inputs: set = set()
-        self._cooling_outputs: set = set()
-        self._cooling_resources: set = set()
+        # input -> (resource_id, output) of its live connection.
+        self.connections: Dict[int, Tuple[int, int]] = {}
+        # Cooling bitsets: paths whose tail transferred this cycle
+        # (arbitration blackout), cleared incrementally from
+        # _cooling_paths at the start of the next cycle.
+        self._in_cooling = bytearray(cfg.radix)
+        self._out_cooling = bytearray(cfg.radix)
+        self._res_cooling = bytearray(cfg.num_resources)
+        self._cooling_paths: List[Tuple[int, int, int]] = []
         # L2LCs with faulty TSV bundles: never granted (robustness ext.).
         self.failed_channels = frozenset(cfg.failed_channels)
+
+        self._build_fast_tables()
+
+    def _build_fast_tables(self) -> None:
+        """Precompute the per-port request/viability tables (hot path)."""
+        cfg = self.config
+        layers = cfg.layers
+        cmult = cfg.channel_multiplicity
+        layer_of = cfg.layer_of_port_table
+        local_of = cfg.local_index_table
+
+        # (src_layer, dst_layer) -> healthy channel indices, channel order.
+        healthy: Dict[int, Tuple[int, ...]] = {}
+        for src in range(layers):
+            for dst in range(layers):
+                if src == dst:
+                    continue
+                healthy[src * layers + dst] = tuple(
+                    channel for channel in range(cmult)
+                    if (src, dst, channel) not in self.failed_channels
+                )
+        self._healthy_channels = healthy
+        # (src_layer, dst_layer) packed -> healthy L2LC ids, channel order.
+        self._healthy_rids = {
+            pair: tuple(
+                cfg.channel_resource_id(pair // layers, pair % layers, ch)
+                for ch in channels
+            )
+            for pair, channels in healthy.items()
+        }
+        # Decode table: channel rid - radix -> (src_layer, dst_layer, channel).
+        self._chan_of_rid = tuple(
+            (index // (layers * cmult),
+             (index // cmult) % layers,
+             index % cmult)
+            for index in range(layers * layers * cmult)
+        )
+
+        # Per-port scratch: head-flit age of this cycle's candidate.
+        # Only the AGE scheme consumes ages, so tracking is gated.
+        self._ages = [0] * cfg.radix
+        self._track_ages = cfg.arbitration is ArbitrationScheme.AGE
+        # Reused by _arbitrate (see there for the staleness argument).
+        self._candidate_vc = [0] * cfg.radix
+
+        # Per-scheme sub-block implementation, resolved once.
+        if cfg.arbitration in (
+            ArbitrationScheme.L2L_LRG, ArbitrationScheme.L2L_RR
+        ):
+            self._subblock_pick = self._subblock_slot_based
+        elif cfg.arbitration is ArbitrationScheme.AGE:
+            self._subblock_pick = self._subblock_age
+        elif cfg.arbitration is ArbitrationScheme.WLRG:
+            self._subblock_pick = self._subblock_wlrg
+        else:
+            self._subblock_pick = self._subblock_clrg
+
+        # Per-port viability objects (single allocation, at construction).
+        self._viability: List[object] = []
+        if self.allocation.is_binned:
+            for port in range(cfg.radix):
+                src_layer = layer_of[port]
+                local_input = local_of[port]
+                rid_of_dst = []
+                for dst in range(cfg.radix):
+                    if layer_of[dst] == src_layer:
+                        rid_of_dst.append(dst)
+                    else:
+                        channel = self.healthy_channel(
+                            src_layer, layer_of[dst],
+                            self.allocation.channel_for(local_input, dst),
+                        )
+                        rid_of_dst.append(cfg.channel_resource_id(
+                            src_layer, layer_of[dst], channel
+                        ))
+                self._viability.append(
+                    _BinnedViability(self, tuple(rid_of_dst))
+                )
+            # Per-port request resource table, shared with phase 1.
+            self._request_rid = [
+                viability.rid_of_dst for viability in self._viability
+            ]
+        else:
+            for port in range(cfg.radix):
+                src_layer = layer_of[port]
+                rids_of_dst = []
+                for dst in range(cfg.radix):
+                    if layer_of[dst] == src_layer:
+                        rids_of_dst.append((dst,))
+                    else:
+                        rids_of_dst.append(
+                            self._healthy_rids[src_layer * layers + layer_of[dst]]
+                        )
+                self._viability.append(
+                    _PriorityViability(self, tuple(rids_of_dst))
+                )
+            self._request_rid = None
 
     def _make_subblock_arbiter(self):
         cfg = self.config
@@ -147,26 +322,149 @@ class HiRiseSwitch(SwitchModel):
                 return channel
         raise AssertionError("config validation guarantees a healthy channel")
 
+    def busy_resources(self) -> List[Tuple]:
+        """Tuple keys of every currently owned resource (for probes).
+
+        Keys follow the seed kernel's convention:
+        ``("int", layer, local_output)`` / ``("ch", src, dst, channel)``.
+        """
+        key_table = self.config.resource_key_table
+        return [
+            key_table[rid]
+            for rid, owner in enumerate(self.resource_owner)
+            if owner >= 0
+        ]
+
     # ------------------------------------------------------------------
     # SwitchModel interface
     # ------------------------------------------------------------------
     def inject(self, packet: Packet) -> None:
-        if not 0 <= packet.src < self.num_ports:
-            raise ValueError(f"source port {packet.src} out of range")
+        src = packet.src
+        if not 0 <= src < self.num_ports:
+            raise ValueError(f"source port {src} out of range")
         if not 0 <= packet.dst < self.num_ports:
             raise ValueError(f"destination port {packet.dst} out of range")
-        self.ports[packet.src].enqueue_packet(packet)
+        # Inlined SourceQueue.append_packet (hot injection path).
+        queue = self._queues[src]
+        queue._packets.append(packet)
+        queue._pending_flits += packet.num_flits
+
+    def inject_many(self, packets: Iterable[Packet]) -> int:
+        """Inject a batch of packets; returns how many were injected.
+
+        Equivalent to calling :meth:`inject` per packet, without the
+        per-packet call overhead (the injection side of the cycle kernel).
+        """
+        num_ports = self.num_ports
+        queues = self._queues
+        count = 0
+        for packet in packets:
+            src = packet.src
+            if not 0 <= src < num_ports:
+                raise ValueError(f"source port {src} out of range")
+            if not 0 <= packet.dst < num_ports:
+                raise ValueError(f"destination port {packet.dst} out of range")
+            queue = queues[src]
+            queue._packets.append(packet)
+            queue._pending_flits += packet.num_flits
+            count += 1
+        return count
 
     def step(self, cycle: int) -> List[Flit]:
-        # Paths released by a tail this cycle carried data on their wires,
-        # so they cannot also arbitrate this cycle: every packet pays one
-        # arbitration cycle ("arbitrate or transmit in a single cycle").
-        self._cooling_inputs.clear()
-        self._cooling_outputs.clear()
-        self._cooling_resources.clear()
-        ejected = self._transmit(cycle)
+        # Paths released by a tail last cycle carried data on their wires,
+        # so they could not also arbitrate that cycle: every packet pays
+        # one arbitration cycle ("arbitrate or transmit in a single
+        # cycle").  Clear their cooling flags incrementally.
+        paths = self._cooling_paths
+        if paths:
+            in_cooling = self._in_cooling
+            out_cooling = self._out_cooling
+            res_cooling = self._res_cooling
+            for src, output, rid in paths:
+                in_cooling[src] = 0
+                out_cooling[output] = 0
+                res_cooling[rid] = 0
+            paths.clear()
+        # Transmit and refill in one scan.  Both touch only per-port state
+        # (transmit additionally tears down global path state, which no
+        # other port's transmit or refill reads), so per-port fusion is
+        # equivalent to the seed's transmit-all-then-refill-all ordering.
+        ejected: List[Flit] = []
+        connections = self.connections
+        resource_owner = self.resource_owner
+        output_owner = self.output_owner
+        in_cooling = self._in_cooling
+        out_cooling = self._out_cooling
+        res_cooling = self._res_cooling
+        cooling_paths = self._cooling_paths
         for port in self.ports:
-            port.refill(cycle)
+            active = port.active_vc
+            if active is not None:
+                vc = port.vcs[active]
+                fifo = vc._fifo
+                if fifo:
+                    # Inlined port.transmit() (preconditions just checked).
+                    flit = fifo.popleft()
+                    port._refill_blocked = False
+                    flit.ejected_cycle = cycle
+                    ejected.append(flit)
+                    if flit.seq == flit.num_flits - 1:  # tail: tear down
+                        if not fifo:
+                            vc._owner_packet = None
+                        port.active_vc = None
+                        src = flit.src
+                        rid, output = connections.pop(src)
+                        resource_owner[rid] = -1
+                        output_owner[output] = None
+                        in_cooling[src] = 1
+                        out_cooling[output] = 1
+                        res_cooling[rid] = 1
+                        cooling_paths.append((src, output, rid))
+            # A blocked port's VC state cannot have changed since its last
+            # failed refill (the flag clears when a flit pops); skip it.
+            if port._refill_blocked:
+                continue
+            # Inlined port.refill(cycle).
+            queue = port.source_queue
+            flits = queue._flits
+            if not flits:
+                packets = queue._packets
+                if not packets:
+                    continue
+                flits.extend(packets.popleft().to_flits())
+            front = flits[0]
+            if front.seq == 0:
+                # Head flit: first free VC (a free VC is always empty).
+                for idx, cand in enumerate(port.vcs):
+                    if cand._owner_packet is None and len(cand._fifo) < cand.depth:
+                        flits.popleft()
+                        queue._pending_flits -= 1
+                        front.injected_cycle = cycle
+                        cand._owner_packet = front.packet_id
+                        cand._fifo.append(front)
+                        port._refill_vc = idx
+                        break
+                else:
+                    port._refill_blocked = True
+            else:
+                # Body/tail flit: only its packet's owner VC may take it.
+                cand = port.vcs[port._refill_vc]
+                if cand._owner_packet != front.packet_id:
+                    for idx, other in enumerate(port.vcs):
+                        if other._owner_packet == front.packet_id:
+                            port._refill_vc = idx
+                            cand = other
+                            break
+                    else:
+                        port._refill_blocked = True
+                        continue
+                if len(cand._fifo) < cand.depth:
+                    flits.popleft()
+                    queue._pending_flits -= 1
+                    front.injected_cycle = cycle
+                    cand._fifo.append(front)
+                else:
+                    port._refill_blocked = True
         self._arbitrate(cycle)
         return ejected
 
@@ -174,202 +472,202 @@ class HiRiseSwitch(SwitchModel):
         return sum(port.total_occupancy() for port in self.ports)
 
     # ------------------------------------------------------------------
-    # Transmit phase
-    # ------------------------------------------------------------------
-    def _transmit(self, cycle: int) -> List[Flit]:
-        ejected: List[Flit] = []
-        for port in self.ports:
-            if port.active_has_flit():
-                flit = port.transmit()
-                flit.ejected_cycle = cycle
-                ejected.append(flit)
-                if flit.is_tail:
-                    resource, output = self.connections.pop(flit.src)
-                    del self.resource_owner[resource]
-                    self.output_owner[output] = None
-                    self._cooling_inputs.add(flit.src)
-                    self._cooling_outputs.add(output)
-                    self._cooling_resources.add(resource)
-        return ejected
-
-    # ------------------------------------------------------------------
     # Arbitration (two phases within one cycle)
     # ------------------------------------------------------------------
     def _arbitrate(self, cycle: int) -> None:
-        candidate_vcs: Dict[int, int] = {}
+        # Persistent per-port buffer: slot i holds the candidate VC of
+        # port i *for the cycle the port last requested in*.  Phase 2 only
+        # reads ports that won phase 1 this cycle, so stale entries are
+        # never observed and the buffer needs no clearing.
+        candidate_vcs = self._candidate_vc
         local_winners = self._phase1_local(candidate_vcs, cycle)
         self._phase2_interlayer(local_winners, candidate_vcs)
 
-    def _viable_for(self, port_id: int):
-        """Predicate: can this head flit's path be granted this cycle?
-
-        The cross-points expose channel-free status (Fig 6), so an input
-        never wastes its single request on a busy final output or a busy
-        L2LC; another VC's head gets the request lines instead.
-        """
-        cfg = self.config
-        src_layer = cfg.layer_of_port(port_id)
-        local_input = cfg.local_index(port_id)
-
-        def resource_free(resource: ResourceKey) -> bool:
-            return (
-                resource not in self.resource_owner
-                and resource not in self._cooling_resources
-            )
-
-        def viable(flit: Flit) -> bool:
-            if self.output_owner[flit.dst] is not None:
-                return False
-            if flit.dst in self._cooling_outputs:
-                return False
-            dst_layer = cfg.layer_of_port(flit.dst)
-            if dst_layer == src_layer:
-                return resource_free(("int", src_layer, cfg.local_index(flit.dst)))
-            if self.allocation.is_binned:
-                channel = self.healthy_channel(
-                    src_layer, dst_layer,
-                    self.allocation.channel_for(local_input, flit.dst),
-                )
-                return resource_free(("ch", src_layer, dst_layer, channel))
-            return any(
-                resource_free(("ch", src_layer, dst_layer, channel))
-                for channel in range(cfg.channel_multiplicity)
-                if (src_layer, dst_layer, channel) not in self.failed_channels
-            )
-
-        return viable
-
     def _phase1_local(
-        self, candidate_vcs: Dict[int, int], cycle: int
-    ) -> Dict[ResourceKey, _LocalWin]:
+        self, candidate_vcs: List[int], cycle: int
+    ) -> Dict[int, _LocalWin]:
         """Collect requests and run every free local resource's arbitration."""
         cfg = self.config
-        int_requests: Dict[Tuple[int, int], List[int]] = {}
-        chan_requests: Dict[Tuple[int, int, int], List[Tuple[int, int]]] = {}
-        pair_requests: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
-        # Head-flit wait per (layer, local input), for AGE arbitration.
-        ages: Dict[Tuple[int, int], int] = {}
+        layers = cfg.layers
+        ports_per_layer = cfg.ports_per_layer
+        layer_of = cfg.layer_of_port_table
+        local_of = cfg.local_index_table
+        in_cooling = self._in_cooling
+        viability = self._viability
+        ages = self._ages
+        track_ages = self._track_ages
+        binned = self.allocation.is_binned
+        request_rid = self._request_rid
+        output_owner = self.output_owner
+        out_cooling = self._out_cooling
+        resource_owner = self.resource_owner
+        res_cooling = self._res_cooling
+        num_vcs = cfg.port_config.num_vcs
+
+        # Requests grouped by the flat id of the resource they contend
+        # for (pair_requests by packed (src_layer, dst_layer) since the
+        # priority mux assigns channels after ranking).
+        int_requests: Dict[int, List[int]] = {}
+        chan_requests: Dict[int, List[Tuple[int, int]]] = {}
+        pair_requests: Dict[int, List[Tuple[int, int]]] = {}
 
         for port in self.ports:
-            if port.port_id in self._cooling_inputs:
+            port_id = port.port_id
+            if in_cooling[port_id] or port.active_vc is not None:
                 continue
-            vc = port.candidate_vc(self._viable_for(port.port_id))
-            if vc is None:
-                continue
-            front = port.vcs[vc].front()
-            assert front is not None and front.is_head
-            candidate_vcs[port.port_id] = vc
-            dst = front.dst
-            src_layer = cfg.layer_of_port(port.port_id)
-            local_input = cfg.local_index(port.port_id)
-            ages[(src_layer, local_input)] = cycle - front.created_cycle
-            dst_layer = cfg.layer_of_port(dst)
-            if dst_layer == src_layer:
-                key = (src_layer, cfg.local_index(dst))
-                int_requests.setdefault(key, []).append(local_input)
-            elif self.allocation.is_binned:
-                channel = self.healthy_channel(
-                    src_layer, dst_layer,
-                    self.allocation.channel_for(local_input, dst),
-                )
-                key = (src_layer, dst_layer, channel)
-                chan_requests.setdefault(key, []).append((local_input, dst))
+            front = None
+            if binned:
+                # Inlined port.candidate_vc with the binned viability check:
+                # round-robin over VCs fronted by a head flit whose output
+                # and precomputed resource id are both free and not cooling.
+                rid_of_dst = request_rid[port_id]
+                vcs = port.vcs
+                start = port._rr_next_vc
+                vc = None
+                for offset in range(num_vcs):
+                    idx = start + offset
+                    if idx >= num_vcs:
+                        idx -= num_vcs
+                    fifo = vcs[idx]._fifo
+                    if fifo:
+                        head = fifo[0]
+                        if head.seq == 0:
+                            dst = head.dst
+                            if output_owner[dst] is None and not out_cooling[dst]:
+                                rid = rid_of_dst[dst]
+                                if resource_owner[rid] < 0 and not res_cooling[rid]:
+                                    vc = idx
+                                    front = head
+                                    break
+                if vc is None:
+                    continue
             else:
-                key = (src_layer, dst_layer)
-                pair_requests.setdefault(key, []).append((local_input, dst))
+                vc = port.candidate_vc(viability[port_id])
+                if vc is None:
+                    continue
+                front = port.vcs[vc]._fifo[0]
+                dst = front.dst
+            candidate_vcs[port_id] = vc
+            src_layer = layer_of[port_id]
+            local_input = local_of[port_id]
+            if track_ages:
+                ages[port_id] = cycle - front.created_cycle
+            dst_layer = layer_of[dst]
+            if dst_layer == src_layer:
+                requestors = int_requests.get(dst)
+                if requestors is None:
+                    int_requests[dst] = [local_input]
+                else:
+                    requestors.append(local_input)
+            elif binned:
+                requests = chan_requests.get(rid)
+                if requests is None:
+                    chan_requests[rid] = [(local_input, dst)]
+                else:
+                    requests.append((local_input, dst))
+            else:
+                pair = src_layer * layers + dst_layer
+                requests = pair_requests.get(pair)
+                if requests is None:
+                    pair_requests[pair] = [(local_input, dst)]
+                else:
+                    requests.append((local_input, dst))
 
-        winners: Dict[ResourceKey, _LocalWin] = {}
+        winners: Dict[int, _LocalWin] = {}
 
-        for (layer, local_out), requestors in int_requests.items():
-            resource = ("int", layer, local_out)
-            if resource in self.resource_owner or resource in self._cooling_resources:
+        for rid, requestors in int_requests.items():
+            # Intermediate-output id == its final output's global port id.
+            if resource_owner[rid] >= 0 or res_cooling[rid]:
                 continue
-            arbiter = self.int_arbiters[(layer, local_out)]
-            local_win = arbiter.arbitrate(requestors)
-            assert local_win is not None
-            winners[resource] = _LocalWin(
-                input_port=cfg.global_port(layer, local_win),
-                dst_output=cfg.global_port(layer, local_out),
-                weight=len(requestors),
-                resource=resource,
-                local_arbiter=arbiter,
-                local_slot=local_win,
-                age=ages[(layer, local_win)],
+            arbiter = self.int_arbiters[(layer_of[rid], local_of[rid])]
+            if len(requestors) == 1:  # lone requestor wins outright
+                local_win = requestors[0]
+            else:
+                # min-by-key == LRGArbiter.arbitrate (recency keys are
+                # distinct, so the minimum is unique); skips validation.
+                local_win = min(requestors, key=arbiter._rank.__getitem__)
+            winner_port = layer_of[rid] * ports_per_layer + local_win
+            winners[rid] = _LocalWin(
+                winner_port, rid, len(requestors), rid, arbiter, local_win,
+                ages[winner_port] if track_ages else 0,
             )
 
-        for (src, dst_layer, channel), requests in chan_requests.items():
-            resource = ("ch", src, dst_layer, channel)
-            if resource in self.resource_owner or resource in self._cooling_resources:
+        radix = cfg.radix
+        chan_of_rid = self._chan_of_rid
+        for rid, requests in chan_requests.items():
+            if resource_owner[rid] >= 0 or res_cooling[rid]:
                 continue
+            src, dst_layer, channel = chan_of_rid[rid - radix]
             arbiter = self.chan_arbiters[(src, dst_layer, channel)]
-            dst_by_input = dict(requests)
-            local_win = arbiter.arbitrate(dst_by_input.keys())
-            assert local_win is not None
-            winners[resource] = _LocalWin(
-                input_port=cfg.global_port(src, local_win),
-                dst_output=dst_by_input[local_win],
-                weight=len(requests),
-                resource=resource,
-                local_arbiter=arbiter,
-                local_slot=local_win,
-                age=ages[(src, local_win)],
+            if len(requests) == 1:  # lone requestor wins outright
+                local_win, dst_output = requests[0]
+            else:
+                dst_by_input = dict(requests)
+                local_win = min(dst_by_input, key=arbiter._rank.__getitem__)
+                dst_output = dst_by_input[local_win]
+            winner_port = src * ports_per_layer + local_win
+            winners[rid] = _LocalWin(
+                winner_port, dst_output, len(requests), rid, arbiter,
+                local_win, ages[winner_port] if track_ages else 0,
             )
 
-        for (src, dst_layer), requests in pair_requests.items():
-            free_channels = [
-                channel
-                for channel in range(cfg.channel_multiplicity)
-                if ("ch", src, dst_layer, channel) not in self.resource_owner
-                and ("ch", src, dst_layer, channel) not in self._cooling_resources
-                and (src, dst_layer, channel) not in self.failed_channels
+        cmult = cfg.channel_multiplicity
+        for pair, requests in pair_requests.items():
+            base = radix + pair * cmult
+            free_rids = [
+                base + channel
+                for channel in self._healthy_channels[pair]
+                if resource_owner[base + channel] < 0
+                and not res_cooling[base + channel]
             ]
-            if not free_channels:
+            if not free_rids:
                 continue
-            arbiter = self.pair_arbiters[(src, dst_layer)]
+            src = pair // layers
+            arbiter = self.pair_arbiters[(src, pair % layers)]
             dst_by_input = dict(requests)
-            ranked = sorted(dst_by_input.keys(), key=arbiter.rank)
+            ranked = sorted(dst_by_input, key=arbiter._rank.__getitem__)
             # The priority mux serialises: the top-ranked requestors take
             # the free channels in order.
-            weight = -(-len(requests) // cfg.channel_multiplicity)  # ceil
-            for channel, local_win in zip(free_channels, ranked):
-                resource = ("ch", src, dst_layer, channel)
-                winners[resource] = _LocalWin(
-                    input_port=cfg.global_port(src, local_win),
-                    dst_output=dst_by_input[local_win],
-                    weight=weight,
-                    resource=resource,
-                    local_arbiter=arbiter,
-                    local_slot=local_win,
-                    age=ages[(src, local_win)],
+            weight = -(-len(requests) // cmult)  # ceil
+            for rid, local_win in zip(free_rids, ranked):
+                winner_port = src * ports_per_layer + local_win
+                winners[rid] = _LocalWin(
+                    winner_port, dst_by_input[local_win], weight, rid,
+                    arbiter, local_win,
+                    ages[winner_port] if track_ages else 0,
                 )
         return winners
 
     def _phase2_interlayer(
         self,
-        local_winners: Dict[ResourceKey, _LocalWin],
-        candidate_vcs: Dict[int, int],
+        local_winners: Dict[int, _LocalWin],
+        candidate_vcs: List[int],
     ) -> None:
         """Per-sub-block arbitration among local winners; lock paths."""
         cfg = self.config
+        radix = cfg.radix
+        local_slot = cfg.local_slot
+        slot_table = cfg.slot_of_channel_table
+        output_owner = self.output_owner
+        out_cooling = self._out_cooling
         # Group candidates by final output; each local winner targets
         # exactly one output and each input appears at most once, so the
         # sub-blocks are independent.
         by_output: Dict[int, List[Tuple[int, _LocalWin]]] = {}
-        for resource, win in local_winners.items():
+        for rid, win in local_winners.items():
             output = win.dst_output
-            if self.output_owner[output] is not None:
+            if output_owner[output] is not None or out_cooling[output]:
                 continue
-            if output in self._cooling_outputs:
-                continue
-            if resource[0] == "int":
-                slot = cfg.local_slot
+            slot = local_slot if rid < radix else slot_table[rid - radix]
+            candidates = by_output.get(output)
+            if candidates is None:
+                by_output[output] = [(slot, win)]
             else:
-                _, src, dst_layer, channel = resource
-                slot = cfg.slot_of_channel(dst_layer, src, channel)
-            by_output.setdefault(output, []).append((slot, win))
+                candidates.append((slot, win))
 
+        subblock_pick = self._subblock_pick
         for output, candidates in by_output.items():
-            winner = self._subblock_arbitrate(output, candidates)
+            winner = subblock_pick(output, candidates)
             if winner is None:
                 continue
             self._establish(winner, output, candidate_vcs)
@@ -378,58 +676,102 @@ class HiRiseSwitch(SwitchModel):
         self, output: int, candidates: List[Tuple[int, "_LocalWin"]]
     ) -> Optional[_LocalWin]:
         """Run the configured scheme for one sub-block; commit its state."""
-        cfg = self.config
+        return self._subblock_pick(output, candidates)
+
+    def _subblock_slot_based(
+        self, output: int, candidates: List[Tuple[int, "_LocalWin"]]
+    ) -> Optional[_LocalWin]:
+        """L2L-LRG / L2L-RR sub-block arbitration: slot identity only."""
         arbiter = self.subblock_arbiters[output]
-        wins_by_slot = {slot: win for slot, win in candidates}
-
-        if cfg.arbitration in (
-            ArbitrationScheme.L2L_LRG, ArbitrationScheme.L2L_RR
-        ):
-            slot = arbiter.arbitrate(wins_by_slot.keys())
-            if slot is None:
-                return None
+        if len(candidates) == 1:  # a lone requestor always wins
+            slot, win = candidates[0]
             arbiter.update(slot)
-            return wins_by_slot[slot]
+            return win
+        wins_by_slot = dict(candidates)
+        slot = arbiter.arbitrate(wins_by_slot.keys())
+        if slot is None:
+            return None
+        arbiter.update(slot)
+        return wins_by_slot[slot]
 
-        if cfg.arbitration is ArbitrationScheme.AGE:
-            request = arbiter.arbitrate_requests(
-                (slot, win.age) for slot, win in candidates
-            )
-            if request is None:
-                return None
-            slot, age = request
-            arbiter.commit(slot, age)
-            return wins_by_slot[slot]
-
-        if cfg.arbitration is ArbitrationScheme.WLRG:
-            request = arbiter.arbitrate_requests(
-                (slot, win.weight) for slot, win in candidates
-            )
-            if request is None:
-                return None
-            slot, weight = request
-            arbiter.commit(slot, weight)
-            return wins_by_slot[slot]
-
-        # CLRG: class by primary input, LRG over slots to break ties.
+    def _subblock_age(
+        self, output: int, candidates: List[Tuple[int, "_LocalWin"]]
+    ) -> Optional[_LocalWin]:
+        """AGE sub-block arbitration: oldest head flit wins."""
+        arbiter = self.subblock_arbiters[output]
+        if len(candidates) == 1:
+            slot, win = candidates[0]
+            arbiter.commit(slot, win.age)
+            return win
         request = arbiter.arbitrate_requests(
-            (slot, win.input_port) for slot, win in candidates
+            [(slot, win.age) for slot, win in candidates]
+        )
+        if request is None:
+            return None
+        slot, age = request
+        arbiter.commit(slot, age)
+        return dict(candidates)[slot]
+
+    def _subblock_wlrg(
+        self, output: int, candidates: List[Tuple[int, "_LocalWin"]]
+    ) -> Optional[_LocalWin]:
+        """WLRG sub-block arbitration: weighted by live requestor count."""
+        arbiter = self.subblock_arbiters[output]
+        if len(candidates) == 1:
+            slot, win = candidates[0]
+            arbiter.commit(slot, win.weight)
+            return win
+        request = arbiter.arbitrate_requests(
+            [(slot, win.weight) for slot, win in candidates]
+        )
+        if request is None:
+            return None
+        slot, weight = request
+        arbiter.commit(slot, weight)
+        return dict(candidates)[slot]
+
+    def _subblock_clrg(
+        self, output: int, candidates: List[Tuple[int, "_LocalWin"]]
+    ) -> Optional[_LocalWin]:
+        """CLRG: class by primary input, LRG over slots to break ties."""
+        arbiter = self.subblock_arbiters[output]
+        if len(candidates) == 1:
+            slot, win = candidates[0]
+            # Inlined CLRGArbiter.commit (slot is valid by construction).
+            arbiter.counters.record_win(win.input_port)
+            lrg = arbiter.lrg
+            lrg._rank[slot] = lrg._stamp
+            lrg._stamp += 1
+            return win
+        request = arbiter.arbitrate_requests(
+            [(slot, win.input_port) for slot, win in candidates]
         )
         if request is None:
             return None
         slot, primary_input = request
-        arbiter.commit(slot, primary_input)
-        return wins_by_slot[slot]
+        arbiter.counters.record_win(primary_input)
+        lrg = arbiter.lrg
+        lrg._rank[slot] = lrg._stamp
+        lrg._stamp += 1
+        return dict(candidates)[slot]
 
     def _establish(
-        self, win: _LocalWin, output: int, candidate_vcs: Dict[int, int]
+        self, win: _LocalWin, output: int, candidate_vcs: List[int]
     ) -> None:
         """Lock the winner's full path and back-propagate the local update."""
-        port = self.ports[win.input_port]
-        port.grant(candidate_vcs[win.input_port])
-        self.resource_owner[win.resource] = win.input_port
-        self.output_owner[output] = win.input_port
-        self.connections[win.input_port] = (win.resource, output)
+        input_port = win.input_port
+        port = self.ports[input_port]
+        # Inlined port.grant() — phase 2 grants one winner per input by
+        # construction, so the busy check cannot fire here.
+        vc_index = candidate_vcs[input_port]
+        port.active_vc = vc_index
+        port._rr_next_vc = (vc_index + 1) % len(port.vcs)
+        self.resource_owner[win.resource] = input_port
+        self.output_owner[output] = input_port
+        self.connections[input_port] = (win.resource, output)
         # The local switch priority update is triggered only by the final
-        # output win (Section III-B.1).
-        win.local_arbiter.update(win.local_slot)
+        # output win (Section III-B.1).  Local arbiters are always plain
+        # LRG, so the O(1) recency-stamp demotion is inlined here.
+        arbiter = win.local_arbiter
+        arbiter._rank[win.local_slot] = arbiter._stamp
+        arbiter._stamp += 1

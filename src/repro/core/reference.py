@@ -1,0 +1,450 @@
+"""Frozen seed implementation of the Hi-Rise switch (golden reference).
+
+:class:`ReferenceHiRiseSwitch` is the original, un-optimized cycle kernel
+kept verbatim from the seed tree.  It exists for exactly two purposes:
+
+* **golden-trace equivalence** — the optimized fast-path kernel in
+  :mod:`repro.core.hirise` must produce bit-identical
+  :class:`~repro.network.engine.SimulationResult`\\ s to this class for
+  every arbitration scheme x allocation policy under the same seeds
+  (``tests/core/test_golden_equivalence.py``);
+* **performance baselining** — ``scripts/bench_kernel.py --reference``
+  measures it so the before/after cycles/s trajectory stays visible.
+
+Do not optimize or otherwise modify the arbitration logic here; any
+behavioural change belongs in :mod:`repro.core.hirise` and must keep the
+equivalence suite green.
+
+Structure (Section III-A): the N inputs and N outputs are split evenly over
+L layers.  Each layer has a *local switch* routing its N/L inputs to N/L
+dedicated intermediate outputs (one per final output on the same layer) and
+to ``c`` layer-to-layer channels (L2LCs) toward each other layer, and an
+*inter-layer switch* of N/L sub-blocks, each arbitrating one final output
+among the ``c*(L-1)`` incoming L2LCs plus the local intermediate output.
+
+Arbitration is two-phase but completes in a single cycle (two-phase
+clocking, Section IV-C):
+
+* **Phase 1 (local)** — every idle input presents one request (for the
+  intermediate output dedicated to a same-layer destination, or for an
+  L2LC chosen by the allocation policy); each free local resource picks a
+  winner by LRG.  *The local priority vector is not updated yet.*
+* **Phase 2 (inter-layer)** — each free final output arbitrates among the
+  local winners reaching it (over L2LCs and the local intermediate) using
+  the configured scheme (L2L-LRG / WLRG / CLRG).  Only a final-output win
+  back-propagates the local LRG update, which is what guarantees
+  starvation freedom: a repeatedly losing input keeps its local priority
+  while rising at the inter-layer switch.
+
+A winning packet locks its whole path — input port, local resource (L2LC or
+intermediate output), and final output — until its tail flit transfers, and
+data moves end-to-end in one cycle per flit, exactly like the flat switch.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arbitration.age import AgeArbiter
+from repro.arbitration.clrg import CLRGArbiter
+from repro.arbitration.lrg import LRGArbiter
+from repro.arbitration.round_robin import RoundRobinArbiter
+from repro.arbitration.wlrg import WLRGArbiter
+from repro.core.channels import make_allocation
+from repro.core.config import ArbitrationScheme, HiRiseConfig
+from repro.network.engine import SwitchModel
+from repro.network.flit import Flit
+from repro.network.packet import Packet
+from repro.network.port import InputPort
+
+# Resource keys: ("int", layer, local_output) for intermediate outputs,
+# ("ch", src_layer, dst_layer, channel) for layer-to-layer channels.
+ResourceKey = Tuple
+
+
+@dataclass
+class _ReferenceLocalWin:
+    """Outcome of one phase-1 (local switch) arbitration."""
+
+    input_port: int          # global id of the winning primary input
+    dst_output: int          # global final output it requests
+    weight: int              # live requestor count (for WLRG)
+    resource: ResourceKey    # the resource this winner would occupy
+    local_arbiter: LRGArbiter
+    local_slot: int          # slot to update in the local arbiter on a win
+    age: int = 0             # head-flit wait in cycles (for AGE arbitration)
+
+
+class ReferenceHiRiseSwitch(SwitchModel):
+    """Seed-version cycle-accurate Hi-Rise switch (golden reference).
+
+    Args:
+        config: Architectural parameters (radix, layers, channel
+            multiplicity, allocation policy, arbitration scheme).
+    """
+
+    def __init__(self, config: Optional[HiRiseConfig] = None) -> None:
+        self.config = config or HiRiseConfig()
+        cfg = self.config
+        self.num_ports = cfg.radix
+        self.allocation = make_allocation(cfg)
+        self.ports: List[InputPort] = [
+            InputPort(i, cfg.port_config) for i in range(cfg.radix)
+        ]
+
+        ports_per_layer = cfg.ports_per_layer
+        # Phase-1 arbiters, all over local input indices.
+        self.int_arbiters: Dict[Tuple[int, int], LRGArbiter] = {
+            (layer, j): LRGArbiter(ports_per_layer)
+            for layer in range(cfg.layers)
+            for j in range(ports_per_layer)
+        }
+        self.chan_arbiters: Dict[Tuple[int, int, int], LRGArbiter] = {}
+        self.pair_arbiters: Dict[Tuple[int, int], LRGArbiter] = {}
+        for src in range(cfg.layers):
+            for dst in range(cfg.layers):
+                if src == dst:
+                    continue
+                self.pair_arbiters[(src, dst)] = LRGArbiter(ports_per_layer)
+                for channel in range(cfg.channel_multiplicity):
+                    self.chan_arbiters[(src, dst, channel)] = LRGArbiter(
+                        ports_per_layer
+                    )
+
+        # Phase-2 arbiters: one per final output (inter-layer sub-block).
+        self.subblock_arbiters: Dict[int, object] = {
+            output: self._make_subblock_arbiter() for output in range(cfg.radix)
+        }
+
+        # Path state.
+        self.resource_owner: Dict[ResourceKey, int] = {}
+        self.output_owner: List[Optional[int]] = [None] * cfg.radix
+        # input -> (resource, output) of its live connection.
+        self.connections: Dict[int, Tuple[ResourceKey, int]] = {}
+        # Paths whose tail transferred this cycle (arbitration blackout).
+        self._cooling_inputs: set = set()
+        self._cooling_outputs: set = set()
+        self._cooling_resources: set = set()
+        # L2LCs with faulty TSV bundles: never granted (robustness ext.).
+        self.failed_channels = frozenset(cfg.failed_channels)
+
+    def _make_subblock_arbiter(self):
+        cfg = self.config
+        slots = cfg.subblock_inputs
+        if cfg.arbitration is ArbitrationScheme.L2L_LRG:
+            return LRGArbiter(slots)
+        if cfg.arbitration is ArbitrationScheme.WLRG:
+            return WLRGArbiter(slots)
+        if cfg.arbitration is ArbitrationScheme.CLRG:
+            if cfg.qos_weights is not None:
+                from repro.arbitration.qos import QoSCLRGArbiter
+
+                return QoSCLRGArbiter(
+                    slots, cfg.radix, cfg.qos_weights, cfg.num_classes
+                )
+            return CLRGArbiter(slots, cfg.radix, cfg.num_classes)
+        if cfg.arbitration is ArbitrationScheme.L2L_RR:
+            return RoundRobinArbiter(slots)
+        if cfg.arbitration is ArbitrationScheme.AGE:
+            return AgeArbiter(slots)
+        raise ValueError(f"unknown arbitration scheme: {cfg.arbitration}")
+
+    def healthy_channel(self, src_layer: int, dst_layer: int, nominal: int) -> int:
+        """Remap a binned channel choice around failed TSV bundles.
+
+        Returns the nominal channel when healthy, otherwise the next
+        healthy channel toward the same destination layer (configuration
+        validation guarantees one exists).
+        """
+        c = self.config.channel_multiplicity
+        for offset in range(c):
+            channel = (nominal + offset) % c
+            if (src_layer, dst_layer, channel) not in self.failed_channels:
+                return channel
+        raise AssertionError("config validation guarantees a healthy channel")
+
+    # ------------------------------------------------------------------
+    # SwitchModel interface
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        if not 0 <= packet.src < self.num_ports:
+            raise ValueError(f"source port {packet.src} out of range")
+        if not 0 <= packet.dst < self.num_ports:
+            raise ValueError(f"destination port {packet.dst} out of range")
+        self.ports[packet.src].enqueue_packet(packet)
+
+    def step(self, cycle: int) -> List[Flit]:
+        # Paths released by a tail this cycle carried data on their wires,
+        # so they cannot also arbitrate this cycle: every packet pays one
+        # arbitration cycle ("arbitrate or transmit in a single cycle").
+        self._cooling_inputs.clear()
+        self._cooling_outputs.clear()
+        self._cooling_resources.clear()
+        ejected = self._transmit(cycle)
+        for port in self.ports:
+            port.refill(cycle)
+        self._arbitrate(cycle)
+        return ejected
+
+    def occupancy(self) -> int:
+        return sum(port.total_occupancy() for port in self.ports)
+
+    # ------------------------------------------------------------------
+    # Transmit phase
+    # ------------------------------------------------------------------
+    def _transmit(self, cycle: int) -> List[Flit]:
+        ejected: List[Flit] = []
+        for port in self.ports:
+            if port.active_has_flit():
+                flit = port.transmit()
+                flit.ejected_cycle = cycle
+                ejected.append(flit)
+                if flit.is_tail:
+                    resource, output = self.connections.pop(flit.src)
+                    del self.resource_owner[resource]
+                    self.output_owner[output] = None
+                    self._cooling_inputs.add(flit.src)
+                    self._cooling_outputs.add(output)
+                    self._cooling_resources.add(resource)
+        return ejected
+
+    # ------------------------------------------------------------------
+    # Arbitration (two phases within one cycle)
+    # ------------------------------------------------------------------
+    def _arbitrate(self, cycle: int) -> None:
+        candidate_vcs: Dict[int, int] = {}
+        local_winners = self._phase1_local(candidate_vcs, cycle)
+        self._phase2_interlayer(local_winners, candidate_vcs)
+
+    def _viable_for(self, port_id: int):
+        """Predicate: can this head flit's path be granted this cycle?
+
+        The cross-points expose channel-free status (Fig 6), so an input
+        never wastes its single request on a busy final output or a busy
+        L2LC; another VC's head gets the request lines instead.
+        """
+        cfg = self.config
+        src_layer = cfg.layer_of_port(port_id)
+        local_input = cfg.local_index(port_id)
+
+        def resource_free(resource: ResourceKey) -> bool:
+            return (
+                resource not in self.resource_owner
+                and resource not in self._cooling_resources
+            )
+
+        def viable(flit: Flit) -> bool:
+            if self.output_owner[flit.dst] is not None:
+                return False
+            if flit.dst in self._cooling_outputs:
+                return False
+            dst_layer = cfg.layer_of_port(flit.dst)
+            if dst_layer == src_layer:
+                return resource_free(("int", src_layer, cfg.local_index(flit.dst)))
+            if self.allocation.is_binned:
+                channel = self.healthy_channel(
+                    src_layer, dst_layer,
+                    self.allocation.channel_for(local_input, flit.dst),
+                )
+                return resource_free(("ch", src_layer, dst_layer, channel))
+            return any(
+                resource_free(("ch", src_layer, dst_layer, channel))
+                for channel in range(cfg.channel_multiplicity)
+                if (src_layer, dst_layer, channel) not in self.failed_channels
+            )
+
+        return viable
+
+    def _phase1_local(
+        self, candidate_vcs: Dict[int, int], cycle: int
+    ) -> Dict[ResourceKey, _ReferenceLocalWin]:
+        """Collect requests and run every free local resource's arbitration."""
+        cfg = self.config
+        int_requests: Dict[Tuple[int, int], List[int]] = {}
+        chan_requests: Dict[Tuple[int, int, int], List[Tuple[int, int]]] = {}
+        pair_requests: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        # Head-flit wait per (layer, local input), for AGE arbitration.
+        ages: Dict[Tuple[int, int], int] = {}
+
+        for port in self.ports:
+            if port.port_id in self._cooling_inputs:
+                continue
+            vc = port.candidate_vc(self._viable_for(port.port_id))
+            if vc is None:
+                continue
+            front = port.vcs[vc].front()
+            assert front is not None and front.is_head
+            candidate_vcs[port.port_id] = vc
+            dst = front.dst
+            src_layer = cfg.layer_of_port(port.port_id)
+            local_input = cfg.local_index(port.port_id)
+            ages[(src_layer, local_input)] = cycle - front.created_cycle
+            dst_layer = cfg.layer_of_port(dst)
+            if dst_layer == src_layer:
+                key = (src_layer, cfg.local_index(dst))
+                int_requests.setdefault(key, []).append(local_input)
+            elif self.allocation.is_binned:
+                channel = self.healthy_channel(
+                    src_layer, dst_layer,
+                    self.allocation.channel_for(local_input, dst),
+                )
+                key = (src_layer, dst_layer, channel)
+                chan_requests.setdefault(key, []).append((local_input, dst))
+            else:
+                key = (src_layer, dst_layer)
+                pair_requests.setdefault(key, []).append((local_input, dst))
+
+        winners: Dict[ResourceKey, _ReferenceLocalWin] = {}
+
+        for (layer, local_out), requestors in int_requests.items():
+            resource = ("int", layer, local_out)
+            if resource in self.resource_owner or resource in self._cooling_resources:
+                continue
+            arbiter = self.int_arbiters[(layer, local_out)]
+            local_win = arbiter.arbitrate(requestors)
+            assert local_win is not None
+            winners[resource] = _ReferenceLocalWin(
+                input_port=cfg.global_port(layer, local_win),
+                dst_output=cfg.global_port(layer, local_out),
+                weight=len(requestors),
+                resource=resource,
+                local_arbiter=arbiter,
+                local_slot=local_win,
+                age=ages[(layer, local_win)],
+            )
+
+        for (src, dst_layer, channel), requests in chan_requests.items():
+            resource = ("ch", src, dst_layer, channel)
+            if resource in self.resource_owner or resource in self._cooling_resources:
+                continue
+            arbiter = self.chan_arbiters[(src, dst_layer, channel)]
+            dst_by_input = dict(requests)
+            local_win = arbiter.arbitrate(dst_by_input.keys())
+            assert local_win is not None
+            winners[resource] = _ReferenceLocalWin(
+                input_port=cfg.global_port(src, local_win),
+                dst_output=dst_by_input[local_win],
+                weight=len(requests),
+                resource=resource,
+                local_arbiter=arbiter,
+                local_slot=local_win,
+                age=ages[(src, local_win)],
+            )
+
+        for (src, dst_layer), requests in pair_requests.items():
+            free_channels = [
+                channel
+                for channel in range(cfg.channel_multiplicity)
+                if ("ch", src, dst_layer, channel) not in self.resource_owner
+                and ("ch", src, dst_layer, channel) not in self._cooling_resources
+                and (src, dst_layer, channel) not in self.failed_channels
+            ]
+            if not free_channels:
+                continue
+            arbiter = self.pair_arbiters[(src, dst_layer)]
+            dst_by_input = dict(requests)
+            ranked = sorted(dst_by_input.keys(), key=arbiter.rank)
+            # The priority mux serialises: the top-ranked requestors take
+            # the free channels in order.
+            weight = -(-len(requests) // cfg.channel_multiplicity)  # ceil
+            for channel, local_win in zip(free_channels, ranked):
+                resource = ("ch", src, dst_layer, channel)
+                winners[resource] = _ReferenceLocalWin(
+                    input_port=cfg.global_port(src, local_win),
+                    dst_output=dst_by_input[local_win],
+                    weight=weight,
+                    resource=resource,
+                    local_arbiter=arbiter,
+                    local_slot=local_win,
+                    age=ages[(src, local_win)],
+                )
+        return winners
+
+    def _phase2_interlayer(
+        self,
+        local_winners: Dict[ResourceKey, _ReferenceLocalWin],
+        candidate_vcs: Dict[int, int],
+    ) -> None:
+        """Per-sub-block arbitration among local winners; lock paths."""
+        cfg = self.config
+        # Group candidates by final output; each local winner targets
+        # exactly one output and each input appears at most once, so the
+        # sub-blocks are independent.
+        by_output: Dict[int, List[Tuple[int, _ReferenceLocalWin]]] = {}
+        for resource, win in local_winners.items():
+            output = win.dst_output
+            if self.output_owner[output] is not None:
+                continue
+            if output in self._cooling_outputs:
+                continue
+            if resource[0] == "int":
+                slot = cfg.local_slot
+            else:
+                _, src, dst_layer, channel = resource
+                slot = cfg.slot_of_channel(dst_layer, src, channel)
+            by_output.setdefault(output, []).append((slot, win))
+
+        for output, candidates in by_output.items():
+            winner = self._subblock_arbitrate(output, candidates)
+            if winner is None:
+                continue
+            self._establish(winner, output, candidate_vcs)
+
+    def _subblock_arbitrate(
+        self, output: int, candidates: List[Tuple[int, "_ReferenceLocalWin"]]
+    ) -> Optional[_ReferenceLocalWin]:
+        """Run the configured scheme for one sub-block; commit its state."""
+        cfg = self.config
+        arbiter = self.subblock_arbiters[output]
+        wins_by_slot = {slot: win for slot, win in candidates}
+
+        if cfg.arbitration in (
+            ArbitrationScheme.L2L_LRG, ArbitrationScheme.L2L_RR
+        ):
+            slot = arbiter.arbitrate(wins_by_slot.keys())
+            if slot is None:
+                return None
+            arbiter.update(slot)
+            return wins_by_slot[slot]
+
+        if cfg.arbitration is ArbitrationScheme.AGE:
+            request = arbiter.arbitrate_requests(
+                (slot, win.age) for slot, win in candidates
+            )
+            if request is None:
+                return None
+            slot, age = request
+            arbiter.commit(slot, age)
+            return wins_by_slot[slot]
+
+        if cfg.arbitration is ArbitrationScheme.WLRG:
+            request = arbiter.arbitrate_requests(
+                (slot, win.weight) for slot, win in candidates
+            )
+            if request is None:
+                return None
+            slot, weight = request
+            arbiter.commit(slot, weight)
+            return wins_by_slot[slot]
+
+        # CLRG: class by primary input, LRG over slots to break ties.
+        request = arbiter.arbitrate_requests(
+            (slot, win.input_port) for slot, win in candidates
+        )
+        if request is None:
+            return None
+        slot, primary_input = request
+        arbiter.commit(slot, primary_input)
+        return wins_by_slot[slot]
+
+    def _establish(
+        self, win: _ReferenceLocalWin, output: int, candidate_vcs: Dict[int, int]
+    ) -> None:
+        """Lock the winner's full path and back-propagate the local update."""
+        port = self.ports[win.input_port]
+        port.grant(candidate_vcs[win.input_port])
+        self.resource_owner[win.resource] = win.input_port
+        self.output_owner[output] = win.input_port
+        self.connections[win.input_port] = (win.resource, output)
+        # The local switch priority update is triggered only by the final
+        # output win (Section III-B.1).
+        win.local_arbiter.update(win.local_slot)

@@ -1,0 +1,132 @@
+"""Process-parallel execution of sweeps and replications.
+
+Parameter sweeps and independent replications are embarrassingly parallel:
+every task is a pure function of ``(parameters, seed)``.  This module fans
+such tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+while guaranteeing:
+
+* **determinism** — each task derives its seed exactly as the serial code
+  does (``base_seed`` for single-shot points, ``base_seed + i`` for the
+  i-th replication), and results are reassembled in submission order, so
+  ``workers=N`` returns bit-identical results to ``workers=1``;
+* **graceful degradation** — with ``workers=1``, a single task, an
+  unpicklable measurement, or a pool that fails to spawn (restricted
+  containers, daemonic parents), the tasks simply run serially.
+
+Measurement callables must be picklable (module-level functions, not
+lambdas or closures) to actually run in worker processes; anything else
+silently falls back to the serial path.
+"""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.confidence import ConfidenceInterval, t_interval
+
+
+def _run_measurement(
+    task: Tuple[Callable[..., float], Dict[str, object], int]
+) -> float:
+    """Execute one ``(measurement, parameters, seed)`` task (pickled)."""
+    measurement, parameters, seed = task
+    return float(measurement(seed=seed, **parameters))
+
+
+def _execute_tasks(
+    tasks: Sequence[Tuple[Callable[..., float], Dict[str, object], int]],
+    workers: int,
+) -> List[float]:
+    """Run tasks, in order, across ``workers`` processes (1 = serial).
+
+    Falls back to the serial path when parallelism cannot help (one task)
+    or cannot work (unpicklable tasks, pool spawn failure).  Exceptions
+    raised by the measurement itself always propagate.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1 or len(tasks) <= 1:
+        return [_run_measurement(task) for task in tasks]
+    try:
+        pickle.dumps(tasks)
+    except Exception:
+        return [_run_measurement(task) for task in tasks]
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError):
+        return [_run_measurement(task) for task in tasks]
+    try:
+        # map() preserves submission order regardless of completion order.
+        return list(pool.map(_run_measurement, tasks))
+    except (OSError, BrokenProcessPool):
+        return [_run_measurement(task) for task in tasks]
+    finally:
+        pool.shutdown()
+
+
+def replicate(
+    measurement: Callable[..., float],
+    parameters: Optional[Dict[str, object]] = None,
+    num_replications: int = 5,
+    confidence: float = 0.95,
+    base_seed: int = 0,
+    workers: int = 1,
+) -> ConfidenceInterval:
+    """Parallel independent replications of one measurement.
+
+    Equivalent to :func:`repro.metrics.confidence.replicate` over
+    ``measurement(seed=base_seed + i, **parameters)`` but with the
+    replications spread over ``workers`` processes.  Results are
+    identical to the serial path for any worker count.
+    """
+    if num_replications < 2:
+        raise ValueError("need at least two replications for an interval")
+    tasks = [
+        (measurement, dict(parameters or {}), base_seed + index)
+        for index in range(num_replications)
+    ]
+    return t_interval(_execute_tasks(tasks, workers), confidence)
+
+
+def run_sweep(
+    measurement: Callable[..., float],
+    grid: Sequence[Dict[str, object]],
+    replications: int = 1,
+    confidence: float = 0.95,
+    base_seed: int = 0,
+    workers: int = 1,
+) -> List["SweepPoint"]:
+    """Parallel version of :func:`repro.harness.sweep.run_sweep`.
+
+    The full (point, replication) task list is flattened and spread over
+    ``workers`` processes; the returned points are identical (values,
+    ordering, intervals) to the serial sweep for any worker count.
+    """
+    from repro.harness.sweep import SweepPoint
+
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    tasks = [
+        (measurement, dict(parameters), base_seed + index)
+        for parameters in grid
+        for index in range(replications)
+    ]
+    values = _execute_tasks(tasks, workers)
+    points: List[SweepPoint] = []
+    for number, parameters in enumerate(grid):
+        chunk = values[number * replications:(number + 1) * replications]
+        if replications == 1:
+            points.append(
+                SweepPoint(parameters=dict(parameters), value=chunk[0])
+            )
+        else:
+            interval = t_interval(chunk, confidence)
+            points.append(
+                SweepPoint(
+                    parameters=dict(parameters),
+                    value=interval.mean,
+                    interval=interval,
+                )
+            )
+    return points

@@ -46,21 +46,32 @@ def run_sweep(
     replications: int = 1,
     confidence: float = 0.95,
     base_seed: int = 0,
+    workers: int = 1,
 ) -> List[SweepPoint]:
     """Measure every grid point, optionally replicated over seeds.
 
     Args:
         measurement: Called as ``measurement(seed=..., **parameters)``;
-            must return a scalar.
+            must return a scalar.  Must be picklable (a module-level
+            function) for ``workers > 1`` to actually parallelise.
         grid: Parameter dictionaries (see :func:`parameter_grid`).
         replications: Independent seeds per point; with more than one, a
             t-confidence interval accompanies each point.
+        workers: Processes to spread the (point, replication) tasks over.
+            Results are identical to the serial path for any value; see
+            :mod:`repro.harness.parallel`.
 
     Raises:
-        ValueError: If ``replications`` is not positive.
+        ValueError: If ``replications`` or ``workers`` is not positive.
     """
     if replications < 1:
         raise ValueError("need at least one replication")
+    if workers != 1:
+        from repro.harness import parallel
+        return parallel.run_sweep(
+            measurement, grid, replications=replications,
+            confidence=confidence, base_seed=base_seed, workers=workers,
+        )
     points: List[SweepPoint] = []
     for parameters in grid:
         if replications == 1:

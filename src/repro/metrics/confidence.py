@@ -103,15 +103,42 @@ def replicate(
     num_replications: int = 5,
     confidence: float = 0.95,
     base_seed: int = 0,
+    workers: int = 1,
 ) -> ConfidenceInterval:
     """Confidence interval from independent replications.
 
     Args:
         experiment: Maps a seed to one scalar measurement (e.g. a
-            saturation-throughput run).
+            saturation-throughput run).  Must be picklable (a
+            module-level function) for ``workers > 1`` to actually
+            parallelise.
         num_replications: Independent runs, seeded ``base_seed + i``.
+        workers: Processes to spread replications over.  Results are
+            identical to the serial path for any value; see
+            :mod:`repro.harness.parallel`.
     """
+    if workers != 1:
+        from repro.harness.parallel import _execute_tasks
+        tasks = [
+            (_SeedOnly(experiment), {}, base_seed + index)
+            for index in range(num_replications)
+        ]
+        return t_interval(_execute_tasks(tasks, workers), confidence)
     results = [
         experiment(base_seed + index) for index in range(num_replications)
     ]
     return t_interval(results, confidence)
+
+
+class _SeedOnly:
+    """Adapts a seed-only experiment to the keyword task convention.
+
+    A module-level class (rather than a closure) so instances pickle into
+    worker processes whenever the wrapped experiment itself pickles.
+    """
+
+    def __init__(self, experiment: Callable[[int], float]) -> None:
+        self.experiment = experiment
+
+    def __call__(self, seed: int) -> float:
+        return float(self.experiment(seed))

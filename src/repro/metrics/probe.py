@@ -45,10 +45,17 @@ class ProbedSwitch(SwitchModel):
             for output, owner in enumerate(output_owner):
                 if owner is not None:
                     self._output_busy[output] += 1
-        resource_owner = getattr(self.switch, "resource_owner", None)
-        if resource_owner is not None:
-            for resource in resource_owner:
+        busy_resources = getattr(self.switch, "busy_resources", None)
+        if busy_resources is not None:
+            # Fast-path kernels expose tuple keys of owned resources
+            # directly (their resource_owner is a flat id-indexed array).
+            for resource in busy_resources():
                 self._resource_busy[resource] += 1
+        else:
+            resource_owner = getattr(self.switch, "resource_owner", None)
+            if resource_owner is not None:
+                for resource in resource_owner:
+                    self._resource_busy[resource] += 1
         return ejected
 
     def occupancy(self) -> int:

@@ -17,10 +17,22 @@ the standard methodology for measuring saturation throughput and latency.
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Protocol
+from typing import Dict, Iterable, List, Optional, Protocol
 
 from repro.network.flit import Flit
 from repro.network.packet import Packet
+
+#: Consecutive no-progress drain cycles tolerated before the drain loop
+#: declares the switch wedged and raises.  Read at call time so tests can
+#: lower it to exercise the failure path.
+DRAIN_IDLE_LIMIT = 100_000
+
+#: Default cap on the number of per-packet latency samples retained in
+#: ``SimulationResult.packet_latencies``.  Aggregate statistics
+#: (``avg_latency_cycles`` and friends) always use exact streaming sums;
+#: the sample list exists for distribution plots and exact-trace tests,
+#: and decimates deterministically once it outgrows this bound.
+DEFAULT_LATENCY_SAMPLE_LIMIT = 1 << 20
 
 
 class TrafficSource(Protocol):
@@ -58,8 +70,18 @@ class SimulationResult:
         packets_injected: Packets generated during the measured window.
         packets_ejected: Packets fully delivered during the measured window.
         flits_ejected: Flits delivered during the measured window.
-        packet_latencies: Per-packet latency in cycles (generation to tail
-            ejection) for packets that completed in the measured window.
+        packet_latencies: Per-packet latency samples in cycles (generation
+            to tail ejection) for packets that completed in the measured
+            window.  Bounded: once the list exceeds
+            ``latency_sample_limit`` it is deterministically decimated
+            (every other sample kept, sampling stride doubled), so memory
+            stays O(limit) on arbitrarily long runs.  Aggregate statistics
+            do **not** depend on this list — they come from the exact
+            streaming fields below.
+        latency_count: Exact number of delivered packets recorded.
+        latency_sum: Exact sum of all delivered-packet latencies.
+        latency_sumsq: Exact sum of squared latencies (for the variance).
+        latency_sample_limit: Sample-list bound (``None`` = unbounded).
         per_input_ejected: Delivered packet count by source port.
         per_input_latency_sum: Sum of delivered packet latencies by source.
         per_output_ejected: Delivered packet count by destination port.
@@ -70,16 +92,53 @@ class SimulationResult:
     packets_ejected: int = 0
     flits_ejected: int = 0
     packet_latencies: List[int] = field(default_factory=list)
+    latency_count: int = 0
+    latency_sum: int = 0
+    latency_sumsq: int = 0
+    latency_sample_limit: Optional[int] = DEFAULT_LATENCY_SAMPLE_LIMIT
     per_input_ejected: Dict[int, int] = field(default_factory=dict)
     per_input_latency_sum: Dict[int, int] = field(default_factory=dict)
     per_output_ejected: Dict[int, int] = field(default_factory=dict)
+    # Current sampling stride for packet_latencies (1 = keep everything).
+    _sample_stride: int = field(default=1, repr=False)
+
+    def record_latency(self, latency: int) -> None:
+        """Record one delivered packet's latency.
+
+        Streaming aggregates are always exact; the sample list keeps
+        every ``_sample_stride``-th packet and halves itself (doubling
+        the stride) whenever it outgrows ``latency_sample_limit``.
+        """
+        index = self.latency_count
+        self.latency_count = index + 1
+        self.latency_sum += latency
+        self.latency_sumsq += latency * latency
+        if index % self._sample_stride == 0:
+            samples = self.packet_latencies
+            samples.append(latency)
+            limit = self.latency_sample_limit
+            if limit is not None and len(samples) > limit:
+                samples[:] = samples[::2]
+                self._sample_stride *= 2
 
     @property
     def avg_latency_cycles(self) -> float:
-        """Mean packet latency in cycles over the measured window."""
+        """Mean packet latency in cycles over the measured window (exact)."""
+        if self.latency_count:
+            return self.latency_sum / self.latency_count
+        # Results assembled by hand (tests, analysis helpers) may fill the
+        # sample list without going through record_latency.
         if not self.packet_latencies:
             return float("nan")
         return sum(self.packet_latencies) / len(self.packet_latencies)
+
+    @property
+    def latency_variance_cycles(self) -> float:
+        """Population variance of packet latency over the window (exact)."""
+        if not self.latency_count:
+            return float("nan")
+        mean = self.latency_sum / self.latency_count
+        return self.latency_sumsq / self.latency_count - mean * mean
 
     @property
     def throughput_packets_per_cycle(self) -> float:
@@ -124,12 +183,16 @@ class Simulation:
         switch: SwitchModel,
         traffic: TrafficSource,
         warmup_cycles: int = 0,
+        latency_sample_limit: Optional[int] = DEFAULT_LATENCY_SAMPLE_LIMIT,
     ) -> None:
         if warmup_cycles < 0:
             raise ValueError("warm-up must be non-negative")
+        if latency_sample_limit is not None and latency_sample_limit < 1:
+            raise ValueError("latency sample limit must be >= 1 or None")
         self.switch = switch
         self.traffic = traffic
         self.warmup_cycles = warmup_cycles
+        self.latency_sample_limit = latency_sample_limit
         self._cycle = 0
         # Tail flits observed before the measurement window opened; their
         # packets must not be counted even if observed again (they cannot
@@ -153,8 +216,13 @@ class Simulation:
 
         Returns:
             The accumulated :class:`SimulationResult`.
+
+        Raises:
+            RuntimeError: If, while draining, the switch makes no progress
+                for ``DRAIN_IDLE_LIMIT`` consecutive cycles (a wedged
+                switch model would otherwise spin silently forever).
         """
-        result = SimulationResult()
+        result = SimulationResult(latency_sample_limit=self.latency_sample_limit)
         end_warmup = self._cycle + self.warmup_cycles
         end_measure = end_warmup + measure_cycles
 
@@ -163,11 +231,34 @@ class Simulation:
             self._tick(result, measuring, inject=True)
         if drain:
             idle_cycles = 0
-            while self.switch.occupancy() > 0 and idle_cycles < 100000:
+            while self.switch.occupancy() > 0:
+                if idle_cycles >= DRAIN_IDLE_LIMIT:
+                    raise RuntimeError(self._drain_stall_message(idle_cycles))
                 before = self.switch.occupancy()
                 self._tick(result, measuring=True, inject=False)
                 idle_cycles = idle_cycles + 1 if self.switch.occupancy() == before else 0
         return result
+
+    def _drain_stall_message(self, idle_cycles: int) -> str:
+        """Occupancy snapshot for the drain-stall error."""
+        switch = self.switch
+        message = (
+            f"drain made no progress for {idle_cycles} consecutive cycles "
+            f"at cycle {self._cycle}: {switch.occupancy()} flits still "
+            f"inside the switch"
+        )
+        ports = getattr(switch, "ports", None)
+        if ports:
+            stuck = [
+                f"port {port.port_id}: {occupancy} flits"
+                for port in ports
+                if (occupancy := port.total_occupancy()) > 0
+            ]
+            message += " (" + ", ".join(stuck[:8])
+            if len(stuck) > 8:
+                message += f", ... {len(stuck) - 8} more ports"
+            message += ")"
+        return message
 
     def _tick(self, result: SimulationResult, measuring: bool, inject: bool) -> None:
         cycle = self._cycle
@@ -184,7 +275,7 @@ class Simulation:
                 if flit.is_tail:
                     result.packets_ejected += 1
                     latency = cycle - flit.created_cycle
-                    result.packet_latencies.append(latency)
+                    result.record_latency(latency)
                     result.per_input_ejected[flit.src] = (
                         result.per_input_ejected.get(flit.src, 0) + 1
                     )

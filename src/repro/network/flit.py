@@ -10,7 +10,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flit of a packet.
 

@@ -25,6 +25,54 @@ from repro.network.packet import Packet
 from repro.network.vc import VirtualChannel
 
 
+class SourceQueue:
+    """Unbounded network-interface queue with lazy flit expansion.
+
+    Packets wait here as whole :class:`Packet` objects; a packet's flits
+    are only materialised when it reaches the front of the queue and its
+    first flit is about to enter a virtual channel.  At saturation the
+    queue backs up by design (source queueing counts toward latency), so
+    deferring the per-flit object creation keeps memory proportional to
+    the number of *packets* waiting and moves the expansion cost off the
+    injection path entirely for packets still queued.
+
+    ``len()`` reports the queue length in **flits**, matching the eager
+    flit deque this replaces.
+    """
+
+    __slots__ = ("_packets", "_flits", "_pending_flits")
+
+    def __init__(self) -> None:
+        self._packets: Deque[Packet] = deque()
+        # Flits of the packet currently being streamed into a VC.
+        self._flits: Deque[Flit] = deque()
+        self._pending_flits = 0
+
+    def __len__(self) -> int:
+        return self._pending_flits
+
+    def append_packet(self, packet: Packet) -> None:
+        """Enqueue a packet without materialising its flits yet."""
+        self._packets.append(packet)
+        self._pending_flits += packet.num_flits
+
+    def front(self) -> Optional[Flit]:
+        """The next flit to enter a VC, or None when the queue is empty.
+
+        Expands the next packet on demand; repeated calls are O(1).
+        """
+        if not self._flits:
+            if not self._packets:
+                return None
+            self._flits.extend(self._packets.popleft().to_flits())
+        return self._flits[0]
+
+    def popleft(self) -> Flit:
+        """Remove and return the front flit (callers use front() first)."""
+        self._pending_flits -= 1
+        return self._flits.popleft()
+
+
 @dataclass(frozen=True)
 class PortConfig:
     """Buffering configuration of an input port.
@@ -52,18 +100,29 @@ class InputPort:
         self.vcs: List[VirtualChannel] = [
             VirtualChannel(self.config.vc_depth) for _ in range(self.config.num_vcs)
         ]
-        self.source_queue: Deque[Flit] = deque()
+        self.source_queue = SourceQueue()
         self._rr_next_vc = 0
         # Index of the VC streaming the packet that currently holds a
         # connection through the switch, or None when the port is idle.
         self.active_vc: Optional[int] = None
+        # True while the source-queue front flit cannot enter any VC.
+        # VC state only changes when a flit is popped (transmit), so the
+        # refill scan can be skipped until then.
+        self._refill_blocked = False
+        # VC that accepted the most recent head flit: the rest of that
+        # packet can only enter the same VC, so body refills skip the scan.
+        self._refill_vc = 0
 
     # ------------------------------------------------------------------
     # Injection side
     # ------------------------------------------------------------------
     def enqueue_packet(self, packet: Packet) -> None:
-        """Append a freshly generated packet's flits to the source queue."""
-        self.source_queue.extend(packet.to_flits())
+        """Append a freshly generated packet to the source queue.
+
+        Flit objects are materialised lazily when the packet reaches the
+        queue front (see :class:`SourceQueue`).
+        """
+        self.source_queue.append_packet(packet)
 
     def refill(self, cycle: int) -> None:
         """Move up to one flit from the source queue into a VC.
@@ -72,15 +131,46 @@ class InputPort:
         packet owns.  If no VC can accept the front flit, nothing moves
         (head-of-line order is preserved at the network interface).
         """
-        if not self.source_queue:
+        if self._refill_blocked:
             return
-        flit = self.source_queue[0]
-        for vc in self.vcs:
-            if vc.can_accept(flit):
-                self.source_queue.popleft()
-                flit.injected_cycle = cycle
-                vc.push(flit)
+        queue = self.source_queue
+        flits = queue._flits
+        if not flits:
+            packets = queue._packets
+            if not packets:
                 return
+            flits.extend(packets.popleft().to_flits())
+        flit = flits[0]
+        if flit.seq == 0:
+            # Head flit: first free VC (a free VC is always empty).
+            for idx, vc in enumerate(self.vcs):
+                if vc._owner_packet is None and len(vc._fifo) < vc.depth:
+                    flits.popleft()
+                    queue._pending_flits -= 1
+                    flit.injected_cycle = cycle
+                    vc._owner_packet = flit.packet_id
+                    vc._fifo.append(flit)
+                    self._refill_vc = idx
+                    return
+        else:
+            # Body/tail flit: only its packet's owner VC may take it.
+            vc = self.vcs[self._refill_vc]
+            if vc._owner_packet != flit.packet_id:
+                for idx, other in enumerate(self.vcs):
+                    if other._owner_packet == flit.packet_id:
+                        self._refill_vc = idx
+                        vc = other
+                        break
+                else:
+                    self._refill_blocked = True
+                    return
+            if len(vc._fifo) < vc.depth:
+                flits.popleft()
+                queue._pending_flits -= 1
+                flit.injected_cycle = cycle
+                vc._fifo.append(flit)
+                return
+        self._refill_blocked = True
 
     # ------------------------------------------------------------------
     # Arbitration side
@@ -104,13 +194,19 @@ class InputPort:
                 status, so a request for a busy resource is never made and
                 another VC may use the input's request lines instead.
         """
-        if self.is_busy:
+        if self.active_vc is not None:
             return None
-        for offset in range(len(self.vcs)):
-            idx = (self._rr_next_vc + offset) % len(self.vcs)
-            front = self.vcs[idx].front()
-            if front is not None and front.is_head:
-                if viable is None or viable(front):
+        vcs = self.vcs
+        num_vcs = len(vcs)
+        start = self._rr_next_vc
+        for offset in range(num_vcs):
+            idx = start + offset
+            if idx >= num_vcs:
+                idx -= num_vcs
+            fifo = vcs[idx]._fifo
+            if fifo:
+                front = fifo[0]
+                if front.seq == 0 and (viable is None or viable(front)):
                     return idx
         return None
 
@@ -143,8 +239,11 @@ class InputPort:
         if self.active_vc is None:
             raise RuntimeError(f"port {self.port_id} has no active connection")
         flit = self.vcs[self.active_vc].pop()
-        if flit.is_tail:
+        if flit.seq == flit.num_flits - 1:  # tail: release the connection
             self.active_vc = None
+        # Popping freed buffer space (and possibly a VC): the source-queue
+        # front may fit now.
+        self._refill_blocked = False
         return flit
 
     def peek_active(self) -> Flit:

@@ -51,6 +51,23 @@ class VirtualChannel:
             return self.is_free
         return self._owner_packet == flit.packet_id
 
+    def accept(self, flit: Flit) -> bool:
+        """Check-and-push in a single call (the port refill fast path).
+
+        Equivalent to ``can_accept(flit) and push(flit)`` without the
+        duplicated validation; returns whether the flit was enqueued.
+        """
+        if len(self._fifo) >= self.depth:
+            return False
+        if flit.seq == 0:  # head flit: needs a free VC
+            if self._owner_packet is not None:
+                return False
+            self._owner_packet = flit.packet_id
+        elif self._owner_packet != flit.packet_id:
+            return False
+        self._fifo.append(flit)
+        return True
+
     def push(self, flit: Flit) -> None:
         """Enqueue a flit, allocating the VC on a head flit.
 

@@ -1,0 +1,90 @@
+"""Tests of the construction-time lookup tables in HiRiseConfig.
+
+The fast-path cycle kernel indexes these tables directly (validation is
+hoisted to construction); the public methods stay validating for API
+callers.  Both views must agree exactly.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import HiRiseConfig
+
+
+CONFIGS = [
+    HiRiseConfig(radix=8, layers=2, channel_multiplicity=1),
+    HiRiseConfig(radix=16, layers=4, channel_multiplicity=2),
+    HiRiseConfig(radix=64, layers=4, channel_multiplicity=4),
+    HiRiseConfig(
+        radix=16, layers=4, channel_multiplicity=2,
+        failed_channels=((0, 1, 0),),
+    ),
+]
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=lambda c: c.configuration_string())
+class TestPortTables:
+    def test_tables_match_methods_for_every_port(self, cfg):
+        for port in range(cfg.radix):
+            assert cfg.layer_of_port_table[port] == cfg.layer_of_port(port)
+            assert cfg.local_index_table[port] == cfg.local_index(port)
+
+    def test_methods_still_validate(self, cfg):
+        for bad in (-1, cfg.radix, cfg.radix + 5):
+            with pytest.raises(ValueError):
+                cfg.layer_of_port(bad)
+            with pytest.raises(ValueError):
+                cfg.local_index(bad)
+
+    def test_tables_survive_pickling(self, cfg):
+        clone = pickle.loads(pickle.dumps(cfg))
+        assert clone.layer_of_port_table == cfg.layer_of_port_table
+        assert clone.local_index_table == cfg.local_index_table
+        assert clone.num_resources == cfg.num_resources
+        assert clone.resource_key_table == cfg.resource_key_table
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=lambda c: c.configuration_string())
+class TestResourceIds:
+    def test_intermediate_ids_are_output_ports(self, cfg):
+        for port in range(cfg.radix):
+            rid = cfg.intermediate_resource_id(port)
+            assert rid == port
+            assert cfg.resource_key(rid) == (
+                "int", cfg.layer_of_port(port), cfg.local_index(port)
+            )
+
+    def test_channel_ids_are_dense_and_invertible(self, cfg):
+        seen = set()
+        for src in range(cfg.layers):
+            for dst in range(cfg.layers):
+                for channel in range(cfg.channel_multiplicity):
+                    rid = cfg.channel_resource_id(src, dst, channel)
+                    assert cfg.radix <= rid < cfg.num_resources
+                    assert cfg.resource_key(rid) == ("ch", src, dst, channel)
+                    seen.add(rid)
+        assert len(seen) == cfg.num_resources - cfg.radix
+
+    def test_slot_table_matches_slot_of_channel(self, cfg):
+        for src in range(cfg.layers):
+            for dst in range(cfg.layers):
+                for channel in range(cfg.channel_multiplicity):
+                    rid = cfg.channel_resource_id(src, dst, channel)
+                    slot = cfg.slot_of_channel_table[rid - cfg.radix]
+                    if src == dst:
+                        assert slot == -1
+                    else:
+                        assert slot == cfg.slot_of_channel(dst, src, channel)
+
+    def test_resource_id_validation(self, cfg):
+        with pytest.raises(ValueError):
+            cfg.intermediate_resource_id(cfg.radix)
+        with pytest.raises(ValueError):
+            cfg.channel_resource_id(cfg.layers, 0, 0)
+        with pytest.raises(ValueError):
+            cfg.channel_resource_id(0, 0, cfg.channel_multiplicity)
+        with pytest.raises(ValueError):
+            cfg.resource_key(cfg.num_resources)
+        with pytest.raises(ValueError):
+            cfg.resource_key(-1)

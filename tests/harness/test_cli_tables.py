@@ -21,18 +21,21 @@ class TestCliTable:
 
 
 class TestEngineEdgeCases:
-    def test_drain_gives_up_on_stuck_switch(self):
-        """A switch that can never deliver must not hang the drain loop."""
+    def test_drain_gives_up_on_stuck_switch(self, monkeypatch):
+        """A switch that can never deliver must not hang the drain loop:
+        after DRAIN_IDLE_LIMIT idle cycles it raises instead of spinning."""
+        from repro.network import engine as engine_module
 
         class StuckSwitch(SwizzleSwitch2D):
             def step(self, cycle):
                 return []  # never moves anything
 
+        monkeypatch.setattr(engine_module, "DRAIN_IDLE_LIMIT", 50)
         switch = StuckSwitch(4)
         trace = TraceTraffic([(0, 0, 1)])
-        result = Simulation(switch, trace).run(10, drain=True)
-        assert result.packets_ejected == 0
-        assert switch.occupancy() > 0  # still stuck, but we returned
+        with pytest.raises(RuntimeError, match="drain made no progress"):
+            Simulation(switch, trace).run(10, drain=True)
+        assert switch.occupancy() > 0  # still stuck, but we surfaced it
 
     def test_run_zero_cycles(self):
         sim = Simulation(SwizzleSwitch2D(4), TraceTraffic([]))

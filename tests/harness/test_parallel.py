@@ -1,0 +1,103 @@
+"""Tests of the process-parallel sweep/replication executor.
+
+The CI container may expose a single CPU, so these tests assert
+*determinism* — ``workers=N`` must reproduce the serial results exactly —
+rather than wall-clock speedup.
+"""
+
+import pytest
+
+from repro.harness import parallel
+from repro.harness.sweep import parameter_grid, run_sweep
+from repro.metrics.confidence import replicate
+from repro.network.engine import Simulation
+from repro.switches import SwizzleSwitch2D
+from repro.traffic import UniformRandomTraffic
+
+
+def throughput_measurement(seed, radix=8, load=0.6):
+    """Module-level measurement (picklable) used by the parallel tests."""
+    switch = SwizzleSwitch2D(radix)
+    traffic = UniformRandomTraffic(radix, load=load, seed=seed)
+    result = Simulation(switch, traffic, warmup_cycles=20).run(80)
+    return result.throughput_packets_per_cycle
+
+
+def seed_polynomial(seed):
+    """Cheap deterministic stand-in experiment."""
+    return seed * seed + 0.5 * seed + 1.0
+
+
+class TestParallelSweep:
+    def test_parallel_sweep_matches_serial(self):
+        grid = parameter_grid(radix=[4, 8], load=[0.3, 0.9])
+        serial = run_sweep(throughput_measurement, grid, base_seed=3)
+        parallel_points = run_sweep(
+            throughput_measurement, grid, base_seed=3, workers=4
+        )
+        assert [p.value for p in parallel_points] == [
+            p.value for p in serial
+        ]
+        assert [p.parameters for p in parallel_points] == [
+            p.parameters for p in serial
+        ]
+
+    def test_parallel_sweep_with_replications_matches_serial(self):
+        grid = parameter_grid(radix=[4], load=[0.5, 0.8])
+        serial = run_sweep(throughput_measurement, grid, replications=3)
+        fanned = run_sweep(
+            throughput_measurement, grid, replications=3, workers=2
+        )
+        for a, b in zip(serial, fanned):
+            assert a.value == b.value
+            assert a.interval.mean == b.interval.mean
+            assert a.interval.half_width == b.interval.half_width
+
+    def test_unpicklable_measurement_falls_back_to_serial(self):
+        grid = parameter_grid(radix=[4, 8])
+        # A lambda cannot be pickled into worker processes; the executor
+        # must fall back to the serial path and still return results.
+        points = run_sweep(
+            lambda seed, radix: float(radix + seed), grid, workers=4
+        )
+        assert [p.value for p in points] == [4.0, 8.0]
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            run_sweep(throughput_measurement, [{}], workers=0)
+
+    def test_measurement_errors_propagate(self):
+        def boom(seed):
+            raise RuntimeError("measurement failed")
+
+        with pytest.raises(RuntimeError, match="measurement failed"):
+            run_sweep(boom, [{}, {}], workers=2)
+
+
+class TestParallelReplicate:
+    def test_workers_reproduce_serial_interval(self):
+        serial = replicate(seed_polynomial, num_replications=6, base_seed=2)
+        fanned = replicate(
+            seed_polynomial, num_replications=6, base_seed=2, workers=3
+        )
+        assert fanned.mean == serial.mean
+        assert fanned.half_width == serial.half_width
+        assert fanned.observations == serial.observations
+
+    def test_parallel_module_replicate(self):
+        interval = parallel.replicate(
+            throughput_measurement,
+            parameters={"radix": 4, "load": 0.5},
+            num_replications=3,
+            workers=2,
+        )
+        serial = replicate(
+            lambda seed: throughput_measurement(seed, radix=4, load=0.5),
+            num_replications=3,
+        )
+        assert interval.mean == serial.mean
+        assert interval.half_width == serial.half_width
+
+    def test_too_few_replications_rejected(self):
+        with pytest.raises(ValueError):
+            parallel.replicate(seed_polynomial, num_replications=1)

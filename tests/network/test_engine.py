@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.network import engine as engine_module
 from repro.network.engine import Simulation, SimulationResult
 from repro.switches import SwizzleSwitch2D
 from repro.traffic import TraceTraffic, UniformRandomTraffic
@@ -70,3 +71,77 @@ class TestSimulationLoop:
         # either; the cycle-50 packet is fully measured.
         assert result.packets_injected == 1
         assert result.packets_ejected == 1
+
+
+class TestStreamingLatencyStats:
+    def test_streaming_aggregates_are_exact(self):
+        result = SimulationResult()
+        samples = [4, 9, 7, 4, 12]
+        for latency in samples:
+            result.record_latency(latency)
+        assert result.latency_count == len(samples)
+        assert result.latency_sum == sum(samples)
+        assert result.avg_latency_cycles == sum(samples) / len(samples)
+        mean = sum(samples) / len(samples)
+        variance = sum((x - mean) ** 2 for x in samples) / len(samples)
+        assert result.latency_variance_cycles == pytest.approx(variance)
+        assert result.packet_latencies == samples
+
+    def test_sample_list_stays_bounded(self):
+        result = SimulationResult(latency_sample_limit=8)
+        for latency in range(100):
+            result.record_latency(latency)
+        assert len(result.packet_latencies) <= 8
+        # Decimation is deterministic: surviving samples are a strided
+        # subsequence starting at the first sample.
+        stride = result._sample_stride
+        assert result.packet_latencies == list(
+            range(0, result.packet_latencies[-1] + 1, stride)
+        )
+        # Aggregates are unaffected by decimation.
+        assert result.latency_count == 100
+        assert result.latency_sum == sum(range(100))
+        assert result.avg_latency_cycles == sum(range(100)) / 100
+
+    def test_engine_passes_sample_limit_through(self):
+        switch = SwizzleSwitch2D(4)
+        traffic = UniformRandomTraffic(4, load=0.5, seed=5)
+        sim = Simulation(switch, traffic, latency_sample_limit=4)
+        result = sim.run(measure_cycles=200, drain=True)
+        assert result.latency_count == result.packets_ejected
+        assert len(result.packet_latencies) <= 4
+        assert result.avg_latency_cycles == (
+            result.latency_sum / result.latency_count
+        )
+
+    def test_rejects_bad_sample_limit(self):
+        with pytest.raises(ValueError):
+            Simulation(
+                SwizzleSwitch2D(4), TraceTraffic([]), latency_sample_limit=0
+            )
+
+
+class TestDrainStallDetection:
+    def test_wedged_switch_raises_with_snapshot(self, monkeypatch):
+        class WedgedSwitch(SwizzleSwitch2D):
+            def step(self, cycle):
+                return []  # never delivers anything
+
+        monkeypatch.setattr(engine_module, "DRAIN_IDLE_LIMIT", 25)
+        switch = WedgedSwitch(4)
+        trace = TraceTraffic([(0, 0, 1)], packet_flits=2)
+        sim = Simulation(switch, trace)
+        with pytest.raises(RuntimeError, match="no progress for 25"):
+            sim.run(measure_cycles=5, drain=True)
+
+    def test_snapshot_names_occupied_ports(self, monkeypatch):
+        class WedgedSwitch(SwizzleSwitch2D):
+            def step(self, cycle):
+                return []
+
+        monkeypatch.setattr(engine_module, "DRAIN_IDLE_LIMIT", 10)
+        switch = WedgedSwitch(4)
+        trace = TraceTraffic([(0, 2, 1)], packet_flits=3)
+        sim = Simulation(switch, trace)
+        with pytest.raises(RuntimeError, match=r"port 2: 3 flits"):
+            sim.run(measure_cycles=1, drain=True)
