@@ -16,6 +16,14 @@ normalised by it.  ``--check`` compares normalised scores against the
 committed ``BENCH_kernel.json`` and fails on a >30% regression, which is
 what the CI perf-smoke job runs (with ``--quick``).
 
+Every run also measures the observability overhead on the headline
+config: tracing **off** (the headline benchmark itself — the untraced
+kernel carries only one ``tracer is None`` branch per cycle) and tracing
+**on** (a ``SwitchTracer`` recording every event).  ``--check``
+additionally gates the tracing-off normalised score at <2% below the
+committed PR 1 fast-path baseline, so tracing support can never tax
+untraced runs.
+
 Usage:
     python scripts/bench_kernel.py                  # full run, write JSON
     python scripts/bench_kernel.py --quick --check  # CI regression gate
@@ -41,6 +49,21 @@ RADIX = 64
 LAYERS = 4
 TRAFFIC_SEED = 7
 REGRESSION_TOLERANCE = 0.30
+#: Maximum tolerated tracing-off normalised shortfall vs the committed
+#: PR 1 fast-path baseline (the zero-cost-when-disabled contract).
+TRACING_OFF_TOLERANCE = 0.02
+#: The fast-path kernel's committed normalised score on hirise_64x4_c4
+#: as of the PR that introduced it (pre-observability), the reference
+#: point for the tracing-off overhead gate.
+PR1_COMMIT_NORMALIZED = 0.00031593481937207705
+#: Control benchmarks from the same committed run: neither touches the
+#: Hi-Rise kernel, so their normalised drift between that run and the
+#: current one measures machine state (load, cache pressure), not
+#: observability overhead.  The tracing-off gate divides the drift out.
+PR1_COMMIT_CONTROLS = {
+    "swizzle2d_64": 0.0002975547147511787,
+    "folded3d_64x4": 0.0002712424950848571,
+}
 
 #: Headline result recorded for posterity: the growth seed's kernel
 #: (tuple-keyed dicts, nested closures, eager flit expansion all the way
@@ -119,6 +142,28 @@ def bench_switch(make_switch, cycles: int, trials: int) -> float:
     return best
 
 
+def bench_normalized(make_switch, cycles: int, trials: int):
+    """Best-of-``trials`` throughput with a *per-trial* calibration.
+
+    Each trial re-times the calibration busy-loop immediately before the
+    kernel, so transient machine contention — which slows both by the
+    same factor — cancels in the normalised ratio.  The 2% tracing gate
+    needs this; a single start-of-run calibration cannot see contention
+    that arrives minutes later, and on a shared machine that reads as a
+    20%+ phantom regression.  Returns ``(cycles_per_sec, normalized)``
+    from the trial with the best normalised score.
+    """
+    best_norm = 0.0
+    best_rate = 0.0
+    for _ in range(trials):
+        calibration = calibration_score(trials=1)
+        rate = bench_switch(make_switch, cycles, 1)
+        normalized = rate / calibration
+        if normalized > best_norm:
+            best_norm, best_rate = normalized, rate
+    return best_rate, best_norm
+
+
 def run_benchmarks(cycles: int, trials: int, include_reference: bool) -> dict:
     calibration = calibration_score()
     report = {
@@ -144,6 +189,71 @@ def run_benchmarks(cycles: int, trials: int, include_reference: bool) -> dict:
             "and machine as the committed benchmark numbers"
         ),
     }
+    # Observability overhead on the headline config.  Tracing-off IS the
+    # headline benchmark (an untraced switch carries the whole tracing
+    # machinery dormant); tracing-on re-runs it with a recording tracer.
+    # Both sides get extra trials: the gate below is a 2% bound, so the
+    # best-of estimator needs tighter convergence than the 30% gate.
+    from repro.obs.trace import SwitchTracer
+
+    tracing_trials = max(trials, 3)
+    tracers = []
+
+    def untraced_factory():
+        return HiRiseSwitch(
+            HiRiseConfig(radix=RADIX, layers=LAYERS, channel_multiplicity=4)
+        )
+
+    def traced_factory():
+        tracer = SwitchTracer(capacity=None)
+        tracers.append(tracer)
+        return HiRiseSwitch(
+            HiRiseConfig(radix=RADIX, layers=LAYERS, channel_multiplicity=4),
+            tracer=tracer,
+        )
+
+    gate_controls = {
+        "swizzle2d_64": lambda: SwizzleSwitch2D(RADIX),
+        "folded3d_64x4": lambda: FoldedSwitch3D(RADIX, LAYERS),
+    }
+    print("  hirise_64x4_c4 (untraced, gate) ...", end="", flush=True)
+    off_rate = 0.0
+    off_normalized = report["benchmarks"]["hirise_64x4_c4"]["normalized"]
+    off_vs_controls = {name: 0.0 for name in gate_controls}
+    for _ in range(tracing_trials):
+        trial_calibration = calibration_score(trials=1)
+        rate = bench_switch(untraced_factory, cycles, 1)
+        off_rate = max(off_rate, rate)
+        off_normalized = max(off_normalized, rate / trial_calibration)
+        # Pair each gate trial with adjacent control-kernel runs: both
+        # sides are dict-heavy Python switch kernels, so contention that
+        # the integer busy-loop cannot see cancels in the ratio.
+        for name, factory in gate_controls.items():
+            control_rate = bench_switch(factory, cycles, 1)
+            off_vs_controls[name] = max(
+                off_vs_controls[name], rate / control_rate
+            )
+    print(f" {off_rate:.0f} cycles/s")
+    print("  hirise_64x4_c4 (traced) ...", end="", flush=True)
+    traced_rate, on_normalized = bench_normalized(
+        traced_factory, cycles, tracing_trials
+    )
+    print(f" {traced_rate:.0f} cycles/s")
+    report["tracing"] = {
+        "off_cycles_per_sec": round(off_rate, 1),
+        "off_normalized": off_normalized,
+        "off_vs_controls": {
+            name: round(ratio, 4)
+            for name, ratio in off_vs_controls.items()
+        },
+        "on_cycles_per_sec": round(traced_rate, 1),
+        "on_normalized": on_normalized,
+        "on_overhead_frac": round(1.0 - on_normalized / off_normalized, 4),
+        "events_per_trial": len(tracers[-1].events),
+        "pr1_committed_normalized": PR1_COMMIT_NORMALIZED,
+        "off_vs_pr1_baseline": off_normalized / PR1_COMMIT_NORMALIZED,
+    }
+
     if include_reference:
         print("  reference kernel (hirise_64x4_c4) ...", end="", flush=True)
         reference_rate = bench_switch(
@@ -190,6 +300,40 @@ def check_regression(report: dict, committed_path: Path) -> int:
         if current["normalized"] < floor:
             failures.append(
                 f"{name}: {current['normalized']:.3g} < floor {floor:.3g}"
+            )
+    tracing = report.get("tracing")
+    if tracing is not None:
+        # Calibration cancels CPU speed but the integer busy-loop cannot
+        # see contention the way a dict-heavy kernel feels it, so the
+        # gate also compares against control switch kernels measured
+        # adjacent to the gate trials (ratio now vs ratio at the PR 1
+        # commit).  A real tracing-off regression depresses EVERY view;
+        # the gate fails only when the raw ratio and all control-relative
+        # ratios fall below the floor.
+        views = {"raw": tracing["off_vs_pr1_baseline"]}
+        for name, committed_score in PR1_COMMIT_CONTROLS.items():
+            observed = tracing.get("off_vs_controls", {}).get(name)
+            if observed is None:
+                continue
+            views[f"vs {name}"] = (
+                observed / (PR1_COMMIT_NORMALIZED / committed_score)
+            )
+        ratio = max(views.values())
+        floor = 1.0 - TRACING_OFF_TOLERANCE
+        status = "ok" if ratio >= floor else "REGRESSION"
+        detail = ", ".join(
+            f"{name} {value:.3f}x" for name, value in views.items()
+        )
+        print(
+            f"  tracing-off vs PR 1 baseline: {ratio:.3f}x best view "
+            f"({detail}; floor {floor:.2f}x, {status}); "
+            f"tracing-on overhead {tracing['on_overhead_frac']:.1%}"
+        )
+        if ratio < floor:
+            failures.append(
+                f"tracing-off is more than {TRACING_OFF_TOLERANCE:.0%} "
+                f"below the PR 1 fast-path baseline in every view "
+                f"({detail})"
             )
     if failures:
         print("perf check FAILED:")

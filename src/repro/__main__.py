@@ -8,7 +8,11 @@ Commands:
   report latency/throughput;
 * ``table``    — regenerate a paper table (1, 4, 5 or 6);
 * ``figure``   — regenerate a paper figure's data series (9a, 9b, 9c, 10,
-  11a, 11b, 11c, 12), optionally exporting CSV.
+  11a, 11b, 11c, 12), optionally exporting CSV;
+* ``trace``    — run a traced simulation and export the cycle-level event
+  trace (JSONL and/or Chrome ``trace_event`` timeline);
+* ``stats``    — run a probed simulation and dump the gem5-style
+  statistics registry (text or JSON).
 
 Every command prints paper-vs-measured where the paper publishes a value.
 """
@@ -69,17 +73,20 @@ def cmd_cost(args) -> int:
     return 0
 
 
+def _build_traffic(args):
+    if args.traffic == "uniform":
+        return UniformRandomTraffic(args.radix, args.load, seed=args.seed)
+    return HotspotTraffic(
+        args.radix, args.load, hotspot_output=args.radix - 1,
+        seed=args.seed,
+    )
+
+
 def cmd_simulate(args) -> int:
     switch = _build_switch(args)
-    if args.traffic == "uniform":
-        traffic = UniformRandomTraffic(args.radix, args.load, seed=args.seed)
-    else:
-        traffic = HotspotTraffic(
-            args.radix, args.load, hotspot_output=args.radix - 1,
-            seed=args.seed,
-        )
+    traffic = _build_traffic(args)
     sim = Simulation(switch, traffic, warmup_cycles=args.warmup)
-    result = sim.run(args.cycles)
+    result = sim.run(args.cycles, drain=args.drain)
     print(f"simulated {args.cycles} cycles at load "
           f"{args.load} packets/input/cycle ({args.traffic})")
     print(f"  delivered  : {result.packets_ejected} packets")
@@ -168,6 +175,82 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        SwitchTracer, validate_chrome_path, validate_jsonl_path,
+    )
+
+    if args.design != "hirise":
+        print("trace: cycle-level tracing needs the hirise design",
+              file=sys.stderr)
+        return 2
+    tracer = (
+        SwitchTracer(capacity=args.capacity)
+        if args.capacity is not None else SwitchTracer()
+    )
+    config = _build_design(args)
+    if args.kernel == "reference":
+        from repro.core.reference import ReferenceHiRiseSwitch
+
+        switch = ReferenceHiRiseSwitch(config, tracer=tracer)
+    else:
+        switch = HiRiseSwitch(config, tracer=tracer)
+    sim = Simulation(switch, _build_traffic(args), warmup_cycles=args.warmup)
+    result = sim.run(args.cycles, drain=args.drain)
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"traced {args.cycles} cycles ({args.traffic}, load {args.load}): "
+          f"{len(tracer.events)} events{dropped}, "
+          f"{result.packets_ejected} packets delivered")
+    counts = tracer.counts_by_kind()
+    for name in sorted(counts):
+        print(f"  {name:<12} {counts[name]}")
+    halvings = tracer.halving_events()
+    if halvings:
+        print(f"  CLRG halvings: {len(halvings)} "
+              f"(first at cycle {halvings[0][0]})")
+    if args.jsonl:
+        records = tracer.write_jsonl(args.jsonl)
+        if args.validate:
+            validate_jsonl_path(args.jsonl)
+        print(f"wrote {records} records to {args.jsonl}")
+    if args.chrome:
+        events = tracer.write_chrome(args.chrome)
+        if args.validate:
+            validate_chrome_path(args.chrome)
+        print(f"wrote {events} trace events to {args.chrome}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    from repro.metrics.probe import ProbedSwitch
+    from repro.obs import StatsRegistry
+
+    switch = ProbedSwitch(_build_switch(args))
+    sim = Simulation(switch, _build_traffic(args), warmup_cycles=args.warmup)
+    result = sim.run(args.cycles, drain=args.drain)
+    registry = StatsRegistry()
+    result.to_stats(registry, num_ports=args.radix)
+    switch.to_stats(registry)
+    if args.json:
+        print(json.dumps(registry.to_dict(), indent=2, default=str))
+    else:
+        print(registry.dump())
+    return 0
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--traffic", choices=["uniform", "hotspot"],
+                        default="uniform")
+    parser.add_argument("--load", type=float, default=0.08)
+    parser.add_argument("--cycles", type=int, default=4000)
+    parser.add_argument("--warmup", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--drain", action="store_true",
+                        help="cycle until the switch is empty afterwards")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -181,13 +264,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = commands.add_parser("simulate", help="cycle-accurate run")
     _add_design_arguments(simulate)
-    simulate.add_argument("--traffic", choices=["uniform", "hotspot"],
-                          default="uniform")
-    simulate.add_argument("--load", type=float, default=0.08)
-    simulate.add_argument("--cycles", type=int, default=4000)
-    simulate.add_argument("--warmup", type=int, default=500)
-    simulate.add_argument("--seed", type=int, default=1)
+    _add_run_arguments(simulate)
     simulate.set_defaults(handler=cmd_simulate)
+
+    trace = commands.add_parser(
+        "trace", help="traced run exporting cycle-level events"
+    )
+    _add_design_arguments(trace)
+    _add_run_arguments(trace)
+    trace.add_argument("--kernel", choices=["fast", "reference"],
+                       default="fast")
+    trace.add_argument("--capacity", type=int, default=None,
+                       help="event-buffer capacity (default 2^20)")
+    trace.add_argument("--jsonl", help="write the JSONL trace here")
+    trace.add_argument("--chrome", help="write the Chrome trace here")
+    trace.add_argument("--validate", action="store_true",
+                       help="validate written traces against the schema")
+    trace.set_defaults(handler=cmd_trace)
+
+    stats = commands.add_parser(
+        "stats", help="probed run dumping the statistics registry"
+    )
+    _add_design_arguments(stats)
+    _add_run_arguments(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="dump as JSON instead of aligned text")
+    stats.set_defaults(handler=cmd_stats)
 
     table = commands.add_parser("table", help="regenerate a paper table")
     table.add_argument("which", choices=["1", "4", "5", "6"])

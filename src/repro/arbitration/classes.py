@@ -31,6 +31,9 @@ class ClassCounterBank:
         self.num_classes = num_classes
         self._counts: List[int] = [0] * num_inputs
         self._halvings = 0
+        # Optional observer called with the running halving count after
+        # each bank halving (attached by traced switches; None otherwise).
+        self.on_halve = None
 
     @property
     def max_count(self) -> int:
@@ -63,6 +66,8 @@ class ClassCounterBank:
         if self._counts[input_id] >= self.max_count:
             self._counts = [count // 2 for count in self._counts]
             self._halvings += 1
+            if self.on_halve is not None:
+                self.on_halve(self._halvings)
         self._counts[input_id] += 1
 
     def _check(self, input_id: int) -> None:

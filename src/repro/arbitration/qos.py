@@ -64,6 +64,8 @@ class WeightedClassCounterBank(ClassCounterBank):
         if self._costs[input_id] + cost > self.max_count:
             self._costs = [value / 2.0 for value in self._costs]
             self._halvings += 1
+            if self.on_halve is not None:
+                self.on_halve(self._halvings)
         self._costs[input_id] += cost
 
 

@@ -52,6 +52,28 @@ from repro.network.engine import SwitchModel
 from repro.network.flit import Flit
 from repro.network.packet import Packet
 from repro.network.port import InputPort
+from repro.obs.trace import (
+    CLRG_HALVE,
+    COOL,
+    EJECT,
+    P1_GRANT,
+    P2_BLOCK,
+    P2_GRANT,
+    REASON_OUTPUT_BUSY,
+    REASON_OUTPUT_COOLING,
+    REASON_RESOURCE_BUSY,
+    REASON_RESOURCE_COOLING,
+    VIA_BLOCK,
+)
+
+
+def _halve_hook(tracer, output: int):
+    """CLRG counter-bank callback: records a halving against ``output``."""
+
+    def on_halve(halvings: int) -> None:
+        tracer.emit(CLRG_HALVE, output, halvings)
+
+    return on_halve
 
 
 @dataclass(slots=True)
@@ -133,14 +155,25 @@ class HiRiseSwitch(SwitchModel):
     Public state (kept from the seed kernel, re-keyed to flat ids):
     ``resource_owner`` is a list indexed by flat resource id (``-1`` =
     free), ``output_owner`` a list indexed by output port (``None`` =
-    free), ``connections`` a dict ``input -> (resource_id, output)``.
+    free), ``connections`` a dict ``input -> (resource_id, output)``,
+    ``grant_cycle`` a dict ``input -> cycle its live path was granted``.
     The per-resource arbiters remain tuple-keyed dictionaries
     (``int_arbiters``, ``chan_arbiters``, ``pair_arbiters``,
     ``subblock_arbiters``) so tests and walkthroughs can seed specific
     priority states.
+
+    Tracing: pass a :class:`repro.obs.SwitchTracer` as ``tracer`` to
+    record cycle-level events (grants, blocks, cooldowns, CLRG
+    halvings).  The tracer only observes — traced runs are bit-identical
+    to untraced runs — and with ``tracer=None`` (the default) the cycle
+    kernel pays exactly one predictable branch per cycle.
     """
 
-    def __init__(self, config: Optional[HiRiseConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[HiRiseConfig] = None,
+        tracer: Optional[object] = None,
+    ) -> None:
         self.config = config or HiRiseConfig()
         cfg = self.config
         self.num_ports = cfg.radix
@@ -180,6 +213,9 @@ class HiRiseSwitch(SwitchModel):
         self.output_owner: List[Optional[int]] = [None] * cfg.radix
         # input -> (resource_id, output) of its live connection.
         self.connections: Dict[int, Tuple[int, int]] = {}
+        # input -> cycle its live (or most recent) path was granted.
+        self.grant_cycle: Dict[int, int] = {}
+        self._arb_cycle = -1
         # Cooling bitsets: paths whose tail transferred this cycle
         # (arbitration blackout), cleared incrementally from
         # _cooling_paths at the start of the next cycle.
@@ -191,6 +227,20 @@ class HiRiseSwitch(SwitchModel):
         self.failed_channels = frozenset(cfg.failed_channels)
 
         self._build_fast_tables()
+
+        # Opt-in observability, wired entirely at construction so the
+        # untraced hot loop carries no tracing state or branches.
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.bind(self)
+            # Shadow the injection methods on the instance: injections
+            # are traced without any check on the untraced path.
+            self.inject = self._inject_traced  # type: ignore[method-assign]
+            self.inject_many = self._inject_many_traced  # type: ignore[method-assign]
+            for output, arbiter in self.subblock_arbiters.items():
+                counters = getattr(arbiter, "counters", None)
+                if counters is not None:
+                    counters.on_halve = _halve_hook(tracer, output)
 
     def _build_fast_tables(self) -> None:
         """Precompute the per-port request/viability tables (hot path)."""
@@ -235,6 +285,7 @@ class HiRiseSwitch(SwitchModel):
         self._candidate_vc = [0] * cfg.radix
 
         # Per-scheme sub-block implementation, resolved once.
+        self._is_clrg = cfg.arbitration is ArbitrationScheme.CLRG
         if cfg.arbitration in (
             ArbitrationScheme.L2L_LRG, ArbitrationScheme.L2L_RR
         ):
@@ -371,6 +422,8 @@ class HiRiseSwitch(SwitchModel):
         return count
 
     def step(self, cycle: int) -> List[Flit]:
+        if self._tracer is not None:
+            return self._step_traced(cycle)
         # Paths released by a tail last cycle carried data on their wires,
         # so they could not also arbitrate that cycle: every packet pays
         # one arbitration cycle ("arbitrate or transmit in a single
@@ -385,6 +438,11 @@ class HiRiseSwitch(SwitchModel):
                 out_cooling[output] = 0
                 res_cooling[rid] = 0
             paths.clear()
+        ejected = self._transmit_and_refill(cycle)
+        self._arbitrate(cycle)
+        return ejected
+
+    def _transmit_and_refill(self, cycle: int) -> List[Flit]:
         # Transmit and refill in one scan.  Both touch only per-port state
         # (transmit additionally tears down global path state, which no
         # other port's transmit or refill reads), so per-port fusion is
@@ -465,7 +523,6 @@ class HiRiseSwitch(SwitchModel):
                     cand._fifo.append(front)
                 else:
                     port._refill_blocked = True
-        self._arbitrate(cycle)
         return ejected
 
     def occupancy(self) -> int:
@@ -479,6 +536,7 @@ class HiRiseSwitch(SwitchModel):
         # port i *for the cycle the port last requested in*.  Phase 2 only
         # reads ports that won phase 1 this cycle, so stale entries are
         # never observed and the buffer needs no clearing.
+        self._arb_cycle = cycle
         candidate_vcs = self._candidate_vc
         local_winners = self._phase1_local(candidate_vcs, cycle)
         self._phase2_interlayer(local_winners, candidate_vcs)
@@ -769,9 +827,148 @@ class HiRiseSwitch(SwitchModel):
         self.resource_owner[win.resource] = input_port
         self.output_owner[output] = input_port
         self.connections[input_port] = (win.resource, output)
+        self.grant_cycle[input_port] = self._arb_cycle
         # The local switch priority update is triggered only by the final
         # output win (Section III-B.1).  Local arbiters are always plain
         # LRG, so the O(1) recency-stamp demotion is inlined here.
         arbiter = win.local_arbiter
         arbiter._rank[win.local_slot] = arbiter._stamp
         arbiter._stamp += 1
+
+    # ------------------------------------------------------------------
+    # Traced variants (selected at construction when a tracer is given)
+    # ------------------------------------------------------------------
+    def _inject_traced(self, packet: Packet) -> None:
+        src = packet.src
+        if not 0 <= src < self.num_ports:
+            raise ValueError(f"source port {src} out of range")
+        if not 0 <= packet.dst < self.num_ports:
+            raise ValueError(f"destination port {packet.dst} out of range")
+        queue = self._queues[src]
+        queue._packets.append(packet)
+        queue._pending_flits += packet.num_flits
+        self._tracer.inject(
+            packet.created_cycle, src, packet.dst,
+            packet.num_flits, packet.packet_id,
+        )
+
+    def _inject_many_traced(self, packets: Iterable[Packet]) -> int:
+        count = 0
+        for packet in packets:
+            self._inject_traced(packet)
+            count += 1
+        return count
+
+    def _step_traced(self, cycle: int) -> List[Flit]:
+        """Traced step(): identical state transitions plus event emission.
+
+        Runs the exact same helpers as the untraced path
+        (:meth:`_transmit_and_refill`, :meth:`_phase1_local`,
+        :meth:`_phase2_interlayer`) and derives events from their outputs
+        and the public path state afterwards, so arbitration decisions
+        stay bit-identical with tracing on.
+        """
+        tracer = self._tracer
+        tracer.cycle = cycle
+        paths = self._cooling_paths
+        if paths:
+            in_cooling = self._in_cooling
+            out_cooling = self._out_cooling
+            res_cooling = self._res_cooling
+            for src, output, rid in paths:
+                in_cooling[src] = 0
+                out_cooling[output] = 0
+                res_cooling[rid] = 0
+            paths.clear()
+
+        ejected = self._transmit_and_refill(cycle)
+        emit = tracer.emit
+        for flit in ejected:
+            emit(EJECT, flit.src, flit.dst, flit.seq,
+                 1 if flit.seq == flit.num_flits - 1 else 0)
+        # Paths torn down this cycle (tail transferred): pair each with
+        # the cycle it was granted, giving the full hold interval.
+        grant_cycle = self.grant_cycle
+        for src, output, rid in self._cooling_paths:
+            emit(COOL, rid, src, output, grant_cycle.get(src, -1))
+
+        self._trace_viability()
+
+        self._arb_cycle = cycle
+        candidate_vcs = self._candidate_vc
+        winners = self._phase1_local(candidate_vcs, cycle)
+        for rid, win in winners.items():
+            emit(P1_GRANT, rid, win.input_port, win.dst_output, win.weight)
+        self._phase2_interlayer(winners, candidate_vcs)
+        # Every phase-1 winner was an idle input, so a connection present
+        # after phase 2 can only be this cycle's grant.
+        connections = self.connections
+        is_clrg = self._is_clrg
+        subblock_arbiters = self.subblock_arbiters
+        for rid, win in winners.items():
+            input_port = win.input_port
+            entry = connections.get(input_port)
+            if entry is not None:
+                output = entry[1]
+                cls = -1
+                if is_clrg:
+                    cls = int(
+                        subblock_arbiters[output].counters.class_of(input_port)
+                    )
+                emit(P2_GRANT, rid, input_port, output, cls)
+            else:
+                emit(P2_BLOCK, rid, input_port, win.dst_output)
+        return ejected
+
+    def _trace_viability(self) -> None:
+        """Emit ``via_block`` for idle inputs with head flits but no
+        viable request, with the blocking reason decomposed.
+
+        Read-only: reuses the per-port viability objects (which are pure)
+        before arbitration mutates any state.
+        """
+        emit = self._tracer.emit
+        in_cooling = self._in_cooling
+        viability = self._viability
+        output_owner = self.output_owner
+        out_cooling = self._out_cooling
+        resource_owner = self.resource_owner
+        res_cooling = self._res_cooling
+        binned = self.allocation.is_binned
+        request_rid = self._request_rid
+        for port in self.ports:
+            port_id = port.port_id
+            if in_cooling[port_id] or port.active_vc is not None:
+                continue
+            check = viability[port_id]
+            heads = []
+            viable = False
+            for vc in port.vcs:
+                fifo = vc._fifo
+                if fifo:
+                    head = fifo[0]
+                    if head.seq == 0:
+                        if check(head):
+                            viable = True
+                            break
+                        heads.append(head)
+            if viable or not heads:
+                continue
+            # Report the first blocked head's reason (VC round-robin order
+            # does not matter for a port that cannot request at all).
+            dst = heads[0].dst
+            if output_owner[dst] is not None:
+                reason = REASON_OUTPUT_BUSY
+            elif out_cooling[dst]:
+                reason = REASON_OUTPUT_COOLING
+            else:
+                if binned:
+                    rids = (request_rid[port_id][dst],)
+                else:
+                    rids = check.rids_of_dst[dst]
+                reason = REASON_RESOURCE_COOLING
+                for rid in rids:
+                    if resource_owner[rid] >= 0 and not res_cooling[rid]:
+                        reason = REASON_RESOURCE_BUSY
+                        break
+            emit(VIA_BLOCK, port_id, dst, reason)

@@ -55,10 +55,32 @@ from repro.network.engine import SwitchModel
 from repro.network.flit import Flit
 from repro.network.packet import Packet
 from repro.network.port import InputPort
+from repro.obs.trace import (
+    CLRG_HALVE,
+    COOL,
+    EJECT,
+    P1_GRANT,
+    P2_BLOCK,
+    P2_GRANT,
+    REASON_OUTPUT_BUSY,
+    REASON_OUTPUT_COOLING,
+    REASON_RESOURCE_BUSY,
+    REASON_RESOURCE_COOLING,
+    VIA_BLOCK,
+)
 
 # Resource keys: ("int", layer, local_output) for intermediate outputs,
 # ("ch", src_layer, dst_layer, channel) for layer-to-layer channels.
 ResourceKey = Tuple
+
+
+def _reference_halve_hook(tracer, output: int):
+    """CLRG counter-bank callback: records a halving against ``output``."""
+
+    def on_halve(halvings: int) -> None:
+        tracer.emit(CLRG_HALVE, output, halvings)
+
+    return on_halve
 
 
 @dataclass
@@ -80,9 +102,16 @@ class ReferenceHiRiseSwitch(SwitchModel):
     Args:
         config: Architectural parameters (radix, layers, channel
             multiplicity, allocation policy, arbitration scheme).
+        tracer: Optional :class:`repro.obs.SwitchTracer`; records the
+            same cycle-level events as the fast kernel (observe-only, so
+            arbitration decisions are untouched).
     """
 
-    def __init__(self, config: Optional[HiRiseConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[HiRiseConfig] = None,
+        tracer: Optional[object] = None,
+    ) -> None:
         self.config = config or HiRiseConfig()
         cfg = self.config
         self.num_ports = cfg.radix
@@ -120,12 +149,29 @@ class ReferenceHiRiseSwitch(SwitchModel):
         self.output_owner: List[Optional[int]] = [None] * cfg.radix
         # input -> (resource, output) of its live connection.
         self.connections: Dict[int, Tuple[ResourceKey, int]] = {}
+        # input -> cycle its live (or most recent) path was granted.
+        self.grant_cycle: Dict[int, int] = {}
+        self._arb_cycle = -1
         # Paths whose tail transferred this cycle (arbitration blackout).
         self._cooling_inputs: set = set()
         self._cooling_outputs: set = set()
         self._cooling_resources: set = set()
         # L2LCs with faulty TSV bundles: never granted (robustness ext.).
         self.failed_channels = frozenset(cfg.failed_channels)
+
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.bind(self)
+            # Tuple resource key -> flat id, so the reference kernel
+            # emits the same resource ids as the fast kernel.
+            self._rid_of_key = {
+                key: rid
+                for rid, key in enumerate(cfg.resource_key_table)
+            }
+            for output, arbiter in self.subblock_arbiters.items():
+                counters = getattr(arbiter, "counters", None)
+                if counters is not None:
+                    counters.on_halve = _reference_halve_hook(tracer, output)
 
     def _make_subblock_arbiter(self):
         cfg = self.config
@@ -171,8 +217,15 @@ class ReferenceHiRiseSwitch(SwitchModel):
         if not 0 <= packet.dst < self.num_ports:
             raise ValueError(f"destination port {packet.dst} out of range")
         self.ports[packet.src].enqueue_packet(packet)
+        if self._tracer is not None:
+            self._tracer.inject(
+                packet.created_cycle, packet.src, packet.dst,
+                packet.num_flits, packet.packet_id,
+            )
 
     def step(self, cycle: int) -> List[Flit]:
+        if self._tracer is not None:
+            return self._step_traced(cycle)
         # Paths released by a tail this cycle carried data on their wires,
         # so they cannot also arbitrate this cycle: every packet pays one
         # arbitration cycle ("arbitrate or transmit in a single cycle").
@@ -211,6 +264,7 @@ class ReferenceHiRiseSwitch(SwitchModel):
     # Arbitration (two phases within one cycle)
     # ------------------------------------------------------------------
     def _arbitrate(self, cycle: int) -> None:
+        self._arb_cycle = cycle
         candidate_vcs: Dict[int, int] = {}
         local_winners = self._phase1_local(candidate_vcs, cycle)
         self._phase2_interlayer(local_winners, candidate_vcs)
@@ -445,6 +499,119 @@ class ReferenceHiRiseSwitch(SwitchModel):
         self.resource_owner[win.resource] = win.input_port
         self.output_owner[output] = win.input_port
         self.connections[win.input_port] = (win.resource, output)
+        self.grant_cycle[win.input_port] = self._arb_cycle
         # The local switch priority update is triggered only by the final
         # output win (Section III-B.1).
         win.local_arbiter.update(win.local_slot)
+
+    # ------------------------------------------------------------------
+    # Traced step (selected at construction when a tracer is given)
+    # ------------------------------------------------------------------
+    def _step_traced(self, cycle: int) -> List[Flit]:
+        """Traced step(): identical state transitions plus event emission.
+
+        Emits the same event stream as the fast kernel's traced path
+        (flat resource ids via ``_rid_of_key``), derived from the
+        unchanged transmit/refill/arbitrate helpers.
+        """
+        tracer = self._tracer
+        tracer.cycle = cycle
+        self._cooling_inputs.clear()
+        self._cooling_outputs.clear()
+        self._cooling_resources.clear()
+        conns_before = dict(self.connections)
+        ejected = self._transmit(cycle)
+        emit = tracer.emit
+        rid_of_key = self._rid_of_key
+        for flit in ejected:
+            emit(EJECT, flit.src, flit.dst, flit.seq, 1 if flit.is_tail else 0)
+        grant_cycle = self.grant_cycle
+        for src in sorted(self._cooling_inputs):
+            resource, output = conns_before[src]
+            emit(COOL, rid_of_key[resource], src, output,
+                 grant_cycle.get(src, -1))
+        for port in self.ports:
+            port.refill(cycle)
+        self._trace_viability()
+        self._arb_cycle = cycle
+        candidate_vcs: Dict[int, int] = {}
+        winners = self._phase1_local(candidate_vcs, cycle)
+        for resource, win in winners.items():
+            emit(P1_GRANT, rid_of_key[resource], win.input_port,
+                 win.dst_output, win.weight)
+        self._phase2_interlayer(winners, candidate_vcs)
+        # Every phase-1 winner was an idle input, so a connection present
+        # after phase 2 can only be this cycle's grant.
+        connections = self.connections
+        is_clrg = self.config.arbitration is ArbitrationScheme.CLRG
+        for resource, win in winners.items():
+            input_port = win.input_port
+            entry = connections.get(input_port)
+            if entry is not None:
+                output = entry[1]
+                cls = -1
+                if is_clrg:
+                    cls = int(
+                        self.subblock_arbiters[output]
+                        .counters.class_of(input_port)
+                    )
+                emit(P2_GRANT, rid_of_key[resource], input_port, output, cls)
+            else:
+                emit(P2_BLOCK, rid_of_key[resource], input_port,
+                     win.dst_output)
+        return ejected
+
+    def _trace_viability(self) -> None:
+        """Emit ``via_block`` for idle inputs with head flits but no
+        viable request (same reason decomposition as the fast kernel)."""
+        cfg = self.config
+        emit = self._tracer.emit
+        rid_of_key = self._rid_of_key
+        for port in self.ports:
+            port_id = port.port_id
+            if port_id in self._cooling_inputs or port.active_vc is not None:
+                continue
+            viable_for = self._viable_for(port_id)
+            heads = []
+            viable = False
+            for vc in port.vcs:
+                head = vc.front()
+                if head is not None and head.is_head:
+                    if viable_for(head):
+                        viable = True
+                        break
+                    heads.append(head)
+            if viable or not heads:
+                continue
+            dst = heads[0].dst
+            if self.output_owner[dst] is not None:
+                reason = REASON_OUTPUT_BUSY
+            elif dst in self._cooling_outputs:
+                reason = REASON_OUTPUT_COOLING
+            else:
+                src_layer = cfg.layer_of_port(port_id)
+                dst_layer = cfg.layer_of_port(dst)
+                if dst_layer == src_layer:
+                    keys = [("int", src_layer, cfg.local_index(dst))]
+                elif self.allocation.is_binned:
+                    channel = self.healthy_channel(
+                        src_layer, dst_layer,
+                        self.allocation.channel_for(
+                            cfg.local_index(port_id), dst
+                        ),
+                    )
+                    keys = [("ch", src_layer, dst_layer, channel)]
+                else:
+                    keys = [
+                        ("ch", src_layer, dst_layer, channel)
+                        for channel in range(cfg.channel_multiplicity)
+                        if (src_layer, dst_layer, channel)
+                        not in self.failed_channels
+                    ]
+                reason = REASON_RESOURCE_COOLING
+                for key in keys:
+                    if (key in self.resource_owner
+                            and key not in self._cooling_resources):
+                        reason = REASON_RESOURCE_BUSY
+                        break
+            emit(VIA_BLOCK, port_id, dst, reason)

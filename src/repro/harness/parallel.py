@@ -19,33 +19,61 @@ silently falls back to the serial path.
 """
 
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.confidence import ConfidenceInterval, t_interval
 
+_Task = Tuple[Callable[..., float], Dict[str, object], int]
 
-def _run_measurement(
-    task: Tuple[Callable[..., float], Dict[str, object], int]
-) -> float:
+
+def _run_measurement(task: _Task) -> float:
     """Execute one ``(measurement, parameters, seed)`` task (pickled)."""
     measurement, parameters, seed = task
     return float(measurement(seed=seed, **parameters))
 
 
+def _run_measurement_timed(task: _Task) -> Tuple[float, float]:
+    """Like :func:`_run_measurement`, plus the task's wall-clock seconds."""
+    start = time.perf_counter()
+    value = _run_measurement(task)
+    return value, time.perf_counter() - start
+
+
+def _report(telemetry, task: _Task, index: int, total: int,
+            value: float, wall_s: float) -> None:
+    """Deliver one heartbeat for a completed task."""
+    from repro.obs.telemetry import Heartbeat
+
+    _measurement, parameters, seed = task
+    telemetry.record(Heartbeat(
+        index=index, total=total, parameters=dict(parameters),
+        seed=seed, value=value, wall_s=wall_s,
+    ))
+
+
 def _execute_tasks(
-    tasks: Sequence[Tuple[Callable[..., float], Dict[str, object], int]],
+    tasks: Sequence[_Task],
     workers: int,
+    telemetry=None,
 ) -> List[float]:
     """Run tasks, in order, across ``workers`` processes (1 = serial).
 
     Falls back to the serial path when parallelism cannot help (one task)
     or cannot work (unpicklable tasks, pool spawn failure).  Exceptions
     raised by the measurement itself always propagate.
+
+    When a :class:`repro.obs.SweepTelemetry` is given it receives one
+    heartbeat per completed task — in completion order on the pool path —
+    while the returned values stay in submission order (bit-identical to
+    the untelemetered run).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if telemetry is not None:
+        return _execute_tasks_telemetered(tasks, workers, telemetry)
     if workers == 1 or len(tasks) <= 1:
         return [_run_measurement(task) for task in tasks]
     try:
@@ -65,6 +93,57 @@ def _execute_tasks(
         pool.shutdown()
 
 
+def _execute_tasks_telemetered(
+    tasks: Sequence[_Task],
+    workers: int,
+    telemetry,
+) -> List[float]:
+    """:func:`_execute_tasks` with per-task heartbeats.
+
+    Workers return ``(value, wall_seconds)``; the parent reports each
+    completion as its future resolves, so telemetry never runs inside a
+    task and cannot perturb results.
+    """
+    total = len(tasks)
+    telemetry.start(total)
+
+    def serial() -> List[float]:
+        values = []
+        for index, task in enumerate(tasks):
+            value, wall_s = _run_measurement_timed(task)
+            _report(telemetry, task, index, total, value, wall_s)
+            values.append(value)
+        return values
+
+    if workers == 1 or total <= 1:
+        return serial()
+    try:
+        pickle.dumps(tasks)
+    except Exception:
+        return serial()
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError):
+        return serial()
+    try:
+        futures = {
+            pool.submit(_run_measurement_timed, task): index
+            for index, task in enumerate(tasks)
+        }
+        values: List[Optional[float]] = [None] * total
+        for future in as_completed(futures):
+            index = futures[future]
+            value, wall_s = future.result()
+            values[index] = value
+            _report(telemetry, tasks[index], index, total, value, wall_s)
+        return values
+    except (OSError, BrokenProcessPool):
+        telemetry.start(total)  # the pool died: restart the channel
+        return serial()
+    finally:
+        pool.shutdown()
+
+
 def replicate(
     measurement: Callable[..., float],
     parameters: Optional[Dict[str, object]] = None,
@@ -72,13 +151,16 @@ def replicate(
     confidence: float = 0.95,
     base_seed: int = 0,
     workers: int = 1,
+    telemetry=None,
 ) -> ConfidenceInterval:
     """Parallel independent replications of one measurement.
 
     Equivalent to :func:`repro.metrics.confidence.replicate` over
     ``measurement(seed=base_seed + i, **parameters)`` but with the
     replications spread over ``workers`` processes.  Results are
-    identical to the serial path for any worker count.
+    identical to the serial path for any worker count.  An optional
+    :class:`repro.obs.SweepTelemetry` receives one heartbeat per
+    completed replication.
     """
     if num_replications < 2:
         raise ValueError("need at least two replications for an interval")
@@ -86,7 +168,7 @@ def replicate(
         (measurement, dict(parameters or {}), base_seed + index)
         for index in range(num_replications)
     ]
-    return t_interval(_execute_tasks(tasks, workers), confidence)
+    return t_interval(_execute_tasks(tasks, workers, telemetry), confidence)
 
 
 def run_sweep(
@@ -96,12 +178,15 @@ def run_sweep(
     confidence: float = 0.95,
     base_seed: int = 0,
     workers: int = 1,
+    telemetry=None,
 ) -> List["SweepPoint"]:
     """Parallel version of :func:`repro.harness.sweep.run_sweep`.
 
     The full (point, replication) task list is flattened and spread over
     ``workers`` processes; the returned points are identical (values,
-    ordering, intervals) to the serial sweep for any worker count.
+    ordering, intervals) to the serial sweep for any worker count.  An
+    optional :class:`repro.obs.SweepTelemetry` receives one heartbeat per
+    completed (point, replication) task.
     """
     from repro.harness.sweep import SweepPoint
 
@@ -112,7 +197,7 @@ def run_sweep(
         for parameters in grid
         for index in range(replications)
     ]
-    values = _execute_tasks(tasks, workers)
+    values = _execute_tasks(tasks, workers, telemetry)
     points: List[SweepPoint] = []
     for number, parameters in enumerate(grid):
         chunk = values[number * replications:(number + 1) * replications]

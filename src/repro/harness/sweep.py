@@ -8,6 +8,7 @@ harness product.
 """
 
 import itertools
+import json
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +48,7 @@ def run_sweep(
     confidence: float = 0.95,
     base_seed: int = 0,
     workers: int = 1,
+    telemetry=None,
 ) -> List[SweepPoint]:
     """Measure every grid point, optionally replicated over seeds.
 
@@ -60,17 +62,21 @@ def run_sweep(
         workers: Processes to spread the (point, replication) tasks over.
             Results are identical to the serial path for any value; see
             :mod:`repro.harness.parallel`.
+        telemetry: Optional :class:`repro.obs.SweepTelemetry`; receives a
+            heartbeat per completed (point, replication) task, for any
+            worker count, without affecting the results.
 
     Raises:
         ValueError: If ``replications`` or ``workers`` is not positive.
     """
     if replications < 1:
         raise ValueError("need at least one replication")
-    if workers != 1:
+    if workers != 1 or telemetry is not None:
         from repro.harness import parallel
         return parallel.run_sweep(
             measurement, grid, replications=replications,
             confidence=confidence, base_seed=base_seed, workers=workers,
+            telemetry=telemetry,
         )
     points: List[SweepPoint] = []
     for parameters in grid:
@@ -114,6 +120,39 @@ def render_sweep(points: Sequence[SweepPoint], title: str) -> str:
             row += f"  {point.interval.half_width:>10.3g}"
         lines.append(row)
     return "\n".join(lines)
+
+
+def to_json(points: Sequence[SweepPoint], title: Optional[str] = None) -> str:
+    """Machine-readable JSON rendering of sweep results.
+
+    The schema mirrors :class:`SweepPoint`: a ``points`` list of
+    ``{parameters, value}`` objects, each with an ``interval`` object
+    (``mean``/``half_width``/``confidence``/``observations``) when the
+    point was replicated.  Non-JSON parameter values (enums, objects) are
+    stringified rather than rejected.
+    """
+    payload: Dict[str, object] = {}
+    if title is not None:
+        payload["title"] = title
+    payload["points"] = [
+        {
+            "parameters": point.parameters,
+            "value": point.value,
+            **(
+                {
+                    "interval": {
+                        "mean": point.interval.mean,
+                        "half_width": point.interval.half_width,
+                        "confidence": point.interval.confidence,
+                        "observations": point.interval.observations,
+                    }
+                }
+                if point.interval is not None else {}
+            ),
+        }
+        for point in points
+    ]
+    return json.dumps(payload, indent=2, default=str)
 
 
 def to_series(

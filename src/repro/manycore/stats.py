@@ -100,6 +100,33 @@ class MemoryLatencyTracker:
         dram = sum(1 for record in self.completed if record.served_by_dram)
         return dram / len(self.completed)
 
+    def to_stats(self, registry, prefix: str = "mem") -> None:
+        """Export the tracked lifecycles onto a
+        :class:`~repro.obs.StatsRegistry`: request counters, the DRAM
+        fraction, and latency distributions split by serving level."""
+        registry.scalar(
+            f"{prefix}.completed", "completed memory requests"
+        ).set(len(self.completed))
+        registry.scalar(
+            f"{prefix}.in_flight", "requests still in flight"
+        ).set(self.in_flight)
+        registry.scalar(
+            f"{prefix}.dram_fraction", "fraction of requests served by DRAM"
+        ).set(self.dram_fraction())
+        total = registry.distribution(
+            f"{prefix}.latency", "memory request latency (cycles)"
+        )
+        l2_hit = registry.distribution(
+            f"{prefix}.l2_hit_latency", "shared-L2 hit latency (cycles)"
+        )
+        dram = registry.distribution(
+            f"{prefix}.dram_latency", "DRAM-served latency (cycles)"
+        )
+        for record in self.completed:
+            latency = record.latency
+            total.add(latency)
+            (dram if record.served_by_dram else l2_hit).add(latency)
+
     def breakdown(self, network_cycle_ns: float) -> "LatencyBreakdown":
         """Mean latency split by serving level, converted to nanoseconds.
 

@@ -118,3 +118,55 @@ class ProbedSwitch(SwitchModel):
         if port is None:
             return sum(self.flits_out_by_port.values()) / self.cycles_observed
         return self.flits_out_by_port[port] / self.cycles_observed
+
+    def to_stats(self, registry, prefix: str = "switch") -> None:
+        """Export sampled utilizations onto a :class:`~repro.obs.StatsRegistry`.
+
+        Hierarchical names mirror the physical structure:
+        ``switch.layer{l}.int{j}.busy_frac`` for intermediate outputs,
+        ``switch.layer{s}.l2lc{k}.busy_frac`` for layer-to-layer channels
+        (``k`` numbers the source layer's outgoing channels densely over
+        destination layers and channel indices), plus per-output busy and
+        delivered-flit vectors and aggregate flit counters.
+        """
+        cycles = self.cycles_observed
+        registry.scalar(
+            f"{prefix}.cycles_observed", "cycles the probe sampled"
+        ).set(cycles)
+        registry.scalar(
+            f"{prefix}.flits_in", "flits injected at input ports"
+        ).set(sum(self.flits_in_by_port.values()))
+        registry.scalar(
+            f"{prefix}.flits_out", "flits delivered at output ports"
+        ).set(sum(self.flits_out_by_port.values()))
+        num_ports = self.num_ports
+        registry.vector(
+            f"{prefix}.output_busy_frac", num_ports,
+            "fraction of cycles each final output held a connection",
+        ).load(
+            (self._output_busy[p] / cycles if cycles else 0.0)
+            for p in range(num_ports)
+        )
+        registry.vector(
+            f"{prefix}.flits_out_by_port", num_ports,
+            "delivered flits by output port",
+        ).load(self.flits_out_by_port[p] for p in range(num_ports))
+        config = getattr(self.switch, "config", None)
+        cmult = getattr(config, "channel_multiplicity", None)
+        for resource in sorted(self._resource_busy):
+            busy_frac = (
+                self._resource_busy[resource] / cycles if cycles else 0.0
+            )
+            if resource[0] == "int":
+                _, layer, local_out = resource
+                name = f"{prefix}.layer{layer}.int{local_out}.busy_frac"
+                desc = "intermediate-output busy fraction"
+            elif resource[0] == "ch" and cmult is not None:
+                _, src, dst, channel = resource
+                slot = (dst if dst < src else dst - 1) * cmult + channel
+                name = f"{prefix}.layer{src}.l2lc{slot}.busy_frac"
+                desc = f"L2LC busy fraction (to layer {dst}, channel {channel})"
+            else:  # non-Hi-Rise resource key: flatten it verbatim
+                name = f"{prefix}.{'.'.join(str(p) for p in resource)}.busy_frac"
+                desc = "resource busy fraction"
+            registry.scalar(name, desc).set(busy_frac)

@@ -174,6 +174,66 @@ class SimulationResult:
                 result.append(self.per_input_latency_sum[port] / count)
         return result
 
+    def to_stats(self, registry, prefix: str = "sim",
+                 num_ports: Optional[int] = None) -> None:
+        """Export this result onto a :class:`repro.obs.StatsRegistry`.
+
+        Scalars for the window counters, a latency distribution folded in
+        from the exact streaming moments, throughput formulas, and —
+        when a port count is known or inferable — per-input/per-output
+        delivered-packet vectors.
+        """
+        registry.scalar(f"{prefix}.cycles", "measured cycles").set(self.cycles)
+        registry.scalar(
+            f"{prefix}.packets_injected", "packets generated in the window"
+        ).set(self.packets_injected)
+        registry.scalar(
+            f"{prefix}.packets_ejected", "packets delivered in the window"
+        ).set(self.packets_ejected)
+        registry.scalar(
+            f"{prefix}.flits_ejected", "flits delivered in the window"
+        ).set(self.flits_ejected)
+        latency = registry.distribution(
+            f"{prefix}.latency", "packet latency (cycles)"
+        )
+        if self.latency_count:
+            samples = self.packet_latencies
+            latency.merge_moments(
+                self.latency_count, self.latency_sum, self.latency_sumsq,
+                min(samples) if samples else None,
+                max(samples) if samples else None,
+            )
+        registry.formula(
+            f"{prefix}.throughput_packets_per_cycle",
+            lambda reg: (
+                reg.get(f"{prefix}.packets_ejected")
+                / reg.get(f"{prefix}.cycles")
+                if reg.get(f"{prefix}.cycles") else 0.0
+            ),
+            "accepted throughput (packets/cycle)",
+        )
+        registry.formula(
+            f"{prefix}.throughput_flits_per_cycle",
+            lambda reg: (
+                reg.get(f"{prefix}.flits_ejected")
+                / reg.get(f"{prefix}.cycles")
+                if reg.get(f"{prefix}.cycles") else 0.0
+            ),
+            "accepted throughput (flits/cycle)",
+        )
+        if num_ports is None:
+            observed = list(self.per_input_ejected) + list(self.per_output_ejected)
+            num_ports = max(observed) + 1 if observed else 0
+        if num_ports:
+            registry.vector(
+                f"{prefix}.per_input_ejected", num_ports,
+                "delivered packets by source port",
+            ).load(self.per_input_ejected.get(p, 0) for p in range(num_ports))
+            registry.vector(
+                f"{prefix}.per_output_ejected", num_ports,
+                "delivered packets by destination port",
+            ).load(self.per_output_ejected.get(p, 0) for p in range(num_ports))
+
 
 class Simulation:
     """Couples a traffic source to a switch model and runs the cycle loop."""
@@ -240,25 +300,29 @@ class Simulation:
         return result
 
     def _drain_stall_message(self, idle_cycles: int) -> str:
-        """Occupancy snapshot for the drain-stall error."""
+        """Telemetry snapshot for the drain-stall error.
+
+        Embeds the machine-readable :func:`repro.obs.telemetry_snapshot`
+        (per-port occupancy, busy resources with owner and last-grant
+        cycle, owned outputs) and, when the switch is traced, records a
+        ``drain_stall`` event so the stall is visible on the timeline.
+        """
+        # Lazy import: the engine stays importable without the obs
+        # package in the picture for every hot-loop user.
+        from repro.obs.snapshot import render_snapshot, telemetry_snapshot
+        from repro.obs.trace import DRAIN_STALL
+
         switch = self.switch
-        message = (
+        occupancy = switch.occupancy()
+        tracer = getattr(switch, "_tracer", None)
+        if tracer is not None:
+            tracer.emit(DRAIN_STALL, idle_cycles, occupancy)
+        snapshot = telemetry_snapshot(switch, max_ports=8)
+        return (
             f"drain made no progress for {idle_cycles} consecutive cycles "
-            f"at cycle {self._cycle}: {switch.occupancy()} flits still "
-            f"inside the switch"
+            f"at cycle {self._cycle}: {occupancy} flits still "
+            f"inside the switch; telemetry: {render_snapshot(snapshot)}"
         )
-        ports = getattr(switch, "ports", None)
-        if ports:
-            stuck = [
-                f"port {port.port_id}: {occupancy} flits"
-                for port in ports
-                if (occupancy := port.total_occupancy()) > 0
-            ]
-            message += " (" + ", ".join(stuck[:8])
-            if len(stuck) > 8:
-                message += f", ... {len(stuck) - 8} more ports"
-            message += ")"
-        return message
 
     def _tick(self, result: SimulationResult, measuring: bool, inject: bool) -> None:
         cycle = self._cycle

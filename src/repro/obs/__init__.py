@@ -1,0 +1,56 @@
+"""Observability: cycle-level tracing, stats registry, run telemetry.
+
+Three layers, all opt-in and all zero-cost when unused:
+
+* :mod:`repro.obs.trace` — :class:`SwitchTracer` records cycle-level
+  arbitration/datapath events from a switch built with ``tracer=``;
+  exports JSONL and Chrome ``trace_event`` timelines.
+* :mod:`repro.obs.stats` — a gem5-style :class:`StatsRegistry` of
+  hierarchically named scalar/vector/distribution/formula statistics
+  that simulation results, probes, and the many-core trackers export
+  onto (``.to_stats(registry)``).
+* :mod:`repro.obs.telemetry` — :class:`SweepTelemetry` heartbeats for
+  ``run_sweep``/``replicate`` workers (progress, wall-clock, cycles/s).
+* :mod:`repro.obs.snapshot` — point-in-time occupancy/ownership
+  snapshots (embedded in drain-stall errors).
+"""
+
+from repro.obs.snapshot import render_snapshot, telemetry_snapshot
+from repro.obs.stats import (
+    DistributionStat,
+    FormulaStat,
+    ScalarStat,
+    Stat,
+    StatsRegistry,
+    VectorStat,
+)
+from repro.obs.telemetry import Heartbeat, SweepTelemetry
+from repro.obs.trace import (
+    EVENT_FIELDS,
+    EVENT_NAMES,
+    SwitchTracer,
+    validate_chrome,
+    validate_chrome_path,
+    validate_jsonl_path,
+    validate_records,
+)
+
+__all__ = [
+    "DistributionStat",
+    "EVENT_FIELDS",
+    "EVENT_NAMES",
+    "FormulaStat",
+    "Heartbeat",
+    "ScalarStat",
+    "Stat",
+    "StatsRegistry",
+    "SweepTelemetry",
+    "SwitchTracer",
+    "VectorStat",
+    "render_snapshot",
+    "telemetry_snapshot",
+    "validate_chrome",
+    "validate_chrome_path",
+    "validate_jsonl_path",
+    "validate_records",
+]

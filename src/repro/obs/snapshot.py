@@ -1,0 +1,79 @@
+"""Point-in-time telemetry snapshots of a switch's internal state.
+
+:func:`telemetry_snapshot` captures, from any :class:`SwitchModel`
+(duck-typed, nothing is required beyond ``occupancy()``), the state a
+human needs when a run wedges or a probe looks suspicious: per-port
+buffered-flit occupancy, every busy path resource with its owner input,
+output, and the cycle it was granted, and the output-owner map.  The
+drain-stall ``RuntimeError`` raised by :mod:`repro.network.engine`
+embeds the rendered snapshot, replacing the old free-form occupancy
+string.
+"""
+
+import json
+from typing import Dict, List, Optional
+
+
+def telemetry_snapshot(switch, max_ports: Optional[int] = None) -> Dict[str, object]:
+    """Capture occupancy and path-ownership telemetry from a switch.
+
+    Args:
+        switch: Any switch model.  Hi-Rise kernels (fast and reference)
+            contribute busy resources and last-grant cycles; switches
+            without that state just report port occupancy.
+        max_ports: Optional cap on the number of occupied ports listed
+            (the occupied-port *count* is always exact).
+
+    Returns:
+        A JSON-serialisable dict with keys ``occupancy`` (total flits
+        inside), ``ports`` (occupied ports, flit counts), and — when the
+        switch exposes them — ``busy_resources`` (resource key, owner
+        input, output, last-grant cycle) and ``outputs`` (owned outputs).
+    """
+    snapshot: Dict[str, object] = {"occupancy": int(switch.occupancy())}
+
+    ports = getattr(switch, "ports", None)
+    if ports:
+        occupied = [
+            {"port": port.port_id, "flits": occupancy}
+            for port in ports
+            if (occupancy := port.total_occupancy()) > 0
+        ]
+        snapshot["occupied_ports"] = len(occupied)
+        if max_ports is not None and len(occupied) > max_ports:
+            occupied = occupied[:max_ports]
+        snapshot["ports"] = occupied
+
+    connections = getattr(switch, "connections", None)
+    if isinstance(connections, dict):
+        grant_cycle = getattr(switch, "grant_cycle", None) or {}
+        config = getattr(switch, "config", None)
+        key_table = getattr(config, "resource_key_table", None)
+        busy: List[Dict[str, object]] = []
+        for input_port in sorted(connections):
+            resource, output = connections[input_port]
+            if isinstance(resource, int) and key_table is not None:
+                key = key_table[resource]
+            else:
+                key = resource
+            busy.append({
+                "resource": list(key) if isinstance(key, tuple) else key,
+                "input": input_port,
+                "output": output,
+                "granted_cycle": grant_cycle.get(input_port, -1),
+            })
+        snapshot["busy_resources"] = busy
+
+    output_owner = getattr(switch, "output_owner", None)
+    if output_owner is not None:
+        snapshot["outputs"] = {
+            str(output): owner
+            for output, owner in enumerate(output_owner)
+            if owner is not None
+        }
+    return snapshot
+
+
+def render_snapshot(snapshot: Dict[str, object]) -> str:
+    """Compact single-line rendering (embedded in error messages)."""
+    return json.dumps(snapshot, separators=(",", ":"), sort_keys=False)

@@ -1,0 +1,325 @@
+"""Hierarchical simulation statistics registry (gem5-style).
+
+A :class:`StatsRegistry` holds named statistics with dotted hierarchical
+names (``switch.layer0.l2lc3.busy_frac``), mirroring gem5's stats
+system: scalars, vectors, distributions (streaming moments plus
+extrema), and formulas (computed from other stats at dump time).  Every
+measurement surface in the repo can export onto one registry —
+``SimulationResult.to_stats``, ``ProbedSwitch.to_stats``,
+``MemoryLatencyTracker.to_stats`` — so any run can be dumped as one
+aligned text block (``dump()``) or one flat/machine-readable dict
+(``to_dict()``).
+
+Stats are cheap plain-python objects: the hot simulation loops never
+touch the registry; exporters populate it after (or outside) the timed
+region.
+"""
+
+import math
+from typing import Callable, Dict, IO, Iterable, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Stat:
+    """Base class: a named statistic with a one-line description."""
+
+    __slots__ = ("name", "desc")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        if not name:
+            raise ValueError("a stat needs a non-empty name")
+        self.name = name
+        self.desc = desc
+
+    def value(self):
+        """The current value (shape depends on the concrete stat)."""
+        raise NotImplementedError
+
+
+class ScalarStat(Stat):
+    """A single number (count, fraction, rate)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, desc: str = "", value: Number = 0) -> None:
+        super().__init__(name, desc)
+        self._value = value
+
+    def set(self, value: Number) -> "ScalarStat":
+        """Assign the scalar's value; returns self for chaining."""
+        self._value = value
+        return self
+
+    def add(self, delta: Number = 1) -> "ScalarStat":
+        """Increment the scalar by ``delta`` (default 1)."""
+        self._value += delta
+        return self
+
+    def value(self) -> Number:
+        return self._value
+
+
+class VectorStat(Stat):
+    """A dense vector of numbers indexed ``0 .. size-1``."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, name: str, size: int, desc: str = "") -> None:
+        super().__init__(name, desc)
+        if size < 1:
+            raise ValueError("a vector stat needs at least one element")
+        self._values: List[Number] = [0] * size
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def set(self, index: int, value: Number) -> "VectorStat":
+        """Assign one element; returns self for chaining."""
+        self._values[index] = value
+        return self
+
+    def add(self, index: int, delta: Number = 1) -> "VectorStat":
+        """Increment one element by ``delta`` (default 1)."""
+        self._values[index] += delta
+        return self
+
+    def load(self, values: Iterable[Number]) -> "VectorStat":
+        """Bulk-assign from an iterable (must match the vector size)."""
+        values = list(values)
+        if len(values) != len(self._values):
+            raise ValueError(
+                f"{self.name}: expected {len(self._values)} values, "
+                f"got {len(values)}"
+            )
+        self._values = values
+        return self
+
+    def total(self) -> Number:
+        """Sum over all elements."""
+        return sum(self._values)
+
+    def value(self) -> List[Number]:
+        return list(self._values)
+
+
+class DistributionStat(Stat):
+    """Streaming moments (count/sum/sum-of-squares) plus extrema."""
+
+    __slots__ = ("count", "total", "sumsq", "minimum", "maximum")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        super().__init__(name, desc)
+        self.count = 0
+        self.total = 0.0
+        self.sumsq = 0.0
+        self.minimum: Optional[Number] = None
+        self.maximum: Optional[Number] = None
+
+    def add(self, sample: Number) -> "DistributionStat":
+        """Fold one sample into the streaming moments and extrema."""
+        self.count += 1
+        self.total += sample
+        self.sumsq += sample * sample
+        if self.minimum is None or sample < self.minimum:
+            self.minimum = sample
+        if self.maximum is None or sample > self.maximum:
+            self.maximum = sample
+        return self
+
+    def add_samples(self, samples: Iterable[Number]) -> "DistributionStat":
+        """Fold in every sample from an iterable."""
+        for sample in samples:
+            self.add(sample)
+        return self
+
+    def merge_moments(
+        self,
+        count: int,
+        total: Number,
+        sumsq: Number,
+        minimum: Optional[Number] = None,
+        maximum: Optional[Number] = None,
+    ) -> "DistributionStat":
+        """Fold in already-accumulated streaming moments.
+
+        This is how exact streaming accumulators (e.g.
+        ``SimulationResult.latency_sum``/``latency_sumsq``) migrate onto
+        the registry without replaying every sample.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.count += count
+        self.total += total
+        self.sumsq += sumsq
+        if minimum is not None and (self.minimum is None or minimum < self.minimum):
+            self.minimum = minimum
+        if maximum is not None and (self.maximum is None or maximum > self.maximum):
+            self.maximum = maximum
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def stdev(self) -> float:
+        if not self.count:
+            return float("nan")
+        mean = self.total / self.count
+        variance = max(self.sumsq / self.count - mean * mean, 0.0)
+        return math.sqrt(variance)
+
+    def value(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum if self.minimum is not None else float("nan"),
+            "max": self.maximum if self.maximum is not None else float("nan"),
+        }
+
+
+class FormulaStat(Stat):
+    """A value derived from other stats, evaluated at dump time."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[["StatsRegistry"], Number],
+        desc: str = "",
+    ) -> None:
+        super().__init__(name, desc)
+        self._fn = fn
+
+    def evaluate(self, registry: "StatsRegistry") -> Number:
+        """Compute the formula against the registry's current values."""
+        return self._fn(registry)
+
+    def value(self):  # pragma: no cover - formulas evaluate via registry
+        raise TypeError("formula stats evaluate through their registry")
+
+
+class StatsRegistry:
+    """An ordered, hierarchically named collection of statistics.
+
+    Names are dotted paths (``sim.latency``, ``switch.layer0.int3.busy_frac``);
+    registration order is preserved in dumps and duplicate names are
+    rejected, so two exporters cannot silently clobber each other.
+    """
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, Stat] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register(self, stat: Stat) -> Stat:
+        if stat.name in self._stats:
+            raise ValueError(f"stat {stat.name!r} already registered")
+        self._stats[stat.name] = stat
+        return stat
+
+    def scalar(self, name: str, desc: str = "",
+               value: Number = 0) -> ScalarStat:
+        """Register and return a new :class:`ScalarStat`."""
+        return self._register(ScalarStat(name, desc, value))
+
+    def vector(self, name: str, size: int, desc: str = "") -> VectorStat:
+        """Register and return a new :class:`VectorStat` of ``size``."""
+        return self._register(VectorStat(name, size, desc))
+
+    def distribution(self, name: str, desc: str = "") -> DistributionStat:
+        """Register and return a new :class:`DistributionStat`."""
+        return self._register(DistributionStat(name, desc))
+
+    def formula(self, name: str, fn: Callable[["StatsRegistry"], Number],
+                desc: str = "") -> FormulaStat:
+        """Register a :class:`FormulaStat` computing ``fn(registry)``."""
+        return self._register(FormulaStat(name, fn, desc))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __getitem__(self, name: str) -> Stat:
+        return self._stats[name]
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def names(self) -> List[str]:
+        """Registered stat names, in registration order."""
+        return list(self._stats)
+
+    def get(self, name: str) -> Number:
+        """Evaluated numeric value of a scalar or formula stat."""
+        stat = self._stats[name]
+        if isinstance(stat, FormulaStat):
+            return stat.evaluate(self)
+        if isinstance(stat, ScalarStat):
+            return stat.value()
+        raise TypeError(f"{name!r} is not a scalar-valued stat")
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Flat ``name -> value`` dict (JSON-serialisable)."""
+        result: Dict[str, object] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, FormulaStat):
+                result[name] = stat.evaluate(self)
+            else:
+                result[name] = stat.value()
+        return result
+
+    def dump(self, file: Optional[IO[str]] = None) -> str:
+        """gem5 ``stats.txt``-style aligned text block.
+
+        One line per leaf value: ``name  value  # description``; vectors
+        expand to ``name[i]`` plus ``name.total``, distributions to
+        ``name.count/.mean/.stdev/.min/.max``.
+        """
+        lines = ["---------- Begin Simulation Statistics ----------"]
+        for name, stat in self._stats.items():
+            if isinstance(stat, ScalarStat):
+                lines.append(_format_line(name, stat.value(), stat.desc))
+            elif isinstance(stat, FormulaStat):
+                lines.append(_format_line(name, stat.evaluate(self), stat.desc))
+            elif isinstance(stat, VectorStat):
+                values = stat.value()
+                for index, value in enumerate(values):
+                    lines.append(_format_line(f"{name}[{index}]", value, ""))
+                lines.append(
+                    _format_line(f"{name}.total", sum(values), stat.desc)
+                )
+            elif isinstance(stat, DistributionStat):
+                for leaf, value in stat.value().items():
+                    desc = stat.desc if leaf == "count" else ""
+                    lines.append(_format_line(f"{name}.{leaf}", value, desc))
+        lines.append("---------- End Simulation Statistics ----------")
+        text = "\n".join(lines)
+        if file is not None:
+            file.write(text + "\n")
+        return text
+
+
+def _format_line(name: str, value: Number, desc: str) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            rendered = "nan"
+        elif value == int(value) and abs(value) < 1e15:
+            rendered = str(int(value))
+        else:
+            rendered = f"{value:.6g}"
+    else:
+        rendered = str(value)
+    line = f"{name:<44} {rendered:>14}"
+    if desc:
+        line += f"  # {desc}"
+    return line

@@ -1,0 +1,156 @@
+"""Sweep- and run-level telemetry: heartbeats from sweep workers.
+
+Parameter sweeps and replications used to run silently until the whole
+grid finished.  A :class:`SweepTelemetry` instance passed to
+``run_sweep(..., telemetry=...)`` / ``replicate(..., telemetry=...)``
+receives one :class:`Heartbeat` per completed (point, replication) task
+— in completion order, from the worker pool or the serial loop alike —
+and aggregates progress, wall-clock, and simulated-cycle throughput.
+
+The heartbeat channel is deliberately one-way and in-process: workers
+return ``(value, wall_seconds)`` and the executor in
+:mod:`repro.harness.parallel` reports completions as futures resolve, so
+telemetry never perturbs task results (sweeps stay bit-identical with
+and without it, for any worker count).
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One completed sweep task, as reported over the heartbeat channel.
+
+    Attributes:
+        index: Task index in submission order (grid-major, then seed).
+        total: Total tasks in the sweep.
+        parameters: The grid point's parameter dictionary.
+        seed: The seed the task ran with.
+        value: The measurement's scalar result.
+        wall_s: Wall-clock seconds the measurement took in its worker.
+    """
+
+    index: int
+    total: int
+    parameters: Dict[str, object]
+    seed: int
+    value: float
+    wall_s: float
+
+
+@dataclass
+class SweepTelemetry:
+    """Aggregates worker heartbeats for one sweep or replication run.
+
+    Args:
+        cycles_per_task: Optional simulated-cycle count of one task
+            (warm-up + measure + drain as appropriate).  When given,
+            aggregate simulated cycles/s is reported.
+        emit: Optional sink for one progress line per heartbeat (e.g.
+            ``print``); ``None`` keeps telemetry silent but queryable.
+    """
+
+    cycles_per_task: Optional[int] = None
+    emit: Optional[Callable[[str], None]] = None
+    heartbeats: List[Heartbeat] = field(default_factory=list)
+    _started_at: Optional[float] = field(default=None, repr=False)
+    _total: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------
+    # Channel interface (called by repro.harness.parallel)
+    # ------------------------------------------------------------------
+    def start(self, total_tasks: int) -> None:
+        """Open the channel for a run of ``total_tasks`` tasks."""
+        self._started_at = time.perf_counter()
+        self._total = total_tasks
+        self.heartbeats.clear()
+
+    def record(self, heartbeat: Heartbeat) -> None:
+        """Deliver one heartbeat (completion order, not submission order)."""
+        if self._started_at is None:
+            self.start(heartbeat.total)
+        self.heartbeats.append(heartbeat)
+        if self.emit is not None:
+            self.emit(self.format_heartbeat(heartbeat))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_tasks(self) -> int:
+        return self._total
+
+    @property
+    def tasks_done(self) -> int:
+        return len(self.heartbeats)
+
+    @property
+    def elapsed_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.perf_counter() - self._started_at
+
+    @property
+    def tasks_per_s(self) -> float:
+        elapsed = self.elapsed_s
+        return self.tasks_done / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def mean_task_wall_s(self) -> float:
+        if not self.heartbeats:
+            return 0.0
+        return sum(hb.wall_s for hb in self.heartbeats) / len(self.heartbeats)
+
+    @property
+    def cycles_per_s(self) -> Optional[float]:
+        """Aggregate simulated cycles/s (needs ``cycles_per_task``)."""
+        if self.cycles_per_task is None:
+            return None
+        elapsed = self.elapsed_s
+        if elapsed <= 0:
+            return None
+        return self.tasks_done * self.cycles_per_task / elapsed
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds to completion, None before the first beat."""
+        rate = self.tasks_per_s
+        if rate <= 0 or self._total <= 0:
+            return None
+        return max(self._total - self.tasks_done, 0) / rate
+
+    def format_heartbeat(self, heartbeat: Heartbeat) -> str:
+        """One human-readable progress line for a heartbeat."""
+        done = self.tasks_done
+        line = (
+            f"[sweep {done}/{self._total or heartbeat.total}] "
+            f"{_render_parameters(heartbeat.parameters)} seed={heartbeat.seed} "
+            f"-> {heartbeat.value:.6g} ({heartbeat.wall_s:.2f}s)"
+        )
+        cycles_rate = self.cycles_per_s
+        if cycles_rate is not None:
+            line += f" [{cycles_rate:.0f} cycles/s]"
+        eta = self.eta_s
+        if eta is not None and done < self._total:
+            line += f" eta {eta:.0f}s"
+        return line
+
+    def summary(self) -> Dict[str, object]:
+        """Machine-readable run summary (for reports and tests)."""
+        return {
+            "total_tasks": self._total,
+            "tasks_done": self.tasks_done,
+            "elapsed_s": self.elapsed_s,
+            "tasks_per_s": self.tasks_per_s,
+            "mean_task_wall_s": self.mean_task_wall_s,
+            "cycles_per_task": self.cycles_per_task,
+            "cycles_per_s": self.cycles_per_s,
+        }
+
+
+def _render_parameters(parameters: Dict[str, object]) -> str:
+    if not parameters:
+        return "(no parameters)"
+    return " ".join(f"{name}={value}" for name, value in parameters.items())

@@ -1,0 +1,395 @@
+"""Cycle-level event tracing for the switch kernels.
+
+A :class:`SwitchTracer` is handed to a switch at construction
+(``HiRiseSwitch(config, tracer=...)`` or
+``ReferenceHiRiseSwitch(config, tracer=...)``) and receives every
+observable arbitration and datapath event: injections, ejections,
+phase-1 (local) grants, phase-2 (inter-layer) grants and losses,
+viability rejections, path cooldowns (with the grant cycle, so path
+occupancy intervals come for free), CLRG counter halvings, and drain
+stalls.  Tracing is *opt-in at construction*: an untraced switch keeps
+its hot loop byte-for-byte on the fast path behind a single predictable
+``tracer is None`` check per cycle, and traced runs are bit-identical to
+untraced runs (the tracer only observes, never decides).
+
+Events are buffered as compact integer tuples
+``(cycle, kind, a, b, c, d)`` and exported in two formats:
+
+* **JSONL** — one self-describing record per line (plus a leading
+  ``meta`` record), the stable machine-readable schema
+  (:data:`EVENT_FIELDS`, checked by :func:`validate_jsonl_path`);
+* **Chrome ``trace_event``** — a timeline JSON loadable in
+  ``chrome://tracing`` / Perfetto: one "thread" per switch resource with
+  a complete ("X") event per path hold, instant events for CLRG
+  halvings and drain stalls, and a per-cycle ejected-flit counter track.
+"""
+
+import json
+from collections import Counter
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+#: Trace format version, written into the JSONL meta record.
+TRACE_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Event kinds
+# ---------------------------------------------------------------------------
+INJECT = 0       #: packet entered a source queue
+EJECT = 1        #: flit left the switch at its output
+P1_GRANT = 2     #: phase-1 (local switch) grant of a resource
+P2_GRANT = 3     #: phase-2 (inter-layer) grant: full path locked
+P2_BLOCK = 4     #: phase-1 winner lost the inter-layer arbitration
+VIA_BLOCK = 5    #: an idle input had head flits but no viable request
+COOL = 6         #: path released (tail transferred); cooling this cycle
+CLRG_HALVE = 7   #: a CLRG class-counter bank halved
+DRAIN_STALL = 8  #: drain loop made no progress for the idle limit
+
+#: Event kind -> wire name used in the JSONL export.
+EVENT_NAMES: Dict[int, str] = {
+    INJECT: "inject",
+    EJECT: "eject",
+    P1_GRANT: "p1_grant",
+    P2_GRANT: "p2_grant",
+    P2_BLOCK: "p2_block",
+    VIA_BLOCK: "via_block",
+    COOL: "cool",
+    CLRG_HALVE: "clrg_halve",
+    DRAIN_STALL: "drain_stall",
+}
+
+#: Event kind -> names of the payload slots ``(a, b, c, d)`` actually
+#: used by that kind (unused trailing slots are not serialised).
+#:
+#: * ``inject``: src port, dst port, packet length in flits, packet id.
+#: * ``eject``: src port, dst port, flit sequence number, tail flag.
+#: * ``p1_grant``: resource id, winning input, requested output, weight
+#:   (live requestor count, the WLRG weight).
+#: * ``p2_grant``: resource id, input, output, winner's CLRG class
+#:   after the commit (-1 under non-CLRG schemes).
+#: * ``p2_block``: resource id, input, output it lost.
+#: * ``via_block``: input port, blocked destination, reason code
+#:   (0 = output busy, 1 = output cooling, 2 = resource busy,
+#:   3 = resource cooling).
+#: * ``cool``: resource id, input, output, cycle the path was granted.
+#: * ``clrg_halve``: output whose bank halved, total halvings so far.
+#: * ``drain_stall``: consecutive idle cycles, flits still inside.
+EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
+    INJECT: ("src", "dst", "num_flits", "packet_id"),
+    EJECT: ("src", "dst", "seq", "tail"),
+    P1_GRANT: ("resource", "input", "output", "weight"),
+    P2_GRANT: ("resource", "input", "output", "cls"),
+    P2_BLOCK: ("resource", "input", "output"),
+    VIA_BLOCK: ("input", "dst", "reason"),
+    COOL: ("resource", "input", "output", "granted"),
+    CLRG_HALVE: ("output", "halvings"),
+    DRAIN_STALL: ("idle_cycles", "occupancy"),
+}
+
+#: ``via_block`` reason codes.
+REASON_OUTPUT_BUSY = 0
+REASON_OUTPUT_COOLING = 1
+REASON_RESOURCE_BUSY = 2
+REASON_RESOURCE_COOLING = 3
+
+_NAME_TO_KIND = {name: kind for kind, name in EVENT_NAMES.items()}
+
+#: Default event-buffer capacity (events beyond it are counted, not kept).
+DEFAULT_CAPACITY = 1 << 20
+
+
+class SwitchTracer:
+    """Buffers cycle-level switch events as compact integer tuples.
+
+    Args:
+        capacity: Maximum number of buffered events; once full, further
+            events are dropped (and counted in :attr:`dropped`) instead
+            of growing memory without bound.  ``None`` means unbounded.
+
+    A tracer is bound to the switch it is constructed with (the switch
+    calls :meth:`bind` so exports can name resources); reusing one
+    tracer across switches concatenates their events under the last
+    bound configuration.
+    """
+
+    __slots__ = ("events", "cycle", "capacity", "dropped", "config")
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("tracer capacity must be >= 1 or None")
+        self.events: List[Tuple[int, int, int, int, int, int]] = []
+        self.cycle = 0
+        self.capacity = capacity
+        self.dropped = 0
+        self.config = None
+
+    def bind(self, switch) -> None:
+        """Attach the switch's configuration (resource naming for exports)."""
+        self.config = getattr(switch, "config", None)
+
+    # ------------------------------------------------------------------
+    # Emission (called from the traced switch step)
+    # ------------------------------------------------------------------
+    def emit(self, kind: int, a: int = 0, b: int = 0, c: int = 0,
+             d: int = 0) -> None:
+        """Append one event at the tracer's current cycle."""
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append((self.cycle, kind, a, b, c, d))
+
+    def inject(self, cycle: int, src: int, dst: int, num_flits: int,
+               packet_id: int) -> None:
+        """Injection events carry their own cycle (they precede step())."""
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append((cycle, INJECT, src, dst, num_flits, packet_id))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Event counts keyed by wire name (for summaries and tests)."""
+        counted = Counter(event[1] for event in self.events)
+        return {EVENT_NAMES[kind]: count for kind, count in counted.items()}
+
+    def halving_events(self) -> List[Tuple[int, int, int]]:
+        """All CLRG halvings as ``(cycle, output, total_halvings)``."""
+        return [
+            (cycle, a, b)
+            for cycle, kind, a, b, _c, _d in self.events
+            if kind == CLRG_HALVE
+        ]
+
+    def resource_name(self, resource_id: int) -> str:
+        """Human-readable name of a flat resource id (export labelling)."""
+        config = self.config
+        if config is not None:
+            try:
+                key = config.resource_key_table[resource_id]
+            except IndexError:
+                return f"res{resource_id}"
+            if key[0] == "int":
+                return f"int L{key[1]}.{key[2]}"
+            return f"ch L{key[1]}->L{key[2]}#{key[3]}"
+        return f"res{resource_id}"
+
+    # ------------------------------------------------------------------
+    # JSONL export
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[Dict[str, object]]:
+        """Self-describing dict per event, meta record first."""
+        meta: Dict[str, object] = {
+            "event": "meta",
+            "version": TRACE_VERSION,
+            "events": len(self.events),
+            "dropped": self.dropped,
+        }
+        config = self.config
+        if config is not None:
+            meta.update(
+                radix=config.radix,
+                layers=config.layers,
+                channel_multiplicity=config.channel_multiplicity,
+                arbitration=str(config.arbitration.value),
+                allocation=str(config.allocation.value),
+            )
+        yield meta
+        fields = EVENT_FIELDS
+        names = EVENT_NAMES
+        for cycle, kind, a, b, c, d in self.events:
+            record: Dict[str, object] = {"cycle": cycle, "event": names[kind]}
+            payload = (a, b, c, d)
+            for index, field in enumerate(fields[kind]):
+                record[field] = payload[index]
+            yield record
+
+    def write_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write the JSONL export; returns the number of records written."""
+        if hasattr(destination, "write"):
+            return self._write_jsonl(destination)
+        with open(destination, "w", encoding="utf-8") as handle:
+            return self._write_jsonl(handle)
+
+    def _write_jsonl(self, handle: IO[str]) -> int:
+        count = 0
+        for record in self.records():
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Chrome trace_event export
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, object]:
+        """Chrome ``trace_event`` JSON (1 simulated cycle = 1 us).
+
+        Tracks: pid 0 holds one thread per switch resource with an "X"
+        (complete) slice per path hold — built from ``cool`` events,
+        which carry the grant cycle — plus slices for paths still open
+        at export time; pid 1 carries instant events (CLRG halvings per
+        output, drain stalls); pid 2 carries an ``ejected_flits``
+        counter sampled on every cycle that ejected at least one flit.
+        """
+        trace_events: List[Dict[str, object]] = [
+            {"ph": "M", "pid": 0, "name": "process_name",
+             "args": {"name": "switch paths"}},
+            {"ph": "M", "pid": 1, "name": "process_name",
+             "args": {"name": "arbitration"}},
+            {"ph": "M", "pid": 2, "name": "process_name",
+             "args": {"name": "throughput"}},
+        ]
+        named_resources = set()
+        open_paths: Dict[int, Tuple[int, int, int]] = {}  # input -> state
+        ejected_per_cycle: Counter = Counter()
+        last_cycle = 0
+
+        def name_resource(resource: int) -> None:
+            if resource not in named_resources:
+                named_resources.add(resource)
+                trace_events.append({
+                    "ph": "M", "pid": 0, "tid": resource,
+                    "name": "thread_name",
+                    "args": {"name": self.resource_name(resource)},
+                })
+
+        for cycle, kind, a, b, c, d in self.events:
+            last_cycle = cycle if cycle > last_cycle else last_cycle
+            if kind == P2_GRANT:
+                open_paths[b] = (cycle, a, c)
+            elif kind == COOL:
+                name_resource(a)
+                start = d if d >= 0 else cycle
+                trace_events.append({
+                    "name": f"in{b} -> out{c}", "cat": "path", "ph": "X",
+                    "ts": start, "dur": max(cycle - start, 1),
+                    "pid": 0, "tid": a,
+                })
+                open_paths.pop(b, None)
+            elif kind == EJECT:
+                ejected_per_cycle[cycle] += 1
+            elif kind == CLRG_HALVE:
+                trace_events.append({
+                    "name": "clrg_halve", "cat": "clrg", "ph": "i",
+                    "ts": cycle, "pid": 1, "tid": a, "s": "t",
+                    "args": {"output": a, "halvings": b},
+                })
+            elif kind == DRAIN_STALL:
+                trace_events.append({
+                    "name": "drain_stall", "cat": "engine", "ph": "i",
+                    "ts": cycle, "pid": 1, "tid": 0, "s": "g",
+                    "args": {"idle_cycles": a, "occupancy": b},
+                })
+        # Paths still streaming when the trace ended.
+        for input_port, (start, resource, output) in open_paths.items():
+            name_resource(resource)
+            trace_events.append({
+                "name": f"in{input_port} -> out{output} (open)",
+                "cat": "path", "ph": "X", "ts": start,
+                "dur": max(last_cycle - start, 1), "pid": 0, "tid": resource,
+            })
+        for cycle in sorted(ejected_per_cycle):
+            trace_events.append({
+                "name": "ejected_flits", "ph": "C", "ts": cycle,
+                "pid": 2, "args": {"flits": ejected_per_cycle[cycle]},
+            })
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, destination: Union[str, IO[str]]) -> int:
+        """Write the Chrome trace; returns the number of trace events."""
+        trace = self.chrome_trace()
+        if hasattr(destination, "write"):
+            json.dump(trace, destination)
+        else:
+            with open(destination, "w", encoding="utf-8") as handle:
+                json.dump(trace, handle)
+        return len(trace["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (used by tests, the CLI, and the CI smoke job)
+# ---------------------------------------------------------------------------
+def validate_record(record: Dict[str, object]) -> None:
+    """Validate one JSONL event record against the schema.
+
+    Raises:
+        ValueError: On a missing/unknown event name, a missing field, or
+            a non-integer cycle/field value.
+    """
+    event = record.get("event")
+    if event == "meta":
+        version = record.get("version")
+        if not isinstance(version, int):
+            raise ValueError("meta record missing integer 'version'")
+        return
+    kind = _NAME_TO_KIND.get(event)
+    if kind is None:
+        raise ValueError(f"unknown event name: {event!r}")
+    cycle = record.get("cycle")
+    if not isinstance(cycle, int) or cycle < 0:
+        raise ValueError(f"{event}: cycle must be a non-negative integer")
+    for field in EVENT_FIELDS[kind]:
+        value = record.get(field)
+        if not isinstance(value, int):
+            raise ValueError(f"{event}: field {field!r} missing or not an int")
+
+
+def validate_records(records: Iterable[Dict[str, object]]) -> int:
+    """Validate an iterable of records (meta first); returns the count.
+
+    Raises:
+        ValueError: On an empty stream, a stream not starting with a
+            meta record, or any invalid record.
+    """
+    count = 0
+    for index, record in enumerate(records):
+        if index == 0 and record.get("event") != "meta":
+            raise ValueError("trace must start with a meta record")
+        validate_record(record)
+        count += 1
+    if count == 0:
+        raise ValueError("empty trace")
+    return count
+
+
+def validate_jsonl_path(path) -> int:
+    """Validate a JSONL trace file; returns the record count."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_records(
+            json.loads(line) for line in handle if line.strip()
+        )
+
+
+def validate_chrome(trace: Dict[str, object]) -> int:
+    """Validate a Chrome trace_event dict; returns the event count.
+
+    Raises:
+        ValueError: If the container or any event is malformed.
+    """
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("chrome trace needs a non-empty traceEvents list")
+    for event in events:
+        if not isinstance(event, dict):
+            raise ValueError("trace event must be an object")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "C", "M", "B", "E"):
+            raise ValueError(f"unknown trace event phase: {phase!r}")
+        if "name" not in event or "pid" not in event:
+            raise ValueError("trace event needs 'name' and 'pid'")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, int) or ts < 0:
+                raise ValueError("timed trace event needs integer 'ts' >= 0")
+        if phase == "X" and not isinstance(event.get("dur"), int):
+            raise ValueError("complete ('X') event needs integer 'dur'")
+    return len(events)
+
+
+def validate_chrome_path(path) -> int:
+    """Validate a Chrome trace file; returns the event count."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_chrome(json.load(handle))

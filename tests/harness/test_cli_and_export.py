@@ -100,3 +100,55 @@ class TestCli:
             main(["table", "7"])
         with pytest.raises(SystemExit):
             main(["figure", "13"])
+
+    def test_trace_command_exports_validated_traces(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        code = main([
+            "trace", "--radix", "16", "--layers", "4", "--channels", "2",
+            "--traffic", "hotspot", "--load", "0.6", "--cycles", "400",
+            "--warmup", "0", "--drain",
+            "--jsonl", str(jsonl), "--chrome", str(chrome), "--validate",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traced 400 cycles" in out
+        assert "p2_grant" in out
+        assert "CLRG halvings" in out
+        assert jsonl.exists() and chrome.exists()
+
+    def test_trace_reference_kernel(self, capsys):
+        code = main([
+            "trace", "--kernel", "reference", "--radix", "8",
+            "--layers", "2", "--channels", "1",
+            "--cycles", "150", "--warmup", "0", "--load", "0.3",
+        ])
+        assert code == 0
+        assert "events" in capsys.readouterr().out
+
+    def test_trace_rejects_flat_designs(self, capsys):
+        assert main(["trace", "--design", "2d", "--cycles", "50"]) == 2
+        assert "hirise" in capsys.readouterr().err
+
+    def test_stats_command_dumps_registry(self, capsys):
+        code = main([
+            "stats", "--radix", "8", "--layers", "2", "--channels", "1",
+            "--cycles", "300", "--warmup", "50", "--load", "0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Begin Simulation Statistics" in out
+        assert "sim.latency.mean" in out
+        assert "switch.cycles_observed" in out
+
+    def test_stats_json_mode(self, capsys):
+        import json
+
+        code = main([
+            "stats", "--radix", "8", "--layers", "2", "--channels", "1",
+            "--cycles", "200", "--warmup", "0", "--load", "0.1", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sim.cycles"] == 200
+        assert "sim.latency" in payload

@@ -7,6 +7,7 @@ from repro.harness.sweep import (
     parameter_grid,
     render_sweep,
     run_sweep,
+    to_json,
     to_series,
 )
 
@@ -90,3 +91,31 @@ class TestRendering:
         assert series == {"a": [(1, 10.0), (2, 20.0)], "b": [(1, 30.0)]}
         flat = to_series(points, x="x")
         assert len(flat["sweep"]) == 3
+
+    def test_to_json_round_trips(self):
+        import json
+
+        points = run_sweep(
+            lambda seed, a: a + seed * 0.01,
+            parameter_grid(a=[1, 2]),
+            replications=3,
+        )
+        payload = json.loads(to_json(points, title="demo"))
+        assert payload["title"] == "demo"
+        assert [p["parameters"]["a"] for p in payload["points"]] == [1, 2]
+        for rendered, point in zip(payload["points"], points):
+            assert rendered["value"] == point.value
+            assert rendered["interval"]["observations"] == 3
+            assert rendered["interval"]["half_width"] == (
+                point.interval.half_width
+            )
+
+    def test_to_json_without_intervals_or_title(self):
+        import json
+
+        points = [SweepPoint({"scheme": "clrg"}, 4.0)]
+        payload = json.loads(to_json(points))
+        assert "title" not in payload
+        assert payload["points"] == [
+            {"parameters": {"scheme": "clrg"}, "value": 4.0}
+        ]

@@ -73,3 +73,44 @@ class TestMeasurements:
         run(probe, UniformRandomTraffic(8, 0.3, seed=1), 300)
         assert probe.channel_utilizations() == {}
         assert probe.mean_channel_utilization() == 0.0
+
+
+class TestKernelObservation:
+    """The probe reads resource occupancy through different interfaces on
+    the two Hi-Rise kernels: the fast kernel's ``busy_resources()`` view
+    over its flat ``resource_owner`` array, and the reference kernel's
+    tuple-keyed ``resource_owner`` dict.  Both must yield the same
+    measurements for the same run."""
+
+    def observe(self, switch_class):
+        from repro.core.reference import ReferenceHiRiseSwitch  # noqa: F401
+
+        config = HiRiseConfig(radix=8, layers=2, channel_multiplicity=2)
+        probe = ProbedSwitch(switch_class(config))
+        run(probe, UniformRandomTraffic(8, 0.7, seed=12), 400)
+        return probe
+
+    def test_fast_and_reference_probes_agree(self):
+        from repro.core.reference import ReferenceHiRiseSwitch
+
+        fast = self.observe(HiRiseSwitch)
+        reference = self.observe(ReferenceHiRiseSwitch)
+        assert fast.channel_utilizations() == reference.channel_utilizations()
+        assert fast._resource_busy == reference._resource_busy
+        for output in range(8):
+            assert fast.output_utilization(output) == (
+                reference.output_utilization(output)
+            )
+
+    def test_fast_kernel_exposes_busy_resources_view(self):
+        fast = self.observe(HiRiseSwitch)
+        assert callable(getattr(fast.switch, "busy_resources"))
+        for resource in fast.switch.busy_resources():
+            assert resource[0] in ("int", "ch")
+
+    def test_reference_kernel_uses_resource_owner_fallback(self):
+        from repro.core.reference import ReferenceHiRiseSwitch
+
+        reference = self.observe(ReferenceHiRiseSwitch)
+        assert not hasattr(reference.switch, "busy_resources")
+        assert isinstance(reference.switch.resource_owner, dict)

@@ -143,5 +143,25 @@ class TestDrainStallDetection:
         switch = WedgedSwitch(4)
         trace = TraceTraffic([(0, 2, 1)], packet_flits=3)
         sim = Simulation(switch, trace)
-        with pytest.raises(RuntimeError, match=r"port 2: 3 flits"):
+        with pytest.raises(RuntimeError, match=r'"port":2,"flits":3'):
             sim.run(measure_cycles=1, drain=True)
+
+    def test_snapshot_is_parseable_telemetry(self, monkeypatch):
+        import json
+        import re
+
+        class WedgedSwitch(SwizzleSwitch2D):
+            def step(self, cycle):
+                return []
+
+        monkeypatch.setattr(engine_module, "DRAIN_IDLE_LIMIT", 10)
+        sim = Simulation(
+            WedgedSwitch(4), TraceTraffic([(0, 2, 1)], packet_flits=3)
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            sim.run(measure_cycles=1, drain=True)
+        match = re.search(r"telemetry: (\{.*\})", str(excinfo.value))
+        assert match is not None
+        snapshot = json.loads(match.group(1))
+        assert snapshot["occupancy"] == 3
+        assert snapshot["ports"] == [{"port": 2, "flits": 3}]

@@ -1,0 +1,142 @@
+"""Tests of the gem5-style statistics registry and its exporters."""
+
+import math
+
+import pytest
+
+from repro.core import HiRiseConfig, HiRiseSwitch
+from repro.core.reference import ReferenceHiRiseSwitch
+from repro.metrics import ProbedSwitch
+from repro.network.engine import Simulation
+from repro.obs import StatsRegistry
+from repro.traffic import UniformRandomTraffic
+
+
+class TestRegistryBasics:
+    def test_scalar_vector_distribution_roundtrip(self):
+        registry = StatsRegistry()
+        registry.scalar("sim.cycles", "cycles simulated").set(100)
+        vector = registry.vector("sim.per_port", 4)
+        vector.add(2, 5)
+        dist = registry.distribution("sim.latency")
+        dist.add_samples([2, 4, 6])
+        assert registry.get("sim.cycles") == 100
+        assert registry["sim.per_port"].value() == [0, 0, 5, 0]
+        assert registry["sim.latency"].mean == pytest.approx(4.0)
+        assert registry["sim.latency"].value()["min"] == 2
+        assert registry.names() == ["sim.cycles", "sim.per_port", "sim.latency"]
+
+    def test_formula_evaluates_at_dump_time(self):
+        registry = StatsRegistry()
+        packets = registry.scalar("sim.packets").set(10)
+        registry.scalar("sim.cycles").set(100)
+        registry.formula(
+            "sim.throughput",
+            lambda r: r.get("sim.packets") / r.get("sim.cycles"),
+        )
+        assert registry.get("sim.throughput") == pytest.approx(0.1)
+        packets.set(50)  # formulas see the live value
+        assert registry.get("sim.throughput") == pytest.approx(0.5)
+
+    def test_duplicate_names_rejected(self):
+        registry = StatsRegistry()
+        registry.scalar("a.b")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.distribution("a.b")
+
+    def test_distribution_merge_moments_matches_samples(self):
+        samples = [3, 1, 4, 1, 5, 9, 2, 6]
+        streamed = StatsRegistry().distribution("x")
+        streamed.merge_moments(
+            count=len(samples),
+            total=sum(samples),
+            sumsq=sum(s * s for s in samples),
+            minimum=min(samples),
+            maximum=max(samples),
+        )
+        replayed = StatsRegistry().distribution("x")
+        replayed.add_samples(samples)
+        assert streamed.value() == pytest.approx(replayed.value())
+
+    def test_empty_distribution_is_nan_not_crash(self):
+        dist = StatsRegistry().distribution("empty")
+        assert math.isnan(dist.mean)
+        assert math.isnan(dist.value()["min"])
+
+    def test_dump_and_to_dict_agree(self):
+        registry = StatsRegistry()
+        registry.scalar("sim.cycles", "cycles").set(7)
+        registry.vector("sim.v", 2).load([1, 2])
+        text = registry.dump()
+        assert "sim.cycles" in text and "# cycles" in text
+        assert "sim.v[1]" in text and "sim.v.total" in text
+        flat = registry.to_dict()
+        assert flat["sim.cycles"] == 7
+        assert flat["sim.v"] == [1, 2]
+
+
+def run_probed(switch, cycles=300):
+    probe = ProbedSwitch(switch)
+    traffic = UniformRandomTraffic(switch.num_ports, load=0.6, seed=7)
+    result = Simulation(probe, traffic, warmup_cycles=0).run(
+        cycles, drain=True
+    )
+    return probe, result
+
+
+class TestExporters:
+    def test_simulation_result_to_stats(self):
+        config = HiRiseConfig(radix=8, layers=2, channel_multiplicity=1)
+        _probe, result = run_probed(HiRiseSwitch(config))
+        registry = StatsRegistry()
+        result.to_stats(registry, num_ports=8)
+        assert registry.get("sim.packets_ejected") == result.packets_ejected
+        assert registry.get("sim.throughput_packets_per_cycle") == (
+            pytest.approx(result.throughput_packets_per_cycle)
+        )
+        assert registry["sim.latency"].count == result.latency_count
+        assert registry["sim.latency"].mean == (
+            pytest.approx(result.avg_latency_cycles)
+        )
+        assert registry["sim.per_output_ejected"].total() == (
+            result.packets_ejected
+        )
+
+    def test_probed_fast_kernel_to_stats(self):
+        config = HiRiseConfig(radix=8, layers=2, channel_multiplicity=2)
+        probe, _result = run_probed(HiRiseSwitch(config))
+        registry = StatsRegistry()
+        probe.to_stats(registry)
+        assert registry.get("switch.cycles_observed") == probe.cycles_observed
+        names = registry.names()
+        assert any(".l2lc" in name for name in names)
+        assert any(".int" in name for name in names)
+        for name in names:
+            if name.endswith("busy_frac") and ".layer" in name:
+                assert 0.0 <= registry.get(name) <= 1.0
+        for fraction in registry["switch.output_busy_frac"].value():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_probed_reference_kernel_matches_fast(self):
+        # The probe reads busy resources through different interfaces on
+        # the two kernels (busy_resources() vs the resource_owner dict);
+        # the exported stats must not care which kernel ran.
+        config = HiRiseConfig(radix=8, layers=2, channel_multiplicity=2)
+        fast_probe, fast_result = run_probed(HiRiseSwitch(config))
+        ref_probe, ref_result = run_probed(ReferenceHiRiseSwitch(config))
+        assert fast_result.packet_latencies == ref_result.packet_latencies
+        fast_registry, ref_registry = StatsRegistry(), StatsRegistry()
+        fast_probe.to_stats(fast_registry)
+        ref_probe.to_stats(ref_registry)
+        assert fast_registry.to_dict() == ref_registry.to_dict()
+
+    def test_one_registry_holds_every_surface(self):
+        config = HiRiseConfig(radix=8, layers=2, channel_multiplicity=1)
+        probe, result = run_probed(HiRiseSwitch(config))
+        registry = StatsRegistry()
+        result.to_stats(registry, num_ports=8)
+        probe.to_stats(registry)
+        text = registry.dump()
+        assert text.splitlines()[0].startswith("---------- Begin")
+        assert "sim.latency.mean" in text
+        assert "switch.flits_out_by_port.total" in text

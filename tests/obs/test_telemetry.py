@@ -1,0 +1,91 @@
+"""Tests of sweep/replication heartbeat telemetry."""
+
+import pytest
+
+from repro.harness.sweep import parameter_grid, run_sweep
+from repro.harness.parallel import replicate
+from repro.obs import Heartbeat, SweepTelemetry
+
+
+def measurement(seed, load=0.5, radix=8):
+    # Cheap, deterministic stand-in for a simulation measurement.
+    return load * radix + seed * 0.01
+
+
+class TestSweepTelemetry:
+    def test_one_heartbeat_per_task(self):
+        telemetry = SweepTelemetry()
+        grid = parameter_grid(load=[0.2, 0.4, 0.6])
+        points = run_sweep(
+            measurement, grid, replications=3, telemetry=telemetry
+        )
+        assert telemetry.total_tasks == 9
+        assert telemetry.tasks_done == 9
+        assert len(points) == 3
+        seen = {
+            (hb.parameters["load"], hb.seed) for hb in telemetry.heartbeats
+        }
+        assert len(seen) == 9
+
+    def test_results_bit_identical_with_and_without_telemetry(self):
+        grid = parameter_grid(load=[0.2, 0.6], radix=[8, 16])
+        plain = run_sweep(measurement, grid, replications=2, base_seed=5)
+        telemetered = run_sweep(
+            measurement, grid, replications=2, base_seed=5,
+            telemetry=SweepTelemetry(),
+        )
+        assert [(p.parameters, p.value) for p in plain] == (
+            [(p.parameters, p.value) for p in telemetered]
+        )
+        assert [p.interval.half_width for p in plain] == (
+            [p.interval.half_width for p in telemetered]
+        )
+
+    def test_replicate_reports_heartbeats(self):
+        telemetry = SweepTelemetry()
+        interval = replicate(
+            measurement, {"load": 0.4}, num_replications=4,
+            telemetry=telemetry,
+        )
+        assert telemetry.tasks_done == 4
+        assert interval.observations == 4
+        values = sorted(hb.value for hb in telemetry.heartbeats)
+        assert values[0] == pytest.approx(measurement(seed=0, load=0.4))
+
+    def test_emit_receives_progress_lines(self):
+        lines = []
+        telemetry = SweepTelemetry(cycles_per_task=1000, emit=lines.append)
+        run_sweep(
+            measurement, parameter_grid(load=[0.1, 0.2]), telemetry=telemetry
+        )
+        assert len(lines) == 2
+        assert "[sweep" in lines[0] and "load=0.1" in lines[0]
+        assert "cycles/s" in lines[-1]
+
+    def test_aggregates(self):
+        telemetry = SweepTelemetry(cycles_per_task=500)
+        telemetry.start(2)
+        telemetry.record(Heartbeat(
+            index=0, total=2, parameters={}, seed=0, value=1.0, wall_s=0.5,
+        ))
+        assert telemetry.tasks_done == 1
+        assert telemetry.mean_task_wall_s == pytest.approx(0.5)
+        assert telemetry.eta_s is not None
+        assert telemetry.cycles_per_s is not None
+        summary = telemetry.summary()
+        assert summary["total_tasks"] == 2
+        assert summary["tasks_done"] == 1
+        assert summary["cycles_per_task"] == 500
+
+    def test_parallel_workers_still_heartbeat(self):
+        telemetry = SweepTelemetry()
+        grid = parameter_grid(load=[0.2, 0.4])
+        points = run_sweep(
+            measurement, grid, replications=2, workers=2,
+            telemetry=telemetry,
+        )
+        serial = run_sweep(measurement, grid, replications=2)
+        assert telemetry.tasks_done == 4
+        assert [(p.parameters, p.value) for p in points] == (
+            [(p.parameters, p.value) for p in serial]
+        )

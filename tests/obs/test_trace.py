@@ -1,0 +1,243 @@
+"""Tests of the cycle-level switch tracer and its exports."""
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    AllocationPolicy,
+    ArbitrationScheme,
+    HiRiseConfig,
+)
+from repro.core.hirise import HiRiseSwitch
+from repro.core.reference import ReferenceHiRiseSwitch
+from repro.network.engine import Simulation
+from repro.obs.trace import (
+    CLRG_HALVE,
+    EJECT,
+    EVENT_FIELDS,
+    EVENT_NAMES,
+    INJECT,
+    P1_GRANT,
+    P2_GRANT,
+    SwitchTracer,
+    validate_chrome,
+    validate_chrome_path,
+    validate_jsonl_path,
+    validate_record,
+    validate_records,
+)
+from repro.traffic import HotspotTraffic, UniformRandomTraffic
+
+
+def small_config(**overrides):
+    defaults = dict(radix=16, layers=4, channel_multiplicity=2)
+    defaults.update(overrides)
+    return HiRiseConfig(**defaults)
+
+
+def traced_run(switch_class, config, traffic, cycles=300, warmup=40):
+    tracer = SwitchTracer(capacity=None)
+    switch = switch_class(config, tracer=tracer)
+    result = Simulation(switch, traffic, warmup_cycles=warmup).run(
+        measure_cycles=cycles, drain=True
+    )
+    return result, tracer
+
+
+class TestTracerBuffer:
+    def test_emit_stamps_current_cycle(self):
+        tracer = SwitchTracer()
+        tracer.cycle = 7
+        tracer.emit(P1_GRANT, 1, 2, 3, 4)
+        assert tracer.events == [(7, P1_GRANT, 1, 2, 3, 4)]
+
+    def test_inject_carries_its_own_cycle(self):
+        tracer = SwitchTracer()
+        tracer.cycle = 99
+        tracer.inject(5, src=0, dst=3, num_flits=4, packet_id=17)
+        assert tracer.events == [(5, INJECT, 0, 3, 4, 17)]
+
+    def test_capacity_drops_instead_of_growing(self):
+        tracer = SwitchTracer(capacity=2)
+        for _ in range(5):
+            tracer.emit(EJECT)
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SwitchTracer(capacity=0)
+
+    def test_counts_by_kind_uses_wire_names(self):
+        tracer = SwitchTracer()
+        tracer.emit(EJECT)
+        tracer.emit(EJECT)
+        tracer.emit(CLRG_HALVE, 3, 1)
+        assert tracer.counts_by_kind() == {"eject": 2, "clrg_halve": 1}
+        assert tracer.halving_events() == [(0, 3, 1)]
+
+    def test_every_kind_has_name_and_fields(self):
+        assert set(EVENT_NAMES) == set(EVENT_FIELDS)
+        for fields in EVENT_FIELDS.values():
+            assert 2 <= len(fields) <= 4
+
+
+class TestTracedRunExports:
+    def test_jsonl_records_validate(self, tmp_path):
+        _result, tracer = traced_run(
+            HiRiseSwitch, small_config(),
+            UniformRandomTraffic(16, load=0.6, seed=3),
+        )
+        assert len(tracer.events) > 0
+        count = validate_records(tracer.records())
+        assert count == len(tracer.events) + 1  # + meta record
+        path = tmp_path / "trace.jsonl"
+        written = tracer.write_jsonl(str(path))
+        assert written == count
+        assert validate_jsonl_path(path) == count
+
+    def test_meta_record_describes_the_switch(self):
+        _result, tracer = traced_run(
+            HiRiseSwitch, small_config(),
+            UniformRandomTraffic(16, load=0.4, seed=5), cycles=100,
+        )
+        meta = next(tracer.records())
+        assert meta["event"] == "meta"
+        assert meta["radix"] == 16
+        assert meta["layers"] == 4
+        assert meta["arbitration"] == "clrg"
+
+    def test_chrome_trace_validates(self, tmp_path):
+        _result, tracer = traced_run(
+            HiRiseSwitch, small_config(),
+            UniformRandomTraffic(16, load=0.6, seed=3),
+        )
+        trace = tracer.chrome_trace()
+        assert validate_chrome(trace) == len(trace["traceEvents"])
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert slices, "a busy run must produce path slices"
+        for event in slices:
+            assert event["dur"] >= 1
+        path = tmp_path / "trace.json"
+        assert tracer.write_chrome(str(path)) == len(trace["traceEvents"])
+        assert validate_chrome_path(path) == len(trace["traceEvents"])
+
+    def test_grant_events_reference_real_resources(self):
+        config = small_config()
+        _result, tracer = traced_run(
+            HiRiseSwitch, config, UniformRandomTraffic(16, load=0.8, seed=9),
+        )
+        num_resources = len(config.resource_key_table)
+        for cycle, kind, a, b, c, _d in tracer.events:
+            if kind in (P1_GRANT, P2_GRANT):
+                assert 0 <= a < num_resources
+                assert 0 <= b < 16
+                assert 0 <= c < 16
+        assert tracer.resource_name(0)  # resolvable via bound config
+
+    def test_validators_reject_malformed_records(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            validate_record({"event": "warp_drive", "cycle": 0})
+        with pytest.raises(ValueError, match="cycle"):
+            validate_record({"event": "eject", "cycle": -1})
+        with pytest.raises(ValueError, match="meta"):
+            validate_records(iter([{"event": "eject", "cycle": 0}]))
+        with pytest.raises(ValueError, match="empty"):
+            validate_records(iter([]))
+
+
+class TestClrgHalvingObservation:
+    def test_hotspot_run_records_class_halvings(self):
+        config = small_config(arbitration=ArbitrationScheme.CLRG)
+        _result, tracer = traced_run(
+            HiRiseSwitch, config,
+            HotspotTraffic(16, load=0.8, hotspot_output=3, seed=2),
+            cycles=600, warmup=0,
+        )
+        halvings = tracer.halving_events()
+        assert halvings, "a saturated hotspot must halve its class bank"
+        per_output = {}
+        for _cycle, output, count in halvings:
+            assert count == per_output.get(output, 0) + 1
+            per_output[output] = count
+        assert 3 in per_output  # the hotspot output's bank halved
+
+    def test_untraced_switch_has_no_halving_callback(self):
+        switch = HiRiseSwitch(small_config())
+        for arbiter in switch.subblock_arbiters.values():
+            counters = getattr(arbiter, "counters", None)
+            if counters is not None:
+                assert counters.on_halve is None
+
+
+class TestTracedEqualsUntraced:
+    @pytest.mark.parametrize("scheme", [
+        ArbitrationScheme.CLRG,
+        ArbitrationScheme.WLRG,
+        ArbitrationScheme.L2L_LRG,
+    ], ids=lambda s: s.value)
+    def test_tracing_never_changes_results(self, scheme):
+        config = small_config(arbitration=scheme)
+
+        def run(tracer):
+            switch = HiRiseSwitch(config, tracer=tracer)
+            traffic = UniformRandomTraffic(16, load=0.9, seed=11)
+            return Simulation(switch, traffic, warmup_cycles=40).run(
+                measure_cycles=300, drain=True
+            )
+
+        untraced = run(None)
+        traced = run(SwitchTracer(capacity=None))
+        assert traced.packets_ejected == untraced.packets_ejected
+        assert traced.flits_ejected == untraced.flits_ejected
+        assert traced.cycles == untraced.cycles
+        assert traced.packet_latencies == untraced.packet_latencies
+        assert traced.per_input_ejected == untraced.per_input_ejected
+        assert traced.per_output_ejected == untraced.per_output_ejected
+
+    def test_full_tracer_keeps_results_identical(self):
+        # A saturated buffer must only drop events, never change the run.
+        config = small_config()
+
+        def run(tracer):
+            switch = HiRiseSwitch(config, tracer=tracer)
+            traffic = UniformRandomTraffic(16, load=0.9, seed=4)
+            return Simulation(switch, traffic, warmup_cycles=0).run(
+                measure_cycles=200, drain=True
+            )
+
+        tiny = SwitchTracer(capacity=16)
+        assert run(tiny).packet_latencies == run(None).packet_latencies
+        assert tiny.dropped > 0
+
+
+class TestKernelEventParity:
+    @pytest.mark.parametrize("scheme", [
+        ArbitrationScheme.CLRG,
+        ArbitrationScheme.WLRG,
+        ArbitrationScheme.L2L_LRG,
+    ], ids=lambda s: s.value)
+    def test_fast_and_reference_emit_identical_events(self, scheme):
+        config = small_config(
+            arbitration=scheme, allocation=AllocationPolicy.INPUT_BINNED
+        )
+        traffic = UniformRandomTraffic(16, load=0.9, seed=11)
+        _r1, fast = traced_run(HiRiseSwitch, config, traffic, cycles=250)
+        traffic = UniformRandomTraffic(16, load=0.9, seed=11)
+        _r2, reference = traced_run(
+            ReferenceHiRiseSwitch, config, traffic, cycles=250
+        )
+        assert fast.events == reference.events
+
+    def test_parity_jsonl_streams_match(self):
+        config = small_config()
+        traffic = UniformRandomTraffic(16, load=0.7, seed=6)
+        _r1, fast = traced_run(HiRiseSwitch, config, traffic, cycles=150)
+        traffic = UniformRandomTraffic(16, load=0.7, seed=6)
+        _r2, reference = traced_run(
+            ReferenceHiRiseSwitch, config, traffic, cycles=150
+        )
+        fast_lines = [json.dumps(r) for r in fast.records()]
+        reference_lines = [json.dumps(r) for r in reference.records()]
+        assert fast_lines == reference_lines
