@@ -10,7 +10,11 @@ Commands:
 * ``figure``   — regenerate a paper figure's data series (9a, 9b, 9c, 10,
   11a, 11b, 11c, 12), optionally exporting CSV;
 * ``trace``    — run a traced simulation and export the cycle-level event
-  trace (JSONL and/or Chrome ``trace_event`` timeline);
+  trace (JSONL and/or Chrome ``trace_event`` timeline); with
+  ``--inspect`` it filters/summarises an existing JSONL trace instead;
+* ``audit``    — stream a JSONL trace through the fairness/starvation
+  audit analyzer and emit JSON + markdown reports, optionally diffing
+  against a baseline summary (non-zero exit on regression);
 * ``stats``    — run a probed simulation and dump the gem5-style
   statistics registry (text or JSON).
 
@@ -175,11 +179,67 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _print_trace_summary(summary) -> None:
+    from repro.obs import resource_label
+
+    meta = summary["meta"]
+    print(f"{summary['events']} events")
+    for name in sorted(summary["counts_by_kind"]):
+        print(f"  {name:<12} {summary['counts_by_kind'][name]}")
+    radix = meta.get("radix", 0)
+    layers = meta.get("layers", 0)
+    cmult = meta.get("channel_multiplicity", 0)
+    resources = summary["resources"]
+    if resources:
+        print("per-resource totals (grants / busy cycles):")
+        for rid in sorted(resources):
+            entry = resources[rid]
+            label = resource_label(rid, radix, layers, cmult)
+            print(f"  {label:<14} {entry['grants']:>8} {entry['busy_cycles']:>8}")
+    ports = summary["ports"]
+    if ports:
+        print("per-port totals (packets injected / flits ejected):")
+        for port in sorted(ports):
+            entry = ports[port]
+            print(f"  port {port:<3} {entry['injected']:>8} {entry['ejected']:>8}")
+
+
+def _inspect_trace(args) -> int:
+    import json
+
+    from repro.obs import filter_records, iter_jsonl, summarize_records
+
+    try:
+        records = filter_records(
+            iter_jsonl(args.inspect),
+            kinds=args.kind or None,
+            ports=args.port or None,
+        )
+        if args.summary:
+            _print_trace_summary(summarize_records(records))
+        elif args.jsonl:
+            count = -1  # don't count the meta record
+            with open(args.jsonl, "w", encoding="utf-8") as handle:
+                for count, record in enumerate(records):
+                    handle.write(json.dumps(record) + "\n")
+            print(f"wrote {count + 1} records to {args.jsonl}")
+        else:
+            for record in records:
+                print(json.dumps(record))
+    except (OSError, ValueError) as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro.obs import (
-        SwitchTracer, validate_chrome_path, validate_jsonl_path,
+        SwitchTracer, filter_records, summarize_records,
+        validate_chrome_path, validate_jsonl_path,
     )
 
+    if args.inspect:
+        return _inspect_trace(args)
     if args.design != "hirise":
         print("trace: cycle-level tracing needs the hirise design",
               file=sys.stderr)
@@ -208,16 +268,115 @@ def cmd_trace(args) -> int:
     if halvings:
         print(f"  CLRG halvings: {len(halvings)} "
               f"(first at cycle {halvings[0][0]})")
+    filtered = args.kind or args.port
+    if args.summary:
+        records = filter_records(
+            tracer.records(), kinds=args.kind or None,
+            ports=args.port or None,
+        )
+        _print_trace_summary(summarize_records(records))
     if args.jsonl:
-        records = tracer.write_jsonl(args.jsonl)
+        if filtered:
+            import json
+
+            records = filter_records(
+                tracer.records(), kinds=args.kind or None,
+                ports=args.port or None,
+            )
+            count = -1
+            with open(args.jsonl, "w", encoding="utf-8") as handle:
+                for count, record in enumerate(records):
+                    handle.write(json.dumps(record) + "\n")
+            records_written = count + 1
+        else:
+            records_written = tracer.write_jsonl(args.jsonl)
         if args.validate:
             validate_jsonl_path(args.jsonl)
-        print(f"wrote {records} records to {args.jsonl}")
+        print(f"wrote {records_written} records to {args.jsonl}")
     if args.chrome:
         events = tracer.write_chrome(args.chrome)
         if args.validate:
             validate_chrome_path(args.chrome)
         print(f"wrote {events} trace events to {args.chrome}")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    import json
+
+    from repro.harness.report import render_audit_markdown
+    from repro.obs import (
+        StatsRegistry, analyze_jsonl, compare_audits, validate_audit_summary,
+    )
+
+    try:
+        report = analyze_jsonl(
+            args.trace,
+            window=args.window,
+            fairness_threshold=args.fairness_threshold,
+            max_min_threshold=args.max_min_threshold,
+            starvation_gap=args.starvation_gap,
+        )
+    except (OSError, ValueError) as error:
+        print(f"audit: {error}", file=sys.stderr)
+        return 2
+    summary = validate_audit_summary(report.summary())
+
+    regressions = None
+    if args.against:
+        try:
+            with open(args.against, "r", encoding="utf-8") as handle:
+                baseline = validate_audit_summary(json.load(handle))
+        except (OSError, ValueError) as error:
+            print(f"audit: baseline: {error}", file=sys.stderr)
+            return 2
+        regressions = compare_audits(
+            summary, baseline, rel_tol=args.rel_tol, abs_tol=args.abs_tol
+        )
+
+    fairness = summary["fairness"]
+    starved = summary["starvation"]
+    print(f"audited {summary['trace']['events']} events over "
+          f"{summary['trace']['cycles']} cycles ({args.trace})")
+    print(f"  throughput    : "
+          f"{summary['traffic']['throughput_flits_per_cycle']:.4f} "
+          f"flits/cycle")
+    jain = fairness["jain"]
+    jain_text = f"{jain:.4f}" if jain is not None else "n/a"
+    maxmin = fairness["max_min"]
+    maxmin_text = f"{maxmin:.3f}" if maxmin is not None else "inf"
+    print(f"  fairness      : Jain {jain_text}, max/min {maxmin_text}, "
+          f"{fairness['unfair_epochs']}/{fairness['epochs']} unfair epochs "
+          f"(window {fairness['window']})")
+    print(f"  starvation    : max gap {starved['max_gap_cycles']} cycles"
+          + (f" (input {starved['max_gap_input']})"
+             if starved["max_gap_input"] is not None else ""))
+    print(f"  CLRG halvings : {summary['clrg']['halvings']}")
+    print(f"  anomalies     : {summary['anomalies']['count']}")
+    for item in summary["anomalies"]["items"][:10]:
+        print(f"    [{item['kind']}] cycle {item['cycle']}")
+
+    if args.stats:
+        registry = StatsRegistry()
+        report.to_stats(registry)
+        print(registry.dump())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote audit summary to {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(render_audit_markdown(summary, regressions))
+        print(f"wrote markdown report to {args.markdown}")
+    if regressions is not None:
+        if regressions:
+            print(f"{len(regressions)} regression(s) vs {args.against}:",
+                  file=sys.stderr)
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.against}")
     return 0
 
 
@@ -280,7 +439,44 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--chrome", help="write the Chrome trace here")
     trace.add_argument("--validate", action="store_true",
                        help="validate written traces against the schema")
+    trace.add_argument("--inspect", metavar="JSONL",
+                       help="filter/summarise an existing JSONL trace "
+                            "instead of running a simulation")
+    trace.add_argument("--kind", action="append", default=[],
+                       help="keep only this event kind (repeatable)")
+    trace.add_argument("--port", action="append", type=int, default=[],
+                       help="keep only events touching this port "
+                            "(repeatable; matches src/dst/input/output)")
+    trace.add_argument("--summary", action="store_true",
+                       help="print event counts by kind and per-resource/"
+                            "per-port totals")
     trace.set_defaults(handler=cmd_trace)
+
+    audit = commands.add_parser(
+        "audit", help="fairness/starvation audit of a JSONL trace"
+    )
+    audit.add_argument("trace", help="JSONL trace file to audit")
+    audit.add_argument("--window", type=int, default=256,
+                       help="fairness-epoch length in cycles")
+    audit.add_argument("--fairness-threshold", type=float, default=0.85,
+                       help="epoch Jain index below this is unfair")
+    audit.add_argument("--max-min-threshold", type=float, default=2.0,
+                       help="epoch max/min service ratio above this is unfair")
+    audit.add_argument("--starvation-gap", type=int, default=None,
+                       help="grant gap (cycles) flagged as starvation "
+                            "(default 4x window)")
+    audit.add_argument("--json", help="write the audit summary JSON here")
+    audit.add_argument("--markdown", help="write the markdown report here")
+    audit.add_argument("--stats", action="store_true",
+                       help="also dump the audit stats registry")
+    audit.add_argument("--against", metavar="BASELINE",
+                       help="compare against a baseline audit summary JSON; "
+                            "exit 1 on regression")
+    audit.add_argument("--rel-tol", type=float, default=0.05,
+                       help="relative tolerance for baseline comparison")
+    audit.add_argument("--abs-tol", type=float, default=0.0,
+                       help="absolute tolerance for baseline comparison")
+    audit.set_defaults(handler=cmd_audit)
 
     stats = commands.add_parser(
         "stats", help="probed run dumping the statistics registry"

@@ -25,7 +25,11 @@ from repro.harness.figures import (
     fig11c_adversarial_throughput,
     fig12_tsv_pitch,
 )
-from repro.harness.report import render_series, render_table
+from repro.harness.report import (
+    render_audit_markdown,
+    render_series,
+    render_table,
+)
 from repro.harness.export import export_rows_csv, export_series_csv
 from repro.harness.sweep import (
     SweepPoint,
@@ -50,6 +54,7 @@ __all__ = [
     "fig11b_arbitration_throughput",
     "fig11c_adversarial_throughput",
     "fig12_tsv_pitch",
+    "render_audit_markdown",
     "render_series",
     "render_table",
     "export_rows_csv",

@@ -1,6 +1,6 @@
-"""Text rendering of regenerated tables and figure series."""
+"""Text rendering of regenerated tables, figure series, and audit reports."""
 
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.tables import CostRow, SpeedupRow
 
@@ -60,4 +60,153 @@ def render_series(
         lines.append("  ".join(f"{c:>12}" for c in columns))
         for point in points:
             lines.append("  ".join(f"{_fmt(v, 4):>12}" for v in point))
+    return "\n".join(lines)
+
+
+def _md(value, digits: int = 4) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_audit_markdown(
+    summary: Dict[str, object],
+    regressions: Optional[Sequence[object]] = None,
+) -> str:
+    """Render an audit summary (``AuditReport.summary()``) as markdown.
+
+    Takes the plain summary dict — not the report object — so a
+    previously saved ``audit.json`` renders identically, and this module
+    stays import-independent of :mod:`repro.obs.analyze`.  ``regressions``
+    (from ``compare_audits``) adds a baseline-comparison section.
+    """
+    meta = summary.get("meta", {})
+    trace = summary.get("trace", {})
+    traffic = summary.get("traffic", {})
+    fairness = summary.get("fairness", {})
+    starvation = summary.get("starvation", {})
+    clrg = summary.get("clrg", {})
+    utilization = summary.get("utilization", {})
+    anomalies = summary.get("anomalies", {})
+    service = summary.get("service", {})
+
+    lines = ["# Switch trace audit", ""]
+    config = ", ".join(
+        f"{key}={meta[key]}"
+        for key in (
+            "radix", "layers", "channel_multiplicity", "arbitration",
+            "allocation",
+        )
+        if key in meta
+    )
+    if config:
+        lines += [f"*Configuration:* {config}", ""]
+    lines += [
+        "## Trace",
+        "",
+        "| metric | value |",
+        "| --- | --- |",
+        f"| events | {_md(trace.get('events'))} |",
+        f"| cycles | {_md(trace.get('cycles'))} |",
+        f"| dropped events | {_md(trace.get('dropped', 0))} |",
+        "",
+        "## Traffic",
+        "",
+        "| metric | value |",
+        "| --- | --- |",
+        f"| packets injected | {_md(traffic.get('packets_injected'))} |",
+        f"| packets ejected | {_md(traffic.get('packets_ejected'))} |",
+        f"| flits ejected | {_md(traffic.get('flits_ejected'))} |",
+        "| throughput (flits/cycle) | "
+        f"{_md(traffic.get('throughput_flits_per_cycle'))} |",
+        "",
+        "## Fairness",
+        "",
+        "| metric | value |",
+        "| --- | --- |",
+        f"| active inputs | {_md(service.get('active_inputs'))} |",
+        f"| Jain index (whole trace) | {_md(fairness.get('jain'))} |",
+        f"| max/min service ratio | {_md(fairness.get('max_min'))} |",
+        f"| fairness window (cycles) | {_md(fairness.get('window'))} |",
+        f"| epochs evaluated | {_md(fairness.get('epochs'))} |",
+        f"| unfair epochs | {_md(fairness.get('unfair_epochs'))} |",
+        "| unfair epoch fraction | "
+        f"{_md(fairness.get('unfair_epoch_fraction'))} |",
+        f"| epoch Jain minimum | {_md(fairness.get('jain_epoch_min'))} |",
+        "",
+        "## Starvation",
+        "",
+        "| metric | value |",
+        "| --- | --- |",
+        "| longest backlogged grant gap (cycles) | "
+        f"{_md(starvation.get('max_gap_cycles'))} |",
+        f"| worst input | {_md(starvation.get('max_gap_input'))} |",
+        f"| starvation limit (cycles) | {_md(starvation.get('gap_limit'))} |",
+        f"| starved inputs | {_md(starvation.get('starved_inputs', []))} |",
+        "",
+        "## CLRG dynamics",
+        "",
+        "| metric | value |",
+        "| --- | --- |",
+        f"| counter-bank halvings | {_md(clrg.get('halvings'))} |",
+    ]
+    class_grants = clrg.get("class_grants") or {}
+    if class_grants:
+        grants_by_class = ", ".join(
+            f"c{cls}:{count}" for cls, count in class_grants.items()
+        )
+        lines.append(f"| grants by class | {grants_by_class} |")
+    lines += ["", "## Utilization", ""]
+    busiest = utilization.get("busiest") or []
+    if busiest:
+        lines += [
+            "| resource | busy fraction | grants |",
+            "| --- | --- | --- |",
+        ]
+        for entry in busiest:
+            lines.append(
+                f"| {entry.get('label', entry.get('resource'))} | "
+                f"{_md(entry.get('busy_frac'))} | "
+                f"{_md(entry.get('grants'))} |"
+            )
+    else:
+        lines.append("No resource-hold events in the trace.")
+    lines += ["", "## Anomalies", ""]
+    items = anomalies.get("items") or []
+    count = anomalies.get("count", 0)
+    if not count:
+        lines.append("None flagged.")
+    else:
+        lines += ["| kind | cycle | detail |", "| --- | --- | --- |"]
+        for item in items:
+            detail = ", ".join(
+                f"{key}={_md(value)}"
+                for key, value in (item.get("detail") or {}).items()
+            )
+            lines.append(
+                f"| {item.get('kind')} | {_md(item.get('cycle'))} | "
+                f"{detail} |"
+            )
+        dropped = anomalies.get("dropped", 0)
+        if dropped:
+            lines.append("")
+            lines.append(f"*({dropped} further anomalies not stored.)*")
+    if regressions is not None:
+        lines += ["", "## Baseline comparison", ""]
+        if not regressions:
+            lines.append("No regressions against the baseline.")
+        else:
+            lines += [
+                f"**{len(regressions)} regression(s):**",
+                "",
+            ]
+            for regression in regressions:
+                lines.append(f"- {regression}")
+    lines.append("")
     return "\n".join(lines)

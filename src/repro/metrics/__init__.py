@@ -1,7 +1,7 @@
 """Statistics: latency distributions, fairness indices, saturation search."""
 
 from repro.metrics.stats import LatencyStats, summarize
-from repro.metrics.fairness import jain_index, max_min_ratio
+from repro.metrics.fairness import fairness_summary, jain_index, max_min_ratio
 from repro.metrics.probe import ProbedSwitch
 from repro.metrics.confidence import (
     ConfidenceInterval,
@@ -23,6 +23,7 @@ __all__ = [
     "t_interval",
     "LatencyStats",
     "summarize",
+    "fairness_summary",
     "jain_index",
     "max_min_ratio",
     "accepted_throughput",

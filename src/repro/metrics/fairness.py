@@ -5,7 +5,7 @@ and per-input throughput (Fig 11c); these indices condense the same data
 into single numbers the tests can assert on.
 """
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 
 def jain_index(values: Sequence[float]) -> float:
@@ -42,3 +42,23 @@ def max_min_ratio(values: Sequence[float]) -> float:
             return 1.0
         return float("inf")
     return top / bottom
+
+
+def fairness_summary(
+    values: Sequence[float],
+) -> Dict[str, Optional[float]]:
+    """Both indices over one sample, JSON-safe.
+
+    Returns ``{"jain": ..., "max_min": ...}`` with the max/min ratio
+    mapped to ``None`` when it is infinite (someone served nothing), so
+    the dict serialises under strict JSON.  Used by the audit pipeline
+    (:mod:`repro.obs.analyze`) for whole-trace and per-epoch fairness.
+
+    Raises:
+        ValueError: If the sample is empty or contains negatives.
+    """
+    ratio = max_min_ratio(values)
+    return {
+        "jain": jain_index(values),
+        "max_min": None if ratio == float("inf") else ratio,
+    }

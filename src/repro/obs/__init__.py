@@ -13,8 +13,30 @@ Three layers, all opt-in and all zero-cost when unused:
   ``run_sweep``/``replicate`` workers (progress, wall-clock, cycles/s).
 * :mod:`repro.obs.snapshot` — point-in-time occupancy/ownership
   snapshots (embedded in drain-stall errors).
+* :mod:`repro.obs.analyze` — single-pass, bounded-memory
+  :class:`TraceAnalyzer` turning trace streams into audited
+  :class:`AuditReport` fairness/starvation/utilization reports, plus
+  baseline diffing (:func:`compare_audits`) and JSONL inspection
+  helpers.
 """
 
+from repro.obs.analyze import (
+    AUDIT_SCHEMA,
+    Anomaly,
+    AuditRegression,
+    AuditReport,
+    Epoch,
+    TraceAnalyzer,
+    analyze_jsonl,
+    analyze_records,
+    analyze_tracer,
+    compare_audits,
+    filter_records,
+    iter_jsonl,
+    resource_label,
+    summarize_records,
+    validate_audit_summary,
+)
 from repro.obs.snapshot import render_snapshot, telemetry_snapshot
 from repro.obs.stats import (
     DistributionStat,
@@ -36,7 +58,22 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AUDIT_SCHEMA",
+    "Anomaly",
+    "AuditRegression",
+    "AuditReport",
     "DistributionStat",
+    "Epoch",
+    "TraceAnalyzer",
+    "analyze_jsonl",
+    "analyze_records",
+    "analyze_tracer",
+    "compare_audits",
+    "filter_records",
+    "iter_jsonl",
+    "resource_label",
+    "summarize_records",
+    "validate_audit_summary",
     "EVENT_FIELDS",
     "EVENT_NAMES",
     "FormulaStat",

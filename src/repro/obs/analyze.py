@@ -1,0 +1,1065 @@
+"""Streaming trace analytics: raw event streams to audited run reports.
+
+PR 2's :class:`repro.obs.trace.SwitchTracer` produces cycle-level JSONL
+event streams, but nothing *read* them: the paper's headline fairness
+claim (two-phase LRG starves the hotspot layer's own inputs; CLRG
+restores per-input fairness) was only visible by eyeballing aggregate
+throughput.  This module turns a trace into an **audit report** the way
+the Tiny Tera line of work treats arbiter fairness — as a first-class,
+measured property:
+
+* **per-primary-input service timelines** — phase-2 grants per input,
+  overall and per fairness window (epoch), condensed with the indices
+  from :mod:`repro.metrics.fairness`;
+* **starvation windows** — the longest gap between grants for each
+  input while it was backlogged (had undelivered flits in flight);
+* **CLRG class dynamics** — grant counts by priority class and the
+  per-output counter-bank halving history, reconstructed from
+  ``p2_grant``/``clrg_halve`` events;
+* **utilization timelines** — per-resource busy cycles from ``cool``
+  events (which carry the grant cycle) and per-epoch ejected-flit
+  throughput;
+* **an anomaly pass** — unfair epochs, throughput collapse, per-input
+  starvation, drain stalls, and truncated (event-dropping) traces.
+
+The analyzer is **single-pass and bounded-memory**: it consumes any
+record iterator (a JSONL file streamed line by line, or
+``tracer.records()``) exactly once, keeps only O(ports + resources)
+running state plus a capped, deterministically decimated epoch list and
+a capped anomaly list — never the events themselves — so traces far
+larger than memory audit fine.
+
+The report's :meth:`AuditReport.summary` dict is the stable machine
+schema (:data:`AUDIT_SCHEMA`, checked by :func:`validate_audit_summary`)
+and :func:`compare_audits` diffs two summaries with tolerances — the
+beginning of run-to-run regression detection (`repro audit --against`).
+"""
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.metrics.fairness import fairness_summary, jain_index, max_min_ratio
+from repro.obs.trace import EVENT_NAMES
+
+#: Schema tag written into (and required of) every audit summary.
+AUDIT_SCHEMA = "repro.audit/v1"
+
+#: Default fairness-window length in cycles.
+DEFAULT_WINDOW = 256
+#: Epochs with a per-input service Jain index below this are unfair.
+DEFAULT_FAIRNESS_THRESHOLD = 0.85
+#: ... or with a best-to-worst served ratio above this (Jain is weak on
+#: the structural 2:1 skews slot-level LRG produces; the ratio is not).
+DEFAULT_MAX_MIN_THRESHOLD = 2.0
+#: An epoch ejecting less than this fraction of the peak epoch's flits
+#: while demand is backlogged is a throughput collapse.
+DEFAULT_COLLAPSE_FRACTION = 0.25
+#: Bound on stored epoch records (decimated beyond it, like latency
+#: samples) and on stored anomalies (counted but dropped beyond it).
+DEFAULT_MAX_EPOCHS = 4096
+DEFAULT_MAX_ANOMALIES = 256
+#: How many busiest resources the summary lists.
+DEFAULT_TOP_RESOURCES = 8
+
+#: Record fields that name switch ports (for ``--port`` filtering).
+PORT_FIELDS = ("src", "dst", "input", "output")
+
+
+def resource_label(
+    resource_id: int, radix: int, layers: int, channel_multiplicity: int
+) -> str:
+    """Human-readable name of a flat resource id from trace meta fields.
+
+    Mirrors ``config.resource_key_table`` without needing a config
+    object, so JSONL traces are labellable offline.  Falls back to
+    ``res<id>`` when the meta fields are missing or inconsistent.
+    """
+    if radix < 1 or layers < 1 or channel_multiplicity < 1 or radix % layers:
+        return f"res{resource_id}"
+    if 0 <= resource_id < radix:
+        ppl = radix // layers
+        return f"int L{resource_id // ppl}.{resource_id % ppl}"
+    index = resource_id - radix
+    per_src = layers * channel_multiplicity
+    if not 0 <= index < layers * per_src:
+        return f"res{resource_id}"
+    src = index // per_src
+    dst = (index // channel_multiplicity) % layers
+    channel = index % channel_multiplicity
+    return f"ch L{src}->L{dst}#{channel}"
+
+
+def iter_jsonl(path) -> Iterator[Dict[str, object]]:
+    """Stream records from a JSONL trace file, one line at a time."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def filter_records(
+    records: Iterable[Dict[str, object]],
+    kinds: Optional[Sequence[str]] = None,
+    ports: Optional[Sequence[int]] = None,
+) -> Iterator[Dict[str, object]]:
+    """Filter a record stream by event kind and/or touched port.
+
+    ``kinds`` keeps only the named event kinds; ``ports`` keeps events
+    any of whose port-valued fields (:data:`PORT_FIELDS`) equals one of
+    the given ports.  The meta record always passes, so a filtered dump
+    is still a valid (schema-wise) trace.
+
+    Raises:
+        ValueError: On an event kind the schema does not define.
+    """
+    kind_set = None
+    if kinds is not None:
+        kind_set = set(kinds)
+        unknown = kind_set - set(EVENT_NAMES.values())
+        if unknown:
+            raise ValueError(f"unknown event kind(s): {sorted(unknown)}")
+    port_set = set(ports) if ports is not None else None
+    for record in records:
+        event = record.get("event")
+        if event == "meta":
+            yield record
+            continue
+        if kind_set is not None and event not in kind_set:
+            continue
+        if port_set is not None and not any(
+            record.get(fld) in port_set for fld in PORT_FIELDS
+        ):
+            continue
+        yield record
+
+
+def summarize_records(records: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """One-pass summary of a record stream: counts and per-resource totals.
+
+    Returns a dict with ``events``, ``counts_by_kind``, per-resource
+    ``resources`` (``grants`` from ``p2_grant``, ``busy_cycles`` from
+    ``cool`` hold intervals), per-port ``ports`` (``injected`` packets at
+    the source, ``ejected`` flits at the destination), and the ``meta``
+    record's fields — enough to inspect a large JSONL trace without
+    external tooling.
+    """
+    counts: Dict[str, int] = {}
+    resources: Dict[int, Dict[str, int]] = {}
+    port_totals: Dict[int, Dict[str, int]] = {}
+    meta: Dict[str, object] = {}
+    events = 0
+
+    def res_entry(rid: int) -> Dict[str, int]:
+        entry = resources.get(rid)
+        if entry is None:
+            entry = resources[rid] = {"grants": 0, "busy_cycles": 0}
+        return entry
+
+    def port_entry(port: int) -> Dict[str, int]:
+        entry = port_totals.get(port)
+        if entry is None:
+            entry = port_totals[port] = {"injected": 0, "ejected": 0}
+        return entry
+
+    for record in records:
+        event = record.get("event")
+        if event == "meta":
+            meta = {k: v for k, v in record.items() if k != "event"}
+            continue
+        events += 1
+        counts[event] = counts.get(event, 0) + 1
+        if event == "p2_grant":
+            res_entry(record["resource"])["grants"] += 1
+        elif event == "cool":
+            granted = record.get("granted", -1)
+            cycle = record.get("cycle", 0)
+            if isinstance(granted, int) and 0 <= granted < cycle:
+                res_entry(record["resource"])["busy_cycles"] += cycle - granted
+        elif event == "inject":
+            port_entry(record["src"])["injected"] += 1
+        elif event == "eject":
+            port_entry(record["dst"])["ejected"] += 1
+    return {
+        "events": events,
+        "counts_by_kind": counts,
+        "resources": resources,
+        "ports": port_totals,
+        "meta": meta,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Epochs and anomalies
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Epoch:
+    """Per-window service summary (one fairness epoch).
+
+    Attributes:
+        index: Window index (``cycle // window``).
+        start_cycle / end_cycle: Nominal window bounds (end exclusive).
+        grants: Phase-2 grants committed in the window.
+        ejected_flits: Flits delivered in the window.
+        active_inputs: Inputs that were served, blocked, or backlogged.
+        jain: Jain index of per-active-input grants (None when fewer
+            than two inputs were active or nothing was granted).
+        max_min: Best-to-worst served ratio (None when undefined or
+            infinite — some active input got nothing).
+        mean_class: Mean CLRG class of the window's grants (None when
+            the scheme is not CLRG or nothing was granted).
+        utilization: Ejected flits per output per cycle.
+    """
+
+    index: int
+    start_cycle: int
+    end_cycle: int
+    grants: int
+    ejected_flits: int
+    active_inputs: int
+    jain: Optional[float]
+    max_min: Optional[float]
+    mean_class: Optional[float]
+    utilization: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (one entry of ``summary()['epochs']``)."""
+        return {
+            "index": self.index,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "grants": self.grants,
+            "ejected_flits": self.ejected_flits,
+            "active_inputs": self.active_inputs,
+            "jain": self.jain,
+            "max_min": self.max_min,
+            "mean_class": self.mean_class,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged irregularity, anchored to a cycle."""
+
+    kind: str            # unfair_epoch | throughput_collapse | starvation
+    cycle: int           # | drain_stall | truncated_trace
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (one entry of ``summary()['anomalies']``)."""
+        return {"kind": self.kind, "cycle": self.cycle, "detail": self.detail}
+
+
+# ---------------------------------------------------------------------------
+# The streaming analyzer
+# ---------------------------------------------------------------------------
+class TraceAnalyzer:
+    """Single-pass, bounded-memory consumer of switch trace records.
+
+    Feed it self-describing event records (the JSONL schema —
+    ``tracer.records()`` yields the same dicts) in stream order via
+    :meth:`feed`, then call :meth:`finish` for the
+    :class:`AuditReport`; or use the :func:`analyze_records` /
+    :func:`analyze_jsonl` / :func:`analyze_tracer` convenience wrappers.
+
+    Args:
+        window: Fairness-epoch length in cycles.
+        fairness_threshold: Epoch Jain index below which the epoch is
+            flagged unfair.
+        max_min_threshold: Epoch best-to-worst served ratio above which
+            the epoch is flagged unfair (an active input served nothing
+            counts as an infinite ratio).
+        collapse_fraction: Epochs ejecting less than this fraction of
+            the peak epoch while inputs are backlogged are collapses.
+        starvation_gap: Grant gaps (while backlogged) at least this long
+            flag the input as starved; defaults to ``4 * window``.
+        max_epochs: Stored-epoch bound; beyond it the epoch list is
+            deterministically decimated (every other record kept, stride
+            doubled).  Streaming epoch aggregates stay exact.
+        max_anomalies: Stored-anomaly bound (further ones only counted).
+        top_resources: How many busiest resources the summary lists.
+    """
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        fairness_threshold: float = DEFAULT_FAIRNESS_THRESHOLD,
+        max_min_threshold: float = DEFAULT_MAX_MIN_THRESHOLD,
+        collapse_fraction: float = DEFAULT_COLLAPSE_FRACTION,
+        starvation_gap: Optional[int] = None,
+        max_epochs: int = DEFAULT_MAX_EPOCHS,
+        max_anomalies: int = DEFAULT_MAX_ANOMALIES,
+        top_resources: int = DEFAULT_TOP_RESOURCES,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1 cycle")
+        if not 0.0 < fairness_threshold <= 1.0:
+            raise ValueError("fairness threshold must be in (0, 1]")
+        if max_min_threshold < 1.0:
+            raise ValueError("max/min threshold must be >= 1")
+        if not 0.0 <= collapse_fraction < 1.0:
+            raise ValueError("collapse fraction must be in [0, 1)")
+        if starvation_gap is not None and starvation_gap < 1:
+            raise ValueError("starvation gap must be >= 1 cycle")
+        if max_epochs < 1 or max_anomalies < 1 or top_resources < 1:
+            raise ValueError("bounds must be >= 1")
+        self.window = window
+        self.fairness_threshold = fairness_threshold
+        self.max_min_threshold = max_min_threshold
+        self.collapse_fraction = collapse_fraction
+        self.starvation_gap = (
+            starvation_gap if starvation_gap is not None else 4 * window
+        )
+        self.max_epochs = max_epochs
+        self.max_anomalies = max_anomalies
+        self.top_resources = top_resources
+
+        # Stream position / identity.
+        self.meta: Dict[str, object] = {}
+        self._records = 0
+        self._events = 0
+        self._counts: Dict[str, int] = {}
+        self._first_cycle: Optional[int] = None
+        self._last_cycle = 0
+        self._dropped_events = 0
+        self._finished: Optional[AuditReport] = None
+
+        # Per-input state (grown on demand, O(ports)).
+        self._ports = 0
+        self._service: List[int] = []      # total phase-2 grants
+        self._p2_blocks: List[int] = []    # total phase-2 losses
+        self._backlog: List[int] = []      # flits injected - ejected
+        self._gap_start: List[Optional[int]] = []
+        self._max_gap: List[int] = []
+        self._max_gap_at: List[int] = []
+        self._ever_active = bytearray()
+
+        # Traffic totals.
+        self._packets_injected = 0
+        self._flits_injected = 0
+        self._packets_ejected = 0
+        self._flits_ejected = 0
+
+        # CLRG dynamics.
+        self._class_grants: Dict[int, int] = {}
+        self._halvings_by_output: Dict[int, int] = {}
+
+        # Per-resource utilization (O(resources)).
+        self._res_busy: Dict[int, int] = {}
+        self._res_grants: Dict[int, int] = {}
+
+        # Open-window accumulators.
+        self._epoch_index = 0
+        self._win_grants: List[int] = []
+        self._win_active = bytearray()
+        self._win_ejected = 0
+        self._win_class_sum = 0
+        self._win_class_n = 0
+        self._peak_win_ejected = 0
+
+        # Stored epochs (bounded, decimated) + exact streaming aggregates.
+        self.epochs: List[Epoch] = []
+        self.epoch_stride = 1
+        self._epochs_total = 0
+        self._unfair_epochs = 0
+        self._jain_sum = 0.0
+        self._jain_n = 0
+        self._jain_min: Optional[float] = None
+        self._jain_min_epoch: Optional[int] = None
+
+        # Anomalies (bounded).
+        self.anomalies: List[Anomaly] = []
+        self._anomalies_total = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def _ensure_ports(self, count: int) -> None:
+        if count <= self._ports:
+            return
+        grow = count - self._ports
+        self._service.extend([0] * grow)
+        self._p2_blocks.extend([0] * grow)
+        self._backlog.extend([0] * grow)
+        self._gap_start.extend([None] * grow)
+        self._max_gap.extend([0] * grow)
+        self._max_gap_at.extend([-1] * grow)
+        self._ever_active.extend(b"\x00" * grow)
+        self._win_grants.extend([0] * grow)
+        self._win_active.extend(b"\x00" * grow)
+        self._ports = count
+
+    def feed(self, record: Dict[str, object]) -> None:
+        """Consume one record (meta first, events in stream order)."""
+        if self._finished is not None:
+            raise RuntimeError("analyzer already finished")
+        self._records += 1
+        event = record.get("event")
+        if event == "meta":
+            self.meta.update(
+                (key, value) for key, value in record.items() if key != "event"
+            )
+            radix = record.get("radix")
+            if isinstance(radix, int) and radix > 0:
+                self._ensure_ports(radix)
+            dropped = record.get("dropped")
+            if isinstance(dropped, int) and dropped > 0:
+                self._dropped_events += dropped
+            return
+        if self._records == 1:
+            raise ValueError("trace must start with a meta record")
+        cycle = record.get("cycle")
+        if not isinstance(cycle, int) or cycle < 0:
+            raise ValueError(f"{event}: cycle must be a non-negative integer")
+        if self._first_cycle is None:
+            self._first_cycle = cycle
+            self._epoch_index = cycle // self.window
+        elif cycle < self._first_cycle:
+            self._first_cycle = cycle
+        if cycle > self._last_cycle:
+            self._last_cycle = cycle
+        # Close every window the stream has fully moved past.  (Records
+        # arrive in non-decreasing cycle order from both exporters; a
+        # stray earlier cycle is folded into the open window.)
+        while cycle // self.window > self._epoch_index:
+            self._close_epoch()
+        self._events += 1
+        self._counts[event] = self._counts.get(event, 0) + 1
+
+        if event == "inject":
+            src = record["src"]
+            self._ensure_ports(src + 1)
+            flits = record.get("num_flits", 0)
+            self._packets_injected += 1
+            self._flits_injected += flits
+            if self._backlog[src] == 0 and self._gap_start[src] is None:
+                self._gap_start[src] = cycle
+            self._backlog[src] += flits
+            self._win_active[src] = 1
+            self._ever_active[src] = 1
+        elif event == "eject":
+            src = record["src"]
+            self._ensure_ports(max(src, record.get("dst", 0)) + 1)
+            self._flits_ejected += 1
+            self._win_ejected += 1
+            if record.get("tail"):
+                self._packets_ejected += 1
+            if self._backlog[src] > 0:
+                self._backlog[src] -= 1
+                if self._backlog[src] == 0:
+                    # Fully served: the wait ended at the grant that was
+                    # already recorded, so just stop the clock.
+                    self._gap_start[src] = None
+            self._win_active[src] = 1
+        elif event == "p2_grant":
+            rid = record["resource"]
+            inp = record["input"]
+            self._ensure_ports(inp + 1)
+            self._service[inp] += 1
+            self._win_grants[inp] += 1
+            self._win_active[inp] = 1
+            self._ever_active[inp] = 1
+            self._res_grants[rid] = self._res_grants.get(rid, 0) + 1
+            self._record_gap(inp, cycle)
+            # Still backlogged after this grant: the next inter-grant
+            # interval starts accruing now.
+            self._gap_start[inp] = cycle if self._backlog[inp] > 0 else None
+            cls = record.get("cls", -1)
+            if isinstance(cls, int) and cls >= 0:
+                self._class_grants[cls] = self._class_grants.get(cls, 0) + 1
+                self._win_class_sum += cls
+                self._win_class_n += 1
+        elif event == "p2_block":
+            inp = record["input"]
+            self._ensure_ports(inp + 1)
+            self._p2_blocks[inp] += 1
+            self._win_active[inp] = 1
+            self._ever_active[inp] = 1
+        elif event == "cool":
+            granted = record.get("granted", -1)
+            if isinstance(granted, int) and 0 <= granted < cycle:
+                rid = record["resource"]
+                self._res_busy[rid] = (
+                    self._res_busy.get(rid, 0) + cycle - granted
+                )
+        elif event == "clrg_halve":
+            output = record["output"]
+            halvings = record.get("halvings", 0)
+            if halvings > self._halvings_by_output.get(output, 0):
+                self._halvings_by_output[output] = halvings
+        elif event == "drain_stall":
+            self._add_anomaly("drain_stall", cycle, {
+                "idle_cycles": record.get("idle_cycles", 0),
+                "occupancy": record.get("occupancy", 0),
+            })
+        # p1_grant / via_block contribute to counts_by_kind only.
+
+    def _record_gap(self, inp: int, cycle: int) -> None:
+        start = self._gap_start[inp]
+        if start is None:
+            return
+        gap = cycle - start
+        if gap > self._max_gap[inp]:
+            self._max_gap[inp] = gap
+            self._max_gap_at[inp] = cycle
+
+    def _add_anomaly(self, kind: str, cycle: int, detail: Dict[str, object]) -> None:
+        self._anomalies_total += 1
+        if len(self.anomalies) < self.max_anomalies:
+            self.anomalies.append(Anomaly(kind, cycle, detail))
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def _close_epoch(self) -> None:
+        start = self._epoch_index * self.window
+        end = start + self.window
+        values: List[int] = []
+        backlogged = 0
+        for port in range(self._ports):
+            if self._backlog[port] > 0:
+                backlogged += 1
+            if self._win_active[port] or self._backlog[port] > 0:
+                values.append(self._win_grants[port])
+        active = len(values)
+        grants = sum(values)
+        jain: Optional[float] = None
+        maxmin: Optional[float] = None
+        unfair = False
+        served_zero = 0
+        if active >= 2 and grants > 0:
+            jain = jain_index(values)
+            ratio = max_min_ratio(values)
+            maxmin = None if math.isinf(ratio) else ratio
+            served_zero = sum(1 for value in values if value == 0)
+            # Only judge fairness once there was enough service for an
+            # even split to give every active input at least one grant;
+            # shorter epochs cannot distinguish unfairness from
+            # discretization.
+            if grants >= active and (
+                jain < self.fairness_threshold
+                or ratio > self.max_min_threshold
+            ):
+                unfair = True
+        mean_class = (
+            self._win_class_sum / self._win_class_n
+            if self._win_class_n else None
+        )
+        utilization = (
+            self._win_ejected / (self.window * self._ports)
+            if self._ports else 0.0
+        )
+        epoch = Epoch(
+            index=self._epoch_index, start_cycle=start, end_cycle=end,
+            grants=grants, ejected_flits=self._win_ejected,
+            active_inputs=active, jain=jain, max_min=maxmin,
+            mean_class=mean_class, utilization=utilization,
+        )
+        if self._epochs_total % self.epoch_stride == 0:
+            self.epochs.append(epoch)
+            if len(self.epochs) > self.max_epochs:
+                self.epochs[:] = self.epochs[::2]
+                self.epoch_stride *= 2
+        self._epochs_total += 1
+        if jain is not None:
+            self._jain_sum += jain
+            self._jain_n += 1
+            if self._jain_min is None or jain < self._jain_min:
+                self._jain_min = jain
+                self._jain_min_epoch = self._epoch_index
+        if unfair:
+            self._unfair_epochs += 1
+            self._add_anomaly("unfair_epoch", start, {
+                "jain": jain, "max_min": maxmin, "grants": grants,
+                "active_inputs": active, "served_zero": served_zero,
+            })
+        if (
+            backlogged > 0
+            and self._peak_win_ejected > 0
+            and self._win_ejected
+            < self.collapse_fraction * self._peak_win_ejected
+        ):
+            self._add_anomaly("throughput_collapse", start, {
+                "ejected_flits": self._win_ejected,
+                "peak_ejected_flits": self._peak_win_ejected,
+                "backlogged_inputs": backlogged,
+            })
+        if self._win_ejected > self._peak_win_ejected:
+            self._peak_win_ejected = self._win_ejected
+        # Reset the window accumulators in place.
+        for port in range(self._ports):
+            self._win_grants[port] = 0
+            self._win_active[port] = 0
+        self._win_ejected = 0
+        self._win_class_sum = 0
+        self._win_class_n = 0
+        self._epoch_index += 1
+
+    # ------------------------------------------------------------------
+    # Finishing
+    # ------------------------------------------------------------------
+    def finish(self) -> "AuditReport":
+        """Close open windows/gaps and build the :class:`AuditReport`."""
+        if self._finished is not None:
+            return self._finished
+        if self._first_cycle is not None:
+            while self._epoch_index <= self._last_cycle // self.window:
+                self._close_epoch()
+            # Inputs still waiting when the trace ended: their open wait
+            # is a (lower bound on a) grant gap.
+            for port in range(self._ports):
+                if self._backlog[port] > 0:
+                    self._record_gap(port, self._last_cycle)
+        starved = [
+            port for port in range(self._ports)
+            if self._max_gap[port] >= self.starvation_gap
+        ]
+        for port in starved:
+            self._add_anomaly("starvation", self._max_gap_at[port], {
+                "input": port, "gap_cycles": self._max_gap[port],
+                "gap_limit": self.starvation_gap,
+            })
+        if self._dropped_events > 0:
+            self._add_anomaly("truncated_trace", self._last_cycle, {
+                "dropped_events": self._dropped_events,
+            })
+        first = self._first_cycle if self._first_cycle is not None else 0
+        self._finished = AuditReport(
+            meta=dict(self.meta),
+            window=self.window,
+            fairness_threshold=self.fairness_threshold,
+            max_min_threshold=self.max_min_threshold,
+            starvation_gap=self.starvation_gap,
+            top_resources=self.top_resources,
+            records=self._records,
+            events=self._events,
+            counts_by_kind=dict(self._counts),
+            dropped_events=self._dropped_events,
+            first_cycle=first,
+            last_cycle=self._last_cycle,
+            packets_injected=self._packets_injected,
+            flits_injected=self._flits_injected,
+            packets_ejected=self._packets_ejected,
+            flits_ejected=self._flits_ejected,
+            per_input_grants=list(self._service),
+            per_input_p2_blocks=list(self._p2_blocks),
+            per_input_max_gap=list(self._max_gap),
+            ever_active=[bool(flag) for flag in self._ever_active],
+            class_grants=dict(self._class_grants),
+            halvings_by_output=dict(self._halvings_by_output),
+            resource_busy=dict(self._res_busy),
+            resource_grants=dict(self._res_grants),
+            epochs=list(self.epochs),
+            epoch_stride=self.epoch_stride,
+            epochs_total=self._epochs_total,
+            unfair_epochs=self._unfair_epochs,
+            jain_epoch_mean=(
+                self._jain_sum / self._jain_n if self._jain_n else None
+            ),
+            jain_epoch_min=self._jain_min,
+            jain_epoch_min_epoch=self._jain_min_epoch,
+            anomalies=list(self.anomalies),
+            anomalies_total=self._anomalies_total,
+            starved_inputs=starved,
+        )
+        return self._finished
+
+
+def analyze_records(
+    records: Iterable[Dict[str, object]], **options
+) -> "AuditReport":
+    """Run a :class:`TraceAnalyzer` over a record iterable (one pass)."""
+    analyzer = TraceAnalyzer(**options)
+    for record in records:
+        analyzer.feed(record)
+    return analyzer.finish()
+
+
+def analyze_jsonl(path, **options) -> "AuditReport":
+    """Audit a JSONL trace file, streaming it line by line."""
+    return analyze_records(iter_jsonl(path), **options)
+
+
+def analyze_tracer(tracer, **options) -> "AuditReport":
+    """Audit an in-memory :class:`repro.obs.SwitchTracer` buffer."""
+    return analyze_records(tracer.records(), **options)
+
+
+# ---------------------------------------------------------------------------
+# The report
+# ---------------------------------------------------------------------------
+@dataclass
+class AuditReport:
+    """Everything the analyzer reconstructed from one trace.
+
+    :meth:`summary` renders the stable machine-readable dict
+    (:data:`AUDIT_SCHEMA`); :meth:`to_stats` exports the headline
+    numbers onto a :class:`repro.obs.StatsRegistry`;
+    ``repro.harness.report.render_audit_markdown`` renders the human
+    report.
+    """
+
+    meta: Dict[str, object]
+    window: int
+    fairness_threshold: float
+    max_min_threshold: float
+    starvation_gap: int
+    top_resources: int
+    records: int
+    events: int
+    counts_by_kind: Dict[str, int]
+    dropped_events: int
+    first_cycle: int
+    last_cycle: int
+    packets_injected: int
+    flits_injected: int
+    packets_ejected: int
+    flits_ejected: int
+    per_input_grants: List[int]
+    per_input_p2_blocks: List[int]
+    per_input_max_gap: List[int]
+    ever_active: List[bool]
+    class_grants: Dict[int, int]
+    halvings_by_output: Dict[int, int]
+    resource_busy: Dict[int, int]
+    resource_grants: Dict[int, int]
+    epochs: List[Epoch]
+    epoch_stride: int
+    epochs_total: int
+    unfair_epochs: int
+    jain_epoch_mean: Optional[float]
+    jain_epoch_min: Optional[float]
+    jain_epoch_min_epoch: Optional[int]
+    anomalies: List[Anomaly]
+    anomalies_total: int
+    starved_inputs: List[int]
+
+    # ------------------------------------------------------------------
+    # Derived values
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        """Cycle span the trace covers (inclusive of both ends)."""
+        if self.events == 0:
+            return 0
+        return self.last_cycle - self.first_cycle + 1
+
+    @property
+    def throughput_flits_per_cycle(self) -> float:
+        return self.flits_ejected / self.cycles if self.cycles else 0.0
+
+    @property
+    def throughput_packets_per_cycle(self) -> float:
+        return self.packets_ejected / self.cycles if self.cycles else 0.0
+
+    def service_values(self) -> List[int]:
+        """Per-input grant counts of every input that ever participated."""
+        return [
+            grants for grants, active
+            in zip(self.per_input_grants, self.ever_active) if active
+        ]
+
+    @property
+    def jain(self) -> Optional[float]:
+        """Jain index of per-input service over the whole trace."""
+        values = self.service_values()
+        return jain_index(values) if values else None
+
+    @property
+    def max_min(self) -> Optional[float]:
+        """Best-to-worst per-input service ratio (None when infinite)."""
+        values = self.service_values()
+        if not values:
+            return None
+        ratio = max_min_ratio(values)
+        return None if math.isinf(ratio) else ratio
+
+    @property
+    def max_gap_cycles(self) -> int:
+        """Longest grant gap any input saw while backlogged."""
+        return max(self.per_input_max_gap, default=0)
+
+    @property
+    def max_gap_input(self) -> Optional[int]:
+        if not self.per_input_max_gap or self.max_gap_cycles == 0:
+            return None
+        return self.per_input_max_gap.index(self.max_gap_cycles)
+
+    @property
+    def total_halvings(self) -> int:
+        return sum(self.halvings_by_output.values())
+
+    def busiest_resources(self) -> List[Dict[str, object]]:
+        """Top resources by busy cycles, labelled from the trace meta."""
+        radix = self.meta.get("radix", 0)
+        layers = self.meta.get("layers", 0)
+        cmult = self.meta.get("channel_multiplicity", 0)
+        span = self.cycles
+        ranked = sorted(
+            self.resource_busy, key=self.resource_busy.__getitem__,
+            reverse=True,
+        )[: self.top_resources]
+        return [
+            {
+                "resource": rid,
+                "label": resource_label(rid, radix, layers, cmult),
+                "busy_cycles": self.resource_busy[rid],
+                "busy_frac": self.resource_busy[rid] / span if span else 0.0,
+                "grants": self.resource_grants.get(rid, 0),
+            }
+            for rid in ranked
+        ]
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """The stable, JSON-serialisable audit summary (the schema)."""
+        return {
+            "schema": AUDIT_SCHEMA,
+            "meta": dict(self.meta),
+            "trace": {
+                "records": self.records,
+                "events": self.events,
+                "dropped": self.dropped_events,
+                "first_cycle": self.first_cycle,
+                "last_cycle": self.last_cycle,
+                "cycles": self.cycles,
+                "counts_by_kind": dict(self.counts_by_kind),
+            },
+            "traffic": {
+                "packets_injected": self.packets_injected,
+                "flits_injected": self.flits_injected,
+                "packets_ejected": self.packets_ejected,
+                "flits_ejected": self.flits_ejected,
+                "throughput_flits_per_cycle": self.throughput_flits_per_cycle,
+                "throughput_packets_per_cycle": (
+                    self.throughput_packets_per_cycle
+                ),
+            },
+            "service": {
+                "per_input_grants": list(self.per_input_grants),
+                "per_input_p2_blocks": list(self.per_input_p2_blocks),
+                "active_inputs": sum(1 for a in self.ever_active if a),
+            },
+            "fairness": {
+                "jain": self.jain,
+                "max_min": self.max_min,
+                "window": self.window,
+                "threshold": self.fairness_threshold,
+                "max_min_threshold": self.max_min_threshold,
+                "epochs": self.epochs_total,
+                "unfair_epochs": self.unfair_epochs,
+                "unfair_epoch_fraction": (
+                    self.unfair_epochs / self.epochs_total
+                    if self.epochs_total else 0.0
+                ),
+                "jain_epoch_mean": self.jain_epoch_mean,
+                "jain_epoch_min": self.jain_epoch_min,
+                "jain_epoch_min_epoch": self.jain_epoch_min_epoch,
+            },
+            "starvation": {
+                "max_gap_cycles": self.max_gap_cycles,
+                "max_gap_input": self.max_gap_input,
+                "gap_limit": self.starvation_gap,
+                "starved_inputs": list(self.starved_inputs),
+                "per_input_max_gap": list(self.per_input_max_gap),
+            },
+            "clrg": {
+                "class_grants": {
+                    str(cls): count
+                    for cls, count in sorted(self.class_grants.items())
+                },
+                "halvings": self.total_halvings,
+                "halvings_by_output": {
+                    str(output): count
+                    for output, count in sorted(
+                        self.halvings_by_output.items()
+                    )
+                },
+            },
+            "utilization": {
+                "busiest": self.busiest_resources(),
+                "resources_observed": len(self.resource_busy),
+            },
+            "epochs": {
+                "stride": self.epoch_stride,
+                "stored": len(self.epochs),
+                "records": [epoch.to_dict() for epoch in self.epochs],
+            },
+            "anomalies": {
+                "count": self.anomalies_total,
+                "dropped": self.anomalies_total - len(self.anomalies),
+                "items": [anomaly.to_dict() for anomaly in self.anomalies],
+            },
+        }
+
+    def to_stats(self, registry, prefix: str = "audit") -> None:
+        """Export the headline audit numbers onto a stats registry."""
+        registry.scalar(
+            f"{prefix}.cycles", "cycle span of the trace"
+        ).set(self.cycles)
+        registry.scalar(
+            f"{prefix}.events", "trace events analyzed"
+        ).set(self.events)
+        registry.scalar(
+            f"{prefix}.packets_ejected", "packets delivered in the trace"
+        ).set(self.packets_ejected)
+        registry.scalar(
+            f"{prefix}.throughput_flits_per_cycle",
+            "delivered flits per cycle",
+        ).set(self.throughput_flits_per_cycle)
+        jain = self.jain
+        registry.scalar(
+            f"{prefix}.fairness.jain",
+            "Jain index of per-input service",
+        ).set(jain if jain is not None else float("nan"))
+        registry.scalar(
+            f"{prefix}.fairness.unfair_epochs",
+            f"epochs below the fairness thresholds (window {self.window})",
+        ).set(self.unfair_epochs)
+        registry.scalar(
+            f"{prefix}.fairness.epochs", "fairness epochs evaluated"
+        ).set(self.epochs_total)
+        registry.scalar(
+            f"{prefix}.starvation.max_gap",
+            "longest backlogged grant gap (cycles)",
+        ).set(self.max_gap_cycles)
+        registry.scalar(
+            f"{prefix}.clrg.halvings", "CLRG class-bank halvings"
+        ).set(self.total_halvings)
+        registry.scalar(
+            f"{prefix}.anomalies", "anomalies flagged by the audit"
+        ).set(self.anomalies_total)
+        if self.per_input_grants:
+            registry.vector(
+                f"{prefix}.per_input_grants", len(self.per_input_grants),
+                "phase-2 grants by primary input",
+            ).load(self.per_input_grants)
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (used by tests, the CLI, and the CI smoke job)
+# ---------------------------------------------------------------------------
+_SUMMARY_SECTIONS: Dict[str, Tuple[str, ...]] = {
+    "trace": ("records", "events", "cycles", "counts_by_kind"),
+    "traffic": (
+        "packets_injected", "packets_ejected", "flits_ejected",
+        "throughput_flits_per_cycle",
+    ),
+    "service": ("per_input_grants", "active_inputs"),
+    "fairness": (
+        "jain", "window", "threshold", "epochs", "unfair_epochs",
+        "unfair_epoch_fraction",
+    ),
+    "starvation": ("max_gap_cycles", "gap_limit", "starved_inputs"),
+    "clrg": ("class_grants", "halvings"),
+    "utilization": ("busiest",),
+    "epochs": ("stride", "stored", "records"),
+    "anomalies": ("count", "items"),
+}
+
+
+def validate_audit_summary(summary: Dict[str, object]) -> Dict[str, object]:
+    """Validate an audit summary dict against the v1 schema.
+
+    Returns the summary unchanged for chaining.
+
+    Raises:
+        ValueError: On a wrong schema tag or a missing section/field.
+    """
+    if not isinstance(summary, dict):
+        raise ValueError("audit summary must be an object")
+    schema = summary.get("schema")
+    if schema != AUDIT_SCHEMA:
+        raise ValueError(
+            f"unsupported audit schema: {schema!r} (want {AUDIT_SCHEMA!r})"
+        )
+    for section, fields in _SUMMARY_SECTIONS.items():
+        body = summary.get(section)
+        if not isinstance(body, dict):
+            raise ValueError(f"audit summary missing section {section!r}")
+        for name in fields:
+            if name not in body:
+                raise ValueError(
+                    f"audit summary section {section!r} missing {name!r}"
+                )
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison (run-to-run regression detection)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AuditRegression:
+    """One audited metric that moved outside tolerance vs a baseline."""
+
+    metric: str
+    baseline: float
+    current: float
+    limit: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.metric}: {self.current:.6g} vs baseline "
+            f"{self.baseline:.6g} (allowed {self.limit:.6g})"
+        )
+
+
+#: Compared summary metrics and their good direction.
+COMPARED_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("traffic.throughput_flits_per_cycle", "higher"),
+    ("traffic.packets_ejected", "higher"),
+    ("fairness.jain", "higher"),
+    ("fairness.jain_epoch_min", "higher"),
+    ("fairness.unfair_epoch_fraction", "lower"),
+    ("starvation.max_gap_cycles", "lower"),
+    ("anomalies.count", "lower"),
+)
+
+
+def _lookup(summary: Dict[str, object], path: str):
+    value: object = summary
+    for part in path.split("."):
+        if not isinstance(value, dict):
+            return None
+        value = value.get(part)
+    return value
+
+
+def compare_audits(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    rel_tol: float = 0.05,
+    abs_tol: float = 0.0,
+) -> List[AuditRegression]:
+    """Diff two audit summaries; return every out-of-tolerance metric.
+
+    Each metric in :data:`COMPARED_METRICS` may move in its good
+    direction freely; in the bad direction it may move by at most
+    ``rel_tol`` (relative to the baseline) plus ``abs_tol``.  A metric
+    missing or null on either side is skipped.  An empty return means
+    no regression (`repro audit --against` exits 0).
+    """
+    if rel_tol < 0 or abs_tol < 0:
+        raise ValueError("tolerances must be non-negative")
+    regressions: List[AuditRegression] = []
+    for path, direction in COMPARED_METRICS:
+        base = _lookup(baseline, path)
+        cur = _lookup(current, path)
+        if not isinstance(base, (int, float)) or not isinstance(
+            cur, (int, float)
+        ):
+            continue
+        if direction == "higher":
+            limit = base * (1.0 - rel_tol) - abs_tol
+            if cur < limit - 1e-12:
+                regressions.append(AuditRegression(path, base, cur, limit))
+        else:
+            limit = base * (1.0 + rel_tol) + abs_tol
+            if cur > limit + 1e-12:
+                regressions.append(AuditRegression(path, base, cur, limit))
+    return regressions

@@ -39,6 +39,29 @@ class Heartbeat:
     value: float
     wall_s: float
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (inverse of :meth:`from_dict`)."""
+        return {
+            "index": self.index,
+            "total": self.total,
+            "parameters": dict(self.parameters),
+            "seed": self.seed,
+            "value": self.value,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Heartbeat":
+        """Rebuild a heartbeat from its :meth:`to_dict` form."""
+        return cls(
+            index=data["index"],
+            total=data["total"],
+            parameters=dict(data["parameters"]),
+            seed=data["seed"],
+            value=data["value"],
+            wall_s=data["wall_s"],
+        )
+
 
 @dataclass
 class SweepTelemetry:
@@ -58,11 +81,22 @@ class SweepTelemetry:
     _started_at: Optional[float] = field(default=None, repr=False)
     _total: int = field(default=0, repr=False)
 
+    def __post_init__(self) -> None:
+        if self.cycles_per_task is not None and self.cycles_per_task < 1:
+            raise ValueError("cycles_per_task must be >= 1 when given")
+
     # ------------------------------------------------------------------
     # Channel interface (called by repro.harness.parallel)
     # ------------------------------------------------------------------
     def start(self, total_tasks: int) -> None:
-        """Open the channel for a run of ``total_tasks`` tasks."""
+        """Open the channel for a run of ``total_tasks`` tasks.
+
+        Zero-task sweeps are legal (an empty grid): the channel opens,
+        every rate/ETA aggregate stays at its defined empty value, and
+        :meth:`summary`/:meth:`snapshot` still render.
+        """
+        if total_tasks < 0:
+            raise ValueError("total_tasks must be non-negative")
         self._started_at = time.perf_counter()
         self._total = total_tasks
         self.heartbeats.clear()
@@ -147,7 +181,21 @@ class SweepTelemetry:
             "mean_task_wall_s": self.mean_task_wall_s,
             "cycles_per_task": self.cycles_per_task,
             "cycles_per_s": self.cycles_per_s,
+            "eta_s": self.eta_s,
         }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full JSON-serialisable state: the summary plus every heartbeat.
+
+        ``json.dumps(telemetry.snapshot())`` round-trips (every value is
+        a plain int/float/str/dict/list or None), and the heartbeat list
+        rebuilds via :meth:`Heartbeat.from_dict` — enough to archive a
+        sweep's progress log next to its results.
+        """
+        snapshot = self.summary()
+        snapshot["started"] = self._started_at is not None
+        snapshot["heartbeats"] = [hb.to_dict() for hb in self.heartbeats]
+        return snapshot
 
 
 def _render_parameters(parameters: Dict[str, object]) -> str:

@@ -152,3 +152,168 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["sim.cycles"] == 200
         assert "sim.latency" in payload
+
+
+@pytest.fixture(scope="module")
+def hotspot_jsonl(tmp_path_factory):
+    """One traced hotspot run exported to JSONL, shared by audit tests."""
+    path = tmp_path_factory.mktemp("audit") / "trace.jsonl"
+    code = main([
+        "trace", "--radix", "16", "--layers", "4", "--channels", "2",
+        "--traffic", "hotspot", "--load", "0.08", "--cycles", "1500",
+        "--warmup", "100", "--jsonl", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestTraceInspection:
+    def test_summary_mode_on_a_live_run(self, capsys):
+        code = main([
+            "trace", "--radix", "8", "--layers", "2", "--channels", "1",
+            "--cycles", "200", "--warmup", "0", "--load", "0.2",
+            "--summary",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-resource totals" in out
+        assert "per-port totals" in out
+
+    def test_inspect_summary_of_existing_jsonl(self, capsys, hotspot_jsonl):
+        code = main([
+            "trace", "--inspect", str(hotspot_jsonl), "--summary",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "p2_grant" in out
+        assert "int L" in out  # labelled resources
+
+    def test_inspect_kind_filter_streams_matching_records(
+        self, capsys, hotspot_jsonl
+    ):
+        import json
+
+        code = main([
+            "trace", "--inspect", str(hotspot_jsonl),
+            "--kind", "clrg_halve",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["event"] == "meta"
+        assert records[1:]
+        assert all(r["event"] == "clrg_halve" for r in records[1:])
+
+    def test_inspect_port_filter_writes_filtered_jsonl(
+        self, capsys, hotspot_jsonl, tmp_path
+    ):
+        import json
+
+        out_path = tmp_path / "filtered.jsonl"
+        code = main([
+            "trace", "--inspect", str(hotspot_jsonl),
+            "--kind", "p2_grant", "--port", "2",
+            "--jsonl", str(out_path),
+        ])
+        assert code == 0
+        lines = out_path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["event"] == "meta"
+        assert all(
+            2 in (r.get("input"), r.get("output")) for r in records[1:]
+        )
+
+    def test_inspect_rejects_unknown_kind(self, capsys, hotspot_jsonl):
+        code = main([
+            "trace", "--inspect", str(hotspot_jsonl), "--kind", "bogus",
+        ])
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_inspect_missing_file(self, capsys, tmp_path):
+        code = main([
+            "trace", "--inspect", str(tmp_path / "no.jsonl"), "--summary",
+        ])
+        assert code == 2
+
+
+class TestAuditCli:
+    def test_audit_emits_validated_json_and_markdown(
+        self, capsys, hotspot_jsonl, tmp_path
+    ):
+        import json
+
+        from repro.obs import validate_audit_summary
+
+        json_path = tmp_path / "audit.json"
+        md_path = tmp_path / "audit.md"
+        code = main([
+            "audit", str(hotspot_jsonl),
+            "--json", str(json_path), "--markdown", str(md_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fairness" in out and "Jain" in out
+        summary = validate_audit_summary(json.loads(json_path.read_text()))
+        assert summary["clrg"]["halvings"] > 0
+        markdown = md_path.read_text()
+        assert "# Switch trace audit" in markdown
+        assert "## Fairness" in markdown
+
+    def test_audit_stats_mode(self, capsys, hotspot_jsonl):
+        code = main(["audit", str(hotspot_jsonl), "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "audit.fairness.jain" in out
+
+    def test_audit_against_itself_passes(
+        self, capsys, hotspot_jsonl, tmp_path
+    ):
+        json_path = tmp_path / "baseline.json"
+        assert main([
+            "audit", str(hotspot_jsonl), "--json", str(json_path),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "audit", str(hotspot_jsonl), "--against", str(json_path),
+        ])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_audit_against_exits_nonzero_on_injected_regression(
+        self, capsys, hotspot_jsonl, tmp_path
+    ):
+        import json
+
+        json_path = tmp_path / "current.json"
+        assert main([
+            "audit", str(hotspot_jsonl), "--json", str(json_path),
+        ]) == 0
+        capsys.readouterr()
+        # Forge a baseline that claims a much fairer, faster run.
+        baseline = json.loads(json_path.read_text())
+        baseline["fairness"]["jain"] = 1.0
+        baseline["traffic"]["throughput_flits_per_cycle"] *= 2.0
+        forged = tmp_path / "forged.json"
+        forged.write_text(json.dumps(baseline))
+        code = main([
+            "audit", str(hotspot_jsonl), "--against", str(forged),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "regression" in err
+        assert "throughput" in err
+
+    def test_audit_rejects_invalid_baseline(
+        self, capsys, hotspot_jsonl, tmp_path
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"schema\": \"wrong\"}")
+        code = main([
+            "audit", str(hotspot_jsonl), "--against", str(bad),
+        ])
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_audit_missing_trace(self, capsys, tmp_path):
+        assert main(["audit", str(tmp_path / "no.jsonl")]) == 2

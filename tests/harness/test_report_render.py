@@ -1,6 +1,10 @@
 """Tests of the text report renderer."""
 
-from repro.harness.report import render_series, render_table
+from repro.harness.report import (
+    render_audit_markdown,
+    render_series,
+    render_table,
+)
 from repro.harness.tables import CostRow, SpeedupRow
 
 
@@ -58,3 +62,68 @@ class TestRenderSeries:
         series = {"S": [(0.05, 2.9, 3.1)]}
         text = render_series(series, "Fig 10", ["load", "lat", "acc"])
         assert "0.05" in text and "2.9" in text and "3.1" in text
+
+
+class TestRenderAuditMarkdown:
+    def test_real_summary_renders_every_section(self):
+        from repro.core.config import HiRiseConfig
+        from repro.core.hirise import HiRiseSwitch
+        from repro.network.engine import Simulation
+        from repro.obs import SwitchTracer, analyze_tracer
+        from repro.traffic import HotspotTraffic
+
+        tracer = SwitchTracer(capacity=None)
+        switch = HiRiseSwitch(
+            HiRiseConfig(radix=16, layers=4, channel_multiplicity=2),
+            tracer=tracer,
+        )
+        Simulation(
+            switch, HotspotTraffic(16, load=0.5, hotspot_output=3, seed=2),
+            warmup_cycles=0,
+        ).run(measure_cycles=600)
+        text = render_audit_markdown(analyze_tracer(tracer).summary())
+        for heading in (
+            "# Switch trace audit", "## Trace", "## Traffic",
+            "## Fairness", "## Starvation", "## CLRG dynamics",
+            "## Utilization", "## Anomalies",
+        ):
+            assert heading in text
+        assert "arbitration=clrg" in text
+        assert "Jain index" in text
+        # Resource rows are labelled, not raw ids.
+        assert "int L" in text or "ch L" in text
+
+    def test_none_values_render_as_dashes(self):
+        summary = {
+            "schema": "repro.audit/v1",
+            "meta": {},
+            "trace": {"events": 0, "cycles": 0, "dropped": 0},
+            "traffic": {},
+            "service": {},
+            "fairness": {"jain": None, "max_min": None},
+            "starvation": {"max_gap_input": None},
+            "clrg": {"halvings": 0},
+            "utilization": {"busiest": []},
+            "epochs": {},
+            "anomalies": {"count": 0, "items": []},
+        }
+        text = render_audit_markdown(summary)
+        assert "—" in text
+        assert "No resource-hold events" in text
+        assert "None flagged." in text
+
+    def test_regression_section(self):
+        summary = {
+            "schema": "repro.audit/v1", "meta": {}, "trace": {},
+            "traffic": {}, "service": {}, "fairness": {},
+            "starvation": {}, "clrg": {}, "utilization": {},
+            "epochs": {}, "anomalies": {"count": 0, "items": []},
+        }
+        clean = render_audit_markdown(summary, regressions=[])
+        assert "No regressions" in clean
+        flagged = render_audit_markdown(
+            summary, regressions=["fairness.jain: 0.5 vs baseline 0.99"]
+        )
+        assert "## Baseline comparison" in flagged
+        assert "1 regression(s)" in flagged
+        assert "fairness.jain" in flagged

@@ -1,0 +1,94 @@
+"""Stats-registry parity of the fast kernel against the seed kernel.
+
+Golden-trace equivalence already pins the raw ``SimulationResult``
+fields bit-identical; this suite pins the *exported* view — the full
+``.to_stats`` registry, scalars and vectors and latency moments alike —
+so a refactor cannot silently diverge in the layer the audit pipeline
+and reports actually consume.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import (
+    AllocationPolicy,
+    ArbitrationScheme,
+    HiRiseConfig,
+)
+from repro.core.hirise import HiRiseSwitch
+from repro.core.reference import ReferenceHiRiseSwitch
+from repro.network.engine import Simulation
+from repro.obs import StatsRegistry
+from repro.traffic import UniformRandomTraffic
+
+FAILED_CHANNEL_CONFIGS = {
+    "healthy": frozenset(),
+    "failed-channels": frozenset({(0, 1, 0), (2, 3, 1), (3, 0, 0)}),
+}
+
+
+def stats_dict(switch_class, scheme, allocation, failed_channels):
+    config = HiRiseConfig(
+        radix=16,
+        layers=4,
+        channel_multiplicity=2,
+        arbitration=scheme,
+        allocation=allocation,
+        failed_channels=failed_channels,
+    )
+    switch = switch_class(config)
+    traffic = UniformRandomTraffic(16, load=0.9, seed=11)
+    result = Simulation(switch, traffic, warmup_cycles=40).run(
+        measure_cycles=300, drain=True
+    )
+    registry = StatsRegistry()
+    result.to_stats(registry, num_ports=16)
+    return registry.to_dict()
+
+
+def assert_equal_registries(reference, fast):
+    assert reference.keys() == fast.keys()
+    for name, ref_value in reference.items():
+        fast_value = fast[name]
+        if isinstance(ref_value, dict):  # distribution leaves
+            assert ref_value.keys() == fast_value.keys(), name
+            for leaf, leaf_value in ref_value.items():
+                if isinstance(leaf_value, float) and math.isnan(leaf_value):
+                    assert math.isnan(fast_value[leaf]), f"{name}.{leaf}"
+                else:
+                    assert fast_value[leaf] == leaf_value, f"{name}.{leaf}"
+        else:
+            assert fast_value == ref_value, name
+
+
+@pytest.mark.parametrize("scheme", list(ArbitrationScheme), ids=lambda s: s.value)
+@pytest.mark.parametrize(
+    "failed_channels",
+    list(FAILED_CHANNEL_CONFIGS.values()),
+    ids=list(FAILED_CHANNEL_CONFIGS),
+)
+def test_stats_parity_across_schemes(scheme, failed_channels):
+    reference = stats_dict(
+        ReferenceHiRiseSwitch, scheme, AllocationPolicy.INPUT_BINNED,
+        failed_channels,
+    )
+    fast = stats_dict(
+        HiRiseSwitch, scheme, AllocationPolicy.INPUT_BINNED,
+        failed_channels,
+    )
+    assert_equal_registries(reference, fast)
+
+
+@pytest.mark.parametrize(
+    "allocation", list(AllocationPolicy), ids=lambda a: a.value
+)
+def test_stats_parity_across_allocations(allocation):
+    reference = stats_dict(
+        ReferenceHiRiseSwitch, ArbitrationScheme.CLRG, allocation,
+        frozenset(),
+    )
+    fast = stats_dict(
+        HiRiseSwitch, ArbitrationScheme.CLRG, allocation, frozenset(),
+    )
+    assert_equal_registries(reference, fast)

@@ -1,5 +1,7 @@
 """Tests of sweep/replication heartbeat telemetry."""
 
+import json
+
 import pytest
 
 from repro.harness.sweep import parameter_grid, run_sweep
@@ -89,3 +91,81 @@ class TestSweepTelemetry:
         assert [(p.parameters, p.value) for p in points] == (
             [(p.parameters, p.value) for p in serial]
         )
+
+
+class TestEdgeCases:
+    def test_zero_task_sweep_is_legal_and_rate_free(self):
+        telemetry = SweepTelemetry(cycles_per_task=500)
+        telemetry.start(0)
+        assert telemetry.total_tasks == 0
+        assert telemetry.tasks_done == 0
+        assert telemetry.mean_task_wall_s == 0.0
+        assert telemetry.eta_s is None  # nothing left, no rate: no ETA
+        summary = telemetry.summary()
+        assert summary["total_tasks"] == 0
+        assert summary["tasks_per_s"] >= 0.0
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            SweepTelemetry().start(-1)
+
+    def test_nonpositive_cycles_per_task_rejected(self):
+        with pytest.raises(ValueError):
+            SweepTelemetry(cycles_per_task=0)
+        with pytest.raises(ValueError):
+            SweepTelemetry(cycles_per_task=-100)
+
+    def test_unstarted_telemetry_reports_zero_elapsed(self):
+        telemetry = SweepTelemetry(cycles_per_task=100)
+        assert telemetry.elapsed_s == 0.0
+        assert telemetry.tasks_per_s == 0.0
+        # Zero elapsed must not divide: both rates are undefined.
+        assert telemetry.cycles_per_s is None
+        assert telemetry.eta_s is None
+
+    def test_cycles_per_s_none_without_cycles_per_task(self):
+        telemetry = SweepTelemetry()
+        telemetry.start(1)
+        telemetry.record(Heartbeat(
+            index=0, total=1, parameters={}, seed=0, value=1.0, wall_s=0.1,
+        ))
+        assert telemetry.cycles_per_s is None
+
+    def test_eta_none_when_total_unknown(self):
+        telemetry = SweepTelemetry()
+        # record() without start() adopts the heartbeat's own total.
+        telemetry.record(Heartbeat(
+            index=0, total=0, parameters={}, seed=0, value=1.0, wall_s=0.1,
+        ))
+        assert telemetry.eta_s is None
+
+
+class TestSnapshot:
+    def test_snapshot_round_trips_through_json(self):
+        telemetry = SweepTelemetry(cycles_per_task=250)
+        telemetry.start(2)
+        telemetry.record(Heartbeat(
+            index=0, total=2, parameters={"load": 0.4, "radix": 8},
+            seed=3, value=3.23, wall_s=0.05,
+        ))
+        snapshot = telemetry.snapshot()
+        rebuilt = json.loads(json.dumps(snapshot, allow_nan=False))
+        assert rebuilt["total_tasks"] == 2
+        assert rebuilt["tasks_done"] == 1
+        assert rebuilt["started"] is True
+        beats = [Heartbeat.from_dict(hb) for hb in rebuilt["heartbeats"]]
+        assert beats == telemetry.heartbeats
+
+    def test_snapshot_of_untouched_telemetry(self):
+        snapshot = SweepTelemetry().snapshot()
+        assert snapshot["started"] is False
+        assert snapshot["heartbeats"] == []
+        assert snapshot["eta_s"] is None
+        json.dumps(snapshot, allow_nan=False)  # strictly serialisable
+
+    def test_heartbeat_dict_round_trip(self):
+        beat = Heartbeat(
+            index=4, total=9, parameters={"load": 0.2}, seed=7,
+            value=1.25, wall_s=0.5,
+        )
+        assert Heartbeat.from_dict(beat.to_dict()) == beat
