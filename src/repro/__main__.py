@@ -16,7 +16,11 @@ Commands:
   audit analyzer and emit JSON + markdown reports, optionally diffing
   against a baseline summary (non-zero exit on regression);
 * ``stats``    — run a probed simulation and dump the gem5-style
-  statistics registry (text or JSON).
+  statistics registry (text or JSON);
+* ``faults``   — run a fault schedule (loaded from JSON or freshly
+  generated) through a degraded-mode simulation, report per-phase
+  throughput/latency/reachability, and optionally verify that both
+  kernels stay bit-identical under the schedule.
 
 Every command prints paper-vs-measured where the paper publishes a value.
 """
@@ -380,6 +384,87 @@ def cmd_audit(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    import json
+
+    from repro.faults import (
+        FaultSchedule, measure_degradation, verify_parity,
+    )
+    from repro.harness.report import render_degradation_markdown
+
+    if args.design != "hirise":
+        print("faults: fault injection needs the hirise design",
+              file=sys.stderr)
+        return 2
+    config = _build_design(args)
+    if args.generate is not None:
+        schedule = FaultSchedule.random(
+            config,
+            seed=args.fault_seed,
+            horizon=args.warmup + args.cycles,
+            faults=args.generate,
+            include_inputs=args.include_inputs,
+            include_clrg=args.include_clrg,
+        )
+        print(f"generated {len(schedule)} fault events "
+              f"(seed {args.fault_seed})")
+    elif args.schedule:
+        try:
+            schedule = FaultSchedule.load(args.schedule)
+        except (OSError, ValueError) as error:
+            print(f"faults: {error}", file=sys.stderr)
+            return 2
+        print(f"loaded {len(schedule)} fault events from {args.schedule}")
+    else:
+        print("faults: give a schedule file or --generate N",
+              file=sys.stderr)
+        return 2
+    if args.save:
+        schedule.dump(args.save)
+        print(f"wrote schedule to {args.save}")
+
+    if args.parity:
+        mismatches = verify_parity(
+            config, schedule, load=args.load, seed=args.seed,
+            measure_cycles=args.cycles, warmup_cycles=args.warmup,
+        )
+        if mismatches:
+            print(f"faults: kernels diverged under the schedule:",
+                  file=sys.stderr)
+            for mismatch in mismatches:
+                print(f"  {mismatch}", file=sys.stderr)
+            return 1
+        print("parity: fast and reference kernels bit-identical "
+              "(results and trace streams)")
+
+    report = measure_degradation(
+        config, schedule, load=args.load, seed=args.seed,
+        measure_cycles=args.cycles, warmup_cycles=args.warmup,
+        kernel=args.kernel,
+    )
+    print(f"measured {report.total_cycles} cycles (uniform, load "
+          f"{args.load}, {args.kernel} kernel): "
+          f"{report.total_packets} packets delivered, "
+          f"{report.overall_throughput:.4f} packets/cycle overall")
+    print(f"  {'cycles':>13}  {'failed':>6}  {'stuck':>5}  "
+          f"{'reach':>6}  {'pkts/cyc':>8}  {'latency':>8}")
+    for phase in report.phases:
+        print(f"  {phase.start_cycle:>5}-{phase.end_cycle:<7} "
+              f"{phase.failed_channels:>6}  {phase.stuck_inputs:>5}  "
+              f"{phase.reachable_fraction:>6.3f}  {phase.throughput:>8.4f}  "
+              f"{phase.avg_latency:>8.1f}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote degradation report to {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(render_degradation_markdown(report.to_dict()))
+        print(f"wrote markdown report to {args.markdown}")
+    return 0
+
+
 def cmd_stats(args) -> int:
     import json
 
@@ -477,6 +562,34 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--abs-tol", type=float, default=0.0,
                        help="absolute tolerance for baseline comparison")
     audit.set_defaults(handler=cmd_audit)
+
+    faults = commands.add_parser(
+        "faults", help="degraded-mode run under a fault schedule"
+    )
+    faults.add_argument("schedule", nargs="?", default=None,
+                        help="fault schedule JSON (omit with --generate)")
+    _add_design_arguments(faults)
+    _add_run_arguments(faults)
+    faults.add_argument("--kernel", choices=["fast", "reference"],
+                        default="fast")
+    faults.add_argument("--generate", type=int, metavar="N", default=None,
+                        help="generate a random N-fault schedule instead "
+                             "of loading one")
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for --generate")
+    faults.add_argument("--include-inputs", action="store_true",
+                        help="let --generate produce stuck-input faults")
+    faults.add_argument("--include-clrg", action="store_true",
+                        help="let --generate produce CLRG corruptions")
+    faults.add_argument("--save", help="write the schedule JSON here")
+    faults.add_argument("--parity", action="store_true",
+                        help="verify fast/reference kernels stay "
+                             "bit-identical under the schedule; exit 1 "
+                             "on divergence")
+    faults.add_argument("--json", help="write the degradation report "
+                                       "JSON here")
+    faults.add_argument("--markdown", help="write the markdown report here")
+    faults.set_defaults(handler=cmd_faults)
 
     stats = commands.add_parser(
         "stats", help="probed run dumping the statistics registry"

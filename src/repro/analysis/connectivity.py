@@ -8,7 +8,7 @@ injected TSV failures, where the rerouting rule must preserve full
 connectivity (the property the configuration validator enforces).
 """
 
-from typing import Set, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -24,7 +24,10 @@ def _output_node(port: int) -> Tuple[str, int]:
     return ("out", port)
 
 
-def build_resource_graph(config: HiRiseConfig) -> "nx.DiGraph":
+def build_resource_graph(
+    config: HiRiseConfig,
+    failed_channels: Optional[Iterable[Tuple[int, int, int]]] = None,
+) -> "nx.DiGraph":
     """The datapath as a directed graph honouring allocation and failures.
 
     Nodes: ``("in", port)``, ``("out", port)``, intermediate outputs
@@ -32,18 +35,26 @@ def build_resource_graph(config: HiRiseConfig) -> "nx.DiGraph":
     Edges follow the paths packets may actually take: same-layer flows
     through the dedicated intermediate output; cross-layer flows through
     the healthy channel(s) the allocation policy permits.
+
+    ``failed_channels`` overrides the static ``config.failed_channels``
+    set; dynamic fault injection can fail *every* channel of a layer
+    pair, so unlike the static validator this graph tolerates a
+    partition — the dead pair simply contributes no edges.
     """
     graph = nx.DiGraph()
     alloc = make_allocation(config)
-    failed = set(config.failed_channels)
+    if failed_channels is None:
+        failed = set(config.failed_channels)
+    else:
+        failed = {tuple(entry) for entry in failed_channels}
 
-    def healthy(src_layer: int, dst_layer: int, nominal: int) -> int:
+    def healthy(src_layer: int, dst_layer: int, nominal: int) -> Optional[int]:
         c = config.channel_multiplicity
         for offset in range(c):
             channel = (nominal + offset) % c
             if (src_layer, dst_layer, channel) not in failed:
                 return channel
-        raise AssertionError("config validation guarantees a healthy channel")
+        return None
 
     for src in range(config.radix):
         src_layer = config.layer_of_port(src)
@@ -66,29 +77,38 @@ def build_resource_graph(config: HiRiseConfig) -> "nx.DiGraph":
             else:
                 nominal = alloc.channel_for(local_input, dst)
                 channel = healthy(src_layer, dst_layer, nominal)
+                if channel is None:
+                    continue
                 middle = ("ch", src_layer, dst_layer, channel)
                 graph.add_edge(_input_node(src), middle)
                 graph.add_edge(middle, out_node)
     return graph
 
 
-def reachable_outputs(config: HiRiseConfig, src: int) -> Set[int]:
+def reachable_outputs(
+    config: HiRiseConfig,
+    src: int,
+    failed_channels: Optional[Iterable[Tuple[int, int, int]]] = None,
+) -> Set[int]:
     """Outputs reachable from an input through the resource graph."""
     if not 0 <= src < config.radix:
         raise ValueError(f"port {src} out of range")
-    graph = build_resource_graph(config)
+    graph = build_resource_graph(config, failed_channels=failed_channels)
     reached = nx.descendants(graph, _input_node(src))
     return {node[1] for node in reached if node[0] == "out"}
 
 
-def is_fully_connected(config: HiRiseConfig) -> bool:
+def is_fully_connected(
+    config: HiRiseConfig,
+    failed_channels: Optional[Iterable[Tuple[int, int, int]]] = None,
+) -> bool:
     """True when every input can reach every output.
 
     Note: output-binned allocation dedicates each (input, output) pair a
     channel, so reachability via *some* channel suffices; the graph edges
     already encode the per-destination channel choice.
     """
-    graph = build_resource_graph(config)
+    graph = build_resource_graph(config, failed_channels=failed_channels)
     all_outputs = {_output_node(dst) for dst in range(config.radix)}
     for src in range(config.radix):
         reached = nx.descendants(graph, _input_node(src))

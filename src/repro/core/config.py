@@ -112,7 +112,16 @@ class HiRiseConfig:
             if any(weight <= 0 for weight in self.qos_weights):
                 raise ValueError("QoS weights must be positive")
             object.__setattr__(self, "qos_weights", tuple(self.qos_weights))
-        failed = tuple(tuple(entry) for entry in self.failed_channels)
+        # Normalise: sorted tuple-of-tuples, so two configs with the same
+        # fault set compare and hash equal regardless of input ordering.
+        failed = tuple(sorted(
+            tuple(int(x) for x in entry) for entry in self.failed_channels
+        ))
+        if len(set(failed)) != len(failed):
+            duplicates = sorted({
+                entry for entry in failed if failed.count(entry) > 1
+            })
+            raise ValueError(f"duplicate failed channels: {duplicates}")
         object.__setattr__(self, "failed_channels", failed)
         for src, dst, channel in failed:
             if not 0 <= src < self.layers or not 0 <= dst < self.layers:

@@ -48,6 +48,7 @@ from repro.arbitration.round_robin import RoundRobinArbiter
 from repro.arbitration.wlrg import WLRGArbiter
 from repro.core.channels import make_allocation
 from repro.core.config import ArbitrationScheme, HiRiseConfig
+from repro.faults import FaultCursor, FaultSchedule, apply_fault_events
 from repro.network.engine import SwitchModel
 from repro.network.flit import Flit
 from repro.network.packet import Packet
@@ -59,6 +60,7 @@ from repro.obs.trace import (
     P1_GRANT,
     P2_BLOCK,
     P2_GRANT,
+    REASON_CHANNEL_FAILED,
     REASON_OUTPUT_BUSY,
     REASON_OUTPUT_COOLING,
     REASON_RESOURCE_BUSY,
@@ -167,12 +169,22 @@ class HiRiseSwitch(SwitchModel):
     halvings).  The tracer only observes — traced runs are bit-identical
     to untraced runs — and with ``tracer=None`` (the default) the cycle
     kernel pays exactly one predictable branch per cycle.
+
+    Fault injection: pass a :class:`repro.faults.FaultSchedule` as
+    ``faults`` to apply scripted/stochastic mid-run faults (channel
+    failure/repair, stuck inputs, CLRG corruption).  Events due at a
+    cycle are applied at the very start of ``step()``, before any
+    transmit or arbitration, via the shared
+    :func:`repro.faults.apply_fault_events` hook — identical in the
+    reference kernel, so faulted runs stay bit-identical across kernels.
+    ``faults=None`` (the default) adds one predictable branch per cycle.
     """
 
     def __init__(
         self,
         config: Optional[HiRiseConfig] = None,
         tracer: Optional[object] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.config = config or HiRiseConfig()
         cfg = self.config
@@ -222,9 +234,24 @@ class HiRiseSwitch(SwitchModel):
         self._in_cooling = bytearray(cfg.radix)
         self._out_cooling = bytearray(cfg.radix)
         self._res_cooling = bytearray(cfg.num_resources)
+        # Diagonal (src == dst) channel ids are never requested in a
+        # healthy switch; permanently marking them as cooling turns them
+        # into dead sentinels the binned tables can point at when every
+        # channel toward a destination layer has failed mid-run (they
+        # are never in _cooling_paths, so the bits are never cleared).
+        for layer in range(cfg.layers):
+            for channel in range(cfg.channel_multiplicity):
+                self._res_cooling[
+                    cfg.channel_resource_id(layer, layer, channel)
+                ] = 1
         self._cooling_paths: List[Tuple[int, int, int]] = []
         # L2LCs with faulty TSV bundles: never granted (robustness ext.).
         self.failed_channels = frozenset(cfg.failed_channels)
+        # Stuck inputs (dynamic faults): masked from arbitration via
+        # _arb_ports, which aliases self.ports until a fault narrows it.
+        self.stuck_inputs: set = set()
+        self._arb_ports: List[InputPort] = self.ports
+        self._fault_cursor = FaultCursor(faults) if faults is not None else None
 
         self._build_fast_tables()
 
@@ -300,6 +327,14 @@ class HiRiseSwitch(SwitchModel):
         # Per-port viability objects (single allocation, at construction).
         self._viability: List[object] = []
         if self.allocation.is_binned:
+            # A destination layer whose channels have all failed (only
+            # possible under dynamic faults) maps to the src layer's
+            # diagonal sentinel id: permanently cooling, so the viability
+            # check rejects it with zero extra hot-path branches.
+            dead_rid = [
+                cfg.channel_resource_id(layer, layer, 0)
+                for layer in range(layers)
+            ]
             for port in range(cfg.radix):
                 src_layer = layer_of[port]
                 local_input = local_of[port]
@@ -308,13 +343,16 @@ class HiRiseSwitch(SwitchModel):
                     if layer_of[dst] == src_layer:
                         rid_of_dst.append(dst)
                     else:
-                        channel = self.healthy_channel(
+                        channel = self._healthy_channel_or_none(
                             src_layer, layer_of[dst],
                             self.allocation.channel_for(local_input, dst),
                         )
-                        rid_of_dst.append(cfg.channel_resource_id(
-                            src_layer, layer_of[dst], channel
-                        ))
+                        if channel is None:
+                            rid_of_dst.append(dead_rid[src_layer])
+                        else:
+                            rid_of_dst.append(cfg.channel_resource_id(
+                                src_layer, layer_of[dst], channel
+                            ))
                 self._viability.append(
                     _BinnedViability(self, tuple(rid_of_dst))
                 )
@@ -373,6 +411,40 @@ class HiRiseSwitch(SwitchModel):
                 return channel
         raise AssertionError("config validation guarantees a healthy channel")
 
+    def _healthy_channel_or_none(
+        self, src_layer: int, dst_layer: int, nominal: int
+    ) -> Optional[int]:
+        """Like :meth:`healthy_channel`, but None when the pair is dead.
+
+        Dynamic faults (unlike static config validation) may fail every
+        channel between a layer pair; table builds use this variant so a
+        partition degrades the switch instead of crashing it.
+        """
+        c = self.config.channel_multiplicity
+        for offset in range(c):
+            channel = (nominal + offset) % c
+            if (src_layer, dst_layer, channel) not in self.failed_channels:
+                return channel
+        return None
+
+    def _refresh_fault_state(self) -> None:
+        """Rebuild fault-dependent state after channel/input events.
+
+        Called by :func:`repro.faults.apply_fault_events` between cycles
+        (start of ``step()``), where a wholesale table rebuild is safe:
+        ``_ages`` and ``_candidate_vc`` are written before they are read
+        each cycle, and fault events are rare enough that the O(radix^2)
+        rebuild cost never shows on the hot path.
+        """
+        self._build_fast_tables()
+        if self.stuck_inputs:
+            stuck = self.stuck_inputs
+            self._arb_ports = [
+                port for port in self.ports if port.port_id not in stuck
+            ]
+        else:
+            self._arb_ports = self.ports
+
     def busy_resources(self) -> List[Tuple]:
         """Tuple keys of every currently owned resource (for probes).
 
@@ -424,6 +496,14 @@ class HiRiseSwitch(SwitchModel):
     def step(self, cycle: int) -> List[Flit]:
         if self._tracer is not None:
             return self._step_traced(cycle)
+        # Scheduled faults land before anything else in the cycle, so a
+        # channel failing at cycle k is masked from cycle k's arbitration
+        # (its in-flight packet, if any, still quiesces via transmit).
+        cursor = self._fault_cursor
+        if cursor is not None:
+            due = cursor.take(cycle)
+            if due:
+                apply_fault_events(self, due)
         # Paths released by a tail last cycle carried data on their wires,
         # so they could not also arbitrate that cycle: every packet pays
         # one arbitration cycle ("arbitrate or transmit in a single
@@ -569,7 +649,9 @@ class HiRiseSwitch(SwitchModel):
         chan_requests: Dict[int, List[Tuple[int, int]]] = {}
         pair_requests: Dict[int, List[Tuple[int, int]]] = {}
 
-        for port in self.ports:
+        # _arb_ports aliases self.ports until a stuck-input fault
+        # narrows it; stuck ports never present requests.
+        for port in self._arb_ports:
             port_id = port.port_id
             if in_cooling[port_id] or port.active_vc is not None:
                 continue
@@ -870,6 +952,11 @@ class HiRiseSwitch(SwitchModel):
         """
         tracer = self._tracer
         tracer.cycle = cycle
+        cursor = self._fault_cursor
+        if cursor is not None:
+            due = cursor.take(cycle)
+            if due:
+                apply_fault_events(self, due)
         paths = self._cooling_paths
         if paths:
             in_cooling = self._in_cooling
@@ -936,7 +1023,11 @@ class HiRiseSwitch(SwitchModel):
         res_cooling = self._res_cooling
         binned = self.allocation.is_binned
         request_rid = self._request_rid
-        for port in self.ports:
+        cfg = self.config
+        layers = cfg.layers
+        layer_of = cfg.layer_of_port_table
+        healthy_channels = self._healthy_channels
+        for port in self._arb_ports:
             port_id = port.port_id
             if in_cooling[port_id] or port.active_vc is not None:
                 continue
@@ -962,13 +1053,22 @@ class HiRiseSwitch(SwitchModel):
             elif out_cooling[dst]:
                 reason = REASON_OUTPUT_COOLING
             else:
-                if binned:
-                    rids = (request_rid[port_id][dst],)
+                src_layer = layer_of[port_id]
+                dst_layer = layer_of[dst]
+                if (dst_layer != src_layer
+                        and not healthy_channels[src_layer * layers + dst_layer]):
+                    # Dynamic faults killed every channel toward the
+                    # destination layer (the binned table points at a
+                    # cooling sentinel; the priority rid list is empty).
+                    reason = REASON_CHANNEL_FAILED
                 else:
-                    rids = check.rids_of_dst[dst]
-                reason = REASON_RESOURCE_COOLING
-                for rid in rids:
-                    if resource_owner[rid] >= 0 and not res_cooling[rid]:
-                        reason = REASON_RESOURCE_BUSY
-                        break
+                    if binned:
+                        rids = (request_rid[port_id][dst],)
+                    else:
+                        rids = check.rids_of_dst[dst]
+                    reason = REASON_RESOURCE_COOLING
+                    for rid in rids:
+                        if resource_owner[rid] >= 0 and not res_cooling[rid]:
+                            reason = REASON_RESOURCE_BUSY
+                            break
             emit(VIA_BLOCK, port_id, dst, reason)

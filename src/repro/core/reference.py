@@ -51,6 +51,7 @@ from repro.arbitration.round_robin import RoundRobinArbiter
 from repro.arbitration.wlrg import WLRGArbiter
 from repro.core.channels import make_allocation
 from repro.core.config import ArbitrationScheme, HiRiseConfig
+from repro.faults import FaultCursor, FaultSchedule, apply_fault_events
 from repro.network.engine import SwitchModel
 from repro.network.flit import Flit
 from repro.network.packet import Packet
@@ -62,6 +63,7 @@ from repro.obs.trace import (
     P1_GRANT,
     P2_BLOCK,
     P2_GRANT,
+    REASON_CHANNEL_FAILED,
     REASON_OUTPUT_BUSY,
     REASON_OUTPUT_COOLING,
     REASON_RESOURCE_BUSY,
@@ -105,12 +107,17 @@ class ReferenceHiRiseSwitch(SwitchModel):
         tracer: Optional :class:`repro.obs.SwitchTracer`; records the
             same cycle-level events as the fast kernel (observe-only, so
             arbitration decisions are untouched).
+        faults: Optional :class:`repro.faults.FaultSchedule`; applied
+            through the same per-cycle hook as the fast kernel (events
+            due at a cycle land at the very start of ``step()``), so
+            faulted runs stay bit-identical across kernels.
     """
 
     def __init__(
         self,
         config: Optional[HiRiseConfig] = None,
         tracer: Optional[object] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.config = config or HiRiseConfig()
         cfg = self.config
@@ -158,6 +165,11 @@ class ReferenceHiRiseSwitch(SwitchModel):
         self._cooling_resources: set = set()
         # L2LCs with faulty TSV bundles: never granted (robustness ext.).
         self.failed_channels = frozenset(cfg.failed_channels)
+        # Stuck inputs (dynamic faults): masked from arbitration via
+        # _arb_ports, which aliases self.ports until a fault narrows it.
+        self.stuck_inputs: set = set()
+        self._arb_ports: List[InputPort] = self.ports
+        self._fault_cursor = FaultCursor(faults) if faults is not None else None
 
         self._tracer = tracer
         if tracer is not None:
@@ -208,6 +220,36 @@ class ReferenceHiRiseSwitch(SwitchModel):
                 return channel
         raise AssertionError("config validation guarantees a healthy channel")
 
+    def _healthy_channel_or_none(
+        self, src_layer: int, dst_layer: int, nominal: int
+    ) -> Optional[int]:
+        """Like :meth:`healthy_channel`, but None when the pair is dead.
+
+        Dynamic faults (unlike static config validation) may fail every
+        channel between a layer pair; viability uses this variant so a
+        partition degrades the switch instead of crashing it.
+        """
+        c = self.config.channel_multiplicity
+        for offset in range(c):
+            channel = (nominal + offset) % c
+            if (src_layer, dst_layer, channel) not in self.failed_channels:
+                return channel
+        return None
+
+    def _refresh_fault_state(self) -> None:
+        """Rebuild fault-dependent state after channel/input events.
+
+        The reference kernel consults ``failed_channels`` dynamically,
+        so only the arbitration port list needs recomputing.
+        """
+        if self.stuck_inputs:
+            stuck = self.stuck_inputs
+            self._arb_ports = [
+                port for port in self.ports if port.port_id not in stuck
+            ]
+        else:
+            self._arb_ports = self.ports
+
     # ------------------------------------------------------------------
     # SwitchModel interface
     # ------------------------------------------------------------------
@@ -226,6 +268,14 @@ class ReferenceHiRiseSwitch(SwitchModel):
     def step(self, cycle: int) -> List[Flit]:
         if self._tracer is not None:
             return self._step_traced(cycle)
+        # Scheduled faults land before anything else in the cycle, so a
+        # channel failing at cycle k is masked from cycle k's arbitration
+        # (its in-flight packet, if any, still quiesces via transmit).
+        cursor = self._fault_cursor
+        if cursor is not None:
+            due = cursor.take(cycle)
+            if due:
+                apply_fault_events(self, due)
         # Paths released by a tail this cycle carried data on their wires,
         # so they cannot also arbitrate this cycle: every packet pays one
         # arbitration cycle ("arbitrate or transmit in a single cycle").
@@ -295,10 +345,12 @@ class ReferenceHiRiseSwitch(SwitchModel):
             if dst_layer == src_layer:
                 return resource_free(("int", src_layer, cfg.local_index(flit.dst)))
             if self.allocation.is_binned:
-                channel = self.healthy_channel(
+                channel = self._healthy_channel_or_none(
                     src_layer, dst_layer,
                     self.allocation.channel_for(local_input, flit.dst),
                 )
+                if channel is None:  # dynamic faults killed the whole pair
+                    return False
                 return resource_free(("ch", src_layer, dst_layer, channel))
             return any(
                 resource_free(("ch", src_layer, dst_layer, channel))
@@ -319,7 +371,9 @@ class ReferenceHiRiseSwitch(SwitchModel):
         # Head-flit wait per (layer, local input), for AGE arbitration.
         ages: Dict[Tuple[int, int], int] = {}
 
-        for port in self.ports:
+        # _arb_ports aliases self.ports until a stuck-input fault
+        # narrows it; stuck ports never present requests.
+        for port in self._arb_ports:
             if port.port_id in self._cooling_inputs:
                 continue
             vc = port.candidate_vc(self._viable_for(port.port_id))
@@ -516,6 +570,11 @@ class ReferenceHiRiseSwitch(SwitchModel):
         """
         tracer = self._tracer
         tracer.cycle = cycle
+        cursor = self._fault_cursor
+        if cursor is not None:
+            due = cursor.take(cycle)
+            if due:
+                apply_fault_events(self, due)
         self._cooling_inputs.clear()
         self._cooling_outputs.clear()
         self._cooling_resources.clear()
@@ -567,7 +626,7 @@ class ReferenceHiRiseSwitch(SwitchModel):
         cfg = self.config
         emit = self._tracer.emit
         rid_of_key = self._rid_of_key
-        for port in self.ports:
+        for port in self._arb_ports:
             port_id = port.port_id
             if port_id in self._cooling_inputs or port.active_vc is not None:
                 continue
@@ -594,13 +653,16 @@ class ReferenceHiRiseSwitch(SwitchModel):
                 if dst_layer == src_layer:
                     keys = [("int", src_layer, cfg.local_index(dst))]
                 elif self.allocation.is_binned:
-                    channel = self.healthy_channel(
+                    channel = self._healthy_channel_or_none(
                         src_layer, dst_layer,
                         self.allocation.channel_for(
                             cfg.local_index(port_id), dst
                         ),
                     )
-                    keys = [("ch", src_layer, dst_layer, channel)]
+                    keys = (
+                        [] if channel is None
+                        else [("ch", src_layer, dst_layer, channel)]
+                    )
                 else:
                     keys = [
                         ("ch", src_layer, dst_layer, channel)
@@ -608,10 +670,15 @@ class ReferenceHiRiseSwitch(SwitchModel):
                         if (src_layer, dst_layer, channel)
                         not in self.failed_channels
                     ]
-                reason = REASON_RESOURCE_COOLING
-                for key in keys:
-                    if (key in self.resource_owner
-                            and key not in self._cooling_resources):
-                        reason = REASON_RESOURCE_BUSY
-                        break
+                if not keys:
+                    # Dynamic faults killed every channel toward the
+                    # destination layer.
+                    reason = REASON_CHANNEL_FAILED
+                else:
+                    reason = REASON_RESOURCE_COOLING
+                    for key in keys:
+                        if (key in self.resource_owner
+                                and key not in self._cooling_resources):
+                            reason = REASON_RESOURCE_BUSY
+                            break
             emit(VIA_BLOCK, port_id, dst, reason)

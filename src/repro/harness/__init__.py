@@ -27,10 +27,18 @@ from repro.harness.figures import (
 )
 from repro.harness.report import (
     render_audit_markdown,
+    render_degradation_markdown,
     render_series,
     render_table,
 )
 from repro.harness.export import export_rows_csv, export_series_csv
+from repro.harness.parallel import (
+    CHECKPOINT_FORMAT,
+    CheckpointMismatch,
+    ResiliencePolicy,
+    SweepCheckpoint,
+    TaskFailure,
+)
 from repro.harness.sweep import (
     SweepPoint,
     parameter_grid,
@@ -55,10 +63,16 @@ __all__ = [
     "fig11c_adversarial_throughput",
     "fig12_tsv_pitch",
     "render_audit_markdown",
+    "render_degradation_markdown",
     "render_series",
     "render_table",
     "export_rows_csv",
     "export_series_csv",
+    "CHECKPOINT_FORMAT",
+    "CheckpointMismatch",
+    "ResiliencePolicy",
+    "SweepCheckpoint",
+    "TaskFailure",
     "SweepPoint",
     "parameter_grid",
     "render_sweep",

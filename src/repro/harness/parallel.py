@@ -11,22 +11,47 @@ while guaranteeing:
   ``workers=N`` returns bit-identical results to ``workers=1``;
 * **graceful degradation** — with ``workers=1``, a single task, an
   unpicklable measurement, or a pool that fails to spawn (restricted
-  containers, daemonic parents), the tasks simply run serially.
+  containers, daemonic parents), the tasks simply run serially;
+* **crash resilience** (opt-in, PR 4) — any of the ``task_timeout``,
+  ``max_retries``, ``backoff_base``, or ``checkpoint`` keywords routes
+  execution through a supervising scheduler that isolates worker
+  crashes (the pool is rebuilt, innocent in-flight tasks are
+  resubmitted uncharged), enforces per-task wall-clock timeouts,
+  retries failed tasks a bounded number of times with exponential
+  backoff, and journals every completed task to an append-only JSONL
+  checkpoint so an interrupted sweep resumes instead of recomputing.
+  Because every task is a pure function of ``(parameters, seed)``,
+  retried/resumed results are bit-identical to an uninterrupted serial
+  run.
 
 Measurement callables must be picklable (module-level functions, not
 lambdas or closures) to actually run in worker processes; anything else
 silently falls back to the serial path.
 """
 
+import hashlib
+import heapq
+import json
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.metrics.confidence import ConfidenceInterval, t_interval
 
 _Task = Tuple[Callable[..., float], Dict[str, object], int]
+
+#: Schema tag of the checkpoint JSONL header line.
+CHECKPOINT_FORMAT = "repro.checkpoint/v1"
 
 
 def _run_measurement(task: _Task) -> float:
@@ -144,6 +169,403 @@ def _execute_tasks_telemetered(
         pool.shutdown()
 
 
+# ---------------------------------------------------------------------------
+# Crash-resilient execution (opt-in)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the resilient scheduler supervises a batch of tasks.
+
+    Attributes:
+        task_timeout: Per-task wall-clock budget in seconds; a task
+            running longer is charged an attempt and the worker pool is
+            torn down and rebuilt (a hung worker cannot be interrupted
+            any other way).  ``None`` disables timeouts.  Only enforced
+            on the pool path — the serial fallback cannot preempt a
+            running task.
+        max_retries: How many times one task may fail (crash, raise, or
+            time out) before :class:`TaskFailure` aborts the batch.  0
+            means a single attempt.  A worker crash fails every future
+            in flight on the broken pool and the scheduler charges
+            exactly one of them (the culprit is not identifiable), so
+            when crashes are *expected*, budget one extra retry per
+            anticipated crash for innocent bystanders.
+        backoff_base: First retry delay in seconds; attempt ``k``
+            waits ``backoff_base * 2**(k-1)``, capped at
+            ``backoff_cap``.
+        backoff_cap: Upper bound on any single retry delay.
+        checkpoint: Optional path of an append-only JSONL journal of
+            completed tasks.  If the file already exists it must match
+            the task list's fingerprint, and its completed tasks are
+            not re-run (checkpoint/resume).
+    """
+
+    task_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.1
+    backoff_cap: float = 5.0
+    checkpoint: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+
+class TaskFailure(RuntimeError):
+    """A task exhausted its retry budget; the batch cannot complete."""
+
+    def __init__(self, index: int, task: _Task, attempts: int, cause: BaseException) -> None:
+        _measurement, parameters, seed = task
+        super().__init__(
+            f"task {index} (seed {seed}, parameters {parameters!r}) failed "
+            f"after {attempts} attempt(s): {cause!r}"
+        )
+        self.index = index
+        self.parameters = dict(parameters)
+        self.seed = seed
+        self.attempts = attempts
+        self.cause = cause
+
+
+class CheckpointMismatch(ValueError):
+    """An existing checkpoint journals a different task list."""
+
+
+def _fingerprint_tasks(tasks: Sequence[_Task]) -> str:
+    """Deterministic identity of a task list (order, callables, seeds)."""
+    digest = hashlib.sha256()
+    for measurement, parameters, seed in tasks:
+        name = (
+            f"{getattr(measurement, '__module__', '?')}."
+            f"{getattr(measurement, '__qualname__', '?')}"
+        )
+        digest.update(
+            f"{name}|{sorted(parameters.items())!r}|{seed}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of completed sweep tasks.
+
+    Line 1 is a header (:data:`CHECKPOINT_FORMAT`, the task-list
+    fingerprint, the task count); every further line is one completed
+    task (``index``, ``value``, ``attempts``, ``wall_s``).  Each append
+    is flushed, so a crashed parent loses at most the line it was
+    writing — a torn trailing line is tolerated and dropped on resume.
+    """
+
+    def __init__(self, path: Union[str, Path], tasks: Sequence[_Task]) -> None:
+        self.path = Path(path)
+        self.fingerprint = _fingerprint_tasks(tasks)
+        self.total = len(tasks)
+        self.completed: Dict[int, Tuple[float, float]] = {}
+        had_header = self.path.exists() and self._load()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if not had_header:
+            self._handle.write(json.dumps({
+                "format": CHECKPOINT_FORMAT,
+                "fingerprint": self.fingerprint,
+                "tasks": self.total,
+            }) + "\n")
+            self._handle.flush()
+
+    def _load(self) -> bool:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        if not lines:
+            return False
+        header = json.loads(lines[0])
+        if header.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointMismatch(
+                f"{self.path}: not a {CHECKPOINT_FORMAT} checkpoint"
+            )
+        if (
+            header.get("fingerprint") != self.fingerprint
+            or header.get("tasks") != self.total
+        ):
+            raise CheckpointMismatch(
+                f"{self.path}: checkpoint was written for a different "
+                f"task list (delete it or pick another path)"
+            )
+        for line in lines[1:]:
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line from a crashed writer
+            index = row.get("index")
+            if isinstance(index, int) and 0 <= index < self.total:
+                self.completed[index] = (
+                    float(row.get("value", 0.0)),
+                    float(row.get("wall_s", 0.0)),
+                )
+        return True
+
+    def append(self, index: int, value: float, attempts: int, wall_s: float) -> None:
+        """Journal one completed task (flushed immediately)."""
+        self.completed[index] = (value, wall_s)
+        self._handle.write(json.dumps({
+            "index": index, "value": value,
+            "attempts": attempts, "wall_s": wall_s,
+        }) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Release the journal file handle."""
+        self._handle.close()
+
+
+def _spawn_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    try:
+        return ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError):
+        return None
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when a worker is hung mid-task.
+
+    Terminating the workers first makes the subsequent ``shutdown``
+    join return promptly (the pool breaks instead of waiting on the
+    hung task), and joining keeps the interpreter's exit hooks clean.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def _execute_tasks_resilient(
+    tasks: Sequence[_Task],
+    workers: int,
+    policy: ResiliencePolicy,
+    telemetry=None,
+) -> List[float]:
+    """Run tasks under supervision: timeouts, retries, crash isolation.
+
+    Results are returned in submission order and — tasks being pure
+    functions of ``(parameters, seed)`` — are bit-identical to the
+    plain serial path no matter how many crashes, timeouts, retries, or
+    checkpoint resumes happened along the way.
+
+    Raises:
+        TaskFailure: When one task fails ``policy.max_retries + 1``
+            times.
+        CheckpointMismatch: When ``policy.checkpoint`` exists but
+            journals a different task list.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    total = len(tasks)
+    values: List[Optional[float]] = [None] * total
+    attempts = [0] * total
+    checkpoint = (
+        SweepCheckpoint(policy.checkpoint, tasks)
+        if policy.checkpoint is not None else None
+    )
+    if telemetry is not None:
+        telemetry.start(total)
+    if checkpoint is not None:
+        for index, (value, wall_s) in sorted(checkpoint.completed.items()):
+            values[index] = value
+            if telemetry is not None:
+                _report(telemetry, tasks[index], index, total, value, wall_s)
+
+    def record(index: int, value: float, wall_s: float) -> None:
+        values[index] = value
+        if checkpoint is not None:
+            checkpoint.append(index, value, attempts[index] + 1, wall_s)
+        if telemetry is not None:
+            _report(telemetry, tasks[index], index, total, value, wall_s)
+
+    def charge(index: int, cause: BaseException) -> float:
+        """Count one failed attempt; return the backoff delay."""
+        attempts[index] += 1
+        if attempts[index] > policy.max_retries:
+            raise TaskFailure(index, tasks[index], attempts[index], cause)
+        return min(
+            policy.backoff_base * (2 ** (attempts[index] - 1)),
+            policy.backoff_cap,
+        )
+
+    def serial() -> List[float]:
+        # In-process fallback: retries and checkpointing still apply;
+        # timeouts cannot (a running task is not preemptible here).
+        for index in range(total):
+            while values[index] is None:
+                try:
+                    value, wall_s = _run_measurement_timed(tasks[index])
+                except Exception as exc:
+                    delay = charge(index, exc)
+                    if delay > 0:
+                        time.sleep(delay)
+                else:
+                    record(index, value, wall_s)
+        return [float(value) for value in values]
+
+    try:
+        backlog = deque(
+            index for index in range(total) if values[index] is None
+        )
+        if not backlog:
+            return [float(value) for value in values]
+        if workers == 1:
+            return serial()
+        try:
+            pickle.dumps([tasks[index] for index in backlog])
+        except Exception:
+            return serial()
+        pool = _spawn_pool(workers)
+        if pool is None:
+            return serial()
+        try:
+            inflight: Dict[object, int] = {}
+            deadlines: Dict[object, float] = {}
+            ready: List[Tuple[float, int]] = []  # (due time, index) heap
+
+            def submit(index: int) -> None:
+                future = pool.submit(_run_measurement_timed, tasks[index])
+                inflight[future] = index
+                if policy.task_timeout is not None:
+                    deadlines[future] = (
+                        time.monotonic() + policy.task_timeout
+                    )
+
+            def fill() -> None:
+                # Cap in-flight futures at the worker count so a
+                # submitted future is actually *running* — a per-future
+                # deadline on a queued task would expire spuriously.
+                while backlog and len(inflight) < workers:
+                    submit(backlog.popleft())
+
+            def reschedule_inflight() -> None:
+                # Innocent in-flight casualties of a pool teardown go
+                # back in line without being charged an attempt.
+                for index in inflight.values():
+                    backlog.append(index)
+                inflight.clear()
+                deadlines.clear()
+
+            fill()
+            while inflight or backlog or ready:
+                now = time.monotonic()
+                while ready and ready[0][0] <= now:
+                    backlog.append(heapq.heappop(ready)[1])
+                fill()
+                if not inflight:
+                    if ready:
+                        time.sleep(max(0.0, ready[0][0] - time.monotonic()))
+                    continue
+                timeout = None
+                if deadlines:
+                    timeout = max(0.0, min(deadlines.values()) - now)
+                if ready:
+                    due = max(0.0, ready[0][0] - now)
+                    timeout = due if timeout is None else min(timeout, due)
+                done, _ = wait(
+                    inflight, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for future in done:
+                    index = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        value, wall_s = future.result()
+                    except BrokenProcessPool as exc:
+                        # One worker died; every sibling future fails
+                        # with the same error.  Charge only the first —
+                        # the rest are collateral.
+                        if broken:
+                            backlog.append(index)
+                        else:
+                            broken = True
+                            delay = charge(index, exc)
+                            heapq.heappush(
+                                ready, (time.monotonic() + delay, index)
+                            )
+                    except Exception as exc:
+                        delay = charge(index, exc)
+                        heapq.heappush(
+                            ready, (time.monotonic() + delay, index)
+                        )
+                    else:
+                        record(index, value, wall_s)
+                if broken:
+                    reschedule_inflight()
+                    _kill_pool(pool)
+                    pool = _spawn_pool(workers)
+                    if pool is None:
+                        return serial()
+                    fill()
+                    continue
+                if deadlines:
+                    now = time.monotonic()
+                    expired = [
+                        future for future, deadline in deadlines.items()
+                        if deadline <= now and not future.done()
+                    ]
+                    if expired:
+                        # A hung worker cannot be interrupted piecemeal:
+                        # charge the overdue tasks, then rebuild the
+                        # whole pool.
+                        for future in expired:
+                            index = inflight.pop(future)
+                            deadlines.pop(future)
+                            delay = charge(index, TimeoutError(
+                                f"task exceeded {policy.task_timeout}s"
+                            ))
+                            heapq.heappush(
+                                ready, (time.monotonic() + delay, index)
+                            )
+                        reschedule_inflight()
+                        _kill_pool(pool)
+                        pool = _spawn_pool(workers)
+                        if pool is None:
+                            return serial()
+                fill()
+            return [float(value) for value in values]
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+
+def _resolve_policy(
+    task_timeout: Optional[float],
+    max_retries: Optional[int],
+    backoff_base: Optional[float],
+    checkpoint: Optional[Union[str, Path]],
+) -> Optional[ResiliencePolicy]:
+    """Build a policy when any resilience keyword was given, else None."""
+    if (
+        task_timeout is None and max_retries is None
+        and backoff_base is None and checkpoint is None
+    ):
+        return None
+    policy = ResiliencePolicy(
+        task_timeout=task_timeout,
+        max_retries=(
+            max_retries if max_retries is not None
+            else ResiliencePolicy.max_retries
+        ),
+        backoff_base=(
+            backoff_base if backoff_base is not None
+            else ResiliencePolicy.backoff_base
+        ),
+        checkpoint=checkpoint,
+    )
+    return policy
+
+
 def replicate(
     measurement: Callable[..., float],
     parameters: Optional[Dict[str, object]] = None,
@@ -152,6 +574,10 @@ def replicate(
     base_seed: int = 0,
     workers: int = 1,
     telemetry=None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    backoff_base: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
 ) -> ConfidenceInterval:
     """Parallel independent replications of one measurement.
 
@@ -160,7 +586,10 @@ def replicate(
     replications spread over ``workers`` processes.  Results are
     identical to the serial path for any worker count.  An optional
     :class:`repro.obs.SweepTelemetry` receives one heartbeat per
-    completed replication.
+    completed replication.  Passing any of ``task_timeout`` /
+    ``max_retries`` / ``backoff_base`` / ``checkpoint`` routes
+    execution through the crash-resilient scheduler (see
+    :class:`ResiliencePolicy`); results stay bit-identical.
     """
     if num_replications < 2:
         raise ValueError("need at least two replications for an interval")
@@ -168,7 +597,12 @@ def replicate(
         (measurement, dict(parameters or {}), base_seed + index)
         for index in range(num_replications)
     ]
-    return t_interval(_execute_tasks(tasks, workers, telemetry), confidence)
+    policy = _resolve_policy(task_timeout, max_retries, backoff_base, checkpoint)
+    if policy is not None:
+        values = _execute_tasks_resilient(tasks, workers, policy, telemetry)
+    else:
+        values = _execute_tasks(tasks, workers, telemetry)
+    return t_interval(values, confidence)
 
 
 def run_sweep(
@@ -179,6 +613,10 @@ def run_sweep(
     base_seed: int = 0,
     workers: int = 1,
     telemetry=None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    backoff_base: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
 ) -> List["SweepPoint"]:
     """Parallel version of :func:`repro.harness.sweep.run_sweep`.
 
@@ -186,7 +624,12 @@ def run_sweep(
     ``workers`` processes; the returned points are identical (values,
     ordering, intervals) to the serial sweep for any worker count.  An
     optional :class:`repro.obs.SweepTelemetry` receives one heartbeat per
-    completed (point, replication) task.
+    completed (point, replication) task.  Passing any of
+    ``task_timeout`` / ``max_retries`` / ``backoff_base`` /
+    ``checkpoint`` routes execution through the crash-resilient
+    scheduler (see :class:`ResiliencePolicy`); results stay
+    bit-identical, and an interrupted sweep re-run with the same
+    ``checkpoint`` path resumes where it stopped.
     """
     from repro.harness.sweep import SweepPoint
 
@@ -197,7 +640,11 @@ def run_sweep(
         for parameters in grid
         for index in range(replications)
     ]
-    values = _execute_tasks(tasks, workers, telemetry)
+    policy = _resolve_policy(task_timeout, max_retries, backoff_base, checkpoint)
+    if policy is not None:
+        values = _execute_tasks_resilient(tasks, workers, policy, telemetry)
+    else:
+        values = _execute_tasks(tasks, workers, telemetry)
     points: List[SweepPoint] = []
     for number, parameters in enumerate(grid):
         chunk = values[number * replications:(number + 1) * replications]

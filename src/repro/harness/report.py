@@ -95,6 +95,7 @@ def render_audit_markdown(
     utilization = summary.get("utilization", {})
     anomalies = summary.get("anomalies", {})
     service = summary.get("service", {})
+    faults = summary.get("faults", {})
 
     lines = ["# Switch trace audit", ""]
     config = ", ".join(
@@ -197,6 +198,40 @@ def render_audit_markdown(
         if dropped:
             lines.append("")
             lines.append(f"*({dropped} further anomalies not stored.)*")
+    # Fault-free traces (and pre-fault audit JSONs) skip this section,
+    # so existing reports render unchanged.
+    if faults.get("fault_events") or faults.get("repair_events"):
+        lines += [
+            "",
+            "## Faults & degradation",
+            "",
+            "| metric | value |",
+            "| --- | --- |",
+            f"| fault injections | {_md(faults.get('fault_events'))} |",
+            f"| fault repairs | {_md(faults.get('repair_events'))} |",
+            f"| CLRG corruptions | {_md(faults.get('clrg_corruptions'))} |",
+            "| peak failed channels | "
+            f"{_md(faults.get('max_failed_channels'))} |",
+            "| failed channels at end | "
+            f"{_md(faults.get('final_failed_channels', []))} |",
+            "| stuck inputs at end | "
+            f"{_md(faults.get('final_stuck_inputs', []))} |",
+            "| degraded/healthy throughput | "
+            f"{_md(faults.get('degraded_throughput_ratio'))} |",
+        ]
+        degradation = faults.get("degradation") or {}
+        if degradation:
+            lines += [
+                "",
+                "| failed channels | cycles | flits | flits/cycle |",
+                "| --- | --- | --- | --- |",
+            ]
+            for failed, entry in degradation.items():
+                lines.append(
+                    f"| {failed} | {_md(entry.get('cycles'))} | "
+                    f"{_md(entry.get('ejected_flits'))} | "
+                    f"{_md(entry.get('throughput_flits_per_cycle'))} |"
+                )
     if regressions is not None:
         lines += ["", "## Baseline comparison", ""]
         if not regressions:
@@ -208,5 +243,48 @@ def render_audit_markdown(
             ]
             for regression in regressions:
                 lines.append(f"- {regression}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_degradation_markdown(report: Dict[str, object]) -> str:
+    """Render a fault degradation report as markdown.
+
+    Takes the plain ``DegradationReport.to_dict()`` dict — not the
+    object — so a saved ``degradation.json`` renders identically and
+    this module stays import-independent of :mod:`repro.faults`.
+    """
+    phases = report.get("phases") or []
+    lines = [
+        "# Fault degradation report",
+        "",
+        "| metric | value |",
+        "| --- | --- |",
+        f"| kernel | {_md(report.get('kernel'))} |",
+        f"| load | {_md(report.get('load'))} |",
+        f"| seed | {_md(report.get('seed'))} |",
+        f"| warmup cycles | {_md(report.get('warmup_cycles'))} |",
+        f"| measured cycles | {_md(report.get('total_cycles'))} |",
+        f"| schedule events | {_md(report.get('schedule_events'))} |",
+        f"| packets delivered | {_md(report.get('total_packets'))} |",
+        "| overall throughput (pkts/cycle) | "
+        f"{_md(report.get('overall_throughput'))} |",
+        "",
+        "## Phases",
+        "",
+        "| cycles | failed ch | stuck in | reachable | pkts/cycle "
+        "| avg latency |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for phase in phases:
+        lines.append(
+            f"| {_md(phase.get('start_cycle'))}–"
+            f"{_md(phase.get('end_cycle'))} "
+            f"| {_md(phase.get('failed_channels'))} "
+            f"| {_md(phase.get('stuck_inputs'))} "
+            f"| {_md(phase.get('reachable_fraction'))} "
+            f"| {_md(phase.get('throughput'))} "
+            f"| {_md(phase.get('avg_latency'))} |"
+        )
     lines.append("")
     return "\n".join(lines)

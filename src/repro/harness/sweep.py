@@ -49,6 +49,10 @@ def run_sweep(
     base_seed: int = 0,
     workers: int = 1,
     telemetry=None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    backoff_base: Optional[float] = None,
+    checkpoint=None,
 ) -> List[SweepPoint]:
     """Measure every grid point, optionally replicated over seeds.
 
@@ -65,18 +69,30 @@ def run_sweep(
         telemetry: Optional :class:`repro.obs.SweepTelemetry`; receives a
             heartbeat per completed (point, replication) task, for any
             worker count, without affecting the results.
+        task_timeout / max_retries / backoff_base / checkpoint: Passing
+            any of these routes execution through the crash-resilient
+            scheduler (:class:`repro.harness.parallel.ResiliencePolicy`):
+            per-task timeouts, bounded retries with exponential backoff,
+            worker-crash isolation, and JSONL checkpoint/resume.
+            Results stay bit-identical to the plain serial sweep.
 
     Raises:
         ValueError: If ``replications`` or ``workers`` is not positive.
     """
     if replications < 1:
         raise ValueError("need at least one replication")
-    if workers != 1 or telemetry is not None:
+    resilient = any(
+        option is not None
+        for option in (task_timeout, max_retries, backoff_base, checkpoint)
+    )
+    if workers != 1 or telemetry is not None or resilient:
         from repro.harness import parallel
         return parallel.run_sweep(
             measurement, grid, replications=replications,
             confidence=confidence, base_seed=base_seed, workers=workers,
-            telemetry=telemetry,
+            telemetry=telemetry, task_timeout=task_timeout,
+            max_retries=max_retries, backoff_base=backoff_base,
+            checkpoint=checkpoint,
         )
     points: List[SweepPoint] = []
     for parameters in grid:

@@ -304,8 +304,12 @@ class Simulation:
 
         Embeds the machine-readable :func:`repro.obs.telemetry_snapshot`
         (per-port occupancy, busy resources with owner and last-grant
-        cycle, owned outputs) and, when the switch is traced, records a
+        cycle, owned outputs, and — when fault injection is in play —
+        the live fault state: failed channels, stuck inputs, pending
+        schedule events) and, when the switch is traced, records a
         ``drain_stall`` event so the stall is visible on the timeline.
+        A drain stalled by an unrepaired partition is therefore
+        diagnosable straight from the error message.
         """
         # Lazy import: the engine stays importable without the obs
         # package in the picture for every hot-loop user.

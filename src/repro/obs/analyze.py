@@ -20,7 +20,14 @@ measured property:
   events (which carry the grant cycle) and per-epoch ejected-flit
   throughput;
 * **an anomaly pass** — unfair epochs, throughput collapse, per-input
-  starvation, drain stalls, and truncated (event-dropping) traces.
+  starvation, drain stalls, fault injections, and truncated
+  (event-dropping) traces;
+* **degradation tracking** — ``fault_inject``/``fault_repair`` events
+  (PR 4's :mod:`repro.faults` engine) are folded into a running fault
+  state, each epoch is stamped with its failed-channel count, and the
+  summary's ``faults`` section reports delivered throughput bucketed by
+  how many channels were down — the measured graceful-degradation
+  curve.
 
 The analyzer is **single-pass and bounded-memory**: it consumes any
 record iterator (a JSONL file streamed line by line, or
@@ -41,7 +48,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.metrics.fairness import fairness_summary, jain_index, max_min_ratio
-from repro.obs.trace import EVENT_NAMES
+from repro.obs.trace import (
+    EVENT_NAMES,
+    FAULT_CHANNEL,
+    FAULT_CLRG,
+    FAULT_INPUT,
+    FAULT_NAMES,
+)
 
 #: Schema tag written into (and required of) every audit summary.
 AUDIT_SCHEMA = "repro.audit/v1"
@@ -211,6 +224,9 @@ class Epoch:
         mean_class: Mean CLRG class of the window's grants (None when
             the scheme is not CLRG or nothing was granted).
         utilization: Ejected flits per output per cycle.
+        failed_channels: Failed L2LC channels at window close (the
+            fault state reconstructed from ``fault_inject`` /
+            ``fault_repair`` events; 0 on fault-free traces).
     """
 
     index: int
@@ -223,6 +239,7 @@ class Epoch:
     max_min: Optional[float]
     mean_class: Optional[float]
     utilization: float
+    failed_channels: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable form (one entry of ``summary()['epochs']``)."""
@@ -237,6 +254,7 @@ class Epoch:
             "max_min": self.max_min,
             "mean_class": self.mean_class,
             "utilization": self.utilization,
+            "failed_channels": self.failed_channels,
         }
 
 
@@ -245,7 +263,7 @@ class Anomaly:
     """One flagged irregularity, anchored to a cycle."""
 
     kind: str            # unfair_epoch | throughput_collapse | starvation
-    cycle: int           # | drain_stall | truncated_trace
+    cycle: int           # | drain_stall | truncated_trace | fault
     detail: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -346,6 +364,18 @@ class TraceAnalyzer:
         # CLRG dynamics.
         self._class_grants: Dict[int, int] = {}
         self._halvings_by_output: Dict[int, int] = {}
+
+        # Fault state reconstructed from fault_inject / fault_repair.
+        self._failed_channel_ids: set = set()
+        self._stuck_input_ids: set = set()
+        self._fault_events = 0
+        self._repair_events = 0
+        self._clrg_corruptions = 0
+        self._max_failed_channels = 0
+        # Degradation curve: window cycles / delivered flits bucketed by
+        # the failed-channel count in effect when the window closed.
+        self._cycles_by_failed: Dict[int, int] = {}
+        self._ejected_by_failed: Dict[int, int] = {}
 
         # Per-resource utilization (O(resources)).
         self._res_busy: Dict[int, int] = {}
@@ -495,6 +525,31 @@ class TraceAnalyzer:
                 "idle_cycles": record.get("idle_cycles", 0),
                 "occupancy": record.get("occupancy", 0),
             })
+        elif event == "fault_inject":
+            fault = record.get("fault", -1)
+            target = record.get("target", -1)
+            self._fault_events += 1
+            if fault == FAULT_CHANNEL:
+                self._failed_channel_ids.add(target)
+                if len(self._failed_channel_ids) > self._max_failed_channels:
+                    self._max_failed_channels = len(self._failed_channel_ids)
+            elif fault == FAULT_INPUT:
+                self._stuck_input_ids.add(target)
+            elif fault == FAULT_CLRG:
+                self._clrg_corruptions += 1
+            self._add_anomaly("fault", cycle, {
+                "fault": FAULT_NAMES.get(fault, str(fault)),
+                "target": target,
+                "aux": record.get("aux", 0),
+            })
+        elif event == "fault_repair":
+            fault = record.get("fault", -1)
+            target = record.get("target", -1)
+            self._repair_events += 1
+            if fault == FAULT_CHANNEL:
+                self._failed_channel_ids.discard(target)
+            elif fault == FAULT_INPUT:
+                self._stuck_input_ids.discard(target)
         # p1_grant / via_block contribute to counts_by_kind only.
 
     def _record_gap(self, inp: int, cycle: int) -> None:
@@ -552,11 +607,19 @@ class TraceAnalyzer:
             self._win_ejected / (self.window * self._ports)
             if self._ports else 0.0
         )
+        failed_now = len(self._failed_channel_ids)
+        self._cycles_by_failed[failed_now] = (
+            self._cycles_by_failed.get(failed_now, 0) + self.window
+        )
+        self._ejected_by_failed[failed_now] = (
+            self._ejected_by_failed.get(failed_now, 0) + self._win_ejected
+        )
         epoch = Epoch(
             index=self._epoch_index, start_cycle=start, end_cycle=end,
             grants=grants, ejected_flits=self._win_ejected,
             active_inputs=active, jain=jain, max_min=maxmin,
             mean_class=mean_class, utilization=utilization,
+            failed_channels=failed_now,
         )
         if self._epochs_total % self.epoch_stride == 0:
             self.epochs.append(epoch)
@@ -664,6 +727,23 @@ class TraceAnalyzer:
             anomalies=list(self.anomalies),
             anomalies_total=self._anomalies_total,
             starved_inputs=starved,
+            fault_events=self._fault_events,
+            repair_events=self._repair_events,
+            clrg_corruptions=self._clrg_corruptions,
+            max_failed_channels=self._max_failed_channels,
+            final_failed_channels=sorted(self._failed_channel_ids),
+            final_stuck_inputs=sorted(self._stuck_input_ids),
+            degradation={
+                failed: {
+                    "cycles": cycles,
+                    "ejected_flits": self._ejected_by_failed.get(failed, 0),
+                    "throughput_flits_per_cycle": (
+                        self._ejected_by_failed.get(failed, 0) / cycles
+                        if cycles else 0.0
+                    ),
+                }
+                for failed, cycles in sorted(self._cycles_by_failed.items())
+            },
         )
         return self._finished
 
@@ -736,6 +816,14 @@ class AuditReport:
     anomalies: List[Anomaly]
     anomalies_total: int
     starved_inputs: List[int]
+    # Fault / degradation state (PR 4; zero-valued on fault-free traces).
+    fault_events: int = 0
+    repair_events: int = 0
+    clrg_corruptions: int = 0
+    max_failed_channels: int = 0
+    final_failed_channels: List[int] = field(default_factory=list)
+    final_stuck_inputs: List[int] = field(default_factory=list)
+    degradation: Dict[int, Dict[str, float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived values
@@ -791,6 +879,30 @@ class AuditReport:
     @property
     def total_halvings(self) -> int:
         return sum(self.halvings_by_output.values())
+
+    @property
+    def degraded_throughput_ratio(self) -> Optional[float]:
+        """Throughput with channels down relative to fully healthy.
+
+        Delivered flits per cycle over every epoch with at least one
+        failed channel, divided by the healthy-epoch rate.  ``None``
+        when the trace lacks healthy epochs, degraded epochs, or any
+        healthy throughput to normalise by.
+        """
+        healthy = self.degradation.get(0)
+        if not healthy or not healthy.get("throughput_flits_per_cycle"):
+            return None
+        cycles = sum(
+            entry["cycles"]
+            for failed, entry in self.degradation.items() if failed > 0
+        )
+        if not cycles:
+            return None
+        ejected = sum(
+            entry["ejected_flits"]
+            for failed, entry in self.degradation.items() if failed > 0
+        )
+        return (ejected / cycles) / healthy["throughput_flits_per_cycle"]
 
     def busiest_resources(self) -> List[Dict[str, object]]:
         """Top resources by busy cycles, labelled from the trace meta."""
@@ -895,6 +1007,21 @@ class AuditReport:
                 "dropped": self.anomalies_total - len(self.anomalies),
                 "items": [anomaly.to_dict() for anomaly in self.anomalies],
             },
+            # Additive (not schema-required): fault-free traces report
+            # zeros so baselines recorded before PR 4 still compare.
+            "faults": {
+                "fault_events": self.fault_events,
+                "repair_events": self.repair_events,
+                "clrg_corruptions": self.clrg_corruptions,
+                "max_failed_channels": self.max_failed_channels,
+                "final_failed_channels": list(self.final_failed_channels),
+                "final_stuck_inputs": list(self.final_stuck_inputs),
+                "degraded_throughput_ratio": self.degraded_throughput_ratio,
+                "degradation": {
+                    str(failed): dict(entry)
+                    for failed, entry in sorted(self.degradation.items())
+                },
+            },
         }
 
     def to_stats(self, registry, prefix: str = "audit") -> None:
@@ -934,6 +1061,23 @@ class AuditReport:
         registry.scalar(
             f"{prefix}.anomalies", "anomalies flagged by the audit"
         ).set(self.anomalies_total)
+        if self.fault_events or self.repair_events:
+            registry.scalar(
+                f"{prefix}.faults.injected", "fault injections in the trace"
+            ).set(self.fault_events)
+            registry.scalar(
+                f"{prefix}.faults.repaired", "fault repairs in the trace"
+            ).set(self.repair_events)
+            registry.scalar(
+                f"{prefix}.faults.max_failed_channels",
+                "peak simultaneously failed channels",
+            ).set(self.max_failed_channels)
+            ratio = self.degraded_throughput_ratio
+            if ratio is not None:
+                registry.scalar(
+                    f"{prefix}.faults.degraded_throughput_ratio",
+                    "degraded vs healthy delivered throughput",
+                ).set(ratio)
         if self.per_input_grants:
             registry.vector(
                 f"{prefix}.per_input_grants", len(self.per_input_grants),

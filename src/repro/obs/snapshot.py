@@ -71,6 +71,18 @@ def telemetry_snapshot(switch, max_ports: Optional[int] = None) -> Dict[str, obj
             for output, owner in enumerate(output_owner)
             if owner is not None
         }
+
+    # Live fault state (PR 4): only when faults are actually in play —
+    # failed channels, stuck inputs, or an armed fault schedule — so
+    # healthy runs snapshot exactly as before.
+    if (
+        getattr(switch, "failed_channels", None)
+        or getattr(switch, "stuck_inputs", None)
+        or getattr(switch, "_fault_cursor", None) is not None
+    ):
+        from repro.faults import describe_fault_state
+
+        snapshot["faults"] = describe_fault_state(switch)
     return snapshot
 
 

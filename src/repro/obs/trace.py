@@ -43,6 +43,21 @@ VIA_BLOCK = 5    #: an idle input had head flits but no viable request
 COOL = 6         #: path released (tail transferred); cooling this cycle
 CLRG_HALVE = 7   #: a CLRG class-counter bank halved
 DRAIN_STALL = 8  #: drain loop made no progress for the idle limit
+FAULT_INJECT = 9  #: a scheduled fault was applied to the switch
+FAULT_REPAIR = 10  #: a scheduled fault was repaired (channel/input re-armed)
+
+#: ``fault_inject``/``fault_repair`` fault-class codes (the ``fault``
+#: payload slot): what kind of component the event hit.
+FAULT_CHANNEL = 0  #: an L2LC (TSV bundle) failed or was repaired
+FAULT_INPUT = 1    #: an input port stuck (stopped requesting) / recovered
+FAULT_CLRG = 2     #: a sub-block's CLRG class-counter bank was corrupted
+
+#: Fault-class code -> wire name (used in summaries and reports).
+FAULT_NAMES: Dict[int, str] = {
+    FAULT_CHANNEL: "channel",
+    FAULT_INPUT: "input",
+    FAULT_CLRG: "clrg",
+}
 
 #: Event kind -> wire name used in the JSONL export.
 EVENT_NAMES: Dict[int, str] = {
@@ -55,6 +70,8 @@ EVENT_NAMES: Dict[int, str] = {
     COOL: "cool",
     CLRG_HALVE: "clrg_halve",
     DRAIN_STALL: "drain_stall",
+    FAULT_INJECT: "fault_inject",
+    FAULT_REPAIR: "fault_repair",
 }
 
 #: Event kind -> names of the payload slots ``(a, b, c, d)`` actually
@@ -69,10 +86,16 @@ EVENT_NAMES: Dict[int, str] = {
 #: * ``p2_block``: resource id, input, output it lost.
 #: * ``via_block``: input port, blocked destination, reason code
 #:   (0 = output busy, 1 = output cooling, 2 = resource busy,
-#:   3 = resource cooling).
+#:   3 = resource cooling, 4 = every channel toward the destination
+#:   layer has failed).
 #: * ``cool``: resource id, input, output, cycle the path was granted.
 #: * ``clrg_halve``: output whose bank halved, total halvings so far.
 #: * ``drain_stall``: consecutive idle cycles, flits still inside.
+#: * ``fault_inject``: fault-class code (0 = channel, 1 = input,
+#:   2 = clrg), target (flat resource id of the failed channel / stuck
+#:   input port / corrupted output), aux detail (corrupted counter value
+#:   for clrg faults, 0 otherwise).
+#: * ``fault_repair``: fault-class code, target (same encoding).
 EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     INJECT: ("src", "dst", "num_flits", "packet_id"),
     EJECT: ("src", "dst", "seq", "tail"),
@@ -83,6 +106,8 @@ EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     COOL: ("resource", "input", "output", "granted"),
     CLRG_HALVE: ("output", "halvings"),
     DRAIN_STALL: ("idle_cycles", "occupancy"),
+    FAULT_INJECT: ("fault", "target", "aux"),
+    FAULT_REPAIR: ("fault", "target"),
 }
 
 #: ``via_block`` reason codes.
@@ -90,6 +115,7 @@ REASON_OUTPUT_BUSY = 0
 REASON_OUTPUT_COOLING = 1
 REASON_RESOURCE_BUSY = 2
 REASON_RESOURCE_COOLING = 3
+REASON_CHANNEL_FAILED = 4
 
 _NAME_TO_KIND = {name: kind for kind, name in EVENT_NAMES.items()}
 
@@ -282,6 +308,17 @@ class SwitchTracer:
                     "name": "drain_stall", "cat": "engine", "ph": "i",
                     "ts": cycle, "pid": 1, "tid": 0, "s": "g",
                     "args": {"idle_cycles": a, "occupancy": b},
+                })
+            elif kind == FAULT_INJECT or kind == FAULT_REPAIR:
+                verb = "fault" if kind == FAULT_INJECT else "repair"
+                kind_name = FAULT_NAMES.get(a, str(a))
+                target = (
+                    self.resource_name(b) if a == FAULT_CHANNEL else str(b)
+                )
+                trace_events.append({
+                    "name": f"{verb}:{kind_name} {target}", "cat": "fault",
+                    "ph": "i", "ts": cycle, "pid": 1, "tid": 0, "s": "g",
+                    "args": {"fault": kind_name, "target": b, "aux": c},
                 })
         # Paths still streaming when the trace ended.
         for input_port, (start, resource, output) in open_paths.items():

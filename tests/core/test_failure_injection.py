@@ -30,6 +30,21 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             HiRiseConfig(channel_multiplicity=1, failed_channels=((0, 1, 0),))
 
+    def test_rejects_duplicate_failed_channels(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HiRiseConfig(failed_channels=((0, 3, 0), (1, 2, 3), (0, 3, 0)))
+        # Equal after int coercion counts as a duplicate too.
+        with pytest.raises(ValueError, match="duplicate"):
+            HiRiseConfig(failed_channels=([0, 3, 0], (0, 3, 0)))
+
+    def test_failed_channels_normalised_for_equality_and_hash(self):
+        forward = HiRiseConfig(failed_channels=((0, 3, 0), (1, 2, 3)))
+        reversed_order = HiRiseConfig(failed_channels=[[1, 2, 3], [0, 3, 0]])
+        assert forward.failed_channels == ((0, 3, 0), (1, 2, 3))
+        assert forward == reversed_order
+        assert hash(forward) == hash(reversed_order)
+        assert len({forward, reversed_order}) == 1
+
 
 class TestRerouting:
     def test_healthy_channel_remap(self):

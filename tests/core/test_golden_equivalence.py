@@ -18,6 +18,15 @@ from repro.core.config import (
 )
 from repro.core.hirise import HiRiseSwitch
 from repro.core.reference import ReferenceHiRiseSwitch
+from repro.faults import (
+    FaultSchedule,
+    corrupt_clrg,
+    fail_channel,
+    fail_input,
+    repair_channel,
+    repair_input,
+    verify_parity,
+)
 from repro.network.engine import Simulation
 from repro.traffic import UniformRandomTraffic
 
@@ -25,6 +34,22 @@ FAILED_CHANNEL_CONFIGS = {
     "healthy": frozenset(),
     "failed-channels": frozenset({(0, 1, 0), (2, 3, 1), (3, 0, 0)}),
 }
+
+# A scripted mid-run schedule exercising every event kind, including a
+# full 0->1 partition (both channels down, cycles 90-160).  All faults
+# are repaired before the measurement window ends so the drain phase can
+# finish.
+SCRIPTED_SCHEDULE = FaultSchedule([
+    fail_channel(60, 0, 1, 0),
+    fail_channel(90, 0, 1, 1),
+    corrupt_clrg(100, 5, 2),
+    fail_input(120, 3),
+    repair_channel(160, 0, 1, 0),
+    repair_channel(200, 0, 1, 1),
+    repair_input(220, 3),
+    fail_channel(240, 2, 3, 1),
+    repair_channel(290, 2, 3, 1),
+])
 
 
 def run_once(switch_class, scheme, allocation, failed_channels, load, seed):
@@ -72,6 +97,71 @@ def test_bit_identical_to_seed_kernel(scheme, allocation, failed_channels):
         load=0.9, seed=11,
     )
     assert_identical(reference, fast)
+
+
+def run_once_faulted(switch_class, scheme, allocation, schedule, load, seed):
+    config = HiRiseConfig(
+        radix=16,
+        layers=4,
+        channel_multiplicity=2,
+        arbitration=scheme,
+        allocation=allocation,
+    )
+    switch = switch_class(config, faults=schedule)
+    traffic = UniformRandomTraffic(16, load=load, seed=seed)
+    simulation = Simulation(switch, traffic, warmup_cycles=40)
+    return simulation.run(measure_cycles=300, drain=True)
+
+
+@pytest.mark.parametrize("scheme", list(ArbitrationScheme), ids=lambda s: s.value)
+def test_bit_identical_under_scripted_faults(scheme):
+    reference = run_once_faulted(
+        ReferenceHiRiseSwitch, scheme, AllocationPolicy.INPUT_BINNED,
+        SCRIPTED_SCHEDULE, load=0.9, seed=11,
+    )
+    fast = run_once_faulted(
+        HiRiseSwitch, scheme, AllocationPolicy.INPUT_BINNED,
+        SCRIPTED_SCHEDULE, load=0.9, seed=11,
+    )
+    assert_identical(reference, fast)
+
+
+@pytest.mark.parametrize(
+    "allocation", list(AllocationPolicy), ids=lambda a: a.value
+)
+def test_trace_streams_identical_under_scripted_faults(allocation):
+    # verify_parity compares the full result *and* the complete traced
+    # event streams of both kernels, so a single divergent arbitration
+    # decision anywhere in the run fails loudly.
+    config = HiRiseConfig(
+        radix=16, layers=4, channel_multiplicity=2,
+        arbitration=ArbitrationScheme.CLRG, allocation=allocation,
+    )
+    assert verify_parity(config, SCRIPTED_SCHEDULE, load=0.9, seed=11) == []
+
+
+def test_parity_under_random_schedule():
+    config = HiRiseConfig(radix=16, layers=4, channel_multiplicity=2)
+    schedule = FaultSchedule.random(
+        config, seed=7, horizon=340, faults=6,
+        include_inputs=True, include_clrg=True,
+    )
+    assert len(schedule) > 0
+    assert verify_parity(config, schedule, load=0.9, seed=11) == []
+
+
+def test_empty_schedule_bit_identical_to_no_schedule():
+    # Arming the fault hook with nothing to deliver must not perturb a
+    # single arbitration decision.
+    plain = run_once(
+        HiRiseSwitch, ArbitrationScheme.CLRG,
+        AllocationPolicy.INPUT_BINNED, frozenset(), load=0.9, seed=11,
+    )
+    armed = run_once_faulted(
+        HiRiseSwitch, ArbitrationScheme.CLRG,
+        AllocationPolicy.INPUT_BINNED, FaultSchedule(), load=0.9, seed=11,
+    )
+    assert_identical(plain, armed)
 
 
 @pytest.mark.parametrize("load", [0.2, 1.0])

@@ -5,9 +5,20 @@ The CI container may expose a single CPU, so these tests assert
 rather than wall-clock speedup.
 """
 
+import json
+import os
+import time
+
 import pytest
 
 from repro.harness import parallel
+from repro.harness.parallel import (
+    CHECKPOINT_FORMAT,
+    CheckpointMismatch,
+    ResiliencePolicy,
+    SweepCheckpoint,
+    TaskFailure,
+)
 from repro.harness.sweep import parameter_grid, run_sweep
 from repro.metrics.confidence import replicate
 from repro.network.engine import Simulation
@@ -26,6 +37,48 @@ def throughput_measurement(seed, radix=8, load=0.6):
 def seed_polynomial(seed):
     """Cheap deterministic stand-in experiment."""
     return seed * seed + 0.5 * seed + 1.0
+
+
+def crash_once_measurement(seed, token=None):
+    """Kill the whole worker process the first time a seed runs.
+
+    A token file marks "this seed already crashed once", so the retry
+    succeeds — modelling a transient worker crash (OOM kill, segfault).
+    """
+    marker = f"{token}.{seed}"
+    if token is not None and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(1)
+    return seed_polynomial(seed)
+
+
+def hang_once_measurement(seed, token=None):
+    """Hang far past any test timeout the first time a seed runs.
+
+    The marker is written *before* sleeping so the retry (in a rebuilt
+    pool) takes the fast path.
+    """
+    marker = f"{token}.{seed}"
+    if token is not None and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        time.sleep(60)
+    return seed_polynomial(seed)
+
+
+def raise_once_measurement(seed, token=None):
+    """Raise (in-process) the first time a seed runs; succeed after."""
+    marker = f"{token}.{seed}"
+    if token is not None and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        raise RuntimeError("transient instrument fault")
+    return seed_polynomial(seed)
+
+
+def always_fail_measurement(seed):
+    raise RuntimeError("instrument fault")
 
 
 class TestParallelSweep:
@@ -101,3 +154,168 @@ class TestParallelReplicate:
     def test_too_few_replications_rejected(self):
         with pytest.raises(ValueError):
             parallel.replicate(seed_polynomial, num_replications=1)
+
+
+class TestResiliencePolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ResiliencePolicy(task_timeout=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            ResiliencePolicy(backoff_base=-0.1)
+
+    def test_resilient_sweep_matches_serial_when_nothing_fails(self):
+        grid = parameter_grid(radix=[4, 8], load=[0.3, 0.9])
+        serial = run_sweep(throughput_measurement, grid, base_seed=3)
+        supervised = run_sweep(
+            throughput_measurement, grid, base_seed=3, workers=2,
+            max_retries=2,
+        )
+        assert [p.value for p in supervised] == [p.value for p in serial]
+        assert [p.parameters for p in supervised] == [
+            p.parameters for p in serial
+        ]
+
+    def test_resilient_serial_path_retries_too(self, tmp_path):
+        # workers=1 exercises the in-process fallback: no preemptible
+        # timeouts, but retries still apply.  (The measurement must
+        # *raise*, not crash — serial runs share the parent process.)
+        token = str(tmp_path / "flaky")
+        grid = [{"token": token}]
+        points = run_sweep(
+            raise_once_measurement, grid, replications=3, base_seed=0,
+            workers=1, max_retries=1, backoff_base=0.0,
+        )
+        expected = replicate(seed_polynomial, num_replications=3, base_seed=0)
+        assert points[0].interval.mean == expected.mean
+        assert all(os.path.exists(f"{token}.{seed}") for seed in range(3))
+
+    def test_worker_crash_is_retried_to_success(self, tmp_path):
+        token = str(tmp_path / "crash")
+        grid = parameter_grid(token=[token])
+        # A pool break fails *every* in-flight future and the scheduler
+        # charges one of them (it cannot tell which task killed the
+        # worker), so an innocent sibling may be charged once per crash
+        # round: with 4 real crashes the budget must cover innocent
+        # charges on top of each task's own crash.
+        points = run_sweep(
+            crash_once_measurement, grid, replications=4, base_seed=0,
+            workers=2, max_retries=4, backoff_base=0.0,
+        )
+        expected = replicate(seed_polynomial, num_replications=4, base_seed=0)
+        assert points[0].interval.mean == expected.mean
+        assert points[0].interval.half_width == expected.half_width
+        # Every seed crashed exactly once before succeeding.
+        assert all(
+            os.path.exists(f"{token}.{seed}") for seed in range(4)
+        )
+
+    def test_hung_task_times_out_and_retries(self, tmp_path):
+        token = str(tmp_path / "hang")
+        grid = parameter_grid(token=[token])
+        start = time.monotonic()
+        points = run_sweep(
+            hang_once_measurement, grid, replications=2, base_seed=0,
+            workers=2, task_timeout=1.0, max_retries=2, backoff_base=0.0,
+        )
+        elapsed = time.monotonic() - start
+        expected = replicate(seed_polynomial, num_replications=2, base_seed=0)
+        assert points[0].interval.mean == expected.mean
+        assert elapsed < 30.0  # far below the 60 s hang
+
+    def test_exhausted_retries_raise_task_failure(self):
+        with pytest.raises(TaskFailure) as excinfo:
+            run_sweep(
+                always_fail_measurement, [{}], workers=2,
+                max_retries=1, backoff_base=0.0,
+            )
+        failure = excinfo.value
+        assert failure.attempts == 2
+        assert "instrument fault" in str(failure)
+        assert isinstance(failure.cause, RuntimeError)
+
+
+class TestCheckpointResume:
+    def test_checkpoint_written_and_resumed(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        grid = parameter_grid(radix=[4, 8])
+        first = run_sweep(
+            throughput_measurement, grid, base_seed=1, workers=2,
+            checkpoint=path,
+        )
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines() if line.strip()
+        ]
+        assert lines[0]["format"] == CHECKPOINT_FORMAT
+        assert lines[0]["tasks"] == 2
+        assert {row["index"] for row in lines[1:]} == {0, 1}
+        # Resuming replays the journal without recomputing: poison the
+        # measurement and the resumed run must still return the journaled
+        # values untouched.
+        resumed = run_sweep(
+            throughput_measurement, grid, base_seed=1, workers=2,
+            checkpoint=path,
+        )
+        assert [p.value for p in resumed] == [p.value for p in first]
+        assert len(path.read_text().splitlines()) == len(lines)
+
+    def test_partial_checkpoint_resumes_remaining_tasks(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        tasks = [(seed_polynomial, {}, seed) for seed in range(4)]
+        journal = SweepCheckpoint(path, tasks)
+        journal.append(0, seed_polynomial(0), 1, 0.0)
+        journal.append(2, seed_polynomial(2), 1, 0.0)
+        journal.close()
+        values = parallel._execute_tasks_resilient(
+            tasks, workers=2, policy=ResiliencePolicy(checkpoint=path),
+        )
+        assert values == [seed_polynomial(seed) for seed in range(4)]
+        reloaded = SweepCheckpoint(path, tasks)
+        assert set(reloaded.completed) == {0, 1, 2, 3}
+        reloaded.close()
+
+    def test_mismatched_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "stale.jsonl"
+        run_sweep(
+            seed_polynomial, [{}], base_seed=0, checkpoint=path,
+        )
+        with pytest.raises(CheckpointMismatch, match="different"):
+            run_sweep(
+                seed_polynomial, [{}, {}], base_seed=0, checkpoint=path,
+            )
+        with pytest.raises(CheckpointMismatch, match="different"):
+            run_sweep(
+                seed_polynomial, [{}], base_seed=9, checkpoint=path,
+            )
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "alien.jsonl"
+        path.write_text(json.dumps({"format": "other/v1"}) + "\n")
+        with pytest.raises(CheckpointMismatch, match="not a"):
+            run_sweep(seed_polynomial, [{}], checkpoint=path)
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        tasks = [(seed_polynomial, {}, seed) for seed in range(3)]
+        journal = SweepCheckpoint(path, tasks)
+        journal.append(0, seed_polynomial(0), 1, 0.0)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 1, "val')  # crashed mid-write
+        values = parallel._execute_tasks_resilient(
+            tasks, workers=1, policy=ResiliencePolicy(checkpoint=path),
+        )
+        assert values == [seed_polynomial(seed) for seed in range(3)]
+
+    def test_replicate_supports_resilience_keywords(self, tmp_path):
+        path = tmp_path / "replicate.jsonl"
+        supervised = parallel.replicate(
+            seed_polynomial, num_replications=4, base_seed=2,
+            workers=2, max_retries=1, checkpoint=path,
+        )
+        plain = replicate(seed_polynomial, num_replications=4, base_seed=2)
+        assert supervised.mean == plain.mean
+        assert supervised.half_width == plain.half_width
+        assert path.exists()

@@ -387,3 +387,81 @@ class TestOptions:
     def test_compare_rejects_negative_tolerances(self):
         with pytest.raises(ValueError):
             compare_audits({}, {}, rel_tol=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# Fault-event tracking and degradation accounting (PR 4)
+# ---------------------------------------------------------------------------
+class TestFaultTracking:
+    @pytest.fixture(scope="class")
+    def faulted_audit(self):
+        from repro.faults import (
+            FaultSchedule, corrupt_clrg, fail_channel, fail_input,
+            repair_channel,
+        )
+        from repro.traffic import UniformRandomTraffic
+
+        schedule = FaultSchedule([
+            fail_channel(100, 0, 1, 0),
+            corrupt_clrg(150, 3, 2),
+            fail_input(200, 5),
+            repair_channel(400, 0, 1, 0),
+        ])
+        tracer = SwitchTracer(capacity=None)
+        switch = HiRiseSwitch(
+            small_config(), tracer=tracer, faults=schedule
+        )
+        traffic = UniformRandomTraffic(16, load=0.8, seed=4)
+        Simulation(switch, traffic, warmup_cycles=0).run(800)
+        return analyze_tracer(tracer, window=100)
+
+    def test_fault_counters_and_final_state(self, faulted_audit):
+        assert faulted_audit.fault_events == 3
+        assert faulted_audit.repair_events == 1
+        assert faulted_audit.clrg_corruptions == 1
+        assert faulted_audit.max_failed_channels == 1
+        assert faulted_audit.final_failed_channels == []
+        assert len(faulted_audit.final_stuck_inputs) == 1
+
+    def test_degradation_buckets_partition_the_run(self, faulted_audit):
+        degradation = faulted_audit.degradation
+        assert set(degradation) == {0, 1}
+        assert sum(b["cycles"] for b in degradation.values()) == 800
+        assert degradation[1]["cycles"] == 300
+        for bucket in degradation.values():
+            assert bucket["throughput_flits_per_cycle"] == pytest.approx(
+                bucket["ejected_flits"] / bucket["cycles"]
+            )
+
+    def test_degraded_throughput_ratio_defined_and_sane(self, faulted_audit):
+        ratio = faulted_audit.degraded_throughput_ratio
+        assert ratio is not None
+        assert 0.0 < ratio < 1.5
+
+    def test_fault_anomalies_recorded(self, faulted_audit):
+        kinds = [anomaly.kind for anomaly in faulted_audit.anomalies]
+        assert kinds.count("fault") >= 3
+
+    def test_summary_faults_section_is_additive_and_valid(self, faulted_audit):
+        summary = validate_audit_summary(faulted_audit.summary())
+        faults = summary["faults"]
+        assert faults["fault_events"] == 3
+        assert faults["max_failed_channels"] == 1
+        assert set(faults["degradation"]) == {"0", "1"}
+        # A fault-free audit still validates (the section is additive,
+        # not schema-required) and reports zeros.
+        clean = analyze_records(synthetic_records([]))
+        clean_summary = validate_audit_summary(clean.summary())
+        assert clean_summary["faults"]["fault_events"] == 0
+
+    def test_to_stats_exports_fault_scalars_only_when_faulted(
+        self, faulted_audit
+    ):
+        registry = StatsRegistry()
+        faulted_audit.to_stats(registry)
+        assert "audit.faults.injected" in registry.names()
+        clean_registry = StatsRegistry()
+        analyze_records(synthetic_records([])).to_stats(clean_registry)
+        assert not any(
+            name.startswith("audit.faults") for name in clean_registry.names()
+        )
