@@ -22,7 +22,10 @@ kernel carries only one ``tracer is None`` branch per cycle) and tracing
 **on** (a ``SwitchTracer`` recording every event).  ``--check``
 additionally gates the tracing-off normalised score at <2% below the
 committed PR 1 fast-path baseline, so tracing support can never tax
-untraced runs.
+untraced runs.  The runtime invariant checker (``repro.check``) is
+measured the same way: invariants-off is the headline benchmark itself
+(covered by the same gate), and the invariants-on overhead is reported
+alongside the tracing numbers.
 
 Usage:
     python scripts/bench_kernel.py                  # full run, write JSON
@@ -254,6 +257,39 @@ def run_benchmarks(cycles: int, trials: int, include_reference: bool) -> dict:
         "off_vs_pr1_baseline": off_normalized / PR1_COMMIT_NORMALIZED,
     }
 
+    # Runtime invariant checking (repro.check) on the headline config.
+    # Checking-off is, like tracing-off, the headline benchmark itself
+    # (an unchecked switch carries only one ``invariants is None`` branch
+    # per cycle) and is covered by the same 2% gate above; checking-on
+    # re-runs the kernel with a full InvariantChecker verifying every
+    # cycle, which is expected to be expensive — it is a debugging and
+    # fuzzing mode, not a production path.
+    from repro.check.invariants import InvariantChecker
+
+    def checked_factory():
+        return HiRiseSwitch(
+            HiRiseConfig(radix=RADIX, layers=LAYERS, channel_multiplicity=4),
+            invariants=InvariantChecker(),
+        )
+
+    print("  hirise_64x4_c4 (invariants on) ...", end="", flush=True)
+    checked_rate, checked_normalized = bench_normalized(
+        checked_factory, cycles, tracing_trials
+    )
+    print(f" {checked_rate:.0f} cycles/s")
+    report["invariants"] = {
+        "on_cycles_per_sec": round(checked_rate, 1),
+        "on_normalized": checked_normalized,
+        "on_overhead_frac": round(
+            1.0 - checked_normalized / off_normalized, 4
+        ),
+        "note": (
+            "invariants-off is the headline benchmark and is gated by "
+            "the tracing-off control-drift budget; invariants-on is a "
+            "fuzzing/debug mode and is reported, not gated"
+        ),
+    }
+
     if include_reference:
         print("  reference kernel (hirise_64x4_c4) ...", end="", flush=True)
         reference_rate = bench_switch(
@@ -335,6 +371,17 @@ def check_regression(report: dict, committed_path: Path) -> int:
                 f"below the PR 1 fast-path baseline in every view "
                 f"({detail})"
             )
+    invariants = report.get("invariants")
+    if invariants is not None:
+        # Informational: the checked kernel is a fuzzing/debug mode.
+        # The zero-cost-when-disabled contract is what the gate above
+        # enforces (the unchecked kernel IS the headline benchmark).
+        print(
+            f"  invariants-on overhead "
+            f"{invariants['on_overhead_frac']:.1%} "
+            f"({invariants['on_cycles_per_sec']:.0f} cycles/s; "
+            f"reported, not gated)"
+        )
     if failures:
         print("perf check FAILED:")
         for failure in failures:

@@ -465,6 +465,51 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.check import replay_repro, run_fuzz
+
+    if args.replay:
+        failures = 0
+        for path in args.replay:
+            try:
+                result = replay_repro(path, invariants=not args.no_invariants)
+            except (OSError, ValueError) as error:
+                print(f"check: {error}", file=sys.stderr)
+                return 2
+            verdict = "reproduced" if result.matches else "DIVERGED"
+            print(f"{path}: recorded {result.expected_status!r}, "
+                  f"replayed {result.outcome.status!r} -> {verdict}")
+            if result.outcome.detail and not result.matches:
+                print(f"  {result.outcome.detail}", file=sys.stderr)
+            if not result.matches:
+                failures += 1
+        return 1 if failures else 0
+
+    if not args.fuzz:
+        print("check: give --fuzz or --replay FILE", file=sys.stderr)
+        return 2
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        max_radix=args.max_radix,
+        out_dir=args.out_dir,
+        invariants=not args.no_invariants,
+        minimize=not args.no_minimize,
+        log=print if args.verbose else None,
+    )
+    print(f"fuzz seed {report.seed}: {report.cases_run} cases, "
+          f"{report.ok} ok, {len(report.failures)} failing")
+    for failure in report.failures:
+        print(f"  {failure.original.case_id}: {failure.outcome.status} "
+              f"({failure.outcome.detail})", file=sys.stderr)
+        if failure.shrink_history:
+            print(f"    shrunk in {len(failure.shrink_history)} steps to "
+                  f"{failure.minimized.case_id}", file=sys.stderr)
+        if failure.repro_path:
+            print(f"    repro: {failure.repro_path}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
 def cmd_stats(args) -> int:
     import json
 
@@ -590,6 +635,33 @@ def build_parser() -> argparse.ArgumentParser:
                                        "JSON here")
     faults.add_argument("--markdown", help="write the markdown report here")
     faults.set_defaults(handler=cmd_faults)
+
+    check = commands.add_parser(
+        "check",
+        help="differential fuzzing with runtime invariants "
+             "(repro.check); replay repro files",
+    )
+    check.add_argument("--fuzz", action="store_true",
+                       help="run a seeded fuzz campaign (fast vs "
+                            "reference, invariants on)")
+    check.add_argument("--seed", type=int, default=0,
+                       help="fuzz campaign seed (same seed, same cases)")
+    check.add_argument("--cases", type=int, default=20,
+                       help="number of generated cases")
+    check.add_argument("--max-radix", type=int, default=16,
+                       help="largest generated switch radix")
+    check.add_argument("--out-dir", default=None,
+                       help="write repro JSON files for failures here")
+    check.add_argument("--replay", nargs="+", metavar="FILE", default=None,
+                       help="re-run repro.check/v1 files; exit 1 if any "
+                            "no longer reproduces its recorded outcome")
+    check.add_argument("--no-minimize", action="store_true",
+                       help="skip shrinking failing cases")
+    check.add_argument("--no-invariants", action="store_true",
+                       help="differential-only runs (no per-cycle checks)")
+    check.add_argument("--verbose", action="store_true",
+                       help="log every case as it runs")
+    check.set_defaults(handler=cmd_check)
 
     stats = commands.add_parser(
         "stats", help="probed run dumping the statistics registry"

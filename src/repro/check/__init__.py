@@ -1,0 +1,64 @@
+"""Correctness tooling: runtime invariants, differential fuzzing, repro.
+
+Three cooperating parts (ARCHITECTURE §11):
+
+* :mod:`repro.check.invariants` — an opt-in per-cycle
+  :class:`InvariantChecker` hook (``invariants=`` on both kernels)
+  asserting flit conservation, path coherence, grant legality, L2LC
+  occupancy, CLRG counter sanity, and LRG total order; failures raise a
+  structured :class:`InvariantViolation` (drain stalls surface as its
+  :class:`DrainStallError` subclass).
+* :mod:`repro.check.fuzz` — seeded differential fuzzing of random
+  configs × traffic mixes × fault schedules, fast vs reference with
+  invariants on, classified via :func:`repro.faults.verify_parity`.
+* :mod:`repro.check.minimize` / :mod:`repro.check.reprofile` — greedy
+  case shrinking and replayable ``repro.check/v1`` JSON repro files
+  (``repro check --replay``).
+"""
+
+from repro.check.fuzz import (
+    CaseOutcome,
+    CaseSpec,
+    FuzzFailure,
+    FuzzReport,
+    generate_cases,
+    run_case,
+    run_fuzz,
+)
+from repro.check.invariants import (
+    CHECK_CODES,
+    DrainStallError,
+    InvariantChecker,
+    InvariantViolation,
+)
+from repro.check.minimize import case_size, minimize_case
+from repro.check.reprofile import (
+    REPRO_FORMAT,
+    ReplayResult,
+    load_repro,
+    replay_repro,
+    repro_payload,
+    save_repro,
+)
+
+__all__ = [
+    "CHECK_CODES",
+    "CaseOutcome",
+    "CaseSpec",
+    "DrainStallError",
+    "FuzzFailure",
+    "FuzzReport",
+    "InvariantChecker",
+    "InvariantViolation",
+    "REPRO_FORMAT",
+    "ReplayResult",
+    "case_size",
+    "generate_cases",
+    "load_repro",
+    "minimize_case",
+    "replay_repro",
+    "repro_payload",
+    "run_case",
+    "run_fuzz",
+    "save_repro",
+]

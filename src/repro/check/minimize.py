@@ -1,0 +1,165 @@
+"""Greedy shrinking of failing fuzz cases.
+
+:func:`minimize_case` repeatedly proposes smaller variants of a failing
+:class:`~repro.check.fuzz.CaseSpec` — dropping individual fault events,
+bisecting the cycle counts, disabling drain, and shrinking the geometry
+(ports per layer, layer count, channel multiplicity, class count) — and
+keeps a variant whenever the caller-supplied ``still_fails`` predicate
+confirms the failure reproduces on it.  The loop restarts after every
+accepted shrink and stops at a fixpoint (or the attempt budget), so the
+result is locally minimal: no single remaining transformation keeps the
+failure alive.
+
+The predicate sees candidates that may be *invalid* (e.g. a fault event
+referencing a port shrunk out of existence is filtered proactively, but
+a traffic/config combination can still reject); any exception from the
+predicate counts as "does not reproduce" and the candidate is discarded.
+"""
+
+import dataclasses
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.check.fuzz import CaseSpec
+
+__all__ = ["case_size", "minimize_case"]
+
+
+def case_size(case: CaseSpec) -> int:
+    """Scalar shrink metric: strictly decreases along accepted shrinks."""
+    return (
+        case.radix * (case.warmup_cycles + case.measure_cycles)
+        + 50 * len(case.fault_events)
+        + 10 * case.layers
+        + 10 * case.channel_multiplicity
+        + case.num_classes
+        + (100 if case.drain else 0)
+    )
+
+
+def _events_valid_for(
+    events: List[Dict[str, object]], radix: int, layers: int, channels: int
+) -> List[Dict[str, object]]:
+    """Drop fault events that reference shrunk-away geometry."""
+    kept = []
+    for event in events:
+        channel = event.get("channel")
+        if channel is not None:
+            src, dst, index = channel
+            if src >= layers or dst >= layers or index >= channels:
+                continue
+        port = event.get("port")
+        if port is not None and port >= radix:
+            continue
+        output = event.get("output")
+        if output is not None and output >= radix:
+            continue
+        kept.append(event)
+    return kept
+
+
+def _variants(case: CaseSpec) -> Iterator[Tuple[str, CaseSpec]]:
+    """Candidate shrinks, most-valuable first; each strictly smaller."""
+    replace = dataclasses.replace
+
+    for index in range(len(case.fault_events)):
+        events = (
+            case.fault_events[:index] + case.fault_events[index + 1:]
+        )
+        yield (
+            f"drop fault event {index} "
+            f"({case.fault_events[index].get('kind')})",
+            replace(case, fault_events=events),
+        )
+    if case.measure_cycles > 1:
+        halved = max(case.measure_cycles // 2, 1)
+        yield (
+            f"measure_cycles {case.measure_cycles} -> {halved}",
+            replace(case, measure_cycles=halved),
+        )
+    if case.warmup_cycles > 0:
+        yield (
+            f"warmup_cycles {case.warmup_cycles} -> 0",
+            replace(case, warmup_cycles=0),
+        )
+    if case.drain:
+        yield ("drop drain", replace(case, drain=False))
+
+    ports_per_layer = case.radix // case.layers
+    if ports_per_layer > 2:
+        radix = case.layers * (ports_per_layer // 2)
+        yield (
+            f"radix {case.radix} -> {radix}",
+            replace(
+                case, radix=radix,
+                fault_events=_events_valid_for(
+                    case.fault_events, radix, case.layers,
+                    case.channel_multiplicity,
+                ),
+            ),
+        )
+    if case.layers > 2:
+        radix = 2 * ports_per_layer
+        yield (
+            f"layers {case.layers} -> 2 (radix {radix})",
+            replace(
+                case, layers=2, radix=radix,
+                fault_events=_events_valid_for(
+                    case.fault_events, radix, 2,
+                    case.channel_multiplicity,
+                ),
+            ),
+        )
+    if case.channel_multiplicity > 1:
+        channels = case.channel_multiplicity - 1
+        yield (
+            f"channel_multiplicity {case.channel_multiplicity} -> "
+            f"{channels}",
+            replace(
+                case, channel_multiplicity=channels,
+                fault_events=_events_valid_for(
+                    case.fault_events, case.radix, case.layers, channels
+                ),
+            ),
+        )
+    if case.num_classes > 2:
+        yield (
+            f"num_classes {case.num_classes} -> 2",
+            replace(case, num_classes=2),
+        )
+
+
+def minimize_case(
+    case: CaseSpec,
+    still_fails: Callable[[CaseSpec], bool],
+    max_attempts: int = 200,
+) -> Tuple[CaseSpec, List[str]]:
+    """Shrink ``case`` while ``still_fails`` keeps confirming the failure.
+
+    Returns the locally minimal case (``case_id`` suffixed ``-min`` when
+    anything shrank) and the list of accepted transformations.
+    """
+    current = case
+    history: List[str] = []
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for description, candidate in _variants(current):
+            attempts += 1
+            try:
+                reproduces = still_fails(candidate)
+            except Exception:
+                reproduces = False
+            if reproduces:
+                assert case_size(candidate) < case_size(current)
+                current = candidate
+                history.append(description)
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    if history:
+        current = dataclasses.replace(
+            current, case_id=f"{case.case_id}-min"
+        )
+    return current, history

@@ -185,6 +185,7 @@ class HiRiseSwitch(SwitchModel):
         config: Optional[HiRiseConfig] = None,
         tracer: Optional[object] = None,
         faults: Optional[FaultSchedule] = None,
+        invariants: Optional[object] = None,
     ) -> None:
         self.config = config or HiRiseConfig()
         cfg = self.config
@@ -268,6 +269,14 @@ class HiRiseSwitch(SwitchModel):
                 counters = getattr(arbiter, "counters", None)
                 if counters is not None:
                     counters.on_halve = _halve_hook(tracer, output)
+
+        # Opt-in runtime invariant verification (repro.check): binds
+        # after the tracer so its injection counting wraps whichever
+        # inject the switch ends up with; like tracing, it only
+        # observes — checked runs are bit-identical to unchecked runs.
+        self._invariants = invariants
+        if invariants is not None:
+            invariants.bind(self)
 
     def _build_fast_tables(self) -> None:
         """Precompute the per-port request/viability tables (hot path)."""
@@ -520,6 +529,8 @@ class HiRiseSwitch(SwitchModel):
             paths.clear()
         ejected = self._transmit_and_refill(cycle)
         self._arbitrate(cycle)
+        if self._invariants is not None:
+            self._invariants.after_step(self, cycle, ejected)
         return ejected
 
     def _transmit_and_refill(self, cycle: int) -> List[Flit]:
@@ -1005,6 +1016,8 @@ class HiRiseSwitch(SwitchModel):
                 emit(P2_GRANT, rid, input_port, output, cls)
             else:
                 emit(P2_BLOCK, rid, input_port, win.dst_output)
+        if self._invariants is not None:
+            self._invariants.after_step(self, cycle, ejected)
         return ejected
 
     def _trace_viability(self) -> None:

@@ -118,6 +118,7 @@ class ReferenceHiRiseSwitch(SwitchModel):
         config: Optional[HiRiseConfig] = None,
         tracer: Optional[object] = None,
         faults: Optional[FaultSchedule] = None,
+        invariants: Optional[object] = None,
     ) -> None:
         self.config = config or HiRiseConfig()
         cfg = self.config
@@ -184,6 +185,13 @@ class ReferenceHiRiseSwitch(SwitchModel):
                 counters = getattr(arbiter, "counters", None)
                 if counters is not None:
                     counters.on_halve = _reference_halve_hook(tracer, output)
+
+        # Opt-in runtime invariant verification (repro.check), wired
+        # after the tracer exactly like the fast kernel: the checker
+        # only observes, so checked runs stay bit-identical.
+        self._invariants = invariants
+        if invariants is not None:
+            invariants.bind(self)
 
     def _make_subblock_arbiter(self):
         cfg = self.config
@@ -286,6 +294,8 @@ class ReferenceHiRiseSwitch(SwitchModel):
         for port in self.ports:
             port.refill(cycle)
         self._arbitrate(cycle)
+        if self._invariants is not None:
+            self._invariants.after_step(self, cycle, ejected)
         return ejected
 
     def occupancy(self) -> int:
@@ -618,6 +628,8 @@ class ReferenceHiRiseSwitch(SwitchModel):
             else:
                 emit(P2_BLOCK, rid_of_key[resource], input_port,
                      win.dst_output)
+        if self._invariants is not None:
+            self._invariants.after_step(self, cycle, ejected)
         return ejected
 
     def _trace_viability(self) -> None:

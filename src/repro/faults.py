@@ -687,32 +687,51 @@ def measure_degradation(
 
 
 def _make_switch(config, kernel: str, schedule: Optional[FaultSchedule],
-                 tracer=None):
+                 tracer=None, invariants=None):
     """Instantiate a kernel by name with a fault schedule attached."""
     if kernel == "fast":
         from repro.core.hirise import HiRiseSwitch
 
-        return HiRiseSwitch(config, tracer=tracer, faults=schedule)
+        return HiRiseSwitch(
+            config, tracer=tracer, faults=schedule, invariants=invariants
+        )
     if kernel == "reference":
         from repro.core.reference import ReferenceHiRiseSwitch
 
-        return ReferenceHiRiseSwitch(config, tracer=tracer, faults=schedule)
+        return ReferenceHiRiseSwitch(
+            config, tracer=tracer, faults=schedule, invariants=invariants
+        )
     raise ValueError(f"unknown kernel {kernel!r} (expected fast|reference)")
 
 
 def verify_parity(
     config,
-    schedule: FaultSchedule,
+    schedule: Optional[FaultSchedule] = None,
     load: float = 0.9,
     seed: int = 0,
     measure_cycles: int = 300,
     warmup_cycles: int = 40,
+    traffic_factory=None,
+    invariants: bool = False,
+    drain: bool = False,
 ) -> List[str]:
     """Run both kernels under one schedule; return mismatch descriptions.
 
     Both kernels are traced, so the check covers results *and* the full
     trace event streams (the acceptance bar for golden parity under
     faults).  An empty list means bit-identical.
+
+    Args:
+        schedule: Fault schedule shared by both runs (``None`` = no
+            faults).
+        traffic_factory: ``callable(config) -> TrafficSource`` building
+            a *fresh* source per kernel (sources hold RNG state);
+            defaults to uniform random at ``load``/``seed``.
+        invariants: Attach a fresh
+            :class:`repro.check.invariants.InvariantChecker` to each
+            kernel; a violation propagates to the caller.
+        drain: Run each simulation with ``drain=True`` (a wedged drain
+            raises :class:`repro.check.invariants.DrainStallError`).
     """
     from repro.network.engine import Simulation
     from repro.obs.trace import SwitchTracer
@@ -722,10 +741,20 @@ def verify_parity(
     traces = {}
     for kernel in ("fast", "reference"):
         tracer = SwitchTracer(capacity=None)
-        switch = _make_switch(config, kernel, schedule, tracer)
-        traffic = UniformRandomTraffic(config.radix, load=load, seed=seed)
+        checker = None
+        if invariants:
+            from repro.check.invariants import InvariantChecker
+
+            checker = InvariantChecker()
+        switch = _make_switch(config, kernel, schedule, tracer, checker)
+        if traffic_factory is not None:
+            traffic = traffic_factory(config)
+        else:
+            traffic = UniformRandomTraffic(config.radix, load=load, seed=seed)
         simulation = Simulation(switch, traffic, warmup_cycles=warmup_cycles)
-        results[kernel] = simulation.run(measure_cycles=measure_cycles)
+        results[kernel] = simulation.run(
+            measure_cycles=measure_cycles, drain=drain
+        )
         traces[kernel] = tracer.events
     fast, reference = results["fast"], results["reference"]
     mismatches: List[str] = []

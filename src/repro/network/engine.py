@@ -293,14 +293,27 @@ class Simulation:
             idle_cycles = 0
             while self.switch.occupancy() > 0:
                 if idle_cycles >= DRAIN_IDLE_LIMIT:
-                    raise RuntimeError(self._drain_stall_message(idle_cycles))
+                    # DrainStallError subclasses RuntimeError, so
+                    # existing except/raises sites keep working, while
+                    # repro check classifies the stall as a structured
+                    # violation instead of crashing the fuzz loop.
+                    from repro.check.invariants import DrainStallError
+
+                    message, snapshot = self._drain_stall_message(idle_cycles)
+                    raise DrainStallError(
+                        message,
+                        cycle=self._cycle,
+                        idle_cycles=idle_cycles,
+                        occupancy=self.switch.occupancy(),
+                        snapshot=snapshot,
+                    )
                 before = self.switch.occupancy()
                 self._tick(result, measuring=True, inject=False)
                 idle_cycles = idle_cycles + 1 if self.switch.occupancy() == before else 0
         return result
 
-    def _drain_stall_message(self, idle_cycles: int) -> str:
-        """Telemetry snapshot for the drain-stall error.
+    def _drain_stall_message(self, idle_cycles: int):
+        """Telemetry message + snapshot for the drain-stall error.
 
         Embeds the machine-readable :func:`repro.obs.telemetry_snapshot`
         (per-port occupancy, busy resources with owner and last-grant
@@ -322,11 +335,12 @@ class Simulation:
         if tracer is not None:
             tracer.emit(DRAIN_STALL, idle_cycles, occupancy)
         snapshot = telemetry_snapshot(switch, max_ports=8)
-        return (
+        message = (
             f"drain made no progress for {idle_cycles} consecutive cycles "
             f"at cycle {self._cycle}: {occupancy} flits still "
             f"inside the switch; telemetry: {render_snapshot(snapshot)}"
         )
+        return message, snapshot
 
     def _tick(self, result: SimulationResult, measuring: bool, inject: bool) -> None:
         cycle = self._cycle

@@ -83,6 +83,12 @@ def telemetry_snapshot(switch, max_ports: Optional[int] = None) -> Dict[str, obj
         from repro.faults import describe_fault_state
 
         snapshot["faults"] = describe_fault_state(switch)
+
+    # Conservation ledger (PR 5): only when an invariant checker is
+    # bound, so unchecked runs snapshot exactly as before.
+    checker = getattr(switch, "_invariants", None)
+    if checker is not None and hasattr(checker, "summary"):
+        snapshot["invariants"] = checker.summary()
     return snapshot
 
 

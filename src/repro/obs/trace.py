@@ -45,6 +45,7 @@ CLRG_HALVE = 7   #: a CLRG class-counter bank halved
 DRAIN_STALL = 8  #: drain loop made no progress for the idle limit
 FAULT_INJECT = 9  #: a scheduled fault was applied to the switch
 FAULT_REPAIR = 10  #: a scheduled fault was repaired (channel/input re-armed)
+INVARIANT = 11   #: a runtime invariant check failed (raised right after)
 
 #: ``fault_inject``/``fault_repair`` fault-class codes (the ``fault``
 #: payload slot): what kind of component the event hit.
@@ -72,6 +73,7 @@ EVENT_NAMES: Dict[int, str] = {
     DRAIN_STALL: "drain_stall",
     FAULT_INJECT: "fault_inject",
     FAULT_REPAIR: "fault_repair",
+    INVARIANT: "invariant",
 }
 
 #: Event kind -> names of the payload slots ``(a, b, c, d)`` actually
@@ -96,6 +98,10 @@ EVENT_NAMES: Dict[int, str] = {
 #:   input port / corrupted output), aux detail (corrupted counter value
 #:   for clrg faults, 0 otherwise).
 #: * ``fault_repair``: fault-class code, target (same encoding).
+#: * ``invariant``: check code (see
+#:   :data:`repro.check.invariants.CHECK_CODES`), first implicated flat
+#:   resource/port id (-1 if none), aux detail.  Emitted at most once
+#:   per run, immediately before the checker raises.
 EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     INJECT: ("src", "dst", "num_flits", "packet_id"),
     EJECT: ("src", "dst", "seq", "tail"),
@@ -108,6 +114,7 @@ EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     DRAIN_STALL: ("idle_cycles", "occupancy"),
     FAULT_INJECT: ("fault", "target", "aux"),
     FAULT_REPAIR: ("fault", "target"),
+    INVARIANT: ("check", "resource", "aux"),
 }
 
 #: ``via_block`` reason codes.

@@ -1,0 +1,111 @@
+"""Determinism and well-formedness of the differential fuzzer."""
+
+import json
+
+import pytest
+
+from repro.check import CaseSpec, generate_cases, run_case
+from repro.check.fuzz import ALLOCATIONS, ARBITRATIONS, TRAFFIC_KINDS
+
+
+class TestGenerateCases:
+    def test_same_seed_yields_identical_case_list(self):
+        first = generate_cases(seed=5, count=12)
+        second = generate_cases(seed=5, count=12)
+        assert [c.to_dict() for c in first] == [c.to_dict() for c in second]
+
+    def test_different_seeds_differ(self):
+        first = [c.to_dict() for c in generate_cases(seed=1, count=12)]
+        second = [c.to_dict() for c in generate_cases(seed=2, count=12)]
+        assert first != second
+
+    def test_case_ids_encode_seed_and_index(self):
+        cases = generate_cases(seed=9, count=3)
+        assert [c.case_id for c in cases] == [
+            "fuzz-9-000", "fuzz-9-001", "fuzz-9-002"
+        ]
+
+    def test_generated_cases_respect_constraints(self):
+        for case in generate_cases(seed=3, count=60, max_radix=16):
+            assert case.radix <= 16
+            assert case.radix % case.layers == 0
+            assert case.channel_multiplicity <= case.radix // case.layers
+            assert case.allocation in ALLOCATIONS
+            assert case.arbitration in ARBITRATIONS
+            assert case.traffic in TRAFFIC_KINDS
+            assert 0.0 < case.load < 1.0
+            # Drain cases never carry faults: an unrepaired stuck input
+            # or partition legitimately never drains.
+            if case.drain:
+                assert not case.fault_events
+            # Geometry must actually build.
+            config = case.build_config()
+            traffic = case.build_traffic(config)
+            assert traffic is not None
+
+    def test_max_radix_is_honoured(self):
+        for case in generate_cases(seed=4, count=40, max_radix=8):
+            assert case.radix <= 8
+
+
+class TestCaseSpecRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        for case in generate_cases(seed=7, count=20):
+            wire = json.dumps(case.to_dict())
+            back = CaseSpec.from_dict(json.loads(wire))
+            assert back == case
+
+    def test_from_dict_rejects_unknown_fields(self):
+        record = generate_cases(seed=7, count=1)[0].to_dict()
+        record["surprise"] = True
+        with pytest.raises(ValueError, match="unknown CaseSpec field"):
+            CaseSpec.from_dict(record)
+
+
+class TestRunCase:
+    def test_small_clean_case_is_ok(self):
+        case = CaseSpec(
+            case_id="unit-small",
+            radix=8,
+            layers=2,
+            channel_multiplicity=2,
+            allocation="input_binned",
+            arbitration="l2l_lrg",
+            num_classes=4,
+            traffic="uniform",
+            load=0.5,
+            traffic_seed=3,
+            warmup_cycles=5,
+            measure_cycles=40,
+        )
+        outcome = run_case(case)
+        assert outcome.status == "ok"
+        assert outcome.mismatches == []
+        assert outcome.violation is None
+
+    def test_every_traffic_kind_runs(self):
+        params = {
+            "uniform": {},
+            "hotspot": {"background_load": 0.05},
+            "bursty": {"burst_length": 6},
+            "adversarial": {"demands": "interlayer"},
+            "permutation": {"pattern": "transpose"},
+        }
+        for kind in TRAFFIC_KINDS:
+            case = CaseSpec(
+                case_id=f"unit-{kind}",
+                radix=8,
+                layers=2,
+                channel_multiplicity=2,
+                allocation="output_binned",
+                arbitration="clrg",
+                num_classes=3,
+                traffic=kind,
+                load=0.4,
+                traffic_seed=1,
+                traffic_params=params[kind],
+                warmup_cycles=5,
+                measure_cycles=30,
+            )
+            outcome = run_case(case)
+            assert outcome.status == "ok", (kind, outcome.detail)

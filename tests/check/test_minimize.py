@@ -1,0 +1,141 @@
+"""Greedy case minimization on synthetic failure predicates."""
+
+from repro.check import case_size, generate_cases, minimize_case
+from repro.check.fuzz import CaseSpec
+from repro.faults import fail_channel, fail_input
+
+
+def big_case(**overrides):
+    fields = dict(
+        case_id="synthetic-big",
+        radix=16,
+        layers=4,
+        channel_multiplicity=2,
+        allocation="input_binned",
+        arbitration="clrg",
+        num_classes=4,
+        traffic="uniform",
+        load=0.6,
+        traffic_seed=2,
+        warmup_cycles=40,
+        measure_cycles=200,
+        drain=True,
+        fault_events=[
+            fail_channel(10, 0, 3, 1).to_dict(),
+            fail_channel(20, 2, 1, 0).to_dict(),
+            fail_input(30, 5).to_dict(),
+        ],
+    )
+    fields.update(overrides)
+    return CaseSpec(**fields)
+
+
+class TestMinimizeCase:
+    def test_always_failing_case_shrinks_hard(self):
+        original = big_case()
+        minimized, history = minimize_case(original, lambda case: True)
+        assert case_size(minimized) < case_size(original)
+        assert minimized.case_id == "synthetic-big-min"
+        assert history  # every accepted shrink is narrated
+        # Everything shrinkable went: the predicate accepts anything.
+        assert minimized.fault_events == []
+        assert minimized.measure_cycles == 1
+        assert minimized.warmup_cycles == 0
+        assert minimized.drain is False
+        assert minimized.layers == 2
+        assert minimized.channel_multiplicity == 1
+        assert minimized.num_classes == 2
+
+    def test_unshrinkable_case_is_returned_unchanged(self):
+        original = big_case()
+        minimized, history = minimize_case(original, lambda case: False)
+        assert minimized == original
+        assert minimized.case_id == "synthetic-big"  # no -min suffix
+        assert history == []
+
+    def test_predicate_guarded_shrink_keeps_needed_parts(self):
+        original = big_case()
+
+        def needs_fault_and_cycles(case):
+            return len(case.fault_events) >= 1 and case.measure_cycles >= 50
+
+        minimized, _ = minimize_case(original, needs_fault_and_cycles)
+        assert needs_fault_and_cycles(minimized)
+        assert case_size(minimized) < case_size(original)
+        assert len(minimized.fault_events) == 1
+
+    def test_geometry_shrink_filters_stale_fault_events(self):
+        from repro.check.minimize import _events_valid_for
+
+        events = [
+            fail_channel(10, 0, 3, 1).to_dict(),  # dst layer 3
+            fail_channel(20, 1, 0, 1).to_dict(),  # channel index 1
+            fail_channel(25, 1, 0, 0).to_dict(),  # survives everything
+            fail_input(30, 5).to_dict(),          # port 5
+        ]
+        kept = _events_valid_for(events, radix=8, layers=2, channels=1)
+        assert kept == [events[2], events[3]]
+        kept = _events_valid_for(events, radix=4, layers=2, channels=1)
+        assert kept == [events[2]]  # port 5 shrunk out of existence
+
+    def test_shrinks_never_leave_stale_fault_events(self):
+        # Pin the port-5 fault; every accepted geometry shrink must keep
+        # its surviving events inside the shrunken geometry, and the
+        # radix can never drop below 6 (that would filter port 5 and
+        # flip the predicate).
+        original = big_case(drain=False)
+
+        def still_fails(case):
+            return any(
+                event.get("port") == 5 for event in case.fault_events
+            )
+
+        minimized, history = minimize_case(original, still_fails)
+        assert history
+        assert minimized.radix > 5
+        assert [e.get("port") for e in minimized.fault_events] == [5]
+        for event in minimized.fault_events:
+            channel = event.get("channel")
+            if channel is not None:
+                src, dst, index = channel
+                assert src < minimized.layers
+                assert dst < minimized.layers
+                assert index < minimized.channel_multiplicity
+
+    def test_predicate_exception_counts_as_not_reproducing(self):
+        original = big_case()
+
+        def brittle(case):
+            if case.measure_cycles < 200:
+                raise RuntimeError("cannot even build this case")
+            return True
+
+        minimized, _ = minimize_case(original, brittle)
+        # Cycle shrinks all blow up, but other axes still make progress.
+        assert minimized.measure_cycles == 200
+        assert case_size(minimized) < case_size(original)
+
+    def test_size_metric_orders_obvious_pairs(self):
+        small = big_case(
+            radix=8, layers=2, measure_cycles=50, fault_events=[],
+            drain=False,
+        )
+        assert case_size(small) < case_size(big_case())
+
+
+class TestMinimizeRealFailure:
+    def test_minimized_case_still_distinguishes_statuses(self):
+        # Use a real run_case predicate pinned to "ok" — the minimizer
+        # then shrinks while preserving the (passing) classification,
+        # exactly how run_fuzz preserves a failing one.
+        from repro.check import run_case
+
+        original = generate_cases(seed=11, count=1, max_radix=8)[0]
+        baseline = run_case(original).status
+
+        minimized, _ = minimize_case(
+            original, lambda case: run_case(case).status == baseline,
+            max_attempts=40,
+        )
+        assert run_case(minimized).status == baseline
+        assert case_size(minimized) <= case_size(original)
