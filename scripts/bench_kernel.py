@@ -27,9 +27,16 @@ measured the same way: invariants-off is the headline benchmark itself
 (covered by the same gate), and the invariants-on overhead is reported
 alongside the tracing numbers.
 
+With ``--fleet`` the batched structure-of-arrays fleet kernel
+(:mod:`repro.core.fleet`) is benchmarked at B=32 lanes against the
+scalar kernel on the same saturation config, writing ``BENCH_fleet.json``;
+``--fleet --check`` gates the aggregate speedup at 5x (the within-run
+ratio of adjacent trials, so the gate is machine-independent).
+
 Usage:
     python scripts/bench_kernel.py                  # full run, write JSON
     python scripts/bench_kernel.py --quick --check  # CI regression gate
+    python scripts/bench_kernel.py --fleet-only     # fleet vs scalar only
 """
 
 import argparse
@@ -48,10 +55,20 @@ from repro.switches import FoldedSwitch3D, SwizzleSwitch2D  # noqa: E402
 from repro.traffic.uniform import UniformRandomTraffic  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
+DEFAULT_FLEET_OUTPUT = REPO_ROOT / "BENCH_fleet.json"
 RADIX = 64
 LAYERS = 4
 TRAFFIC_SEED = 7
 REGRESSION_TOLERANCE = 0.30
+#: Lanes in the fleet benchmark (B switch instances per numpy op).
+FLEET_LANES = 32
+#: Minimum aggregate-cycles/s advantage of the fleet kernel over the
+#: scalar fast kernel at B=32, gated by ``--fleet --check`` in CI.  The
+#: ratio is measured within one run (adjacent trials), so it is
+#: machine-independent in a way absolute cycles/s are not.
+FLEET_SPEEDUP_FLOOR = 5.0
+#: First lane's traffic seed; lane ``i`` uses ``FLEET_SEED + i``.
+FLEET_SEED = 100
 #: Maximum tolerated tracing-off normalised shortfall vs the committed
 #: PR 1 fast-path baseline (the zero-cost-when-disabled contract).
 TRACING_OFF_TOLERANCE = 0.02
@@ -315,6 +332,145 @@ def run_benchmarks(cycles: int, trials: int, include_reference: bool) -> dict:
     return report
 
 
+def stage_fleet_traffic(num_lanes: int, cycles: int):
+    """Per-cycle packed record batches for every lane, built off the clock.
+
+    Mirrors the scalar protocol, where fully-constructed ``Packet``
+    objects are staged before the clock starts: here the per-cycle rows
+    are packed into the kernel's ``inject_packed`` form (sorted queue
+    ids + int32 ring records + per-lane flit totals), so the timed
+    region isolates the batched inject + arbitrate kernel.
+    """
+    import numpy as np
+
+    traffics = [
+        UniformRandomTraffic(RADIX, load=1.0, seed=FLEET_SEED + lane)
+        for lane in range(num_lanes)
+    ]
+    staged = []
+    for cycle in range(cycles):
+        rows = [
+            (lane, p.src, p.dst, p.num_flits, p.packet_id)
+            for lane, traffic in enumerate(traffics)
+            for p in traffic.packets_for_cycle(cycle)
+        ]
+        if not rows:
+            staged.append(None)
+            continue
+        arr = np.array(rows, dtype=np.int64)
+        if (arr[:, 3:].max() >> 31) or (cycle >> 31):
+            raise OverflowError("fleet ring records are 32-bit")
+        gid = arr[:, 0] * RADIX + arr[:, 1]
+        if not (gid[1:] > gid[:-1]).all():
+            raise AssertionError(
+                "uniform traffic must inject at most one packet per "
+                "source queue per cycle, in scan order"
+            )
+        recs = np.empty((gid.size, 4), dtype=np.int32)
+        recs[:, 0] = arr[:, 2]
+        recs[:, 1] = arr[:, 3]
+        recs[:, 2] = cycle
+        recs[:, 3] = arr[:, 4]
+        lane_flits = np.bincount(
+            arr[:, 0], weights=arr[:, 3], minlength=num_lanes
+        ).astype(np.int64)
+        staged.append((gid, recs, lane_flits))
+    return staged
+
+
+def run_fleet_benchmark(cycles: int, trials: int) -> dict:
+    """Fleet (B=32) vs scalar on the headline saturation config.
+
+    Scalar and fleet trials interleave so transient machine contention
+    hits both sides; the reported speedup is best-fleet over best-scalar
+    in *aggregate* simulated lane-cycles per second.
+    """
+    from repro.core.fleet import FleetKernel
+
+    config = HiRiseConfig(
+        radix=RADIX, layers=LAYERS, channel_multiplicity=4
+    )
+    staged = stage_fleet_traffic(FLEET_LANES, cycles)
+    calibration = calibration_score()
+
+    def scalar_factory():
+        return HiRiseSwitch(config)
+
+    best_scalar = 0.0
+    best_fleet = 0.0
+    for _ in range(trials):
+        best_scalar = max(
+            best_scalar, bench_switch(scalar_factory, cycles, 1)
+        )
+        kernel = FleetKernel(config, FLEET_LANES)
+        inject_packed = kernel.inject_packed
+        step = kernel.step
+        start = time.perf_counter()
+        for cycle in range(cycles):
+            batch = staged[cycle]
+            if batch is not None:
+                inject_packed(*batch)
+            step(cycle)
+        elapsed = time.perf_counter() - start
+        best_fleet = max(best_fleet, FLEET_LANES * cycles / elapsed)
+    speedup = best_fleet / best_scalar
+    return {
+        "cycles": cycles,
+        "trials": trials,
+        "lanes": FLEET_LANES,
+        "calibration_score": calibration,
+        "scalar": {
+            "cycles_per_sec": round(best_scalar, 1),
+            "normalized": best_scalar / calibration,
+        },
+        "fleet": {
+            "aggregate_lane_cycles_per_sec": round(best_fleet, 1),
+            "us_per_fleet_cycle": round(
+                1e6 * FLEET_LANES / best_fleet, 1
+            ),
+            "normalized": best_fleet / calibration,
+        },
+        "speedup": round(speedup, 2),
+        "speedup_floor": FLEET_SPEEDUP_FLOOR,
+        "note": (
+            "speedup = aggregate fleet lane-cycles/s over scalar "
+            "cycles/s, adjacent best-of trials on the 64-port 4-layer "
+            "c=4 saturation benchmark with pre-staged traffic"
+        ),
+    }
+
+
+def check_fleet(report: dict, committed_path: Path) -> int:
+    """Gate the measured fleet speedup at the floor.  0 = pass.
+
+    The within-run speedup ratio is the gate; committed normalised
+    scores are printed for drift visibility but not gated (the 30%
+    kernel gate already covers absolute regressions on the scalar
+    side, and the ratio covers the fleet side).
+    """
+    speedup = report["speedup"]
+    status = "ok" if speedup >= FLEET_SPEEDUP_FLOOR else "REGRESSION"
+    print(
+        f"  fleet speedup at B={report['lanes']}: {speedup:.2f}x "
+        f"(floor {FLEET_SPEEDUP_FLOOR:.1f}x, {status})"
+    )
+    if committed_path.exists():
+        committed = json.loads(committed_path.read_text())
+        print(
+            f"  committed speedup {committed.get('speedup')}x, "
+            f"fleet normalized {report['fleet']['normalized']:.3g} vs "
+            f"committed {committed.get('fleet', {}).get('normalized', 0):.3g}"
+        )
+    if speedup < FLEET_SPEEDUP_FLOOR:
+        print(
+            f"fleet perf check FAILED: {speedup:.2f}x < "
+            f"{FLEET_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        return 1
+    print("fleet perf check passed")
+    return 0
+
+
 def check_regression(report: dict, committed_path: Path) -> int:
     """Compare normalised scores against the committed report. 0 = pass."""
     if not committed_path.exists():
@@ -418,23 +574,80 @@ def main(argv=None) -> int:
         "--output", type=Path, default=DEFAULT_OUTPUT,
         help="where to write (or check against) the JSON report",
     )
+    parser.add_argument(
+        "--fleet", action="store_true",
+        help=f"also benchmark the batched fleet kernel (B={FLEET_LANES}) "
+             f"against the scalar kernel; with --check, gate the "
+             f"speedup at {FLEET_SPEEDUP_FLOOR:.0f}x",
+    )
+    parser.add_argument(
+        "--fleet-only", action="store_true",
+        help="run only the fleet benchmark (implies --fleet)",
+    )
+    parser.add_argument(
+        "--fleet-cycles", type=int, default=400,
+        help="simulated cycles per fleet trial (default 400; the fleet "
+             "side simulates lanes x cycles lane-cycles per trial)",
+    )
+    parser.add_argument(
+        "--fleet-output", type=Path, default=DEFAULT_FLEET_OUTPUT,
+        help="where to write (or check against) the fleet JSON report",
+    )
     args = parser.parse_args(argv)
     if args.cycles < 1:
         parser.error("--cycles must be >= 1")
     if args.trials < 1:
         parser.error("--trials must be >= 1")
+    if args.fleet_cycles < 1:
+        parser.error("--fleet-cycles must be >= 1")
     cycles = 1500 if args.quick else args.cycles
     trials = 2 if args.quick else args.trials
+    fleet_cycles = min(args.fleet_cycles, 200) if args.quick \
+        else args.fleet_cycles
+    run_fleet = args.fleet or args.fleet_only
 
-    print(f"benchmarking ({cycles} cycles x {trials} trials per model):")
-    report = run_benchmarks(cycles, trials, include_reference=args.reference)
-    print(f"calibration score: {report['calibration_score']:.3g} ops/s")
+    exit_code = 0
+    if not args.fleet_only:
+        print(f"benchmarking ({cycles} cycles x {trials} trials per model):")
+        report = run_benchmarks(
+            cycles, trials, include_reference=args.reference
+        )
+        print(f"calibration score: {report['calibration_score']:.3g} ops/s")
+        if args.check:
+            exit_code = check_regression(report, args.output)
+        else:
+            args.output.write_text(json.dumps(report, indent=2) + "\n")
+            print(f"wrote {args.output}")
 
-    if args.check:
-        return check_regression(report, args.output)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
-    return 0
+    if run_fleet:
+        try:
+            from repro.core.fleet import FLEET_AVAILABLE
+        except ImportError:
+            FLEET_AVAILABLE = False
+        if not FLEET_AVAILABLE:
+            print("fleet benchmark skipped: numpy not available")
+            return exit_code
+        print(
+            f"fleet benchmark ({FLEET_LANES} lanes x {fleet_cycles} "
+            f"cycles x {trials} trials):"
+        )
+        fleet_report = run_fleet_benchmark(fleet_cycles, trials)
+        print(
+            f"  scalar {fleet_report['scalar']['cycles_per_sec']:.0f} "
+            f"cycles/s, fleet "
+            f"{fleet_report['fleet']['aggregate_lane_cycles_per_sec']:.0f} "
+            f"lane-cycles/s -> {fleet_report['speedup']:.2f}x"
+        )
+        if args.check:
+            exit_code = max(
+                exit_code, check_fleet(fleet_report, args.fleet_output)
+            )
+        else:
+            args.fleet_output.write_text(
+                json.dumps(fleet_report, indent=2) + "\n"
+            )
+            print(f"wrote {args.fleet_output}")
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -472,7 +472,10 @@ def cmd_check(args) -> int:
         failures = 0
         for path in args.replay:
             try:
-                result = replay_repro(path, invariants=not args.no_invariants)
+                result = replay_repro(
+                    path, invariants=not args.no_invariants,
+                    fleet_lanes=args.fleet if args.fleet else None,
+                )
             except (OSError, ValueError) as error:
                 print(f"check: {error}", file=sys.stderr)
                 return 2
@@ -496,6 +499,7 @@ def cmd_check(args) -> int:
         invariants=not args.no_invariants,
         minimize=not args.no_minimize,
         log=print if args.verbose else None,
+        fleet_lanes=args.fleet,
     )
     print(f"fuzz seed {report.seed}: {report.cases_run} cases, "
           f"{report.ok} ok, {len(report.failures)} failing")
@@ -655,6 +659,13 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--replay", nargs="+", metavar="FILE", default=None,
                        help="re-run repro.check/v1 files; exit 1 if any "
                             "no longer reproduces its recorded outcome")
+    check.add_argument("--fleet", type=int, nargs="?", const=3, default=0,
+                       metavar="LANES",
+                       help="also run every case through the batched "
+                            "fleet kernel with LANES lanes (default 3) "
+                            "and compare each lane bit-for-bit against "
+                            "a scalar run; replay honours the lane "
+                            "count recorded in the repro file")
     check.add_argument("--no-minimize", action="store_true",
                        help="skip shrinking failing cases")
     check.add_argument("--no-invariants", action="store_true",

@@ -290,12 +290,22 @@ def generate_cases(
     return cases
 
 
-def run_case(case: CaseSpec, invariants: bool = True) -> CaseOutcome:
+def run_case(
+    case: CaseSpec, invariants: bool = True, fleet_lanes: int = 0
+) -> CaseOutcome:
     """Differentially run one case; classify the result.
 
     Runs fast vs reference through :func:`repro.faults.verify_parity`
     (results *and* full trace streams), each kernel under its own
     invariant checker when ``invariants`` is set.
+
+    With ``fleet_lanes > 0`` the case is additionally run through the
+    batched fleet kernel (:mod:`repro.core.fleet`) with that many lanes
+    sharing the case's config, and every lane's result is compared
+    field-by-field against a scalar run of the same lane.  Lane
+    divergences arrive as ordinary ``"fleet lane i: ..."`` mismatch
+    strings, so they classify, minimize, and persist exactly like
+    fast-vs-reference mismatches.
     """
     from repro.faults import verify_parity
 
@@ -311,6 +321,7 @@ def run_case(case: CaseSpec, invariants: bool = True) -> CaseOutcome:
             traffic_factory=case.build_traffic,
             invariants=invariants,
             drain=case.drain,
+            fleet_lanes=fleet_lanes,
         )
     except InvariantViolation as violation:
         return CaseOutcome(
@@ -339,19 +350,26 @@ def run_fuzz(
     invariants: bool = True,
     minimize: bool = True,
     log: Optional[Callable[[str], None]] = None,
+    fleet_lanes: int = 0,
 ) -> FuzzReport:
     """Run a seeded fuzz campaign; shrink and persist every failure.
 
     Failures are minimized while preserving their *classification*
     (``still_fails`` = same outcome status) and written to ``out_dir``
     as ``repro.check/v1`` JSON files named after the shrunk case.
+
+    ``fleet_lanes > 0`` adds a fleet-vs-scalar lane-parity check to
+    every case (see :func:`run_case`); the lane count is recorded in
+    each repro file so ``repro check --replay`` re-runs the failure
+    under the same fleet configuration.
     """
     from repro.check.minimize import minimize_case
     from repro.check.reprofile import save_repro
 
     report = FuzzReport(seed=seed, cases_run=0, ok=0)
     for spec in generate_cases(seed, cases, max_radix):
-        outcome = run_case(spec, invariants=invariants)
+        outcome = run_case(spec, invariants=invariants,
+                           fleet_lanes=fleet_lanes)
         report.cases_run += 1
         if log is not None:
             log(f"{spec.case_id}: {outcome.status}"
@@ -365,12 +383,14 @@ def run_fuzz(
         if minimize:
             def still_fails(candidate: CaseSpec) -> bool:
                 return (
-                    run_case(candidate, invariants=invariants).status
+                    run_case(candidate, invariants=invariants,
+                             fleet_lanes=fleet_lanes).status
                     == outcome.status
                 )
 
             minimized, history = minimize_case(spec, still_fails)
-            final_outcome = run_case(minimized, invariants=invariants)
+            final_outcome = run_case(minimized, invariants=invariants,
+                                     fleet_lanes=fleet_lanes)
             if log is not None and history:
                 log(f"{spec.case_id}: shrunk via {len(history)} steps "
                     f"to {minimized.case_id}")
@@ -386,6 +406,7 @@ def run_fuzz(
             save_repro(
                 repro_path, minimized, final_outcome,
                 minimized=bool(history), history=history,
+                fleet_lanes=fleet_lanes,
             )
             if log is not None:
                 log(f"{spec.case_id}: repro written to {repro_path}")

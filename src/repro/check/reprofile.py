@@ -33,15 +33,24 @@ def repro_payload(
     outcome: CaseOutcome,
     minimized: bool = False,
     history: List[str] = (),
+    fleet_lanes: int = 0,
 ) -> Dict[str, object]:
-    """The JSON document for one repro file."""
-    return {
+    """The JSON document for one repro file.
+
+    ``fleet_lanes`` is recorded (when nonzero) so a failure found by
+    the fleet lane-parity check replays under the same lane count;
+    files from fleet-less campaigns are unchanged byte for byte.
+    """
+    payload = {
         "format": REPRO_FORMAT,
         "case": case.to_dict(),
         "outcome": outcome.to_dict(),
         "minimized": bool(minimized),
         "history": list(history),
     }
+    if fleet_lanes:
+        payload["fleet_lanes"] = int(fleet_lanes)
+    return payload
 
 
 def save_repro(
@@ -50,9 +59,10 @@ def save_repro(
     outcome: CaseOutcome,
     minimized: bool = False,
     history: List[str] = (),
+    fleet_lanes: int = 0,
 ) -> Dict[str, object]:
     """Write a repro file; returns the payload written."""
-    payload = repro_payload(case, outcome, minimized, history)
+    payload = repro_payload(case, outcome, minimized, history, fleet_lanes)
     if hasattr(destination, "write"):
         json.dump(payload, destination, indent=2)
     else:
@@ -98,13 +108,22 @@ class ReplayResult:
 
 
 def replay_repro(
-    source: Union[str, IO[str]], invariants: bool = True
+    source: Union[str, IO[str]],
+    invariants: bool = True,
+    fleet_lanes: Optional[int] = None,
 ) -> ReplayResult:
-    """Re-run a repro file's case; compare against its recorded status."""
+    """Re-run a repro file's case; compare against its recorded status.
+
+    ``fleet_lanes=None`` (the default) replays under the lane count
+    recorded in the file (0 — no fleet check — for pre-fleet files);
+    pass an explicit value to override.
+    """
     payload = load_repro(source)
     case: CaseSpec = payload["case"]
     expected = str(payload["outcome"].get("status", "ok"))
-    outcome = run_case(case, invariants=invariants)
+    if fleet_lanes is None:
+        fleet_lanes = int(payload.get("fleet_lanes", 0))
+    outcome = run_case(case, invariants=invariants, fleet_lanes=fleet_lanes)
     return ReplayResult(
         case=case,
         expected_status=expected,

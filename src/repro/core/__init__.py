@@ -21,6 +21,16 @@ from repro.core.channels import (
 )
 from repro.core.hirise import HiRiseSwitch
 from repro.core.reference import ReferenceHiRiseSwitch
+from repro.core.fleet import (
+    FLEET_AVAILABLE,
+    FleetKernel,
+    FleetSimulation,
+    LanePlan,
+    fleet_supports,
+    plans_compatible,
+    run_fleet_plans,
+    verify_fleet_parity,
+)
 
 __all__ = [
     "AllocationPolicy",
@@ -32,4 +42,12 @@ __all__ = [
     "OutputBinnedAllocation",
     "PriorityAllocation",
     "make_allocation",
+    "FLEET_AVAILABLE",
+    "FleetKernel",
+    "FleetSimulation",
+    "LanePlan",
+    "fleet_supports",
+    "plans_compatible",
+    "run_fleet_plans",
+    "verify_fleet_parity",
 ]

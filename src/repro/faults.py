@@ -714,6 +714,7 @@ def verify_parity(
     traffic_factory=None,
     invariants: bool = False,
     drain: bool = False,
+    fleet_lanes: int = 0,
 ) -> List[str]:
     """Run both kernels under one schedule; return mismatch descriptions.
 
@@ -732,6 +733,13 @@ def verify_parity(
             kernel; a violation propagates to the caller.
         drain: Run each simulation with ``drain=True`` (a wedged drain
             raises :class:`repro.check.invariants.DrainStallError`).
+        fleet_lanes: When > 0, additionally run the batched fleet kernel
+            with this many lanes (lane ``i`` seeded ``seed + i``, or
+            ``traffic_factory`` per lane when given) and compare every
+            lane against a scalar fast-kernel run; lane mismatches are
+            appended as ``"fleet lane i: …"`` entries.  Requires numpy
+            and a fleet-supported config
+            (:func:`repro.core.fleet.fleet_supports`).
     """
     from repro.network.engine import Simulation
     from repro.obs.trace import SwitchTracer
@@ -778,4 +786,25 @@ def verify_parity(
                 break
         else:
             mismatches.append(f"trace length differs: {length}")
+    if fleet_lanes > 0:
+        from repro.core.fleet import verify_fleet_parity
+
+        factories = None
+        if traffic_factory is not None:
+            factories = [
+                (lambda: traffic_factory(config))
+            ] * fleet_lanes
+        mismatches.extend(
+            verify_fleet_parity(
+                config,
+                schedule=schedule,
+                load=load,
+                seed=seed,
+                measure_cycles=measure_cycles,
+                warmup_cycles=warmup_cycles,
+                lanes=fleet_lanes,
+                drain=drain,
+                traffic_factories=factories,
+            )
+        )
     return mismatches

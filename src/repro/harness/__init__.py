@@ -32,12 +32,14 @@ from repro.harness.report import (
     render_table,
 )
 from repro.harness.export import export_rows_csv, export_series_csv
+from repro.harness.measure import METRICS, SimulationMeasurement
 from repro.harness.parallel import (
     CHECKPOINT_FORMAT,
     CheckpointMismatch,
     ResiliencePolicy,
     SweepCheckpoint,
     TaskFailure,
+    replicate,
 )
 from repro.harness.sweep import (
     SweepPoint,
@@ -70,9 +72,12 @@ __all__ = [
     "export_series_csv",
     "CHECKPOINT_FORMAT",
     "CheckpointMismatch",
+    "METRICS",
     "ResiliencePolicy",
+    "SimulationMeasurement",
     "SweepCheckpoint",
     "TaskFailure",
+    "replicate",
     "SweepPoint",
     "parameter_grid",
     "render_sweep",

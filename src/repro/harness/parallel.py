@@ -34,6 +34,7 @@ import heapq
 import json
 import pickle
 import time
+import warnings
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -79,6 +80,96 @@ def _report(telemetry, task: _Task, index: int, total: int,
     ))
 
 
+def _fleet_prepass(
+    tasks: Sequence[_Task], skip=(),
+) -> Tuple[List[Optional[float]], List[Optional[float]]]:
+    """Batch compatible tasks through the fleet kernel before dispatch.
+
+    A task participates when its measurement exposes ``fleet_plan`` (see
+    :class:`repro.harness.measure.SimulationMeasurement`) and that call
+    returns a :class:`~repro.core.fleet.LanePlan` — i.e. the config is
+    fleet-supported, numpy is present, and no tracer/invariant checker
+    is attached.  Plans are grouped by (config, windows); every group of
+    two or more lanes runs through one batched kernel, each lane result
+    being bit-identical to the scalar run the task would otherwise do.
+
+    Returns per-task ``(values, wall_seconds)`` lists — ``None`` entries
+    mean the task was not batched (no plan, a singleton group, or a
+    fleet failure) and must run on the scalar path.  Each batched task's
+    wall time is its group's wall clock divided by the lane count.
+    """
+    total = len(tasks)
+    values: List[Optional[float]] = [None] * total
+    walls: List[Optional[float]] = [None] * total
+    groups: Dict[tuple, list] = {}
+    for index, task in enumerate(tasks):
+        if index in skip:
+            continue
+        measurement, parameters, seed = task
+        plan_of = getattr(measurement, "fleet_plan", None)
+        if plan_of is None:
+            continue
+        try:
+            plan = plan_of(seed=seed, **parameters)
+        except Exception:
+            continue  # scalar path will surface any genuine error
+        if plan is None:
+            continue
+        key = (
+            plan.config, plan.warmup_cycles, plan.measure_cycles,
+            plan.drain, plan.latency_sample_limit,
+        )
+        groups.setdefault(key, []).append((index, measurement, plan))
+    if not groups:
+        return values, walls
+    try:
+        from repro.core.fleet import run_fleet_plans
+    except Exception:
+        return values, walls
+    for group in groups.values():
+        if len(group) < 2:
+            continue  # a lone lane gains nothing over the scalar kernel
+        start = time.perf_counter()
+        try:
+            results = run_fleet_plans([plan for _, _, plan in group])
+        except Exception:
+            continue  # any fleet failure falls back to the scalar path
+        wall_each = (time.perf_counter() - start) / len(group)
+        for (index, measurement, plan), result in zip(group, results):
+            try:
+                value = measurement.value_from_result(result, plan.config)
+            except TypeError:
+                value = measurement.value_from_result(result)
+            values[index] = float(value)
+            walls[index] = wall_each
+    return values, walls
+
+
+def _task_fingerprint(task: _Task):
+    """Hashable identity of one task's *resolved* simulation.
+
+    Measurements exposing ``task_fingerprint`` (fleet-aware ones) resolve
+    overrides and traffic seeding, so two tasks that would run the exact
+    same simulation — the classic pinned-traffic-seed replication bug —
+    compare equal.  Plain callables fall back to (identity, parameters,
+    seed), under which distinct seeds never collide.
+    """
+    measurement, parameters, seed = task
+    resolve = getattr(measurement, "task_fingerprint", None)
+    if resolve is not None:
+        try:
+            fingerprint = ("resolved", resolve(seed=seed, **parameters))
+            hash(fingerprint)
+            return fingerprint
+        except Exception:
+            pass
+    try:
+        key = repr(sorted(parameters.items()))
+    except Exception:
+        key = repr(parameters)
+    return ("raw", id(measurement), key, seed)
+
+
 def _execute_tasks(
     tasks: Sequence[_Task],
     workers: int,
@@ -86,9 +177,12 @@ def _execute_tasks(
 ) -> List[float]:
     """Run tasks, in order, across ``workers`` processes (1 = serial).
 
-    Falls back to the serial path when parallelism cannot help (one task)
-    or cannot work (unpicklable tasks, pool spawn failure).  Exceptions
-    raised by the measurement itself always propagate.
+    Fleet-aware tasks are batched through the vectorized kernel first
+    (see :func:`_fleet_prepass`); the rest — and everything, for plain
+    measurements — runs exactly as before.  Falls back to the serial
+    path when parallelism cannot help (one task) or cannot work
+    (unpicklable tasks, pool spawn failure).  Exceptions raised by the
+    measurement itself always propagate.
 
     When a :class:`repro.obs.SweepTelemetry` is given it receives one
     heartbeat per completed task — in completion order on the pool path —
@@ -99,6 +193,19 @@ def _execute_tasks(
         raise ValueError("workers must be >= 1")
     if telemetry is not None:
         return _execute_tasks_telemetered(tasks, workers, telemetry)
+    values, _walls = _fleet_prepass(tasks)
+    pending = [index for index in range(len(tasks)) if values[index] is None]
+    if pending:
+        rest = _execute_tasks_plain([tasks[i] for i in pending], workers)
+        for index, value in zip(pending, rest):
+            values[index] = value
+    return [float(value) for value in values]
+
+
+def _execute_tasks_plain(
+    tasks: Sequence[_Task], workers: int
+) -> List[float]:
+    """The scalar dispatch path (serial or process pool), no prepass."""
     if workers == 1 or len(tasks) <= 1:
         return [_run_measurement(task) for task in tasks]
     try:
@@ -131,19 +238,30 @@ def _execute_tasks_telemetered(
     """
     total = len(tasks)
     telemetry.start(total)
+    values: List[Optional[float]] = [None] * total
+    fleet_values, fleet_walls = _fleet_prepass(tasks)
+    for index, value in enumerate(fleet_values):
+        if value is not None:
+            values[index] = value
+            _report(
+                telemetry, tasks[index], index, total, value,
+                fleet_walls[index],
+            )
+    pending = [index for index in range(total) if values[index] is None]
 
     def serial() -> List[float]:
-        values = []
-        for index, task in enumerate(tasks):
-            value, wall_s = _run_measurement_timed(task)
-            _report(telemetry, task, index, total, value, wall_s)
-            values.append(value)
-        return values
+        for index in pending:
+            if values[index] is not None:
+                continue  # finished on the pool before it broke
+            value, wall_s = _run_measurement_timed(tasks[index])
+            _report(telemetry, tasks[index], index, total, value, wall_s)
+            values[index] = value
+        return [float(value) for value in values]
 
-    if workers == 1 or total <= 1:
+    if workers == 1 or len(pending) <= 1:
         return serial()
     try:
-        pickle.dumps(tasks)
+        pickle.dumps([tasks[index] for index in pending])
     except Exception:
         return serial()
     try:
@@ -152,18 +270,27 @@ def _execute_tasks_telemetered(
         return serial()
     try:
         futures = {
-            pool.submit(_run_measurement_timed, task): index
-            for index, task in enumerate(tasks)
+            pool.submit(_run_measurement_timed, tasks[index]): index
+            for index in pending
         }
-        values: List[Optional[float]] = [None] * total
         for future in as_completed(futures):
             index = futures[future]
             value, wall_s = future.result()
             values[index] = value
+            fleet_walls[index] = wall_s
             _report(telemetry, tasks[index], index, total, value, wall_s)
-        return values
+        return [float(value) for value in values]
     except (OSError, BrokenProcessPool):
         telemetry.start(total)  # the pool died: restart the channel
+        for index, value in enumerate(values):
+            if value is not None:
+                # Re-report everything already done (fleet-batched and
+                # pool completions) on the new channel; the serial pass
+                # reports the rest as it computes them.
+                _report(
+                    telemetry, tasks[index], index, total, value,
+                    fleet_walls[index] or 0.0,
+                )
         return serial()
     finally:
         pool.shutdown()
@@ -395,6 +522,17 @@ def _execute_tasks_resilient(
             policy.backoff_cap,
         )
 
+    # Fleet-batch whatever the checkpoint didn't already cover; batched
+    # lanes are journaled and reported exactly like scalar completions,
+    # so resume and telemetry cannot tell the paths apart.
+    done_already = frozenset(
+        index for index in range(total) if values[index] is not None
+    )
+    fleet_values, fleet_walls = _fleet_prepass(tasks, skip=done_already)
+    for index, value in enumerate(fleet_values):
+        if value is not None:
+            record(index, value, fleet_walls[index])
+
     def serial() -> List[float]:
         # In-process fallback: retries and checkpointing still apply;
         # timeouts cannot (a running task is not preemptible here).
@@ -590,6 +728,16 @@ def replicate(
     ``max_retries`` / ``backoff_base`` / ``checkpoint`` routes
     execution through the crash-resilient scheduler (see
     :class:`ResiliencePolicy`); results stay bit-identical.
+
+    Fleet-aware measurements (see
+    :class:`repro.harness.measure.SimulationMeasurement`) are batched
+    through the vectorized fleet kernel when replications share a
+    config, and replications whose *resolved* ``(config, traffic,
+    seed)`` fingerprints coincide — e.g. a measurement that pins its
+    traffic seed, so every replication would run the identical
+    simulation — are computed once and fanned back out, with a
+    ``RuntimeWarning``.  Both are pure optimisations: values are
+    bit-identical to the serial scalar path.
     """
     if num_replications < 2:
         raise ValueError("need at least two replications for an interval")
@@ -597,12 +745,32 @@ def replicate(
         (measurement, dict(parameters or {}), base_seed + index)
         for index in range(num_replications)
     ]
+    first_of: Dict[object, int] = {}
+    source: List[int] = []
+    unique_tasks: List[_Task] = []
+    for task in tasks:
+        fingerprint = _task_fingerprint(task)
+        position = first_of.setdefault(fingerprint, len(unique_tasks))
+        if position == len(unique_tasks):
+            unique_tasks.append(task)
+        source.append(position)
+    if len(unique_tasks) < len(tasks):
+        warnings.warn(
+            f"replicate(): {len(tasks) - len(unique_tasks)} of "
+            f"{len(tasks)} replications share a (config, traffic, seed) "
+            "fingerprint and would produce identical results; running "
+            "each unique task once",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     policy = _resolve_policy(task_timeout, max_retries, backoff_base, checkpoint)
     if policy is not None:
-        values = _execute_tasks_resilient(tasks, workers, policy, telemetry)
+        values = _execute_tasks_resilient(
+            unique_tasks, workers, policy, telemetry
+        )
     else:
-        values = _execute_tasks(tasks, workers, telemetry)
-    return t_interval(values, confidence)
+        values = _execute_tasks(unique_tasks, workers, telemetry)
+    return t_interval([values[position] for position in source], confidence)
 
 
 def run_sweep(

@@ -85,7 +85,11 @@ def run_sweep(
         option is not None
         for option in (task_timeout, max_retries, backoff_base, checkpoint)
     )
-    if workers != 1 or telemetry is not None or resilient:
+    # Fleet-aware measurements go through the parallel dispatcher even
+    # serially: its prepass batches same-config tasks through the
+    # vectorized fleet kernel (bit-identical per lane, scalar fallback).
+    fleet_capable = hasattr(measurement, "fleet_plan")
+    if workers != 1 or telemetry is not None or resilient or fleet_capable:
         from repro.harness import parallel
         return parallel.run_sweep(
             measurement, grid, replications=replications,

@@ -164,6 +164,70 @@ def test_empty_schedule_bit_identical_to_no_schedule():
     assert_identical(plain, armed)
 
 
+# ----------------------------------------------------------------------
+# Fleet kernel: every golden-equivalence config, lane by lane
+# ----------------------------------------------------------------------
+fleet = pytest.importorskip("repro.core.fleet")
+pytestmark_fleet = pytest.mark.skipif(
+    not fleet.FLEET_AVAILABLE, reason="fleet kernel needs numpy"
+)
+
+
+@pytestmark_fleet
+@pytest.mark.parametrize("scheme", list(ArbitrationScheme), ids=lambda s: s.value)
+@pytest.mark.parametrize(
+    "allocation", list(AllocationPolicy), ids=lambda a: a.value
+)
+@pytest.mark.parametrize(
+    "failed_channels",
+    list(FAILED_CHANNEL_CONFIGS.values()),
+    ids=list(FAILED_CHANNEL_CONFIGS),
+)
+def test_fleet_lanes_bit_identical(scheme, allocation, failed_channels):
+    # Each fleet lane (seeds 11, 12, 13) is extracted and compared
+    # field-by-field against a scalar fast-kernel run with the same
+    # traffic; the fast kernel is pinned to the seed kernel above, so
+    # transitively every lane matches the frozen reference.
+    config = HiRiseConfig(
+        radix=16,
+        layers=4,
+        channel_multiplicity=2,
+        arbitration=scheme,
+        allocation=allocation,
+        failed_channels=failed_channels,
+    )
+    assert fleet.verify_fleet_parity(
+        config, load=0.9, seed=11, measure_cycles=300, warmup_cycles=40,
+        lanes=3, drain=True,
+    ) == []
+
+
+@pytestmark_fleet
+@pytest.mark.parametrize("scheme", list(ArbitrationScheme), ids=lambda s: s.value)
+def test_fleet_lanes_bit_identical_under_scripted_faults(scheme):
+    config = HiRiseConfig(
+        radix=16,
+        layers=4,
+        channel_multiplicity=2,
+        arbitration=scheme,
+        allocation=AllocationPolicy.INPUT_BINNED,
+    )
+    assert fleet.verify_fleet_parity(
+        config, SCRIPTED_SCHEDULE, load=0.9, seed=11, measure_cycles=300,
+        warmup_cycles=40, lanes=3, drain=True,
+    ) == []
+
+
+@pytestmark_fleet
+def test_verify_parity_fleet_lanes_option():
+    # The verify_parity entry point used by the fuzzer reaches the same
+    # lane comparison through its fleet_lanes= option.
+    config = HiRiseConfig(radix=16, layers=4, channel_multiplicity=2)
+    assert verify_parity(
+        config, SCRIPTED_SCHEDULE, load=0.9, seed=11, fleet_lanes=2
+    ) == []
+
+
 @pytest.mark.parametrize("load", [0.2, 1.0])
 def test_bit_identical_across_loads_default_config(load):
     # The paper's headline scheme under light and saturating traffic.

@@ -1,0 +1,145 @@
+"""Fleet batching inside the harness executors is a pure optimisation.
+
+``SimulationMeasurement`` describes its tasks as fleet lane plans; the
+dispatchers in :mod:`repro.harness.parallel` batch compatible plans
+through one fleet kernel.  Every test here asserts *bit-identical
+results* against the scalar path — across sweeps, replications, worker
+pools, checkpoint/resume, and the forced-scalar fallbacks (tracer or
+invariant attachments).
+"""
+
+import warnings
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.core.config import HiRiseConfig
+from repro.core.fleet import FLEET_AVAILABLE
+from repro.harness.measure import METRICS, SimulationMeasurement
+from repro.harness.parallel import replicate
+from repro.harness.sweep import parameter_grid, run_sweep
+
+pytestmark = pytest.mark.skipif(
+    not FLEET_AVAILABLE, reason="fleet routing needs numpy"
+)
+
+CONFIG = HiRiseConfig(radix=8, layers=2, channel_multiplicity=2)
+GRID = parameter_grid(load=[0.4, 0.8])
+
+
+def make_measurement(**overrides):
+    settings = dict(
+        config=CONFIG, metric="throughput",
+        warmup_cycles=10, measure_cycles=60,
+    )
+    settings.update(overrides)
+    return SimulationMeasurement(**settings)
+
+
+def forced_scalar(measurement):
+    """The same measurement with the fleet path disabled.
+
+    A ``tracer_factory`` returning ``None`` attaches nothing to the
+    switch (identical semantics) but marks the measurement un-batchable,
+    so every task takes the scalar kernel.
+    """
+    clone = make_measurement(
+        metric=measurement.metric, tracer_factory=lambda: None
+    )
+    assert clone.fleet_plan(seed=0) is None
+    return clone
+
+
+@pytest.mark.parametrize("metric", METRICS)
+def test_sweep_values_identical_to_scalar_path(metric):
+    measurement = make_measurement(metric=metric)
+    assert measurement.fleet_plan(seed=0) is not None
+    fleet_points = run_sweep(measurement, GRID, replications=3)
+    scalar_points = run_sweep(forced_scalar(measurement), GRID,
+                              replications=3)
+    assert [p.value for p in fleet_points] == [
+        p.value for p in scalar_points
+    ]
+    assert [p.interval.half_width for p in fleet_points] == [
+        p.interval.half_width for p in scalar_points
+    ]
+
+
+def test_sweep_config_overrides_split_fleets():
+    # Different radix per grid point -> incompatible plans -> separate
+    # fleet groups; values still match the scalar path exactly.
+    measurement = make_measurement()
+    grid = parameter_grid(radix=[8, 16], load=[0.6])
+    fleet_points = run_sweep(measurement, grid, replications=2)
+    scalar_points = run_sweep(forced_scalar(measurement), grid,
+                              replications=2)
+    assert [p.value for p in fleet_points] == [
+        p.value for p in scalar_points
+    ]
+
+
+def test_replicate_identical_to_scalar_path():
+    measurement = make_measurement()
+    fleet = replicate(measurement, num_replications=4, base_seed=3)
+    scalar = replicate(forced_scalar(measurement), num_replications=4,
+                       base_seed=3)
+    assert fleet == scalar
+
+
+def test_replicate_workers_identical_to_serial():
+    measurement = make_measurement()
+    serial = replicate(measurement, num_replications=4)
+    pooled = replicate(measurement, num_replications=4, workers=2)
+    assert pooled == serial
+
+
+def test_replicate_dedupes_pinned_traffic_seed():
+    # A pinned traffic seed makes every replication the same simulation;
+    # the dispatcher must warn and run the simulation once.
+    measurement = make_measurement(traffic_seed=7)
+    with pytest.warns(RuntimeWarning, match="fingerprint"):
+        interval = replicate(measurement, num_replications=5)
+    assert interval.half_width == 0.0
+    assert interval.observations == 5
+    assert interval.mean == measurement(seed=0)
+
+
+def test_invariants_attachment_forces_scalar_but_same_values():
+    checked = make_measurement(invariants=True)
+    assert checked.fleet_plan(seed=0) is None
+    plain = make_measurement()
+    points = run_sweep(checked, GRID, replications=2)
+    baseline = run_sweep(plain, GRID, replications=2)
+    assert [p.value for p in points] == [p.value for p in baseline]
+
+
+def test_checkpoint_resume_bit_identical(tmp_path):
+    measurement = make_measurement()
+    journal = tmp_path / "sweep.ckpt"
+    first = run_sweep(measurement, GRID, replications=3,
+                      checkpoint=journal)
+    assert journal.exists()
+    recorded = journal.read_text().strip().splitlines()
+    assert len(recorded) == 1 + len(GRID) * 3  # header + one per task
+    # Resume from a fully-journalled checkpoint: no task re-runs, the
+    # points are reconstructed bit-identically.
+    resumed = run_sweep(measurement, GRID, replications=3,
+                        checkpoint=journal)
+    assert [p.value for p in resumed] == [p.value for p in first]
+    assert journal.read_text().strip().splitlines() == recorded
+    # And both equal the plain un-checkpointed sweep.
+    plain = run_sweep(measurement, GRID, replications=3)
+    assert [p.value for p in plain] == [p.value for p in first]
+
+
+def test_telemetry_heartbeats_cover_fleet_tasks():
+    obs = pytest.importorskip("repro.obs")
+    telemetry = obs.SweepTelemetry()
+    measurement = make_measurement()
+    points = run_sweep(measurement, GRID, replications=2,
+                       telemetry=telemetry)
+    baseline = run_sweep(measurement, GRID, replications=2)
+    assert [p.value for p in points] == [p.value for p in baseline]
+    # One heartbeat per (point, replication) task, fleet-batched or not.
+    assert len(telemetry.heartbeats) == len(GRID) * 2
