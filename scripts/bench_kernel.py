@@ -19,10 +19,15 @@ what the CI perf-smoke job runs (with ``--quick``).
 Every run also measures the observability overhead on the headline
 config: tracing **off** (the headline benchmark itself — the untraced
 kernel carries only one ``tracer is None`` branch per cycle) and tracing
-**on** (a ``SwitchTracer`` recording every event).  ``--check``
-additionally gates the tracing-off normalised score at <2% below the
-committed PR 1 fast-path baseline, so tracing support can never tax
-untraced runs.  The runtime invariant checker (``repro.check``) is
+**on**, both for the legacy row capture (a ``SwitchTracer`` recording
+every event) and for the binary columnar capture (a full-fidelity
+``BinaryTracer``, interleaved on/off pairs).  ``--check`` additionally
+gates the tracing-off normalised score at <2% below the committed PR 1
+fast-path baseline, so tracing support can never tax untraced runs, and
+gates the binary tracing-on overhead at the 10% budget (a within-run
+ratio, so machine-independent).  Every timed region runs with the
+cyclic GC paused — a collection landing inside one side of an on/off
+pair would otherwise dwarf the effects these gates measure.  The runtime invariant checker (``repro.check``) is
 measured the same way: invariants-off is the headline benchmark itself
 (covered by the same gate), and the invariants-on overhead is reported
 alongside the tracing numbers.
@@ -40,6 +45,8 @@ Usage:
 """
 
 import argparse
+import contextlib
+import gc
 import json
 import sys
 import time
@@ -72,6 +79,11 @@ FLEET_SEED = 100
 #: Maximum tolerated tracing-off normalised shortfall vs the committed
 #: PR 1 fast-path baseline (the zero-cost-when-disabled contract).
 TRACING_OFF_TOLERANCE = 0.02
+#: Maximum tolerated binary-tracing-on overhead at full fidelity
+#: (``BinaryTracer(capacity=None)``) on the headline saturation
+#: benchmark.  Measured as a within-run interleaved on/off ratio, so
+#: the gate is machine-independent.
+TRACEBIN_OVERHEAD_BUDGET = 0.10
 #: The fast-path kernel's committed normalised score on hirise_64x4_c4
 #: as of the PR that introduced it (pre-observability), the reference
 #: point for the tracing-off overhead gate.
@@ -110,6 +122,23 @@ def make_benchmarks():
     }
 
 
+@contextlib.contextmanager
+def gc_paused():
+    """Pause the cyclic collector around a timed region.
+
+    Every timed region in this harness runs under this guard: a GC pass
+    landing inside one side of an on/off comparison skews tight (2-10%)
+    overhead gates by far more than the effect being measured.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def calibration_score(trials: int = 3) -> float:
     """Fixed integer busy-loop throughput (iterations per second).
 
@@ -121,10 +150,11 @@ def calibration_score(trials: int = 3) -> float:
     best = 0.0
     for _ in range(trials):
         accumulator = 0
-        start = time.perf_counter()
-        for i in range(iterations):
-            accumulator += i & 7
-        elapsed = time.perf_counter() - start
+        with gc_paused():
+            start = time.perf_counter()
+            for i in range(iterations):
+                accumulator += i & 7
+            elapsed = time.perf_counter() - start
         best = max(best, iterations / elapsed)
     return best
 
@@ -146,18 +176,19 @@ def bench_switch(make_switch, cycles: int, trials: int) -> float:
         ]
         inject_many = getattr(switch, "inject_many", None)
         step = switch.step
-        start = time.perf_counter()
-        if inject_many is not None:
-            for cycle in range(cycles):
-                inject_many(staged[cycle])
-                step(cycle)
-        else:
-            inject = switch.inject
-            for cycle in range(cycles):
-                for packet in staged[cycle]:
-                    inject(packet)
-                step(cycle)
-        elapsed = time.perf_counter() - start
+        with gc_paused():
+            start = time.perf_counter()
+            if inject_many is not None:
+                for cycle in range(cycles):
+                    inject_many(staged[cycle])
+                    step(cycle)
+            else:
+                inject = switch.inject
+                for cycle in range(cycles):
+                    for packet in staged[cycle]:
+                        inject(packet)
+                    step(cycle)
+            elapsed = time.perf_counter() - start
         best = max(best, cycles / elapsed)
     return best
 
@@ -273,6 +304,96 @@ def run_benchmarks(cycles: int, trials: int, include_reference: bool) -> dict:
         "pr1_committed_normalized": PR1_COMMIT_NORMALIZED,
         "off_vs_pr1_baseline": off_normalized / PR1_COMMIT_NORMALIZED,
     }
+
+    # Binary columnar tracing (repro.obs.tracebin) on the headline
+    # config at full fidelity (capacity=None, no decimation).  Off and
+    # on trials interleave so machine contention hits both sides; the
+    # within-run on/off ratio is what --check gates at the 10% budget.
+    try:
+        from repro.obs.tracebin import BinaryTracer
+    except ImportError:
+        BinaryTracer = None
+    bin_section = {"skipped": "numpy not available"}
+    if BinaryTracer is not None:
+        try:
+            BinaryTracer(capacity=None)
+        except RuntimeError:
+            BinaryTracer = None
+    if BinaryTracer is not None:
+        bin_tracers = []
+
+        def bin_traced_factory():
+            tracer = BinaryTracer(capacity=None)
+            # Keep only the most recent tracer (for events_per_trial):
+            # each full-fidelity tracer pins the whole run's capture
+            # (tens of MB), and letting a dozen accumulate skews the
+            # allocator against later traced trials.
+            bin_tracers[:] = [tracer]
+            return HiRiseSwitch(
+                HiRiseConfig(
+                    radix=RADIX, layers=LAYERS, channel_multiplicity=4
+                ),
+                tracer=tracer,
+            )
+
+        # Overhead converges from above as runs lengthen (fixed
+        # per-trial costs — allocator warm-up, first-touch growth of the
+        # capture buffers — amortize away), so the gate measures at a
+        # pinned floor of 6000 cycles even under --quick; shorter runs
+        # overstate the steady-state capture cost.
+        #
+        # Shared/virtualised runners add a second distortion: bursts of
+        # host contention that stretch whole stretches of wall-clock.
+        # Interference can only *slow* a trial, so the measurement runs
+        # several independent rounds of interleaved off/on pairs and
+        # gates the cleanest round (minimum overhead across rounds) —
+        # the same reasoning as timeit's min-of-repeats, applied to the
+        # on/off ratio.  Every round is recorded in the report so a
+        # noisy run is visible.
+        bin_cycles = max(cycles, 6000)
+        rounds, pairs_per_round = 4, max(trials, 3)
+        print(f"  hirise_64x4_c4 (binary traced, {rounds} rounds x "
+              f"{pairs_per_round} pairs x {bin_cycles} cycles) ...",
+              end="", flush=True)
+        round_overheads = []
+        bin_off = bin_on = 0.0
+        for _ in range(rounds):
+            round_off = round_on = 0.0
+            for _ in range(pairs_per_round):
+                round_off = max(
+                    round_off,
+                    bench_switch(untraced_factory, bin_cycles, 1),
+                )
+                round_on = max(
+                    round_on,
+                    bench_switch(bin_traced_factory, bin_cycles, 1),
+                )
+            round_overheads.append(1.0 - round_on / round_off)
+            if round_overheads[-1] == min(round_overheads):
+                bin_off, bin_on = round_off, round_on
+        bin_overhead = min(round_overheads)
+        print(f" {bin_on:.0f} cycles/s (off {bin_off:.0f}, "
+              f"overhead {bin_overhead:.1%}; rounds "
+              f"{', '.join(f'{o:.1%}' for o in round_overheads)})")
+        bin_section = {
+            "off_cycles_per_sec": round(bin_off, 1),
+            "on_cycles_per_sec": round(bin_on, 1),
+            "on_overhead_frac": round(bin_overhead, 4),
+            "round_overheads": [round(o, 4) for o in round_overheads],
+            "overhead_budget": TRACEBIN_OVERHEAD_BUDGET,
+            "events_per_trial": len(bin_tracers[-1]),
+            "cycles": bin_cycles,
+            "capacity": None,
+            "note": (
+                "full-fidelity BinaryTracer (capacity=None, stride 1) "
+                "vs untraced, interleaved best-of pairs with the GC "
+                "paused at a pinned >=6000-cycle floor; rounds repeat "
+                "the measurement and the cleanest round (min overhead) "
+                "is the --check gate — host interference only ever "
+                "inflates a round"
+            ),
+        }
+    report["tracing_bin"] = bin_section
 
     # Runtime invariant checking (repro.check) on the headline config.
     # Checking-off is, like tracing-off, the headline benchmark itself
@@ -405,13 +526,14 @@ def run_fleet_benchmark(cycles: int, trials: int) -> dict:
         kernel = FleetKernel(config, FLEET_LANES)
         inject_packed = kernel.inject_packed
         step = kernel.step
-        start = time.perf_counter()
-        for cycle in range(cycles):
-            batch = staged[cycle]
-            if batch is not None:
-                inject_packed(*batch)
-            step(cycle)
-        elapsed = time.perf_counter() - start
+        with gc_paused():
+            start = time.perf_counter()
+            for cycle in range(cycles):
+                batch = staged[cycle]
+                if batch is not None:
+                    inject_packed(*batch)
+                step(cycle)
+            elapsed = time.perf_counter() - start
         best_fleet = max(best_fleet, FLEET_LANES * cycles / elapsed)
     speedup = best_fleet / best_scalar
     return {
@@ -526,6 +648,23 @@ def check_regression(report: dict, committed_path: Path) -> int:
                 f"tracing-off is more than {TRACING_OFF_TOLERANCE:.0%} "
                 f"below the PR 1 fast-path baseline in every view "
                 f"({detail})"
+            )
+    tracing_bin = report.get("tracing_bin")
+    if tracing_bin is not None and "on_overhead_frac" in tracing_bin:
+        overhead = tracing_bin["on_overhead_frac"]
+        status = (
+            "ok" if overhead <= TRACEBIN_OVERHEAD_BUDGET else "REGRESSION"
+        )
+        print(
+            f"  binary tracing-on overhead: {overhead:.1%} "
+            f"(budget {TRACEBIN_OVERHEAD_BUDGET:.0%}, {status}; "
+            f"{tracing_bin['events_per_trial']} events/trial at "
+            f"full fidelity)"
+        )
+        if overhead > TRACEBIN_OVERHEAD_BUDGET:
+            failures.append(
+                f"binary tracing-on overhead {overhead:.1%} exceeds "
+                f"the {TRACEBIN_OVERHEAD_BUDGET:.0%} budget"
             )
     invariants = report.get("invariants")
     if invariants is not None:

@@ -9,12 +9,15 @@ Commands:
 * ``table``    — regenerate a paper table (1, 4, 5 or 6);
 * ``figure``   — regenerate a paper figure's data series (9a, 9b, 9c, 10,
   11a, 11b, 11c, 12), optionally exporting CSV;
-* ``trace``    — run a traced simulation and export the cycle-level event
-  trace (JSONL and/or Chrome ``trace_event`` timeline); with
-  ``--inspect`` it filters/summarises an existing JSONL trace instead;
-* ``audit``    — stream a JSONL trace through the fairness/starvation
-  audit analyzer and emit JSON + markdown reports, optionally diffing
-  against a baseline summary (non-zero exit on regression);
+* ``trace``    — run a traced simulation (binary columnar capture by
+  default) and export the cycle-level event trace (binary
+  ``repro.trace_bin/v1``, JSONL and/or Chrome ``trace_event``
+  timeline); ``--inspect`` filters/summarises an existing JSONL trace,
+  ``--convert`` exports views of an existing binary trace;
+* ``audit``    — stream a trace (JSONL or binary, sniffed by magic)
+  through the fairness/starvation audit analyzer and emit JSON +
+  markdown reports, optionally diffing against a baseline summary
+  (non-zero exit on regression);
 * ``stats``    — run a probed simulation and dump the gem5-style
   statistics registry (text or JSON);
 * ``faults``   — run a fault schedule (loaded from JSON or freshly
@@ -183,11 +186,17 @@ def cmd_figure(args) -> int:
     return 0
 
 
-def _print_trace_summary(summary) -> None:
+def _print_trace_summary(summary, rate=None, stride=None,
+                         dropped=None) -> None:
     from repro.obs import resource_label
 
     meta = summary["meta"]
     print(f"{summary['events']} events")
+    if rate is not None:
+        print(f"  rate: {rate:,.0f} events/sec")
+    if stride is not None or dropped is not None:
+        print(f"  decimation: stride {stride if stride is not None else 1}, "
+              f"{dropped or 0} events dropped")
     for name in sorted(summary["counts_by_kind"]):
         print(f"  {name:<12} {summary['counts_by_kind'][name]}")
     radix = meta.get("radix", 0)
@@ -220,7 +229,18 @@ def _inspect_trace(args) -> int:
             ports=args.port or None,
         )
         if args.summary:
-            _print_trace_summary(summarize_records(records))
+            import time
+
+            start = time.perf_counter()
+            summary = summarize_records(records)
+            elapsed = time.perf_counter() - start
+            meta = summary["meta"]
+            _print_trace_summary(
+                summary,
+                rate=summary["events"] / elapsed if elapsed > 0 else None,
+                stride=meta.get("stride"),
+                dropped=meta.get("dropped"),
+            )
         elif args.jsonl:
             count = -1  # don't count the meta record
             with open(args.jsonl, "w", encoding="utf-8") as handle:
@@ -236,7 +256,81 @@ def _inspect_trace(args) -> int:
     return 0
 
 
+def _convert_trace(args) -> int:
+    """Export views (--jsonl/--chrome/--summary) of a binary trace."""
+    import json
+    import time
+
+    from repro.obs import (
+        filter_records, read_tracebin, summarize_records,
+        validate_chrome_path, validate_jsonl_path,
+    )
+
+    try:
+        columns = read_tracebin(args.convert)
+    except (OSError, ValueError) as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+    if args.lane is not None:
+        if columns.lane is None:
+            print("trace: scalar trace has no lane column",
+                  file=sys.stderr)
+            return 2
+        columns = columns.for_lane(args.lane)
+    elif columns.lane is not None:
+        print(f"trace: fleet trace with lanes {columns.lanes()}; "
+              f"pick one with --lane", file=sys.stderr)
+        return 2
+    if columns.truncated:
+        print("trace: warning: torn trace file, recovered "
+              f"{len(columns)} events", file=sys.stderr)
+    print(f"loaded {len(columns)} events from {args.convert} "
+          f"(stride {columns.stride}, {columns.dropped} dropped)")
+    try:
+        if args.summary:
+            records = filter_records(
+                columns.records(), kinds=args.kind or None,
+                ports=args.port or None,
+            )
+            start = time.perf_counter()
+            summary = summarize_records(records)
+            elapsed = time.perf_counter() - start
+            _print_trace_summary(
+                summary,
+                rate=summary["events"] / elapsed if elapsed > 0 else None,
+                stride=columns.stride, dropped=columns.dropped,
+            )
+        filtered = args.kind or args.port
+        if args.jsonl:
+            if filtered:
+                records = filter_records(
+                    columns.records(), kinds=args.kind or None,
+                    ports=args.port or None,
+                )
+                count = -1
+                with open(args.jsonl, "w", encoding="utf-8") as handle:
+                    for count, record in enumerate(records):
+                        handle.write(json.dumps(record) + "\n")
+                written = count + 1
+            else:
+                written = columns.write_jsonl(args.jsonl)
+            if args.validate:
+                validate_jsonl_path(args.jsonl)
+            print(f"wrote {written} records to {args.jsonl}")
+        if args.chrome:
+            events = columns.write_chrome(args.chrome)
+            if args.validate:
+                validate_chrome_path(args.chrome)
+            print(f"wrote {events} trace events to {args.chrome}")
+    except (OSError, ValueError) as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_trace(args) -> int:
+    import time
+
     from repro.obs import (
         SwitchTracer, filter_records, summarize_records,
         validate_chrome_path, validate_jsonl_path,
@@ -244,14 +338,32 @@ def cmd_trace(args) -> int:
 
     if args.inspect:
         return _inspect_trace(args)
+    if args.convert:
+        return _convert_trace(args)
     if args.design != "hirise":
         print("trace: cycle-level tracing needs the hirise design",
               file=sys.stderr)
         return 2
-    tracer = (
-        SwitchTracer(capacity=args.capacity)
-        if args.capacity is not None else SwitchTracer()
-    )
+    tracer = None
+    if args.tracer == "binary":
+        try:
+            from repro.obs import BinaryTracer
+
+            tracer = (
+                BinaryTracer(capacity=args.capacity)
+                if args.capacity is not None else BinaryTracer()
+            )
+        except RuntimeError:
+            tracer = None  # no numpy: fall back to the row capture
+    if tracer is None:
+        if args.binary:
+            print("trace: --binary needs the binary tracer "
+                  "(numpy and --tracer binary)", file=sys.stderr)
+            return 2
+        tracer = (
+            SwitchTracer(capacity=args.capacity)
+            if args.capacity is not None else SwitchTracer()
+        )
     config = _build_design(args)
     if args.kernel == "reference":
         from repro.core.reference import ReferenceHiRiseSwitch
@@ -260,7 +372,9 @@ def cmd_trace(args) -> int:
     else:
         switch = HiRiseSwitch(config, tracer=tracer)
     sim = Simulation(switch, _build_traffic(args), warmup_cycles=args.warmup)
+    start = time.perf_counter()
     result = sim.run(args.cycles, drain=args.drain)
+    elapsed = time.perf_counter() - start
     dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
     print(f"traced {args.cycles} cycles ({args.traffic}, load {args.load}): "
           f"{len(tracer.events)} events{dropped}, "
@@ -278,7 +392,16 @@ def cmd_trace(args) -> int:
             tracer.records(), kinds=args.kind or None,
             ports=args.port or None,
         )
-        _print_trace_summary(summarize_records(records))
+        _print_trace_summary(
+            summarize_records(records),
+            rate=len(tracer.events) / elapsed if elapsed > 0 else None,
+            stride=getattr(tracer, "stride", 1),
+            dropped=tracer.dropped,
+        )
+    if args.binary:
+        written = tracer.save(args.binary)
+        print(f"wrote {written} events to {args.binary} "
+              f"(repro.trace_bin/v1)")
     if args.jsonl:
         if filtered:
             import json
@@ -310,17 +433,28 @@ def cmd_audit(args) -> int:
 
     from repro.harness.report import render_audit_markdown
     from repro.obs import (
-        StatsRegistry, analyze_jsonl, compare_audits, validate_audit_summary,
+        StatsRegistry, analyze_columns, analyze_jsonl, compare_audits,
+        read_tracebin, sniff_tracebin, validate_audit_summary,
     )
 
+    options = dict(
+        window=args.window,
+        fairness_threshold=args.fairness_threshold,
+        max_min_threshold=args.max_min_threshold,
+        starvation_gap=args.starvation_gap,
+    )
     try:
-        report = analyze_jsonl(
-            args.trace,
-            window=args.window,
-            fairness_threshold=args.fairness_threshold,
-            max_min_threshold=args.max_min_threshold,
-            starvation_gap=args.starvation_gap,
-        )
+        if sniff_tracebin(args.trace):
+            columns = read_tracebin(args.trace)
+            if args.lane is not None:
+                columns = columns.for_lane(args.lane)
+            report = analyze_columns(columns, **options)
+        elif args.lane is not None:
+            print("audit: --lane needs a binary fleet trace",
+                  file=sys.stderr)
+            return 2
+        else:
+            report = analyze_jsonl(args.trace, **options)
     except (OSError, ValueError) as error:
         print(f"audit: {error}", file=sys.stderr)
         return 2
@@ -569,6 +703,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default="fast")
     trace.add_argument("--capacity", type=int, default=None,
                        help="event-buffer capacity (default 2^20)")
+    trace.add_argument("--tracer", choices=["binary", "jsonl"],
+                       default="binary",
+                       help="capture buffer: binary columnar (default; "
+                            "falls back to jsonl without numpy) or the "
+                            "legacy row capture")
+    trace.add_argument("--binary", metavar="TRACEBIN",
+                       help="write the repro.trace_bin/v1 columnar "
+                            "trace here")
     trace.add_argument("--jsonl", help="write the JSONL trace here")
     trace.add_argument("--chrome", help="write the Chrome trace here")
     trace.add_argument("--validate", action="store_true",
@@ -576,6 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--inspect", metavar="JSONL",
                        help="filter/summarise an existing JSONL trace "
                             "instead of running a simulation")
+    trace.add_argument("--convert", metavar="TRACEBIN",
+                       help="export views (--jsonl/--chrome/--summary) of "
+                            "an existing binary trace instead of running "
+                            "a simulation")
+    trace.add_argument("--lane", type=int, default=None,
+                       help="with --convert on a fleet trace: select "
+                            "this lane's stream")
     trace.add_argument("--kind", action="append", default=[],
                        help="keep only this event kind (repeatable)")
     trace.add_argument("--port", action="append", type=int, default=[],
@@ -589,7 +738,11 @@ def build_parser() -> argparse.ArgumentParser:
     audit = commands.add_parser(
         "audit", help="fairness/starvation audit of a JSONL trace"
     )
-    audit.add_argument("trace", help="JSONL trace file to audit")
+    audit.add_argument("trace",
+                       help="trace file to audit (JSONL or "
+                            "repro.trace_bin/v1, sniffed by magic)")
+    audit.add_argument("--lane", type=int, default=None,
+                       help="audit this lane of a binary fleet trace")
     audit.add_argument("--window", type=int, default=256,
                        help="fairness-epoch length in cycles")
     audit.add_argument("--fairness-threshold", type=float, default=0.85,

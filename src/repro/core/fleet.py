@@ -64,6 +64,27 @@ from repro.network.engine import (
     DEFAULT_LATENCY_SAMPLE_LIMIT,
     SimulationResult,
 )
+from repro.obs.trace import (
+    CLRG_HALVE,
+    COOL,
+    DRAIN_STALL,
+    EJECT,
+    FAULT_CHANNEL,
+    FAULT_CLRG,
+    FAULT_INJECT,
+    FAULT_INPUT,
+    FAULT_REPAIR,
+    INJECT,
+    P1_GRANT,
+    P2_BLOCK,
+    P2_GRANT,
+    REASON_CHANNEL_FAILED,
+    REASON_OUTPUT_BUSY,
+    REASON_OUTPUT_COOLING,
+    REASON_RESOURCE_BUSY,
+    REASON_RESOURCE_COOLING,
+    VIA_BLOCK,
+)
 
 #: Whether the fleet kernel can run at all (numpy importable).
 FLEET_AVAILABLE = np is not None
@@ -416,6 +437,12 @@ class FleetKernel:
         # Dense per-group scratch for the scatter-min arbitration passes.
         self._dense_r = np.empty(B * R, dtype=ii8)
         self._dense_n = np.empty(B * N, dtype=ii8)
+        # Native binary tracing (attach_tracer): grant-cycle and CLRG
+        # halving counters exist only while a tracer is attached — they
+        # feed event payloads, never the simulation itself.
+        self._tracer = None
+        self._grant_cycle = None
+        self._halve_count = None
         # Round-robin VC pick via a 4-bit viability mask: a contiguous
         # (K, 4) bool viewed as uint32 packs the four flags into bytes
         # b0..b3; multiplying by 0x08040201 lands b3..b0 (no carries —
@@ -434,6 +461,35 @@ class FleetKernel:
                             lut[nib * 4 + r] = v
                             break
             self._vc_lut = lut
+
+    # ------------------------------------------------------------------
+    # Native binary tracing
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.tracebin.FleetTracer` (or detach).
+
+        The kernel then emits the scalar fast kernel's event stream
+        natively, per lane: every capture point appends lane-ordered
+        batches, so ``tracer.lane_tracer(i)`` is event-for-event equal
+        to a scalar :class:`~repro.obs.tracebin.BinaryTracer` run of
+        lane ``i``.  Attach before the first ``step`` — the cooling
+        events' ``granted`` cycle is recorded at establish time.
+        """
+        if tracer is not None:
+            lanes = getattr(tracer, "num_lanes", self.num_lanes)
+            if lanes != self.num_lanes:
+                raise ValueError(
+                    f"tracer has {lanes} lanes, kernel has "
+                    f"{self.num_lanes}"
+                )
+            tracer.bind(self.config)
+            if self._grant_cycle is None:
+                B, N = self.num_lanes, self.num_ports
+                self._grant_cycle = np.full((B, N), -1, dtype=np.int64)
+                self._grant_cycle_f = self._grant_cycle.reshape(-1)
+                self._halve_count = np.zeros((B, N), dtype=np.int64)
+                self._halve_count_f = self._halve_count.reshape(-1)
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # Fault handling (rare; per-lane python mirroring apply_fault_events)
@@ -473,11 +529,12 @@ class FleetKernel:
         dst_ids = np.arange(N, dtype=np.int64)[None, :]
         self._rid_of_dst[lane] = np.where(self._same_layer, dst_ids, rid)
 
-    def _apply_fault_events(self, lane: int, events) -> None:
+    def _apply_fault_events(self, lane: int, events, cycle: int = 0) -> None:
         """Per-lane twin of :func:`repro.faults.apply_fault_events`."""
         cfg = self.config
         L, C = self._L, self._C
         failed = set(self._failed[lane])
+        tracer = self._tracer
         topology_changed = False
         for event in events:
             kind = event.kind
@@ -496,6 +553,11 @@ class FleetKernel:
                     lane, channel[0] * L + channel[1], channel[2]
                 ] = False
                 topology_changed = True
+                if tracer is not None:
+                    tracer.append_row(
+                        cycle, lane, FAULT_INJECT, FAULT_CHANNEL,
+                        cfg.channel_resource_id(*channel), 0,
+                    )
             elif kind == REPAIR_CHANNEL:
                 channel = event.channel
                 if channel not in failed:
@@ -505,6 +567,11 @@ class FleetKernel:
                     lane, channel[0] * L + channel[1], channel[2]
                 ] = True
                 topology_changed = True
+                if tracer is not None:
+                    tracer.append_row(
+                        cycle, lane, FAULT_REPAIR, FAULT_CHANNEL,
+                        cfg.channel_resource_id(*channel),
+                    )
             elif kind == FAIL_INPUT:
                 port = event.port
                 if not 0 <= port < cfg.radix:
@@ -513,12 +580,20 @@ class FleetKernel:
                     continue
                 self._stuck[lane, port] = True
                 topology_changed = True
+                if tracer is not None:
+                    tracer.append_row(
+                        cycle, lane, FAULT_INJECT, FAULT_INPUT, port, 0
+                    )
             elif kind == REPAIR_INPUT:
                 port = event.port
                 if not self._stuck[lane, port]:
                     continue
                 self._stuck[lane, port] = False
                 topology_changed = True
+                if tracer is not None:
+                    tracer.append_row(
+                        cycle, lane, FAULT_REPAIR, FAULT_INPUT, port
+                    )
             elif kind == CORRUPT_CLRG:
                 output = event.output
                 if not 0 <= output < cfg.radix:
@@ -538,6 +613,11 @@ class FleetKernel:
                     self._clrg_counts[lane, output, :] = value
                 else:
                     self._clrg_counts[lane, output, event.port] = value
+                if tracer is not None:
+                    tracer.append_row(
+                        cycle, lane, FAULT_INJECT, FAULT_CLRG, output,
+                        value,
+                    )
             else:  # pragma: no cover - FaultEvent validates kinds
                 raise ValueError(f"unknown fault kind {kind!r}")
         self._failed[lane] = frozenset(failed)
@@ -716,7 +796,7 @@ class FleetKernel:
                     continue
                 due = cursor.take(cycle)
                 if due:
-                    self._apply_fault_events(lane, due)
+                    self._apply_fault_events(lane, due, cycle)
         # Clear the previous cycle's teardown cooling (incremental).
         tbase, obase, rbase = self._tear
         if tbase.size:
@@ -744,7 +824,15 @@ class FleetKernel:
         self._vc_lo_f[fidx] = seq + 1
         self._vc_cnt_f[fidx] -= 1
         self._refill_blocked_f[fbase] = False
-        ti = np.flatnonzero(seq == nf - 1)
+        tracer = self._tracer
+        tail = seq == nf - 1
+        if tracer is not None and fb.size:
+            # Ejects in the scalar per-port scan order: np.nonzero is
+            # row-major, i.e. already (lane, port)-ascending.
+            tracer.append_batch(
+                cycle, fb, EJECT, fn, self._vc_dst_f[fidx], seq, tail
+            )
+        ti = np.flatnonzero(tail)
         tbase = fbase[ti]
         tidx = fidx[ti]
         tb = fb[ti]
@@ -765,6 +853,13 @@ class FleetKernel:
         self._cool_out_f[obase] = True
         self._cool_res_f[rbase] = True
         self._tear = (tbase, obase, rbase)
+        if tracer is not None and tb.size:
+            # Cooling events follow every eject, teardown scan order;
+            # ``granted`` persists after teardown exactly like the
+            # scalar kernel's grant_cycle dict (never cleared).
+            tracer.append_batch(
+                cycle, tb, COOL, rid, tn, out, self._grant_cycle_f[tbase]
+            )
         flit_counts = np.bincount(fb, minlength=self.num_lanes)
         self.lane_occupancy -= flit_counts
         return (
@@ -934,12 +1029,16 @@ class FleetKernel:
                 res_free_f[(kb * self._R)[:, None] + vdst],
                 pair_any.reshape(-1)[(kb * LL)[:, None] + pair2],
             )
+        tracer = self._tracer
         # Round-robin VC pick: smallest (vc - rr_next) mod V wins.
         if self._vc_lut is not None:
             # Packed-mask fast path (see __init__): selected rows only.
             packed = viable.view(np.uint32).reshape(-1)
             sel = np.flatnonzero(packed)
             if sel.size == 0:
+                if tracer is not None:
+                    self._trace_via_blocked(cycle, kb, kn, head_ok,
+                                            vdst, sel)
                 return
             nib = (packed[sel] * np.uint32(0x08040201)) >> np.uint32(24)
             rb, rn = kb[sel], kn[sel]
@@ -955,9 +1054,14 @@ class FleetKernel:
             vc_star = rr_key.argmin(axis=1)
             sel = np.flatnonzero(_any_last(viable))
             if sel.size == 0:
+                if tracer is not None:
+                    self._trace_via_blocked(cycle, kb, kn, head_ok,
+                                            vdst, sel)
                 return
             rb, rn = kb[sel], kn[sel]
             rvc = vc_star[sel]
+        if tracer is not None and sel.size != kb.size:
+            self._trace_via_blocked(cycle, kb, kn, head_ok, vdst, sel)
         ridx = base[sel] * V + rvc
         rdst = self._vc_dst_f[ridx]
         rlocal = self._local_of[rn]
@@ -979,6 +1083,26 @@ class FleetKernel:
             dense.fill(_BIG)
             np.minimum.at(dense, gid, rank)
             win = np.flatnonzero(rank == dense[gid])
+            p1key_w = None
+            if tracer is not None:
+                # Scalar winners-dict insertion order: all intermediate
+                # groups before all channel groups, each in ascending
+                # first-requesting-port order (ports scan once per
+                # cycle, so first ports are distinct per group).  The
+                # dense buffer is free again after ``win``.
+                weight_w = np.bincount(gid, minlength=dense.size)[gid[win]]
+                dense.fill(_BIG)
+                np.minimum.at(dense, gid, rn)
+                p1key_w = (
+                    dense[gid[win]] * _WKEY_PORT
+                    + (rrid[win] >= N) * _WKEY_CHAN
+                )
+                order1 = np.lexsort((p1key_w, rb[win]))
+                wl = win[order1]
+                tracer.append_batch(
+                    cycle, rb[wl], P1_GRANT, rrid[wl], rn[wl], rdst[wl],
+                    weight_w[order1],
+                )
             # ---- phase 2: one sub-block winner per contested output --
             w_out = rdst[win]
             w_slot = self._slot_of_rid[rrid[win]]
@@ -1006,6 +1130,14 @@ class FleetKernel:
             np.minimum.at(dense2, gid2, skey)
             pick = np.flatnonzero(skey == dense2[gid2])
             est = win[pick]
+            outkey = None
+            if tracer is not None:
+                # by_output dict-insertion key of each output group: the
+                # minimum phase-1 winner key among its candidates (the
+                # dense phase-2 buffer is free after ``pick``).
+                dense2.fill(_BIG)
+                np.minimum.at(dense2, gid2, p1key_w)
+                outkey = dense2[gid2[pick]]
             # ---- establish every picked winner's path ----------------
             eb, eport = rb[est], rn[est]
             evc, erid, eout = rvc[est], rrid[est], rdst[est]
@@ -1018,6 +1150,8 @@ class FleetKernel:
             self.output_owner_f[sb2] = eport
             self._conn_rid_f[ebase] = erid
             self._conn_out_f[ebase] = eout
+            if self._grant_cycle is not None:
+                self._grant_cycle_f[ebase] = cycle
             # ---- sub-block commit (one per output; no collisions) ----
             eslot = w_slot[pick]
             if scheme is ArbitrationScheme.L2L_LRG:
@@ -1045,6 +1179,17 @@ class FleetKernel:
                 if sat.size:
                     rows = self._clrg_rows[sb2[sat]]
                     self._clrg_rows[sb2[sat]] = rows // 2
+                    if tracer is not None:
+                        # Halvings raw-emit during phase-2 processing,
+                        # i.e. in by_output insertion order; the payload
+                        # is the bank's cumulative halving count.
+                        self._halve_count_f[sb2[sat]] += 1
+                        horder = np.lexsort((outkey[sat], eb[sat]))
+                        hs = sat[horder]
+                        tracer.append_batch(
+                            cycle, eb[hs], CLRG_HALVE, rdst[est[hs]],
+                            self._halve_count_f[sb2[hs]], 0, 0,
+                        )
                 self._clrg_counts_f[sb2 * N + eport] += 1
                 stamp = self._sb_stamp_f[sb2]
                 self._sb_rank_f[sb2 * S + eslot] = stamp
@@ -1054,6 +1199,25 @@ class FleetKernel:
             stamp = self._loc_stamp_f[abase]
             self._loc_rank_f[abase * PPL + rlocal[est]] = stamp
             self._loc_stamp_f[abase] = stamp + 1
+            if tracer is not None:
+                # Phase-2 outcomes iterate the full winners dict in
+                # insertion order: grant when the path was established,
+                # block otherwise; CLRG grants carry the post-commit
+                # class counter.
+                granted = np.zeros(win.size, dtype=bool)
+                granted[pick] = True
+                kinds = np.where(granted, P2_GRANT, P2_BLOCK)
+                dcol = np.zeros(win.size, dtype=np.int64)
+                if scheme is ArbitrationScheme.CLRG:
+                    dcol[pick] = self._clrg_counts_f[sb2 * N + eport]
+                else:
+                    dcol[pick] = -1
+                order2 = np.lexsort((p1key_w, rb[win]))
+                wl = win[order2]
+                tracer.append_batch(
+                    cycle, rb[wl], kinds[order2], rrid[wl], rn[wl],
+                    rdst[wl], dcol[order2],
+                )
             return
 
         # ---- priority allocation (lexsort machinery) -----------------
@@ -1130,6 +1294,15 @@ class FleetKernel:
             np.concatenate(cols) if len(parts) > 1 else parts[0][k]
             for k, cols in enumerate(zip(*parts))
         )
+        if tracer is not None:
+            # ``w_key`` already encodes the scalar winners-dict
+            # insertion order (ints before pairs, first-requesting port,
+            # free-channel position).
+            order1 = np.lexsort((w_key, w_b))
+            tracer.append_batch(
+                cycle, w_b[order1], P1_GRANT, w_rid[order1],
+                w_port[order1], w_out[order1], w_weight[order1],
+            )
 
         # ---- phase 2: one sub-block winner per contested output ------
         if scheme in (
@@ -1164,6 +1337,8 @@ class FleetKernel:
         self.output_owner[eb, eout] = eport
         self._conn_rid[eb, eport] = erid
         self._conn_out[eb, eport] = eout
+        if self._grant_cycle is not None:
+            self._grant_cycle[eb, eport] = cycle
 
         # Sub-block commit (one per output, so scatters never collide).
         if scheme is ArbitrationScheme.L2L_LRG:
@@ -1186,6 +1361,16 @@ class FleetKernel:
             if sat.size:
                 rows = self._clrg_counts[eb[sat], eout[sat]]
                 self._clrg_counts[eb[sat], eout[sat]] = rows // 2
+                if tracer is not None:
+                    # Halvings emit in by_output insertion order
+                    # (``out_min`` is aligned with ``pick``).
+                    self._halve_count[eb[sat], eout[sat]] += 1
+                    horder = np.lexsort((out_min[sat], eb[sat]))
+                    hs = sat[horder]
+                    tracer.append_batch(
+                        cycle, eb[hs], CLRG_HALVE, eout[hs],
+                        self._halve_count[eb[hs], eout[hs]], 0, 0,
+                    )
             self._clrg_counts[eb, eout, eport] += 1
             self._sb_rank[eb, eout, eslot] = self._sb_stamp[eb, eout]
             self._sb_stamp[eb, eout] += 1
@@ -1218,6 +1403,76 @@ class FleetKernel:
                 eb[rows], earb[rows], elocal[rows]
             ] = base + j3
             self._pair_stamp[gb3, gp3] += counts3
+        if tracer is not None:
+            granted = np.zeros(w_b.size, dtype=bool)
+            granted[pick] = True
+            kinds = np.where(granted, P2_GRANT, P2_BLOCK)
+            dcol = np.zeros(w_b.size, dtype=np.int64)
+            if scheme is ArbitrationScheme.CLRG:
+                dcol[pick] = self._clrg_counts[eb, eout, eport]
+            else:
+                dcol[pick] = -1
+            order2 = np.lexsort((w_key, w_b))
+            tracer.append_batch(
+                cycle, w_b[order2], kinds[order2], w_rid[order2],
+                w_port[order2], w_out[order2], dcol[order2],
+            )
+
+    def _trace_via_blocked(self, cycle, kb, kn, head_ok, vdst, sel) -> None:
+        """Emit ``via_block`` events for candidate ports with no viable VC.
+
+        Mirrors the scalar ``_capture_blocked``/``_blocked_reason``
+        decomposition: the reported head is the first seq-0 front in VC
+        index order, and the reason reads the same pre-arbitration
+        ownership/cooling state.  Runs on the rare blocked rows only
+        (a small python loop, like the scalar cold path).
+        """
+        blocked = np.ones(kb.size, dtype=bool)
+        blocked[sel] = False
+        rows = np.flatnonzero(blocked)
+        if rows.size == 0:
+            return
+        N, C, L = self.num_ports, self._C, self._L
+        lanes = kb[rows]
+        ports = kn[rows]
+        dsts = vdst[rows, np.argmax(head_ok[rows], axis=1)]
+        reasons = np.empty(rows.size, dtype=np.int64)
+        for k in range(rows.size):
+            lane = int(lanes[k])
+            port = int(ports[k])
+            dst = int(dsts[k])
+            if self.output_owner[lane, dst] >= 0:
+                reason = REASON_OUTPUT_BUSY
+            elif self._cool_out[lane, dst]:
+                reason = REASON_OUTPUT_COOLING
+            else:
+                src_layer = int(self._layer_of[port])
+                dst_layer = int(self._layer_of[dst])
+                pair = src_layer * L + dst_layer
+                if (src_layer != dst_layer
+                        and not self._healthy[lane, pair].any()):
+                    reason = REASON_CHANNEL_FAILED
+                else:
+                    if self._binned:
+                        rids = (int(self._rid_of_dst[lane, port, dst]),)
+                    elif src_layer == dst_layer:
+                        rids = (dst,)
+                    else:
+                        rids = [
+                            N + pair * C + channel
+                            for channel in range(C)
+                            if self._healthy[lane, pair, channel]
+                        ]
+                    reason = REASON_RESOURCE_COOLING
+                    for rid in rids:
+                        if (self.resource_owner[lane, rid] >= 0
+                                and not self._cool_res[lane, rid]):
+                            reason = REASON_RESOURCE_BUSY
+                            break
+            reasons[k] = reason
+        self._tracer.append_batch(
+            cycle, lanes, VIA_BLOCK, ports, dsts, reasons, 0
+        )
 
 
 class FleetSimulation:
@@ -1240,12 +1495,15 @@ class FleetSimulation:
         faults: Optional[Sequence[Optional[FaultSchedule]]] = None,
         warmup_cycles: int = 0,
         latency_sample_limit: Optional[int] = DEFAULT_LATENCY_SAMPLE_LIMIT,
+        tracer=None,
     ) -> None:
         if warmup_cycles < 0:
             raise ValueError("warm-up must be non-negative")
         if latency_sample_limit is not None and latency_sample_limit < 1:
             raise ValueError("latency sample limit must be >= 1 or None")
         self.kernel = FleetKernel(config, len(traffics), faults)
+        if tracer is not None:
+            self.kernel.attach_tracer(tracer)
         self.traffics = list(traffics)
         self.warmup_cycles = warmup_cycles
         self.latency_sample_limit = latency_sample_limit
@@ -1282,6 +1540,14 @@ class FleetSimulation:
                     raise OverflowError(
                         "fleet ring records are 32-bit: num_flits, "
                         "created and pid must lie in [0, 2**31)"
+                    )
+                tracer = kernel._tracer
+                if tracer is not None:
+                    # Rows are built lane-major with each lane's packets
+                    # in traffic order — the scalar inject order.
+                    tracer.append_batch(
+                        cycle, lanes, INJECT, arr[:, 1], arr[:, 2],
+                        arr[:, 3], arr[:, 4],
                     )
                 gid = lanes * kernel.num_ports + arr[:, 1]
                 if len(rows) == 1 or (gid[1:] > gid[:-1]).all():
@@ -1347,6 +1613,14 @@ class FleetSimulation:
                     from repro.check.invariants import DrainStallError
 
                     lane = int(np.nonzero(stuck)[0][0])
+                    if kernel._tracer is not None:
+                        # Mirror the scalar drain loop: the stall event
+                        # lands at the last stepped cycle.
+                        kernel._tracer.append_row(
+                            self._cycle - 1, lane, DRAIN_STALL,
+                            int(idle[lane]),
+                            int(kernel.lane_occupancy[lane]),
+                        )
                     raise DrainStallError(
                         f"fleet lane {lane} drain made no progress for "
                         f"{int(idle[lane])} consecutive cycles at cycle "
@@ -1421,6 +1695,12 @@ class LanePlan:
     measure_cycles: int = 0
     drain: bool = False
     latency_sample_limit: Optional[int] = DEFAULT_LATENCY_SAMPLE_LIMIT
+    #: ``callable() -> tracer`` with a truthy ``fleet_capable`` marker
+    #: (e.g. :class:`repro.obs.tracebin.BinaryTracerFactory`).  The
+    #: fleet then runs traced natively: one shared
+    #: :class:`~repro.obs.tracebin.FleetTracer` with a per-lane column,
+    #: no scalar fallback.
+    tracer_factory: Optional[Callable[[], object]] = None
 
 
 def plans_compatible(a: LanePlan, b: LanePlan) -> bool:
@@ -1431,23 +1711,43 @@ def plans_compatible(a: LanePlan, b: LanePlan) -> bool:
         and a.measure_cycles == b.measure_cycles
         and a.drain == b.drain
         and a.latency_sample_limit == b.latency_sample_limit
+        and a.tracer_factory == b.tracer_factory
     )
 
 
-def run_fleet_plans(plans: Sequence[LanePlan]) -> List[SimulationResult]:
-    """Run a batch of compatible lane plans through one fleet kernel."""
+def run_fleet_plans(
+    plans: Sequence[LanePlan], tracer=None
+) -> List[SimulationResult]:
+    """Run a batch of compatible lane plans through one fleet kernel.
+
+    Pass a :class:`~repro.obs.tracebin.FleetTracer` to capture every
+    lane's binary event stream; otherwise one is created when the plans
+    carry a fleet-capable ``tracer_factory`` (and dropped with the
+    simulation, exactly like the scalar measurement path drops its
+    per-run tracer).
+    """
     if not plans:
         return []
     first = plans[0]
     for plan in plans[1:]:
         if not plans_compatible(first, plan):
             raise ValueError("fleet lanes must share config and windows")
+    if tracer is None and first.tracer_factory is not None:
+        from repro.obs.tracebin import DEFAULT_CAPACITY, FleetTracer
+
+        tracer = FleetTracer(
+            len(plans),
+            capacity=getattr(
+                first.tracer_factory, "capacity", DEFAULT_CAPACITY
+            ),
+        )
     sim = FleetSimulation(
         first.config,
         [plan.traffic_factory() for plan in plans],
         [plan.faults for plan in plans],
         warmup_cycles=first.warmup_cycles,
         latency_sample_limit=first.latency_sample_limit,
+        tracer=tracer,
     )
     return sim.run(first.measure_cycles, drain=first.drain)
 
@@ -1462,12 +1762,18 @@ def verify_fleet_parity(
     lanes: int = 4,
     drain: bool = False,
     traffic_factories: Optional[Sequence[Callable[[], object]]] = None,
+    trace: bool = False,
 ) -> List[str]:
     """Compare each fleet lane against a scalar fast-kernel run.
 
     Lane ``i`` uses seed ``seed + i`` (or ``traffic_factories[i]``) and a
     private cursor over the shared ``schedule``.  Returns human-readable
     mismatch strings, empty when every lane is bit-identical.
+
+    With ``trace=True`` both sides also run binary tracers (a shared
+    :class:`~repro.obs.tracebin.FleetTracer` on the fleet, one
+    :class:`~repro.obs.tracebin.BinaryTracer` per scalar run) and each
+    lane's event stream is pinned equal to the scalar stream.
     """
     from repro.core.hirise import HiRiseSwitch
     from repro.network.engine import Simulation
@@ -1491,7 +1797,15 @@ def verify_fleet_parity(
         )
         for factory in traffic_factories
     ]
-    fleet_results = run_fleet_plans(plans)
+    fleet_tracer = None
+    if trace:
+        from repro.obs.tracebin import FleetTracer
+
+        fleet_tracer = FleetTracer(len(plans), capacity=None)
+    fleet_results = run_fleet_plans(plans, tracer=fleet_tracer)
+    fleet_columns = (
+        fleet_tracer.columns() if fleet_tracer is not None else None
+    )
     fields = (
         "packets_injected",
         "packets_ejected",
@@ -1504,7 +1818,14 @@ def verify_fleet_parity(
     )
     mismatches = []
     for lane, (plan, fleet) in enumerate(zip(plans, fleet_results)):
-        switch = HiRiseSwitch(config, faults=plan.faults)
+        scalar_tracer = None
+        if trace:
+            from repro.obs.tracebin import BinaryTracer
+
+            scalar_tracer = BinaryTracer(capacity=None)
+        switch = HiRiseSwitch(
+            config, tracer=scalar_tracer, faults=plan.faults
+        )
         sim = Simulation(
             switch, plan.traffic_factory(), warmup_cycles=plan.warmup_cycles
         )
@@ -1515,5 +1836,27 @@ def verify_fleet_parity(
                     f"fleet lane {lane}: result field {name!r} differs "
                     f"(scalar={getattr(scalar, name)!r}, "
                     f"fleet={getattr(fleet, name)!r})"
+                )
+        if trace:
+            lane_events = fleet_tracer.lane_tracer(
+                lane, columns=fleet_columns
+            ).events
+            scalar_events = scalar_tracer.events
+            if lane_events != scalar_events:
+                limit = min(len(lane_events), len(scalar_events))
+                first_diff = next(
+                    (
+                        k for k in range(limit)
+                        if lane_events[k] != scalar_events[k]
+                    ),
+                    limit,
+                )
+                mismatches.append(
+                    f"fleet lane {lane}: traced event stream differs at "
+                    f"event {first_diff} (scalar has "
+                    f"{len(scalar_events)} events, fleet "
+                    f"{len(lane_events)}; scalar="
+                    f"{scalar_events[first_diff:first_diff + 3]!r}, "
+                    f"fleet={lane_events[first_diff:first_diff + 3]!r})"
                 )
     return mismatches

@@ -67,6 +67,15 @@ from repro.obs.trace import (
     REASON_RESOURCE_COOLING,
     VIA_BLOCK,
 )
+from repro.obs.tracebin import (
+    _T_COOL,
+    _T_EJECT,
+    _T_INJECT,
+    _T_INJECT1,
+    _T_P1,
+    _T_P2,
+    _T_VIA,
+)
 
 
 def _halve_hook(tracer, output: int):
@@ -262,9 +271,23 @@ class HiRiseSwitch(SwitchModel):
         if tracer is not None:
             tracer.bind(self)
             # Shadow the injection methods on the instance: injections
-            # are traced without any check on the untraced path.
-            self.inject = self._inject_traced  # type: ignore[method-assign]
-            self.inject_many = self._inject_many_traced  # type: ignore[method-assign]
+            # are traced without any check on the untraced path.  Binary
+            # tracers get the deferred batch-capture step (timeline of
+            # per-cycle references, expanded to columns off the hot
+            # loop); JSONL tracers keep the per-event emit path.
+            if getattr(tracer, "batch_capture", False):
+                self.inject = self._inject_traced_bin  # type: ignore[method-assign]
+                self.inject_many = self._inject_many_traced_bin  # type: ignore[method-assign]
+                self._traced_step = self._step_traced_bin
+                self._p2_grants: List[Tuple[int, int, int]] = []
+                self._establish = (  # type: ignore[method-assign]
+                    self._establish_traced_clrg if self._is_clrg
+                    else self._establish_traced_plain
+                )
+            else:
+                self.inject = self._inject_traced  # type: ignore[method-assign]
+                self.inject_many = self._inject_many_traced  # type: ignore[method-assign]
+                self._traced_step = self._step_traced
             for output, arbiter in self.subblock_arbiters.items():
                 counters = getattr(arbiter, "counters", None)
                 if counters is not None:
@@ -504,7 +527,7 @@ class HiRiseSwitch(SwitchModel):
 
     def step(self, cycle: int) -> List[Flit]:
         if self._tracer is not None:
-            return self._step_traced(cycle)
+            return self._traced_step(cycle)
         # Scheduled faults land before anything else in the cycle, so a
         # channel failing at cycle k is masked from cycle k's arbitration
         # (its in-flight packet, if any, still quiesces via transmit).
@@ -633,9 +656,18 @@ class HiRiseSwitch(SwitchModel):
         self._phase2_interlayer(local_winners, candidate_vcs)
 
     def _phase1_local(
-        self, candidate_vcs: List[int], cycle: int
+        self, candidate_vcs: List[int], cycle: int,
+        blocked: Optional[List[Tuple[int, int, int]]] = None,
     ) -> Dict[int, _LocalWin]:
-        """Collect requests and run every free local resource's arbitration."""
+        """Collect requests and run every free local resource's arbitration.
+
+        ``blocked`` (binary-traced steps only) collects one
+        ``(port, dst, reason)`` entry per idle port that had head flits
+        but no viable request — the ``via_block`` events — fused into
+        the request scan so the traced path never re-derives viability.
+        Untraced and JSONL-traced calls pass ``None`` and pay only this
+        default argument.
+        """
         cfg = self.config
         layers = cfg.layers
         ports_per_layer = cfg.ports_per_layer
@@ -675,26 +707,67 @@ class HiRiseSwitch(SwitchModel):
                 vcs = port.vcs
                 start = port._rr_next_vc
                 vc = None
-                for offset in range(num_vcs):
-                    idx = start + offset
-                    if idx >= num_vcs:
-                        idx -= num_vcs
-                    fifo = vcs[idx]._fifo
-                    if fifo:
-                        head = fifo[0]
-                        if head.seq == 0:
-                            dst = head.dst
-                            if output_owner[dst] is None and not out_cooling[dst]:
-                                rid = rid_of_dst[dst]
-                                if resource_owner[rid] < 0 and not res_cooling[rid]:
-                                    vc = idx
-                                    front = head
-                                    break
-                if vc is None:
-                    continue
+                if blocked is None:
+                    for offset in range(num_vcs):
+                        idx = start + offset
+                        if idx >= num_vcs:
+                            idx -= num_vcs
+                        fifo = vcs[idx]._fifo
+                        if fifo:
+                            head = fifo[0]
+                            if head.seq == 0:
+                                dst = head.dst
+                                if output_owner[dst] is None and not out_cooling[dst]:
+                                    rid = rid_of_dst[dst]
+                                    if resource_owner[rid] < 0 and not res_cooling[rid]:
+                                        vc = idx
+                                        front = head
+                                        break
+                    if vc is None:
+                        continue
+                else:
+                    # Binary-traced twin of the scan above: identical
+                    # decisions, plus it remembers the lowest-index head
+                    # so a blocked port's ``via_block`` event (first
+                    # seq-0 front in VC *index* order, matching
+                    # `_trace_viability`) costs no second scan.
+                    cap_idx = num_vcs
+                    cap_dst = -1
+                    for offset in range(num_vcs):
+                        idx = start + offset
+                        if idx >= num_vcs:
+                            idx -= num_vcs
+                        fifo = vcs[idx]._fifo
+                        if fifo:
+                            head = fifo[0]
+                            if head.seq == 0:
+                                dst = head.dst
+                                if output_owner[dst] is None and not out_cooling[dst]:
+                                    rid = rid_of_dst[dst]
+                                    if resource_owner[rid] < 0 and not res_cooling[rid]:
+                                        vc = idx
+                                        front = head
+                                        break
+                                if idx < cap_idx:
+                                    cap_idx = idx
+                                    cap_dst = dst
+                    if vc is None:
+                        if cap_dst >= 0:
+                            dst = cap_dst
+                            if output_owner[dst] is not None:
+                                reason = REASON_OUTPUT_BUSY
+                            elif out_cooling[dst]:
+                                reason = REASON_OUTPUT_COOLING
+                            else:
+                                reason = self._blocked_reason(
+                                    port_id, dst, (rid_of_dst[dst],))
+                            blocked.append((port_id, dst, reason))
+                        continue
             else:
                 vc = port.candidate_vc(viability[port_id])
                 if vc is None:
+                    if blocked is not None:
+                        self._capture_blocked(port, blocked)
                     continue
                 front = port.vcs[vc]._fifo[0]
                 dst = front.dst
@@ -928,6 +1001,51 @@ class HiRiseSwitch(SwitchModel):
         arbiter._rank[win.local_slot] = arbiter._stamp
         arbiter._stamp += 1
 
+    def _establish_traced_clrg(
+        self, win: _LocalWin, output: int, candidate_vcs: List[int]
+    ) -> None:
+        """Binary-traced `_establish` (CLRG): also records the grant.
+
+        Twin of :meth:`_establish` plus one append capturing the phase-2
+        grant and its post-commit CLRG class (the sub-block's
+        ``record_win`` has already run in ``_subblock_clrg``), so the
+        traced step needs no second pass over the winners.
+        """
+        input_port = win.input_port
+        port = self.ports[input_port]
+        vc_index = candidate_vcs[input_port]
+        port.active_vc = vc_index
+        port._rr_next_vc = (vc_index + 1) % len(port.vcs)
+        self.resource_owner[win.resource] = input_port
+        self.output_owner[output] = input_port
+        self.connections[input_port] = (win.resource, output)
+        self.grant_cycle[input_port] = self._arb_cycle
+        arbiter = win.local_arbiter
+        arbiter._rank[win.local_slot] = arbiter._stamp
+        arbiter._stamp += 1
+        self._p2_grants.append((
+            input_port, output,
+            self.subblock_arbiters[output].counters._counts[input_port],
+        ))
+
+    def _establish_traced_plain(
+        self, win: _LocalWin, output: int, candidate_vcs: List[int]
+    ) -> None:
+        """Binary-traced `_establish` (non-CLRG): class is always -1."""
+        input_port = win.input_port
+        port = self.ports[input_port]
+        vc_index = candidate_vcs[input_port]
+        port.active_vc = vc_index
+        port._rr_next_vc = (vc_index + 1) % len(port.vcs)
+        self.resource_owner[win.resource] = input_port
+        self.output_owner[output] = input_port
+        self.connections[input_port] = (win.resource, output)
+        self.grant_cycle[input_port] = self._arb_cycle
+        arbiter = win.local_arbiter
+        arbiter._rank[win.local_slot] = arbiter._stamp
+        arbiter._stamp += 1
+        self._p2_grants.append((input_port, output, -1))
+
     # ------------------------------------------------------------------
     # Traced variants (selected at construction when a tracer is given)
     # ------------------------------------------------------------------
@@ -1085,3 +1203,160 @@ class HiRiseSwitch(SwitchModel):
                             reason = REASON_RESOURCE_BUSY
                             break
             emit(VIA_BLOCK, port_id, dst, reason)
+
+    # ------------------------------------------------------------------
+    # Binary-traced variants (deferred batch capture, repro.obs.tracebin)
+    # ------------------------------------------------------------------
+    def _inject_traced_bin(self, packet: Packet) -> None:
+        src = packet.src
+        if not 0 <= src < self.num_ports:
+            raise ValueError(f"source port {src} out of range")
+        if not 0 <= packet.dst < self.num_ports:
+            raise ValueError(f"destination port {packet.dst} out of range")
+        queue = self._queues[src]
+        queue._packets.append(packet)
+        queue._pending_flits += packet.num_flits
+        # Packet fields are immutable after injection, so capturing the
+        # object is enough; the tracer derives the inject event lazily.
+        self._tracer.timeline.append((_T_INJECT1, packet))
+
+    def _inject_many_traced_bin(self, packets: Iterable[Packet]) -> int:
+        if type(packets) is not list:
+            packets = list(packets)
+        num_ports = self.num_ports
+        queues = self._queues
+        for packet in packets:
+            src = packet.src
+            if not 0 <= src < num_ports:
+                raise ValueError(f"source port {src} out of range")
+            if not 0 <= packet.dst < num_ports:
+                raise ValueError(f"destination port {packet.dst} out of range")
+            queue = queues[src]
+            queue._packets.append(packet)
+            queue._pending_flits += packet.num_flits
+        if packets:
+            self._tracer.timeline.append((_T_INJECT, packets))
+        return len(packets)
+
+    def _step_traced_bin(self, cycle: int) -> List[Flit]:
+        """Binary-traced step(): one timeline entry per event batch.
+
+        Identical state transitions to :meth:`step`; observation cost is
+        a handful of list appends per cycle because the heavy per-event
+        expansion is deferred to :meth:`BinaryTracer.drain` (mostly by
+        capturing references to structures this step built anyway — the
+        ejected-flit list, the phase-1 winners dict — which are never
+        mutated after capture).  State-dependent payloads that a later
+        cycle would overwrite (cooling grant cycles, phase-2 outcomes,
+        viability reasons) are the only values materialised here.
+        """
+        tracer = self._tracer
+        tracer.cycle = cycle
+        timeline = tracer.timeline
+        cursor = self._fault_cursor
+        if cursor is not None:
+            due = cursor.take(cycle)
+            if due:
+                # Fault events raw-emit straight onto the timeline, in
+                # the same first-of-cycle position as the JSONL path.
+                apply_fault_events(self, due)
+        paths = self._cooling_paths
+        if paths:
+            in_cooling = self._in_cooling
+            out_cooling = self._out_cooling
+            res_cooling = self._res_cooling
+            for src, output, rid in paths:
+                in_cooling[src] = 0
+                out_cooling[output] = 0
+                res_cooling[rid] = 0
+            paths.clear()
+
+        ejected = self._transmit_and_refill(cycle)
+        if ejected:
+            timeline.append((_T_EJECT, cycle, ejected))
+        cooled = self._cooling_paths
+        if cooled:
+            # _cooling_paths is cleared next cycle and grant_cycle
+            # entries are overwritten on re-grant: materialise now.
+            granted = self.grant_cycle.get
+            timeline.append((_T_COOL, cycle, [
+                (rid, src, output, granted(src, -1))
+                for src, output, rid in cooled
+            ]))
+
+        self._arb_cycle = cycle
+        candidate_vcs = self._candidate_vc
+        blocked: List[Tuple[int, int, int]] = []
+        winners = self._phase1_local(candidate_vcs, cycle, blocked)
+        if blocked:
+            timeline.append((_T_VIA, cycle, blocked))
+        if winners:
+            timeline.append((_T_P1, cycle, winners))
+            # Phase-2 grants are captured inside the traced `_establish`
+            # (with post-commit CLRG classes); blocks are reconstructed
+            # at drain time as winners minus grants.
+            grants = self._p2_grants = []
+            self._phase2_interlayer(winners, candidate_vcs)
+            timeline.append((_T_P2, cycle, winners, grants))
+        if len(timeline) >= tracer.drain_interval:
+            tracer.drain()
+        if self._invariants is not None:
+            self._invariants.after_step(self, cycle, ejected)
+        return ejected
+
+    def _capture_blocked(
+        self, port: InputPort, blocked: List[Tuple[int, int, int]]
+    ) -> None:
+        """Record one ``via_block`` entry for a port phase 1 just skipped.
+
+        Runs only for idle ports whose request scan found no viable VC,
+        so the extra work rides on the rare branch.  Mirrors
+        :meth:`_trace_viability`: the reported head is the first seq-0
+        front in VC *index* order, and the reason decomposition reads
+        the same pre-arbitration ownership/cooling state (the request
+        scan mutates nothing, so the state is identical here).
+        """
+        head = None
+        for vc in port.vcs:
+            fifo = vc._fifo
+            if fifo:
+                flit = fifo[0]
+                if flit.seq == 0:
+                    head = flit
+                    break
+        if head is None:
+            return
+        port_id = port.port_id
+        dst = head.dst
+        if self.output_owner[dst] is not None:
+            reason = REASON_OUTPUT_BUSY
+        elif self._out_cooling[dst]:
+            reason = REASON_OUTPUT_COOLING
+        else:
+            if self.allocation.is_binned:
+                rids = (self._request_rid[port_id][dst],)
+            else:
+                rids = self._viability[port_id].rids_of_dst[dst]
+            reason = self._blocked_reason(port_id, dst, rids)
+        blocked.append((port_id, dst, reason))
+
+    def _blocked_reason(self, port_id: int, dst: int, rids) -> int:
+        """Channel/resource half of the ``via_block`` reason decomposition.
+
+        Shared cold tail of the two blocked-capture paths; callers have
+        already ruled out ``output_busy`` and ``output_cooling``.
+        """
+        cfg = self.config
+        layer_of = cfg.layer_of_port_table
+        src_layer = layer_of[port_id]
+        dst_layer = layer_of[dst]
+        if (dst_layer != src_layer
+                and not self._healthy_channels[
+                    src_layer * cfg.layers + dst_layer]):
+            return REASON_CHANNEL_FAILED
+        resource_owner = self.resource_owner
+        res_cooling = self._res_cooling
+        for rid in rids:
+            if resource_owner[rid] >= 0 and not res_cooling[rid]:
+                return REASON_RESOURCE_BUSY
+        return REASON_RESOURCE_COOLING

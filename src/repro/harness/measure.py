@@ -12,8 +12,13 @@ fleet kernel at close to one-run cost.
 
 The fleet path is an *optimisation, never a semantic change*: lane
 results are bit-identical to scalar runs, and any task the fleet cannot
-take — unsupported config, missing numpy, an attached ``tracer_factory``
-or ``invariants=True`` — simply runs on the scalar kernel.
+take — unsupported config, missing numpy, a tracer factory that is not
+fleet-capable, or ``invariants=True`` — simply runs on the scalar
+kernel.  Fleet-capable tracer factories (those advertising
+``fleet_capable = True``, like
+:class:`repro.obs.tracebin.BinaryTracerFactory`) ride the fleet
+natively: the batched kernel emits binary per-lane event streams that
+are bit-identical to what the scalar tracer would have recorded.
 """
 
 from dataclasses import replace
@@ -72,8 +77,10 @@ class SimulationMeasurement:
             identical; :func:`repro.harness.parallel.replicate`
             detects and dedupes such degenerate batches with a warning.
         tracer_factory: ``callable() -> tracer`` attached to the scalar
-            switch.  Tracing is incompatible with the fleet kernel, so
-            any tracer forces the scalar path.
+            switch.  Factories advertising ``fleet_capable = True``
+            (binary columnar tracers) keep the fleet path — the batched
+            kernel emits the same event streams natively; any other
+            tracer forces the scalar path.
         invariants: Attach a fresh
             :class:`repro.check.invariants.InvariantChecker` per run
             (scalar path only, like ``tracer_factory``).
@@ -169,10 +176,18 @@ class SimulationMeasurement:
         """This task as a LanePlan, or ``None`` if it must run scalar.
 
         ``None`` means: numpy missing, the config is outside fleet
-        support, or the measurement carries per-run attachments
-        (tracer, invariant checker) the batched kernel cannot host.
+        support, or the measurement carries per-run attachments the
+        batched kernel cannot host (an invariant checker, or a tracer
+        factory without ``fleet_capable = True``).  Fleet-capable
+        tracer factories are carried on the plan — the fleet kernel
+        emits each lane's binary event stream natively.
         """
-        if self.tracer_factory is not None or self.invariants:
+        if self.invariants:
+            return None
+        factory = self.tracer_factory
+        if factory is not None and not getattr(
+            factory, "fleet_capable", False
+        ):
             return None
         from repro.core.fleet import LanePlan, fleet_supports
 
@@ -189,6 +204,7 @@ class SimulationMeasurement:
             measure_cycles=self.measure_cycles,
             drain=self.drain,
             latency_sample_limit=self.latency_sample_limit,
+            tracer_factory=factory,
         )
 
     def task_fingerprint(self, seed: int = 0, **overrides) -> Tuple:

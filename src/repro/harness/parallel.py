@@ -88,10 +88,12 @@ def _fleet_prepass(
     A task participates when its measurement exposes ``fleet_plan`` (see
     :class:`repro.harness.measure.SimulationMeasurement`) and that call
     returns a :class:`~repro.core.fleet.LanePlan` — i.e. the config is
-    fleet-supported, numpy is present, and no tracer/invariant checker
-    is attached.  Plans are grouped by (config, windows); every group of
-    two or more lanes runs through one batched kernel, each lane result
-    being bit-identical to the scalar run the task would otherwise do.
+    fleet-supported, numpy is present, and any attachment is one the
+    batched kernel can host (fleet-capable binary tracers ride along;
+    invariant checkers and other tracers force scalar).  Plans are
+    grouped by (config, windows, tracer factory); every group of two or
+    more lanes runs through one batched kernel, each lane result being
+    bit-identical to the scalar run the task would otherwise do.
 
     Returns per-task ``(values, wall_seconds)`` lists — ``None`` entries
     mean the task was not batched (no plan, a singleton group, or a
@@ -117,7 +119,7 @@ def _fleet_prepass(
             continue
         key = (
             plan.config, plan.warmup_cycles, plan.measure_cycles,
-            plan.drain, plan.latency_sample_limit,
+            plan.drain, plan.latency_sample_limit, plan.tracer_factory,
         )
         groups.setdefault(key, []).append((index, measurement, plan))
     if not groups:

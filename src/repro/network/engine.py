@@ -345,10 +345,16 @@ class Simulation:
     def _tick(self, result: SimulationResult, measuring: bool, inject: bool) -> None:
         cycle = self._cycle
         if inject:
-            for packet in self.traffic.packets_for_cycle(cycle):
-                self.switch.inject(packet)
+            inject_many = getattr(self.switch, "inject_many", None)
+            if inject_many is not None:
+                count = inject_many(self.traffic.packets_for_cycle(cycle))
                 if measuring:
-                    result.packets_injected += 1
+                    result.packets_injected += count
+            else:
+                for packet in self.traffic.packets_for_cycle(cycle):
+                    self.switch.inject(packet)
+                    if measuring:
+                        result.packets_injected += 1
         ejected = self.switch.step(cycle)
         if measuring:
             result.cycles += 1

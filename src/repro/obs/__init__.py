@@ -5,6 +5,12 @@ Three layers, all opt-in and all zero-cost when unused:
 * :mod:`repro.obs.trace` — :class:`SwitchTracer` records cycle-level
   arbitration/datapath events from a switch built with ``tracer=``;
   exports JSONL and Chrome ``trace_event`` timelines.
+* :mod:`repro.obs.tracebin` — :class:`BinaryTracer`, the binary
+  columnar capture buffer (preallocated int32/int64 columns,
+  stride-doubling decimation, ``repro.trace_bin/v1`` files), its
+  picklable :class:`BinaryTracerFactory`, and :class:`FleetTracer`,
+  the multi-lane buffer the batched fleet kernel emits into natively.
+  JSONL and Chrome timelines are export views of the binary columns.
 * :mod:`repro.obs.stats` — a gem5-style :class:`StatsRegistry` of
   hierarchically named scalar/vector/distribution/formula statistics
   that simulation results, probes, and the many-core trackers export
@@ -27,8 +33,10 @@ from repro.obs.analyze import (
     AuditReport,
     Epoch,
     TraceAnalyzer,
+    analyze_columns,
     analyze_jsonl,
     analyze_records,
+    analyze_tracebin,
     analyze_tracer,
     compare_audits,
     filter_records,
@@ -51,10 +59,21 @@ from repro.obs.trace import (
     EVENT_FIELDS,
     EVENT_NAMES,
     SwitchTracer,
+    iter_chrome_events,
     validate_chrome,
     validate_chrome_path,
     validate_jsonl_path,
     validate_records,
+    write_chrome_stream,
+)
+from repro.obs.tracebin import (
+    BinaryTracer,
+    BinaryTracerFactory,
+    BinaryTraceWriter,
+    FleetTracer,
+    TraceColumns,
+    read_tracebin,
+    sniff_tracebin,
 )
 
 __all__ = [
@@ -65,8 +84,10 @@ __all__ = [
     "DistributionStat",
     "Epoch",
     "TraceAnalyzer",
+    "analyze_columns",
     "analyze_jsonl",
     "analyze_records",
+    "analyze_tracebin",
     "analyze_tracer",
     "compare_audits",
     "filter_records",
@@ -74,8 +95,12 @@ __all__ = [
     "resource_label",
     "summarize_records",
     "validate_audit_summary",
+    "BinaryTraceWriter",
+    "BinaryTracer",
+    "BinaryTracerFactory",
     "EVENT_FIELDS",
     "EVENT_NAMES",
+    "FleetTracer",
     "FormulaStat",
     "Heartbeat",
     "ScalarStat",
@@ -83,11 +108,16 @@ __all__ = [
     "StatsRegistry",
     "SweepTelemetry",
     "SwitchTracer",
+    "TraceColumns",
     "VectorStat",
+    "iter_chrome_events",
+    "read_tracebin",
     "render_snapshot",
+    "sniff_tracebin",
     "telemetry_snapshot",
     "validate_chrome",
     "validate_chrome_path",
     "validate_jsonl_path",
     "validate_records",
+    "write_chrome_stream",
 ]

@@ -49,12 +49,26 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.metrics.fairness import fairness_summary, jain_index, max_min_ratio
 from repro.obs.trace import (
+    CLRG_HALVE,
+    COOL,
+    DRAIN_STALL,
+    EJECT,
     EVENT_NAMES,
     FAULT_CHANNEL,
     FAULT_CLRG,
+    FAULT_INJECT,
     FAULT_INPUT,
     FAULT_NAMES,
+    FAULT_REPAIR,
+    INJECT,
+    P2_BLOCK,
+    P2_GRANT,
 )
+
+try:  # pragma: no cover - exercised via the pure-python fallback tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 #: Schema tag written into (and required of) every audit summary.
 AUDIT_SCHEMA = "repro.audit/v1"
@@ -552,6 +566,260 @@ class TraceAnalyzer:
                 self._stuck_input_ids.discard(target)
         # p1_grant / via_block contribute to counts_by_kind only.
 
+    # ------------------------------------------------------------------
+    # Columnar ingestion (binary traces)
+    # ------------------------------------------------------------------
+    def feed_row(self, cycle: int, kind: int, a: int = 0, b: int = 0,
+                 c: int = 0, d: int = 0) -> None:
+        """Consume one decoded binary event: integer columns, no dicts.
+
+        The integer twin of :meth:`feed` for
+        :class:`repro.obs.tracebin.TraceColumns` rows — same state
+        machine, same epoch/anomaly behaviour, but without building a
+        record dict per event.  The meta record must still be fed first
+        (via :meth:`feed`, normally ``columns.jsonl_meta()``).
+        """
+        if self._finished is not None:
+            raise RuntimeError("analyzer already finished")
+        name = EVENT_NAMES.get(kind)
+        if name is None:
+            raise ValueError(f"unknown event kind {kind}")
+        self._records += 1
+        if self._records == 1:
+            raise ValueError("trace must start with a meta record")
+        if cycle < 0:
+            raise ValueError(f"{name}: cycle must be a non-negative integer")
+        if self._first_cycle is None:
+            self._first_cycle = cycle
+            self._epoch_index = cycle // self.window
+        elif cycle < self._first_cycle:
+            self._first_cycle = cycle
+        if cycle > self._last_cycle:
+            self._last_cycle = cycle
+        while cycle // self.window > self._epoch_index:
+            self._close_epoch()
+        self._events += 1
+        self._counts[name] = self._counts.get(name, 0) + 1
+        if kind == COOL:
+            if 0 <= d < cycle:
+                self._res_busy[a] = self._res_busy.get(a, 0) + (cycle - d)
+        elif kind == CLRG_HALVE:
+            if b > self._halvings_by_output.get(a, 0):
+                self._halvings_by_output[a] = b
+        else:
+            self._seq_row(cycle, kind, a, b, c, d)
+
+    def _seq_row(self, cycle: int, kind: int, a: int, b: int, c: int,
+                 d: int) -> None:
+        """The order-sensitive part of the per-event state machine.
+
+        Handles the kinds that touch backlog/gap/window accumulators or
+        emit anomalies; counts-only kinds (``p1_grant``, ``via_block``,
+        ``invariant``) fall through as no-ops.  Mirrors :meth:`feed`'s
+        dispatch with the :data:`repro.obs.trace.EVENT_FIELDS` slot
+        mapping applied.
+        """
+        if kind == EJECT:
+            src = a
+            self._ensure_ports((src if src > b else b) + 1)
+            self._flits_ejected += 1
+            self._win_ejected += 1
+            if d:
+                self._packets_ejected += 1
+            backlog = self._backlog
+            if backlog[src] > 0:
+                backlog[src] -= 1
+                if backlog[src] == 0:
+                    self._gap_start[src] = None
+            self._win_active[src] = 1
+        elif kind == INJECT:
+            src = a
+            self._ensure_ports(src + 1)
+            self._packets_injected += 1
+            self._flits_injected += c
+            if self._backlog[src] == 0 and self._gap_start[src] is None:
+                self._gap_start[src] = cycle
+            self._backlog[src] += c
+            self._win_active[src] = 1
+            self._ever_active[src] = 1
+        elif kind == P2_GRANT:
+            inp = b
+            self._ensure_ports(inp + 1)
+            self._service[inp] += 1
+            self._win_grants[inp] += 1
+            self._win_active[inp] = 1
+            self._ever_active[inp] = 1
+            self._res_grants[a] = self._res_grants.get(a, 0) + 1
+            self._record_gap(inp, cycle)
+            self._gap_start[inp] = cycle if self._backlog[inp] > 0 else None
+            if d >= 0:
+                self._class_grants[d] = self._class_grants.get(d, 0) + 1
+                self._win_class_sum += d
+                self._win_class_n += 1
+        elif kind == P2_BLOCK:
+            inp = b
+            self._ensure_ports(inp + 1)
+            self._p2_blocks[inp] += 1
+            self._win_active[inp] = 1
+            self._ever_active[inp] = 1
+        elif kind == DRAIN_STALL:
+            self._add_anomaly("drain_stall", cycle, {
+                "idle_cycles": a, "occupancy": b,
+            })
+        elif kind == FAULT_INJECT:
+            self._fault_events += 1
+            if a == FAULT_CHANNEL:
+                self._failed_channel_ids.add(b)
+                if len(self._failed_channel_ids) > self._max_failed_channels:
+                    self._max_failed_channels = len(self._failed_channel_ids)
+            elif a == FAULT_INPUT:
+                self._stuck_input_ids.add(b)
+            elif a == FAULT_CLRG:
+                self._clrg_corruptions += 1
+            self._add_anomaly("fault", cycle, {
+                "fault": FAULT_NAMES.get(a, str(a)),
+                "target": b,
+                "aux": c,
+            })
+        elif kind == FAULT_REPAIR:
+            self._repair_events += 1
+            if a == FAULT_CHANNEL:
+                self._failed_channel_ids.discard(b)
+            elif a == FAULT_INPUT:
+                self._stuck_input_ids.discard(b)
+
+    def consume_columns(self, columns) -> None:
+        """Ingest a decoded binary trace (``TraceColumns``) in one pass.
+
+        Feeds the stream's meta record, then reduces the event columns —
+        vectorized per-window where numpy is available, row by row via
+        :meth:`feed_row` otherwise.  Produces state identical to feeding
+        the equivalent JSONL records through :meth:`feed`.  Fleet traces
+        carry a lane column and must be sliced per lane first
+        (``columns.for_lane(lane)``).
+        """
+        if self._finished is not None:
+            raise RuntimeError("analyzer already finished")
+        if getattr(columns, "lane", None) is not None:
+            raise ValueError(
+                "fleet trace has a lane column; analyze one lane at a "
+                "time via columns.for_lane(lane)"
+            )
+        self.feed(columns.jsonl_meta())
+        if not len(columns.kind):
+            return
+        if _np is not None:
+            self._consume_rows_np(columns.cycle, columns.kind, columns.a,
+                                  columns.b, columns.c, columns.d)
+            return
+        feed_row = self.feed_row
+        for row in zip(columns.cycle, columns.kind, columns.a, columns.b,
+                       columns.c, columns.d):
+            # int() per field: the columns may still be numpy arrays
+            # (decoded elsewhere) and numpy scalars would poison the
+            # JSON-serialisable summary dicts.
+            feed_row(int(row[0]), int(row[1]), int(row[2]), int(row[3]),
+                     int(row[4]), int(row[5]))
+
+    def _consume_rows_np(self, cyc, kind, a, b, c, d) -> None:
+        """Vectorized column ingestion (numpy available).
+
+        Bulk-reduces everything the window machinery never reads
+        (counts, cycle span, ``cool`` busy sums, ``clrg_halve`` maxima)
+        and walks only the order-sensitive kinds row by row, closing
+        epochs exactly where :meth:`feed` would: each row's effective
+        window is the running maximum of ``cycle // window`` (stray
+        earlier cycles fold into the open window), and rows that never
+        touch window state cannot change what a close observes.
+        """
+        np = _np
+        cyc = np.asarray(cyc, dtype=np.int64)
+        kind = np.asarray(kind, dtype=np.int64)
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        c = np.asarray(c, dtype=np.int64)
+        d = np.asarray(d, dtype=np.int64)
+        n = int(kind.shape[0])
+        if int(kind.min()) < 0 or int(kind.max()) >= len(EVENT_NAMES):
+            raise ValueError("unknown event kind in columns")
+        bad = np.flatnonzero(cyc < 0)
+        if len(bad):
+            name = EVENT_NAMES[int(kind[int(bad[0])])]
+            raise ValueError(f"{name}: cycle must be a non-negative integer")
+
+        counts = self._counts
+        binned = np.bincount(kind, minlength=len(EVENT_NAMES)).tolist()
+        for code, count in enumerate(binned):
+            if count:
+                name = EVENT_NAMES[code]
+                counts[name] = counts.get(name, 0) + count
+        self._records += n
+        self._events += n
+        if self._first_cycle is None:
+            self._first_cycle = int(cyc[0])
+            self._epoch_index = self._first_cycle // self.window
+        low = int(cyc.min())
+        if low < self._first_cycle:
+            self._first_cycle = low
+        high = int(cyc.max())
+        if high > self._last_cycle:
+            self._last_cycle = high
+
+        # Epoch-insensitive reductions: _close_epoch never reads the
+        # per-resource busy sums or the halving maxima.
+        cool_rows = np.flatnonzero(kind == COOL)
+        if len(cool_rows):
+            granted = d[cool_rows]
+            at = cyc[cool_rows]
+            valid = (granted >= 0) & (granted < at)
+            if valid.any():
+                uniq, inverse = np.unique(
+                    a[cool_rows][valid], return_inverse=True
+                )
+                busy = np.zeros(len(uniq), dtype=np.int64)
+                np.add.at(busy, inverse, (at - granted)[valid])
+                res_busy = self._res_busy
+                for rid, extra in zip(uniq.tolist(), busy.tolist()):
+                    res_busy[rid] = res_busy.get(rid, 0) + extra
+        halve_rows = np.flatnonzero(kind == CLRG_HALVE)
+        if len(halve_rows):
+            uniq, inverse = np.unique(a[halve_rows], return_inverse=True)
+            best = np.zeros(len(uniq), dtype=np.int64)
+            np.maximum.at(best, inverse, b[halve_rows])
+            halvings = self._halvings_by_output
+            for output, top in zip(uniq.tolist(), best.tolist()):
+                if top > halvings.get(output, 0):
+                    halvings[output] = top
+
+        # Order-sensitive kinds: backlog/gap/window accumulators and
+        # anomaly emission must interleave with epoch closes exactly as
+        # the stream dictates.  Only these rows can change what a close
+        # observes, so closes triggered between them by counts-only
+        # rows can safely wait for the next sequential row (or finish).
+        seq_rows = np.flatnonzero(
+            (kind == INJECT) | (kind == EJECT) | (kind == P2_GRANT)
+            | (kind == P2_BLOCK) | (kind == DRAIN_STALL)
+            | (kind == FAULT_INJECT) | (kind == FAULT_REPAIR)
+        )
+        if len(seq_rows):
+            epochs = np.maximum(
+                np.maximum.accumulate(cyc // self.window)[seq_rows],
+                self._epoch_index,
+            )
+            seq_row = self._seq_row
+            close = self._close_epoch
+            for cycle, code, ai, bi, ci, di, epoch in zip(
+                cyc[seq_rows].tolist(), kind[seq_rows].tolist(),
+                a[seq_rows].tolist(), b[seq_rows].tolist(),
+                c[seq_rows].tolist(), d[seq_rows].tolist(),
+                epochs.tolist(),
+            ):
+                while epoch > self._epoch_index:
+                    close()
+                seq_row(cycle, code, ai, bi, ci, di)
+        # Trailing counts-only rows may still have advanced the open
+        # window; finish() closes through _last_cycle either way.
+
     def _record_gap(self, inp: int, cycle: int) -> None:
         start = self._gap_start[inp]
         if start is None:
@@ -764,8 +1032,29 @@ def analyze_jsonl(path, **options) -> "AuditReport":
 
 
 def analyze_tracer(tracer, **options) -> "AuditReport":
-    """Audit an in-memory :class:`repro.obs.SwitchTracer` buffer."""
+    """Audit an in-memory tracer buffer.
+
+    :class:`repro.obs.BinaryTracer` goes through the columnar fast
+    path; anything exposing ``records()`` (a
+    :class:`repro.obs.SwitchTracer`) streams dict records.
+    """
+    if hasattr(tracer, "columns"):
+        return analyze_columns(tracer.columns(), **options)
     return analyze_records(tracer.records(), **options)
+
+
+def analyze_columns(columns, **options) -> "AuditReport":
+    """Audit decoded binary trace columns (``TraceColumns``)."""
+    analyzer = TraceAnalyzer(**options)
+    analyzer.consume_columns(columns)
+    return analyzer.finish()
+
+
+def analyze_tracebin(path, **options) -> "AuditReport":
+    """Audit a ``repro.trace_bin/v1`` file via the columnar path."""
+    from repro.obs.tracebin import read_tracebin
+
+    return analyze_columns(read_tracebin(path), **options)
 
 
 # ---------------------------------------------------------------------------
@@ -911,8 +1200,8 @@ class AuditReport:
         cmult = self.meta.get("channel_multiplicity", 0)
         span = self.cycles
         ranked = sorted(
-            self.resource_busy, key=self.resource_busy.__getitem__,
-            reverse=True,
+            self.resource_busy,
+            key=lambda rid: (-self.resource_busy[rid], rid),
         )[: self.top_resources]
         return [
             {

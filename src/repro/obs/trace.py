@@ -267,90 +267,132 @@ class SwitchTracer:
         output, drain stalls); pid 2 carries an ``ejected_flits``
         counter sampled on every cycle that ejected at least one flit.
         """
-        trace_events: List[Dict[str, object]] = [
-            {"ph": "M", "pid": 0, "name": "process_name",
-             "args": {"name": "switch paths"}},
-            {"ph": "M", "pid": 1, "name": "process_name",
-             "args": {"name": "arbitration"}},
-            {"ph": "M", "pid": 2, "name": "process_name",
-             "args": {"name": "throughput"}},
-        ]
-        named_resources = set()
-        open_paths: Dict[int, Tuple[int, int, int]] = {}  # input -> state
-        ejected_per_cycle: Counter = Counter()
-        last_cycle = 0
-
-        def name_resource(resource: int) -> None:
-            if resource not in named_resources:
-                named_resources.add(resource)
-                trace_events.append({
-                    "ph": "M", "pid": 0, "tid": resource,
-                    "name": "thread_name",
-                    "args": {"name": self.resource_name(resource)},
-                })
-
-        for cycle, kind, a, b, c, d in self.events:
-            last_cycle = cycle if cycle > last_cycle else last_cycle
-            if kind == P2_GRANT:
-                open_paths[b] = (cycle, a, c)
-            elif kind == COOL:
-                name_resource(a)
-                start = d if d >= 0 else cycle
-                trace_events.append({
-                    "name": f"in{b} -> out{c}", "cat": "path", "ph": "X",
-                    "ts": start, "dur": max(cycle - start, 1),
-                    "pid": 0, "tid": a,
-                })
-                open_paths.pop(b, None)
-            elif kind == EJECT:
-                ejected_per_cycle[cycle] += 1
-            elif kind == CLRG_HALVE:
-                trace_events.append({
-                    "name": "clrg_halve", "cat": "clrg", "ph": "i",
-                    "ts": cycle, "pid": 1, "tid": a, "s": "t",
-                    "args": {"output": a, "halvings": b},
-                })
-            elif kind == DRAIN_STALL:
-                trace_events.append({
-                    "name": "drain_stall", "cat": "engine", "ph": "i",
-                    "ts": cycle, "pid": 1, "tid": 0, "s": "g",
-                    "args": {"idle_cycles": a, "occupancy": b},
-                })
-            elif kind == FAULT_INJECT or kind == FAULT_REPAIR:
-                verb = "fault" if kind == FAULT_INJECT else "repair"
-                kind_name = FAULT_NAMES.get(a, str(a))
-                target = (
-                    self.resource_name(b) if a == FAULT_CHANNEL else str(b)
-                )
-                trace_events.append({
-                    "name": f"{verb}:{kind_name} {target}", "cat": "fault",
-                    "ph": "i", "ts": cycle, "pid": 1, "tid": 0, "s": "g",
-                    "args": {"fault": kind_name, "target": b, "aux": c},
-                })
-        # Paths still streaming when the trace ended.
-        for input_port, (start, resource, output) in open_paths.items():
-            name_resource(resource)
-            trace_events.append({
-                "name": f"in{input_port} -> out{output} (open)",
-                "cat": "path", "ph": "X", "ts": start,
-                "dur": max(last_cycle - start, 1), "pid": 0, "tid": resource,
-            })
-        for cycle in sorted(ejected_per_cycle):
-            trace_events.append({
-                "name": "ejected_flits", "ph": "C", "ts": cycle,
-                "pid": 2, "args": {"flits": ejected_per_cycle[cycle]},
-            })
-        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        return {
+            "traceEvents": list(
+                iter_chrome_events(self.events, self.resource_name)
+            ),
+            "displayTimeUnit": "ms",
+        }
 
     def write_chrome(self, destination: Union[str, IO[str]]) -> int:
-        """Write the Chrome trace; returns the number of trace events."""
-        trace = self.chrome_trace()
-        if hasattr(destination, "write"):
-            json.dump(trace, destination)
-        else:
-            with open(destination, "w", encoding="utf-8") as handle:
-                json.dump(trace, handle)
-        return len(trace["traceEvents"])
+        """Stream the Chrome trace; returns the number of trace events.
+
+        Events are serialised record-by-record, so memory stays bounded
+        regardless of trace size (the event *source* here is the
+        in-memory tuple buffer; the binary tracer streams from columns).
+        """
+        return write_chrome_stream(
+            destination, iter_chrome_events(self.events, self.resource_name)
+        )
+
+
+def iter_chrome_events(events, resource_name) -> Iterator[Dict[str, object]]:
+    """Generate Chrome ``trace_event`` dicts from raw event tuples.
+
+    Shared by :class:`SwitchTracer`, the binary tracer, and the
+    ``--convert`` CLI path.  Streaming: per-cycle ejected-flit counter
+    samples flush as soon as the eject cycle advances (eject cycles are
+    non-decreasing in every kernel's stream), so the only state held
+    across the sweep is the open-path table and the resource-name set.
+
+    Args:
+        events: Iterable of ``(cycle, kind, a, b, c, d)`` tuples.
+        resource_name: ``callable(resource_id) -> str`` for labelling.
+    """
+    yield {"ph": "M", "pid": 0, "name": "process_name",
+           "args": {"name": "switch paths"}}
+    yield {"ph": "M", "pid": 1, "name": "process_name",
+           "args": {"name": "arbitration"}}
+    yield {"ph": "M", "pid": 2, "name": "process_name",
+           "args": {"name": "throughput"}}
+    named_resources = set()
+    open_paths: Dict[int, Tuple[int, int, int]] = {}  # input -> state
+    eject_cycle = -1
+    eject_count = 0
+    last_cycle = 0
+
+    def name_resource(resource: int) -> Optional[Dict[str, object]]:
+        if resource in named_resources:
+            return None
+        named_resources.add(resource)
+        return {"ph": "M", "pid": 0, "tid": resource, "name": "thread_name",
+                "args": {"name": resource_name(resource)}}
+
+    for cycle, kind, a, b, c, d in events:
+        cycle = int(cycle)
+        kind = int(kind)
+        last_cycle = cycle if cycle > last_cycle else last_cycle
+        if kind == P2_GRANT:
+            open_paths[int(b)] = (cycle, int(a), int(c))
+        elif kind == COOL:
+            naming = name_resource(int(a))
+            if naming is not None:
+                yield naming
+            start = int(d) if d >= 0 else cycle
+            yield {"name": f"in{b} -> out{c}", "cat": "path", "ph": "X",
+                   "ts": start, "dur": max(cycle - start, 1),
+                   "pid": 0, "tid": int(a)}
+            open_paths.pop(int(b), None)
+        elif kind == EJECT:
+            if cycle != eject_cycle:
+                if eject_count:
+                    yield {"name": "ejected_flits", "ph": "C",
+                           "ts": eject_cycle, "pid": 2,
+                           "args": {"flits": eject_count}}
+                eject_cycle = cycle
+                eject_count = 0
+            eject_count += 1
+        elif kind == CLRG_HALVE:
+            yield {"name": "clrg_halve", "cat": "clrg", "ph": "i",
+                   "ts": cycle, "pid": 1, "tid": int(a), "s": "t",
+                   "args": {"output": int(a), "halvings": int(b)}}
+        elif kind == DRAIN_STALL:
+            yield {"name": "drain_stall", "cat": "engine", "ph": "i",
+                   "ts": cycle, "pid": 1, "tid": 0, "s": "g",
+                   "args": {"idle_cycles": int(a), "occupancy": int(b)}}
+        elif kind == FAULT_INJECT or kind == FAULT_REPAIR:
+            verb = "fault" if kind == FAULT_INJECT else "repair"
+            kind_name = FAULT_NAMES.get(int(a), str(a))
+            target = (
+                resource_name(int(b)) if a == FAULT_CHANNEL else str(b)
+            )
+            yield {"name": f"{verb}:{kind_name} {target}", "cat": "fault",
+                   "ph": "i", "ts": cycle, "pid": 1, "tid": 0, "s": "g",
+                   "args": {"fault": kind_name, "target": int(b),
+                            "aux": int(c)}}
+    if eject_count:
+        yield {"name": "ejected_flits", "ph": "C", "ts": eject_cycle,
+               "pid": 2, "args": {"flits": eject_count}}
+    # Paths still streaming when the trace ended.
+    for input_port, (start, resource, output) in open_paths.items():
+        naming = name_resource(resource)
+        if naming is not None:
+            yield naming
+        yield {"name": f"in{input_port} -> out{output} (open)",
+               "cat": "path", "ph": "X", "ts": start,
+               "dur": max(last_cycle - start, 1), "pid": 0, "tid": resource}
+
+
+def write_chrome_stream(destination: Union[str, IO[str]],
+                        events: Iterable[Dict[str, object]]) -> int:
+    """Serialise Chrome trace events record-by-record; returns the count.
+
+    Writes the ``traceEvents`` container incrementally instead of
+    materialising the full event list, so exporting an arbitrarily large
+    trace runs in bounded memory.
+    """
+    if not hasattr(destination, "write"):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return write_chrome_stream(handle, events)
+    destination.write('{"traceEvents": [')
+    count = 0
+    for event in events:
+        if count:
+            destination.write(", ")
+        destination.write(json.dumps(event))
+        count += 1
+    destination.write('], "displayTimeUnit": "ms"}')
+    return count
 
 
 # ---------------------------------------------------------------------------

@@ -105,6 +105,33 @@ def test_replicate_dedupes_pinned_traffic_seed():
     assert interval.mean == measurement(seed=0)
 
 
+def test_binary_tracer_factory_keeps_fleet_path():
+    # A fleet-capable tracer factory no longer forces scalar fallback:
+    # the plan carries it, the fleet runs traced natively, and every
+    # value stays bit-identical to the scalar traced path.
+    from repro.obs.tracebin import BinaryTracerFactory
+
+    from repro.obs.tracebin import BinaryTracer
+
+    traced = make_measurement(tracer_factory=BinaryTracerFactory())
+    assert traced.fleet_plan(seed=0) is not None
+    assert traced.fleet_plan(seed=0).tracer_factory == \
+        BinaryTracerFactory()
+
+    # The scalar control attaches the same tracer type through a factory
+    # that lacks the ``fleet_capable`` marker, so it takes the scalar
+    # kernel with a real BinaryTracer bound to every run.
+    scalar_traced = make_measurement(
+        tracer_factory=lambda: BinaryTracer()
+    )
+    assert scalar_traced.fleet_plan(seed=0) is None
+    fleet_points = run_sweep(traced, GRID, replications=3)
+    scalar_points = run_sweep(scalar_traced, GRID, replications=3)
+    assert [p.value for p in fleet_points] == [
+        p.value for p in scalar_points
+    ]
+
+
 def test_invariants_attachment_forces_scalar_but_same_values():
     checked = make_measurement(invariants=True)
     assert checked.fleet_plan(seed=0) is None

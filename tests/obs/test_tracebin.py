@@ -1,0 +1,373 @@
+"""Binary columnar tracing: capture parity, round-trips, torn files.
+
+The contract under test, per layer:
+
+* **capture** — a ``BinaryTracer`` on the fast kernel records exactly
+  the event stream a ``SwitchTracer`` records, and attaching either
+  changes nothing about the simulation results (traced == untraced,
+  bit for bit); fast and reference kernels emit identical binary
+  streams;
+* **round-trips** — every event kind survives binary -> file ->
+  columns -> JSONL and back, including the rare kinds (fault_repair,
+  invariant) no saturation run produces;
+* **files** — ``repro.trace_bin/v1`` readers tolerate torn/truncated
+  tails (crash during a run) and reject garbage;
+* **analysis** — the audit summary is identical whether the analyzer
+  ingests the JSONL view or the binary columns, with or without numpy.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import HiRiseConfig
+from repro.core.hirise import HiRiseSwitch
+from repro.core.reference import ReferenceHiRiseSwitch
+from repro.network.engine import Simulation
+from repro.obs.analyze import analyze_jsonl, analyze_tracer
+from repro.obs.trace import (
+    EVENT_FIELDS,
+    EVENT_NAMES,
+    SwitchTracer,
+    validate_chrome_path,
+    validate_jsonl_path,
+)
+from repro.obs.tracebin import (
+    BinaryTracer,
+    BinaryTracerFactory,
+    FleetTracer,
+    read_tracebin,
+    sniff_tracebin,
+)
+from repro.traffic import HotspotTraffic, UniformRandomTraffic
+
+np = pytest.importorskip("numpy")
+
+
+def small_config(**overrides):
+    defaults = dict(radix=16, layers=4, channel_multiplicity=2)
+    defaults.update(overrides)
+    return HiRiseConfig(**defaults)
+
+
+def run_switch(switch, cycles=300, warmup=40, load=0.3, seed=9):
+    traffic = UniformRandomTraffic(
+        switch.num_ports, load=load, seed=seed
+    )
+    return Simulation(switch, traffic, warmup_cycles=warmup).run(
+        measure_cycles=cycles
+    )
+
+
+def result_fields(result):
+    return (
+        result.packets_injected, result.packets_ejected,
+        result.flits_ejected, result.cycles, result.packet_latencies,
+        result.per_input_ejected, result.per_input_latency_sum,
+        result.per_output_ejected,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Capture parity
+# ---------------------------------------------------------------------------
+class TestCaptureParity:
+    @pytest.mark.parametrize("arbitration", ["clrg", "l2l_lrg", "age"])
+    def test_binary_stream_equals_switch_tracer_stream(self, arbitration):
+        config = small_config(arbitration=arbitration)
+        binary = BinaryTracer(capacity=None)
+        rows = SwitchTracer(capacity=None)
+        run_switch(HiRiseSwitch(config, tracer=binary))
+        run_switch(HiRiseSwitch(config, tracer=rows))
+        assert binary.events == rows.events
+        assert binary.counts_by_kind() == rows.counts_by_kind()
+
+    def test_traced_run_bit_identical_to_untraced(self):
+        config = small_config()
+        untraced = run_switch(HiRiseSwitch(config))
+        traced = run_switch(
+            HiRiseSwitch(config, tracer=BinaryTracer(capacity=None))
+        )
+        assert result_fields(traced) == result_fields(untraced)
+
+    @pytest.mark.parametrize("allocation", ["input_binned", "priority"])
+    def test_fast_and_reference_kernels_emit_identical_streams(
+        self, allocation
+    ):
+        config = small_config(allocation=allocation)
+        fast = BinaryTracer(capacity=None)
+        reference = BinaryTracer(capacity=None)
+        fast_result = run_switch(
+            HiRiseSwitch(config, tracer=fast), cycles=150
+        )
+        ref_result = run_switch(
+            ReferenceHiRiseSwitch(config, tracer=reference), cycles=150
+        )
+        assert result_fields(fast_result) == result_fields(ref_result)
+        assert fast.events == reference.events
+
+    def test_jsonl_and_chrome_views_match_switch_tracer(self, tmp_path):
+        config = small_config()
+        binary = BinaryTracer(capacity=None)
+        rows = SwitchTracer(capacity=None)
+        run_switch(HiRiseSwitch(config, tracer=binary), cycles=120)
+        run_switch(HiRiseSwitch(config, tracer=rows), cycles=120)
+        bin_jsonl = tmp_path / "bin.jsonl"
+        row_jsonl = tmp_path / "row.jsonl"
+        binary.write_jsonl(str(bin_jsonl))
+        rows.write_jsonl(str(row_jsonl))
+        assert bin_jsonl.read_text() == row_jsonl.read_text()
+        validate_jsonl_path(str(bin_jsonl))
+        bin_chrome = tmp_path / "bin.json"
+        binary.write_chrome(str(bin_chrome))
+        validate_chrome_path(str(bin_chrome))
+
+
+# ---------------------------------------------------------------------------
+# Every event kind round-trips (including kinds no simulation emits here)
+# ---------------------------------------------------------------------------
+def all_kinds_tracer():
+    """One event of every kind, hand-emitted like the kernels do."""
+    tracer = BinaryTracer(capacity=None)
+    tracer.bind(HiRiseSwitch(small_config()))
+    tracer.inject(0, 1, 2, 4, 77)             # inject
+    for kind in range(len(EVENT_NAMES)):
+        if EVENT_NAMES[kind] == "inject":
+            continue
+        tracer.cycle = kind + 1
+        payload = tuple(range(3, 3 + len(EVENT_FIELDS[kind])))
+        tracer.emit(kind, *payload)
+    return tracer
+
+
+class TestRoundTrips:
+    def test_all_twelve_kinds_survive_file_round_trip(self, tmp_path):
+        tracer = all_kinds_tracer()
+        assert len(tracer.events) == len(EVENT_NAMES)
+        path = tmp_path / "kinds.tracebin"
+        tracer.save(str(path))
+        assert sniff_tracebin(str(path))
+        columns = read_tracebin(str(path))
+        assert list(columns.iter_events()) == tracer.events
+        assert columns.meta["radix"] == 16
+        assert not columns.truncated
+
+    def test_all_kinds_survive_jsonl_round_trip(self, tmp_path):
+        from repro.obs.analyze import iter_jsonl
+
+        tracer = all_kinds_tracer()
+        path = tmp_path / "kinds.jsonl"
+        tracer.write_jsonl(str(path))
+        records = list(iter_jsonl(str(path)))
+        assert records[0]["event"] == "meta"
+        names = [record["event"] for record in records[1:]]
+        assert sorted(names) == sorted(EVENT_NAMES.values())
+        # Rare kinds explicitly: fault_repair (10) and invariant (11).
+        assert "fault_repair" in names and "invariant" in names
+        by_name = {record["event"]: record for record in records[1:]}
+        repair = by_name["fault_repair"]
+        assert [repair[f] for f in EVENT_FIELDS[10]] == [3, 4]
+        check = by_name["invariant"]
+        assert [check[f] for f in EVENT_FIELDS[11]] == [3, 4, 5]
+
+    def test_fault_and_invariant_kinds_from_a_real_run(self, tmp_path):
+        from repro.faults import (
+            FaultSchedule, fail_channel, fail_input, repair_channel,
+            repair_input,
+        )
+
+        schedule = FaultSchedule([
+            fail_channel(3, 0, 1, 0), fail_input(5, 2),
+            repair_channel(12, 0, 1, 0), repair_input(14, 2),
+        ])
+        tracer = BinaryTracer(capacity=None)
+        switch = HiRiseSwitch(
+            small_config(), tracer=tracer, faults=schedule
+        )
+        run_switch(switch, cycles=60, warmup=0)
+        counts = tracer.counts_by_kind()
+        assert counts["fault_inject"] == 2
+        assert counts["fault_repair"] == 2
+        path = tmp_path / "faults.tracebin"
+        tracer.save(str(path))
+        columns = read_tracebin(str(path))
+        assert list(columns.iter_events()) == tracer.events
+
+
+# ---------------------------------------------------------------------------
+# Decimation and spill
+# ---------------------------------------------------------------------------
+class TestDecimation:
+    def test_stride_doubles_and_keeps_counter_multiples(self):
+        tracer = BinaryTracer(capacity=8)
+        tracer.bind(HiRiseSwitch(small_config()))
+        for index in range(40):
+            tracer.cycle = index
+            tracer.emit(2, index, 0, 0, 0)
+        tracer.drain()
+        assert tracer.stride == 8
+        assert tracer.dropped == 40 - len(tracer.events)
+        # Retained events are exactly the stride-multiples of the
+        # original sequence, so parity survives decimation.
+        assert [event[2] for event in tracer.events] == list(
+            range(0, 40, 8)
+        )
+
+    def test_decimated_capture_matches_switch_tracer_semantics(self):
+        config = small_config()
+        binary = BinaryTracer(capacity=256)
+        run_switch(HiRiseSwitch(config, tracer=binary), cycles=200)
+        full = BinaryTracer(capacity=None)
+        run_switch(HiRiseSwitch(config, tracer=full), cycles=200)
+        stride = binary.stride
+        assert stride > 1
+        assert binary.events == full.events[::stride]
+        assert binary.dropped == len(full.events) - len(binary.events)
+
+    def test_spill_path_keeps_full_fidelity(self, tmp_path):
+        path = tmp_path / "spill.tracebin"
+        spilling = BinaryTracer(capacity=512, spill_path=str(path))
+        config = small_config()
+        run_switch(HiRiseSwitch(config, tracer=spilling), cycles=200)
+        spilling.save(str(path))
+        full = BinaryTracer(capacity=None)
+        run_switch(HiRiseSwitch(config, tracer=full), cycles=200)
+        columns = read_tracebin(str(path))
+        assert list(columns.iter_events()) == full.events
+        assert columns.stride == 1
+
+
+# ---------------------------------------------------------------------------
+# Torn and invalid files
+# ---------------------------------------------------------------------------
+class TestTornFiles:
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        tracer = BinaryTracer(capacity=None)
+        run_switch(HiRiseSwitch(small_config(), tracer=tracer), cycles=120)
+        path = tmp_path / "whole.tracebin"
+        tracer.save(str(path))
+        return path, tracer
+
+    def test_torn_tail_recovers_complete_segments(self, tmp_path):
+        # A spilling tracer writes many segments; tearing the file
+        # mid-segment must recover every complete segment before it.
+        path = tmp_path / "spill.tracebin"
+        tracer = BinaryTracer(capacity=512, spill_path=str(path))
+        tracer.drain_interval = 50  # drain often -> many small segments
+        run_switch(HiRiseSwitch(small_config(), tracer=tracer), cycles=120)
+        tracer.save(str(path))
+        blob = path.read_bytes()
+        assert blob.count(b"SGMT") > 2
+        full = list(read_tracebin(str(path)).iter_events())
+        torn = tmp_path / "torn.tracebin"
+        torn.write_bytes(blob[: len(blob) * 2 // 3])
+        columns = read_tracebin(str(torn))
+        assert columns.truncated
+        events = list(columns.iter_events())
+        assert 0 < len(events) < len(full)
+        assert events == full[: len(events)]
+
+    def test_torn_single_segment_recovers_empty(self, saved, tmp_path):
+        path, tracer = saved
+        blob = path.read_bytes()
+        torn = tmp_path / "torn.tracebin"
+        torn.write_bytes(blob[: len(blob) * 2 // 3])
+        columns = read_tracebin(str(torn))
+        assert columns.truncated
+        assert len(columns) == 0
+        assert columns.meta["radix"] == 16  # header still intact
+
+    def test_strict_mode_rejects_torn_tail(self, saved, tmp_path):
+        path, _ = saved
+        blob = path.read_bytes()
+        torn = tmp_path / "torn.tracebin"
+        torn.write_bytes(blob[: len(blob) - 5])
+        with pytest.raises(ValueError):
+            read_tracebin(str(torn), strict=True)
+
+    def test_garbage_and_short_files_rejected(self, tmp_path):
+        bad = tmp_path / "bad.tracebin"
+        bad.write_bytes(b"not a trace at all")
+        assert not sniff_tracebin(str(bad))
+        with pytest.raises(ValueError):
+            read_tracebin(str(bad))
+        tiny = tmp_path / "tiny.tracebin"
+        tiny.write_bytes(b"RP")
+        assert not sniff_tracebin(str(tiny))
+
+
+# ---------------------------------------------------------------------------
+# Analyzer equality: binary path == JSONL path
+# ---------------------------------------------------------------------------
+class TestAnalyzerEquality:
+    @pytest.fixture(scope="class")
+    def golden(self, tmp_path_factory):
+        """A hotspot run with real contention, in all trace forms."""
+        root = tmp_path_factory.mktemp("golden")
+        tracer = BinaryTracer(capacity=None)
+        switch = HiRiseSwitch(small_config(), tracer=tracer)
+        traffic = HotspotTraffic(16, load=0.1, hotspot_output=3, seed=4)
+        Simulation(switch, traffic, warmup_cycles=100).run(
+            measure_cycles=800
+        )
+        jsonl = root / "golden.jsonl"
+        binary = root / "golden.tracebin"
+        tracer.write_jsonl(str(jsonl))
+        tracer.save(str(binary))
+        return tracer, jsonl, binary
+
+    def test_binary_and_jsonl_summaries_identical(self, golden):
+        from repro.obs.analyze import analyze_tracebin
+
+        tracer, jsonl, binary = golden
+        from_jsonl = analyze_jsonl(str(jsonl)).summary()
+        from_binary = analyze_tracebin(str(binary)).summary()
+        from_tracer = analyze_tracer(tracer).summary()
+        assert json.dumps(from_binary, sort_keys=True) == json.dumps(
+            from_jsonl, sort_keys=True
+        )
+        assert json.dumps(from_tracer, sort_keys=True) == json.dumps(
+            from_jsonl, sort_keys=True
+        )
+
+    def test_pure_python_columnar_path_identical(self, golden, monkeypatch):
+        import repro.obs.analyze as analyze_module
+
+        _, jsonl, binary = golden
+        expected = analyze_jsonl(str(jsonl)).summary()
+        monkeypatch.setattr(analyze_module, "_np", None)
+        fallback = analyze_module.analyze_tracebin(str(binary)).summary()
+        assert json.dumps(fallback, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# Factory and validation
+# ---------------------------------------------------------------------------
+class TestFactory:
+    def test_factory_is_fleet_capable_and_comparable(self):
+        factory = BinaryTracerFactory(capacity=1024)
+        assert factory.fleet_capable
+        assert factory == BinaryTracerFactory(capacity=1024)
+        assert factory != BinaryTracerFactory(capacity=2048)
+        assert hash(factory) == hash(BinaryTracerFactory(capacity=1024))
+        tracer = factory()
+        assert isinstance(tracer, BinaryTracer)
+        assert tracer.capacity == 1024
+
+    def test_factory_pickles(self):
+        import pickle
+
+        factory = BinaryTracerFactory(capacity=64)
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+
+    def test_invalid_capacities_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryTracer(capacity=0)
+        with pytest.raises(ValueError):
+            FleetTracer(2, capacity=0)
+        with pytest.raises(ValueError):
+            FleetTracer(0)
