@@ -30,7 +30,13 @@ cyclic GC paused — a collection landing inside one side of an on/off
 pair would otherwise dwarf the effects these gates measure.  The runtime invariant checker (``repro.check``) is
 measured the same way: invariants-off is the headline benchmark itself
 (covered by the same gate), and the invariants-on overhead is reported
-alongside the tracing numbers.
+alongside the tracing numbers.  The self-profiling counters
+(``repro.obs.perf.PerfCounters``) get the same treatment: perf-off is
+the headline benchmark (one ``perf is None`` branch, covered by the 2%
+gate) and the perf-on overhead at the default sampling stride is gated
+at 5%, again as a min-over-rounds within-run ratio.  ``--ledger FILE``
+additionally appends the run's headline metrics to an append-only
+``repro.perf/v1`` cross-run history (see ``python -m repro perf``).
 
 With ``--fleet`` the batched structure-of-arrays fleet kernel
 (:mod:`repro.core.fleet`) is benchmarked at B=32 lanes against the
@@ -84,6 +90,11 @@ TRACING_OFF_TOLERANCE = 0.02
 #: benchmark.  Measured as a within-run interleaved on/off ratio, so
 #: the gate is machine-independent.
 TRACEBIN_OVERHEAD_BUDGET = 0.10
+#: Maximum tolerated overhead of attached :class:`repro.obs.perf.PerfCounters`
+#: at the default sampling stride, measured the same interleaved way.
+#: The perf-off path is the headline benchmark itself (one ``perf is
+#: None`` branch) and is covered by the tracing-off gate.
+PERF_OVERHEAD_BUDGET = 0.05
 #: The fast-path kernel's committed normalised score on hirise_64x4_c4
 #: as of the PR that introduced it (pre-observability), the reference
 #: point for the tracing-off overhead gate.
@@ -395,6 +406,68 @@ def run_benchmarks(cycles: int, trials: int, include_reference: bool) -> dict:
         }
     report["tracing_bin"] = bin_section
 
+    # Self-profiling counters (repro.obs.perf) on the headline config at
+    # the default sampling stride.  Same methodology as the binary-trace
+    # gate: independent rounds of interleaved off/on pairs at a pinned
+    # cycle floor with the GC paused, gating the cleanest round.
+    from repro.obs.perf import DEFAULT_STRIDE, PerfCounters
+
+    perf_holder = []
+
+    def perf_factory():
+        counters = PerfCounters(stride=DEFAULT_STRIDE)
+        perf_holder[:] = [counters]
+        return HiRiseSwitch(
+            HiRiseConfig(radix=RADIX, layers=LAYERS, channel_multiplicity=4),
+            perf=counters,
+        )
+
+    perf_cycles = max(cycles, 6000)
+    perf_rounds, perf_pairs = 4, max(trials, 3)
+    print(f"  hirise_64x4_c4 (perf counters, stride {DEFAULT_STRIDE}, "
+          f"{perf_rounds} rounds x {perf_pairs} pairs x {perf_cycles} "
+          f"cycles) ...", end="", flush=True)
+    perf_round_overheads = []
+    perf_off = perf_on = 0.0
+    for _ in range(perf_rounds):
+        round_off = round_on = 0.0
+        for _ in range(perf_pairs):
+            round_off = max(
+                round_off, bench_switch(untraced_factory, perf_cycles, 1)
+            )
+            round_on = max(
+                round_on, bench_switch(perf_factory, perf_cycles, 1)
+            )
+        perf_round_overheads.append(1.0 - round_on / round_off)
+        if perf_round_overheads[-1] == min(perf_round_overheads):
+            perf_off, perf_on = round_off, round_on
+    perf_overhead = min(perf_round_overheads)
+    counters = perf_holder[-1]
+    print(f" {perf_on:.0f} cycles/s (off {perf_off:.0f}, "
+          f"overhead {perf_overhead:.1%}; rounds "
+          f"{', '.join(f'{o:.1%}' for o in perf_round_overheads)})")
+    report["perf_counters"] = {
+        "off_cycles_per_sec": round(perf_off, 1),
+        "on_cycles_per_sec": round(perf_on, 1),
+        "on_overhead_frac": round(perf_overhead, 4),
+        "round_overheads": [round(o, 4) for o in perf_round_overheads],
+        "overhead_budget": PERF_OVERHEAD_BUDGET,
+        "stride": DEFAULT_STRIDE,
+        "cycles": perf_cycles,
+        "cycles_sampled": counters.cycles_sampled,
+        "phase_fractions": {
+            phase: round(frac, 4)
+            for phase, frac in counters.phase_fractions().items()
+        },
+        "note": (
+            "PerfCounters attached at the default stride vs unattached, "
+            "interleaved best-of pairs with the GC paused at a pinned "
+            ">=6000-cycle floor; the cleanest round (min overhead) is "
+            "the --check gate.  The perf-off path is the headline "
+            "benchmark and is covered by the tracing-off gate."
+        ),
+    }
+
     # Runtime invariant checking (repro.check) on the headline config.
     # Checking-off is, like tracing-off, the headline benchmark itself
     # (an unchecked switch carries only one ``invariants is None`` branch
@@ -666,6 +739,21 @@ def check_regression(report: dict, committed_path: Path) -> int:
                 f"binary tracing-on overhead {overhead:.1%} exceeds "
                 f"the {TRACEBIN_OVERHEAD_BUDGET:.0%} budget"
             )
+    perf_section = report.get("perf_counters")
+    if perf_section is not None and "on_overhead_frac" in perf_section:
+        overhead = perf_section["on_overhead_frac"]
+        status = "ok" if overhead <= PERF_OVERHEAD_BUDGET else "REGRESSION"
+        print(
+            f"  perf-counters-on overhead: {overhead:.1%} "
+            f"(budget {PERF_OVERHEAD_BUDGET:.0%}, {status}; "
+            f"stride {perf_section['stride']}, "
+            f"{perf_section['cycles_sampled']} cycles sampled)"
+        )
+        if overhead > PERF_OVERHEAD_BUDGET:
+            failures.append(
+                f"perf-counters-on overhead {overhead:.1%} exceeds "
+                f"the {PERF_OVERHEAD_BUDGET:.0%} budget"
+            )
     invariants = report.get("invariants")
     if invariants is not None:
         # Informational: the checked kernel is a fuzzing/debug mode.
@@ -732,6 +820,11 @@ def main(argv=None) -> int:
         "--fleet-output", type=Path, default=DEFAULT_FLEET_OUTPUT,
         help="where to write (or check against) the fleet JSON report",
     )
+    parser.add_argument(
+        "--ledger", type=Path, default=None,
+        help="also append the headline metrics to this repro.perf/v1 "
+             "cross-run ledger (see `python -m repro perf`)",
+    )
     args = parser.parse_args(argv)
     if args.cycles < 1:
         parser.error("--cycles must be >= 1")
@@ -752,6 +845,33 @@ def main(argv=None) -> int:
             cycles, trials, include_reference=args.reference
         )
         print(f"calibration score: {report['calibration_score']:.3g} ops/s")
+        if args.ledger is not None:
+            from repro.obs.perf import (
+                append_ledger_entry, make_ledger_entry,
+            )
+
+            headline_config = HiRiseConfig(
+                radix=RADIX, layers=LAYERS, channel_multiplicity=4
+            )
+            headline_entry = report["benchmarks"]["hirise_64x4_c4"]
+            metrics = {
+                "cycles_per_sec": headline_entry["cycles_per_sec"],
+                "normalized": headline_entry["normalized"],
+                "calibration_ops_per_sec": report["calibration_score"],
+            }
+            for section, metric in (
+                ("perf_counters", "perf_on_overhead_frac"),
+                ("tracing_bin", "tracebin_on_overhead_frac"),
+            ):
+                overhead = report.get(section, {}).get("on_overhead_frac")
+                if overhead is not None:
+                    metrics[metric] = overhead
+            append_ledger_entry(args.ledger, make_ledger_entry(
+                headline_config,
+                f"bench_kernel/saturation_uniform_64x4_c4_{cycles}c",
+                metrics,
+            ))
+            print(f"appended headline metrics to ledger {args.ledger}")
         if args.check:
             exit_code = check_regression(report, args.output)
         else:

@@ -19,7 +19,12 @@ Commands:
   markdown reports, optionally diffing against a baseline summary
   (non-zero exit on regression);
 * ``stats``    — run a probed simulation and dump the gem5-style
-  statistics registry (text or JSON);
+  statistics registry (text, JSON, or Prometheus text exposition);
+* ``perf``     — micro-benchmark the simulator itself, append results
+  to an append-only cross-run ledger (``repro.perf/v1`` JSONL), show
+  history, print a per-phase wall-time breakdown, and gate against a
+  baseline ledger with direction-aware regression checks (non-zero
+  exit on regression);
 * ``faults``   — run a fault schedule (loaded from JSON or freshly
   generated) through a degraded-mode simulation, report per-phase
   throughput/latency/reachability, and optionally verify that both
@@ -29,6 +34,7 @@ Every command prints paper-vs-measured where the paper publishes a value.
 """
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -494,10 +500,13 @@ def cmd_audit(args) -> int:
     for item in summary["anomalies"]["items"][:10]:
         print(f"    [{item['kind']}] cycle {item['cycle']}")
 
-    if args.stats:
+    if args.stats or args.prometheus:
         registry = StatsRegistry()
         report.to_stats(registry)
-        print(registry.dump())
+        if args.stats:
+            print(registry.dump())
+        if args.prometheus:
+            sys.stdout.write(registry.to_prometheus())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2)
@@ -662,8 +671,126 @@ def cmd_stats(args) -> int:
     switch.to_stats(registry)
     if args.json:
         print(json.dumps(registry.to_dict(), indent=2, default=str))
+    elif args.prometheus:
+        sys.stdout.write(registry.to_prometheus())
     else:
         print(registry.dump())
+    return 0
+
+
+def cmd_perf(args) -> int:
+    from repro.obs.perf import (
+        PerfCounters, append_ledger_entry, compare_perf, config_fingerprint,
+        filter_entries, make_ledger_entry, read_ledger, run_micro_benchmark,
+    )
+
+    if args.design != "hirise":
+        print("perf: the micro benchmark needs the hirise design",
+              file=sys.stderr)
+        return 2
+    config = _build_design(args)
+    fingerprint = config_fingerprint(config)
+    workload = args.workload or (
+        f"uniform_{config.radix}x{config.layers}_c"
+        f"{config.channel_multiplicity}_l{args.load:g}_{args.cycles}c"
+    )
+
+    if not args.record and not args.ledger:
+        print("perf: give --record (run the benchmark) and/or "
+              "--ledger FILE (read history)", file=sys.stderr)
+        return 2
+
+    # Read histories BEFORE recording, so `--record --against <the same
+    # ledger>` compares the new run against the previous entry.
+    try:
+        history = (
+            filter_entries(read_ledger(args.ledger), fingerprint, workload)
+            if args.ledger else []
+        )
+        baseline_entries = (
+            filter_entries(read_ledger(args.against), fingerprint, workload)
+            if args.against else []
+        )
+    except ValueError as error:
+        print(f"perf: {error}", file=sys.stderr)
+        return 2
+
+    if args.record:
+        metrics, details = run_micro_benchmark(
+            config, cycles=args.cycles, trials=args.trials,
+            load=args.load, traffic_seed=args.seed,
+        )
+        current = make_ledger_entry(config, workload, metrics)
+        print(f"measured {workload} (fingerprint {fingerprint}, "
+              f"best of {details['trials']} trials)")
+        print(f"  cycles/sec : {metrics['cycles_per_sec']:.0f}")
+        print(f"  normalized : {metrics['normalized']:.6g} "
+              f"(vs {metrics['calibration_ops_per_sec']:.3g} "
+              f"calibration ops/s)")
+        if args.ledger:
+            append_ledger_entry(args.ledger, current)
+            print(f"recorded entry #{len(history) + 1} to {args.ledger}")
+    else:
+        if not history:
+            print(f"perf: no entries matching fingerprint {fingerprint} / "
+                  f"workload {workload!r} in {args.ledger}", file=sys.stderr)
+            return 2
+        current = history[-1]
+        if args.against and os.path.realpath(args.against) == \
+                os.path.realpath(args.ledger):
+            # Current came from this very file: judge its predecessor.
+            baseline_entries = baseline_entries[:-1]
+
+    if args.history:
+        shown = history[-args.history:]
+        print(f"history ({len(shown)} of {len(history)} matching entries):")
+        for entry in shown:
+            metrics = entry.get("metrics", {})
+            cps = metrics.get("cycles_per_sec")
+            norm = metrics.get("normalized")
+            cps_text = f"{cps:.0f}" if isinstance(cps, float) else "n/a"
+            norm_text = f"{norm:.6g}" if isinstance(norm, float) else "n/a"
+            print(f"  {entry.get('recorded', '?'):25s} "
+                  f"{cps_text:>12s} cycles/s  normalized {norm_text}")
+
+    if args.phases:
+        perf = PerfCounters(stride=args.stride)
+        run_micro_benchmark(
+            config, cycles=args.cycles, trials=1,
+            load=args.load, traffic_seed=args.seed, perf=perf,
+        )
+        fractions = perf.phase_fractions()
+        print(f"phase breakdown ({perf.cycles_sampled}/{perf.cycles_total} "
+              f"cycles sampled at stride {perf.stride}):")
+        for phase, frac in fractions.items():
+            ops = perf.ops.get(phase, 0)
+            ops_text = f"  ({ops} ops)" if ops else ""
+            print(f"  {phase:12s} {frac:7.1%}{ops_text}")
+
+    if args.against:
+        if not baseline_entries:
+            print(f"perf: no baseline entries matching fingerprint "
+                  f"{fingerprint} / workload {workload!r} in {args.against}",
+                  file=sys.stderr)
+            return 2
+        baseline = baseline_entries[-1]
+        try:
+            regressions = compare_perf(
+                current, baseline, rel_tol=args.rel_tol
+            )
+        except ValueError as error:
+            print(f"perf: {error}", file=sys.stderr)
+            return 2
+        if regressions:
+            print(f"{len(regressions)} perf regression(s) vs "
+                  f"{args.against} ({baseline.get('recorded', '?')}):",
+                  file=sys.stderr)
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            return 1
+        print(f"no perf regressions vs {args.against} "
+              f"({baseline.get('recorded', '?')}, "
+              f"rel tol {args.rel_tol:.0%})")
     return 0
 
 
@@ -756,6 +883,9 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--markdown", help="write the markdown report here")
     audit.add_argument("--stats", action="store_true",
                        help="also dump the audit stats registry")
+    audit.add_argument("--prometheus", action="store_true",
+                       help="also emit the audit stats registry in "
+                            "Prometheus text exposition format")
     audit.add_argument("--against", metavar="BASELINE",
                        help="compare against a baseline audit summary JSON; "
                             "exit 1 on regression")
@@ -834,7 +964,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_arguments(stats)
     stats.add_argument("--json", action="store_true",
                        help="dump as JSON instead of aligned text")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="dump in Prometheus text exposition format")
     stats.set_defaults(handler=cmd_stats)
+
+    perf = commands.add_parser(
+        "perf",
+        help="micro-benchmark the simulator itself and keep a "
+             "cross-run perf ledger",
+    )
+    _add_design_arguments(perf)
+    perf.add_argument("--record", action="store_true",
+                      help="run the micro benchmark now (otherwise the "
+                           "latest matching --ledger entry is used)")
+    perf.add_argument("--ledger", metavar="JSONL", default=None,
+                      help="append-only repro.perf/v1 history; --record "
+                           "appends to it, --history/--against read it")
+    perf.add_argument("--history", type=int, nargs="?", const=10,
+                      default=None, metavar="N",
+                      help="show the last N matching ledger entries "
+                           "(default 10)")
+    perf.add_argument("--against", metavar="LEDGER",
+                      help="compare against the latest matching entry of "
+                           "this ledger; exit 1 on regression (with the "
+                           "same file, compares consecutive entries)")
+    perf.add_argument("--rel-tol", type=float, default=0.2,
+                      help="relative tolerance for --against (default "
+                           "0.2; wall-clock is noisy)")
+    perf.add_argument("--cycles", type=int, default=2000,
+                      help="benchmark length in cycles")
+    perf.add_argument("--trials", type=int, default=2,
+                      help="trials to run (best is kept)")
+    perf.add_argument("--load", type=float, default=1.0,
+                      help="offered load (default saturation)")
+    perf.add_argument("--seed", type=int, default=7,
+                      help="traffic seed")
+    perf.add_argument("--workload", default=None,
+                      help="override the workload label entries are "
+                           "keyed by")
+    perf.add_argument("--phases", action="store_true",
+                      help="also run a profiled trial and print the "
+                           "per-phase wall-time breakdown")
+    perf.add_argument("--stride", type=int, default=16,
+                      help="sampling stride for --phases")
+    perf.set_defaults(handler=cmd_perf)
 
     table = commands.add_parser("table", help="regenerate a paper table")
     table.add_argument("which", choices=["1", "4", "5", "6"])

@@ -41,6 +41,7 @@ mode, the benchmarks — falls back to the scalar kernel when it is
 absent.
 """
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -443,6 +444,9 @@ class FleetKernel:
         self._tracer = None
         self._grant_cycle = None
         self._halve_count = None
+        # Opt-in phase-level perf counters (attach_perf): clock reads
+        # only, so attached runs stay bit-identical per lane.
+        self._perf = None
         # Round-robin VC pick via a 4-bit viability mask: a contiguous
         # (K, 4) bool viewed as uint32 packs the four flags into bytes
         # b0..b3; multiplying by 0x08040201 lands b3..b0 (no carries —
@@ -490,6 +494,40 @@ class FleetKernel:
                 self._halve_count = np.zeros((B, N), dtype=np.int64)
                 self._halve_count_f = self._halve_count.reshape(-1)
         self._tracer = tracer
+
+    def attach_perf(self, perf) -> None:
+        """Attach :class:`repro.obs.perf.PerfCounters` (or detach).
+
+        One counters object profiles the whole fleet (``lanes`` records
+        the batch width): ``step`` phase-times one cycle in every
+        ``perf.stride`` and the injection entry points are shadowed so
+        batched injections are timed per call.  The counters only read
+        the monotonic clock — attached runs stay bit-identical.
+        """
+        self._perf = perf
+        if perf is not None:
+            perf.bind(self)
+            self.inject_cycle = self._inject_cycle_perf  # type: ignore[method-assign]
+            self.inject_packed = self._inject_packed_perf  # type: ignore[method-assign]
+        else:
+            self.__dict__.pop("inject_cycle", None)
+            self.__dict__.pop("inject_packed", None)
+
+    def _inject_cycle_perf(
+        self, lanes, srcs, dsts, created, num_flits, pids, _checked=False
+    ) -> None:
+        perf = self._perf
+        start = time.perf_counter_ns()
+        FleetKernel.inject_cycle(
+            self, lanes, srcs, dsts, created, num_flits, pids, _checked
+        )
+        perf.add("inject", time.perf_counter_ns() - start, len(srcs))
+
+    def _inject_packed_perf(self, gid, recs, lane_flits) -> None:
+        perf = self._perf
+        start = time.perf_counter_ns()
+        FleetKernel.inject_packed(self, gid, recs, lane_flits)
+        perf.add("inject", time.perf_counter_ns() - start, len(gid))
 
     # ------------------------------------------------------------------
     # Fault handling (rare; per-lane python mirroring apply_fault_events)
@@ -788,6 +826,8 @@ class FleetKernel:
             tail_created)`` — per-lane ejected-flit counts plus one row
             per delivered packet, in the scalar per-port scan order.
         """
+        if self._perf is not None:
+            return self._step_perf(cycle, active)
         if self._have_faults:
             for lane, cursor in enumerate(self._cursors):
                 if cursor is None:
@@ -806,6 +846,50 @@ class FleetKernel:
         counts_and_tails = self._transmit(cycle)
         self._refill(cycle)
         self._arbitrate(cycle)
+        return counts_and_tails
+
+    def _step_perf(self, cycle: int, active=None):
+        """Perf-counting step twin: phase-time one cycle per stride.
+
+        The fleet phases are already separate array passes, so sampled
+        cycles just put a monotonic read between them; op counts are
+        fleet-aggregate (flits transmitted across all lanes).
+        """
+        perf = self._perf
+        perf.cycles_total += 1
+        sampled = cycle % perf.stride == 0
+        if sampled:
+            perf.cycles_sampled += 1
+        ns = time.perf_counter_ns
+        if self._have_faults:
+            for lane, cursor in enumerate(self._cursors):
+                if cursor is None:
+                    continue
+                if active is not None and not active[lane]:
+                    continue
+                due = cursor.take(cycle)
+                if due:
+                    self._apply_fault_events(lane, due, cycle)
+        tbase, obase, rbase = self._tear
+        if tbase.size:
+            self._cool_in_f[tbase] = False
+            self._cool_out_f[obase] = False
+            self._cool_res_f[rbase] = False
+        if not sampled:
+            counts_and_tails = self._transmit(cycle)
+            self._refill(cycle)
+            self._arbitrate(cycle)
+            return counts_and_tails
+        t1 = ns()
+        counts_and_tails = self._transmit(cycle)
+        t2 = ns()
+        self._refill(cycle)
+        t3 = ns()
+        self._arbitrate(cycle)
+        t4 = ns()
+        perf.add("transmit", t2 - t1, int(counts_and_tails[0].sum()))
+        perf.add("refill", t3 - t2)
+        perf.add("arbitrate", t4 - t3, len(counts_and_tails[1]))
         return counts_and_tails
 
     def _transmit(self, cycle: int):
@@ -1496,6 +1580,7 @@ class FleetSimulation:
         warmup_cycles: int = 0,
         latency_sample_limit: Optional[int] = DEFAULT_LATENCY_SAMPLE_LIMIT,
         tracer=None,
+        perf=None,
     ) -> None:
         if warmup_cycles < 0:
             raise ValueError("warm-up must be non-negative")
@@ -1504,6 +1589,8 @@ class FleetSimulation:
         self.kernel = FleetKernel(config, len(traffics), faults)
         if tracer is not None:
             self.kernel.attach_tracer(tracer)
+        if perf is not None:
+            self.kernel.attach_perf(perf)
         self.traffics = list(traffics)
         self.warmup_cycles = warmup_cycles
         self.latency_sample_limit = latency_sample_limit
@@ -1701,6 +1788,10 @@ class LanePlan:
     #: :class:`~repro.obs.tracebin.FleetTracer` with a per-lane column,
     #: no scalar fallback.
     tracer_factory: Optional[Callable[[], object]] = None
+    #: ``callable() -> PerfCounters`` with a truthy ``fleet_capable``
+    #: marker (e.g. :class:`repro.obs.perf.PerfCountersFactory`).  One
+    #: counters object profiles the whole fleet — no scalar fallback.
+    perf_factory: Optional[Callable[[], object]] = None
 
 
 def plans_compatible(a: LanePlan, b: LanePlan) -> bool:
@@ -1712,6 +1803,7 @@ def plans_compatible(a: LanePlan, b: LanePlan) -> bool:
         and a.drain == b.drain
         and a.latency_sample_limit == b.latency_sample_limit
         and a.tracer_factory == b.tracer_factory
+        and a.perf_factory == b.perf_factory
     )
 
 
@@ -1741,6 +1833,9 @@ def run_fleet_plans(
                 first.tracer_factory, "capacity", DEFAULT_CAPACITY
             ),
         )
+    perf = None
+    if first.perf_factory is not None:
+        perf = first.perf_factory()
     sim = FleetSimulation(
         first.config,
         [plan.traffic_factory() for plan in plans],
@@ -1748,6 +1843,7 @@ def run_fleet_plans(
         warmup_cycles=first.warmup_cycles,
         latency_sample_limit=first.latency_sample_limit,
         tracer=tracer,
+        perf=perf,
     )
     return sim.run(first.measure_cycles, drain=first.drain)
 

@@ -38,6 +38,7 @@ kernel (:mod:`repro.core.reference`), enforced by
 ``tests/core/test_golden_equivalence.py``.
 """
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -195,6 +196,7 @@ class HiRiseSwitch(SwitchModel):
         tracer: Optional[object] = None,
         faults: Optional[FaultSchedule] = None,
         invariants: Optional[object] = None,
+        perf: Optional[object] = None,
     ) -> None:
         self.config = config or HiRiseConfig()
         cfg = self.config
@@ -292,6 +294,24 @@ class HiRiseSwitch(SwitchModel):
                 counters = getattr(arbiter, "counters", None)
                 if counters is not None:
                     counters.on_halve = _halve_hook(tracer, output)
+
+        # Opt-in phase-level performance counters (repro.obs.perf): the
+        # counters only read the monotonic clock, so attached runs stay
+        # bit-identical.  step() dispatches to _step_perf, which times
+        # one cycle in every perf.stride phase-by-phase and runs the
+        # untimed twin otherwise.  Injection is timed by shadowing the
+        # instance methods — unless a tracer already owns them, in which
+        # case injection stays traced and inject time is not attributed.
+        self._perf = perf
+        if perf is not None:
+            perf.bind(self)
+            if tracer is None:
+                self.inject = self._inject_perf  # type: ignore[method-assign]
+                self.inject_many = self._inject_many_perf  # type: ignore[method-assign]
+            elif hasattr(tracer, "perf"):
+                # Batch-capture tracers expose a perf slot: their
+                # deferred column expansion is timed as "trace_drain".
+                tracer.perf = perf
 
         # Opt-in runtime invariant verification (repro.check): binds
         # after the tracer so its injection counting wraps whichever
@@ -526,6 +546,8 @@ class HiRiseSwitch(SwitchModel):
         return count
 
     def step(self, cycle: int) -> List[Flit]:
+        if self._perf is not None:
+            return self._step_perf(cycle)
         if self._tracer is not None:
             return self._traced_step(cycle)
         # Scheduled faults land before anything else in the cycle, so a
@@ -555,6 +577,99 @@ class HiRiseSwitch(SwitchModel):
         if self._invariants is not None:
             self._invariants.after_step(self, cycle, ejected)
         return ejected
+
+    def _step_perf(self, cycle: int) -> List[Flit]:
+        """Perf-counting step: phase-time one cycle in every stride.
+
+        Unsampled cycles run the untimed twin (zero clock reads);
+        sampled cycles run transmit and refill as *separate* passes —
+        equivalent to the fused scan, see :meth:`_transmit_and_refill` —
+        with a monotonic read at each phase boundary.  Traced sampled
+        cycles are attributed whole (as ``step``) rather than split,
+        since the traced twins interleave capture with every phase.
+        """
+        perf = self._perf
+        perf.cycles_total += 1
+        if cycle % perf.stride:
+            return self._step_unsampled(cycle)
+        perf.cycles_sampled += 1
+        ns = time.perf_counter_ns
+        if self._tracer is not None:
+            t0 = ns()
+            ejected = self._traced_step(cycle)
+            perf.add("step", ns() - t0, len(ejected))
+            return ejected
+        cursor = self._fault_cursor
+        if cursor is not None:
+            due = cursor.take(cycle)
+            if due:
+                apply_fault_events(self, due)
+        paths = self._cooling_paths
+        if paths:
+            in_cooling = self._in_cooling
+            out_cooling = self._out_cooling
+            res_cooling = self._res_cooling
+            for src, output, rid in paths:
+                in_cooling[src] = 0
+                out_cooling[output] = 0
+                res_cooling[rid] = 0
+            paths.clear()
+        t1 = ns()
+        ejected = self._transmit_pass(cycle)
+        t2 = ns()
+        self._refill_pass(cycle)
+        t3 = ns()
+        self._arb_cycle = cycle
+        candidate_vcs = self._candidate_vc
+        local_winners = self._phase1_local(candidate_vcs, cycle)
+        t4 = ns()
+        self._phase2_interlayer(local_winners, candidate_vcs)
+        t5 = ns()
+        perf.add("transmit", t2 - t1, len(ejected))
+        perf.add("refill", t3 - t2)
+        perf.add("arbitrate", t4 - t3, len(local_winners))
+        perf.add("commit", t5 - t4)
+        if self._invariants is not None:
+            self._invariants.after_step(self, cycle, ejected)
+        return ejected
+
+    def _step_unsampled(self, cycle: int) -> List[Flit]:
+        # Twin of the untimed step body (step() minus the dispatches).
+        if self._tracer is not None:
+            return self._traced_step(cycle)
+        cursor = self._fault_cursor
+        if cursor is not None:
+            due = cursor.take(cycle)
+            if due:
+                apply_fault_events(self, due)
+        paths = self._cooling_paths
+        if paths:
+            in_cooling = self._in_cooling
+            out_cooling = self._out_cooling
+            res_cooling = self._res_cooling
+            for src, output, rid in paths:
+                in_cooling[src] = 0
+                out_cooling[output] = 0
+                res_cooling[rid] = 0
+            paths.clear()
+        ejected = self._transmit_and_refill(cycle)
+        self._arbitrate(cycle)
+        if self._invariants is not None:
+            self._invariants.after_step(self, cycle, ejected)
+        return ejected
+
+    def _inject_perf(self, packet: Packet) -> None:
+        perf = self._perf
+        start = time.perf_counter_ns()
+        HiRiseSwitch.inject(self, packet)
+        perf.add("inject", time.perf_counter_ns() - start, 1)
+
+    def _inject_many_perf(self, packets: Iterable[Packet]) -> int:
+        perf = self._perf
+        start = time.perf_counter_ns()
+        count = HiRiseSwitch.inject_many(self, packets)
+        perf.add("inject", time.perf_counter_ns() - start, count)
+        return count
 
     def _transmit_and_refill(self, cycle: int) -> List[Flit]:
         # Transmit and refill in one scan.  Both touch only per-port state
@@ -638,6 +753,89 @@ class HiRiseSwitch(SwitchModel):
                 else:
                     port._refill_blocked = True
         return ejected
+
+    def _transmit_pass(self, cycle: int) -> List[Flit]:
+        # Transmit half of _transmit_and_refill, as its own scan so
+        # sampled perf cycles can put a clock read between the phases.
+        # Per-port fusion is equivalent to transmit-all-then-refill-all
+        # (see _transmit_and_refill), so the split direction holds too.
+        ejected: List[Flit] = []
+        connections = self.connections
+        resource_owner = self.resource_owner
+        output_owner = self.output_owner
+        in_cooling = self._in_cooling
+        out_cooling = self._out_cooling
+        res_cooling = self._res_cooling
+        cooling_paths = self._cooling_paths
+        for port in self.ports:
+            active = port.active_vc
+            if active is None:
+                continue
+            vc = port.vcs[active]
+            fifo = vc._fifo
+            if not fifo:
+                continue
+            flit = fifo.popleft()
+            port._refill_blocked = False
+            flit.ejected_cycle = cycle
+            ejected.append(flit)
+            if flit.seq == flit.num_flits - 1:  # tail: tear down
+                if not fifo:
+                    vc._owner_packet = None
+                port.active_vc = None
+                src = flit.src
+                rid, output = connections.pop(src)
+                resource_owner[rid] = -1
+                output_owner[output] = None
+                in_cooling[src] = 1
+                out_cooling[output] = 1
+                res_cooling[rid] = 1
+                cooling_paths.append((src, output, rid))
+        return ejected
+
+    def _refill_pass(self, cycle: int) -> None:
+        # Refill half of _transmit_and_refill (sampled perf cycles).
+        for port in self.ports:
+            if port._refill_blocked:
+                continue
+            queue = port.source_queue
+            flits = queue._flits
+            if not flits:
+                packets = queue._packets
+                if not packets:
+                    continue
+                flits.extend(packets.popleft().to_flits())
+            front = flits[0]
+            if front.seq == 0:
+                for idx, cand in enumerate(port.vcs):
+                    if cand._owner_packet is None and len(cand._fifo) < cand.depth:
+                        flits.popleft()
+                        queue._pending_flits -= 1
+                        front.injected_cycle = cycle
+                        cand._owner_packet = front.packet_id
+                        cand._fifo.append(front)
+                        port._refill_vc = idx
+                        break
+                else:
+                    port._refill_blocked = True
+            else:
+                cand = port.vcs[port._refill_vc]
+                if cand._owner_packet != front.packet_id:
+                    for idx, other in enumerate(port.vcs):
+                        if other._owner_packet == front.packet_id:
+                            port._refill_vc = idx
+                            cand = other
+                            break
+                    else:
+                        port._refill_blocked = True
+                        continue
+                if len(cand._fifo) < cand.depth:
+                    flits.popleft()
+                    queue._pending_flits -= 1
+                    front.injected_cycle = cycle
+                    cand._fifo.append(front)
+                else:
+                    port._refill_blocked = True
 
     def occupancy(self) -> int:
         return sum(port.total_occupancy() for port in self.ports)

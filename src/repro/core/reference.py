@@ -41,6 +41,7 @@ intermediate output), and final output — until its tail flit transfers, and
 data moves end-to-end in one cycle per flit, exactly like the flat switch.
 """
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -119,6 +120,7 @@ class ReferenceHiRiseSwitch(SwitchModel):
         tracer: Optional[object] = None,
         faults: Optional[FaultSchedule] = None,
         invariants: Optional[object] = None,
+        perf: Optional[object] = None,
     ) -> None:
         self.config = config or HiRiseConfig()
         cfg = self.config
@@ -185,6 +187,13 @@ class ReferenceHiRiseSwitch(SwitchModel):
                 counters = getattr(arbiter, "counters", None)
                 if counters is not None:
                     counters.on_halve = _reference_halve_hook(tracer, output)
+
+        # Opt-in phase-level performance counters, wired exactly like
+        # the fast kernel (clock reads only, bit-identical attached).
+        self._perf = perf
+        if perf is not None:
+            perf.bind(self)
+            self.inject = self._inject_perf  # type: ignore[method-assign]
 
         # Opt-in runtime invariant verification (repro.check), wired
         # after the tracer exactly like the fast kernel: the checker
@@ -273,7 +282,15 @@ class ReferenceHiRiseSwitch(SwitchModel):
                 packet.num_flits, packet.packet_id,
             )
 
+    def _inject_perf(self, packet: Packet) -> None:
+        perf = self._perf
+        start = time.perf_counter_ns()
+        ReferenceHiRiseSwitch.inject(self, packet)
+        perf.add("inject", time.perf_counter_ns() - start, 1)
+
     def step(self, cycle: int) -> List[Flit]:
+        if self._perf is not None:
+            return self._step_perf(cycle)
         if self._tracer is not None:
             return self._step_traced(cycle)
         # Scheduled faults land before anything else in the cycle, so a
@@ -287,6 +304,72 @@ class ReferenceHiRiseSwitch(SwitchModel):
         # Paths released by a tail this cycle carried data on their wires,
         # so they cannot also arbitrate this cycle: every packet pays one
         # arbitration cycle ("arbitrate or transmit in a single cycle").
+        self._cooling_inputs.clear()
+        self._cooling_outputs.clear()
+        self._cooling_resources.clear()
+        ejected = self._transmit(cycle)
+        for port in self.ports:
+            port.refill(cycle)
+        self._arbitrate(cycle)
+        if self._invariants is not None:
+            self._invariants.after_step(self, cycle, ejected)
+        return ejected
+
+    def _step_perf(self, cycle: int) -> List[Flit]:
+        """Perf-counting step twin (see the fast kernel's _step_perf).
+
+        The reference kernel's phases are already separate calls, so
+        sampled cycles just put a monotonic read between them; traced
+        sampled cycles are attributed whole as ``step``.
+        """
+        perf = self._perf
+        perf.cycles_total += 1
+        if cycle % perf.stride:
+            return self._step_unsampled(cycle)
+        perf.cycles_sampled += 1
+        ns = time.perf_counter_ns
+        if self._tracer is not None:
+            t0 = ns()
+            ejected = self._step_traced(cycle)
+            perf.add("step", ns() - t0, len(ejected))
+            return ejected
+        cursor = self._fault_cursor
+        if cursor is not None:
+            due = cursor.take(cycle)
+            if due:
+                apply_fault_events(self, due)
+        self._cooling_inputs.clear()
+        self._cooling_outputs.clear()
+        self._cooling_resources.clear()
+        t1 = ns()
+        ejected = self._transmit(cycle)
+        t2 = ns()
+        for port in self.ports:
+            port.refill(cycle)
+        t3 = ns()
+        self._arb_cycle = cycle
+        candidate_vcs: Dict[int, int] = {}
+        local_winners = self._phase1_local(candidate_vcs, cycle)
+        t4 = ns()
+        self._phase2_interlayer(local_winners, candidate_vcs)
+        t5 = ns()
+        perf.add("transmit", t2 - t1, len(ejected))
+        perf.add("refill", t3 - t2)
+        perf.add("arbitrate", t4 - t3, len(local_winners))
+        perf.add("commit", t5 - t4)
+        if self._invariants is not None:
+            self._invariants.after_step(self, cycle, ejected)
+        return ejected
+
+    def _step_unsampled(self, cycle: int) -> List[Flit]:
+        # Twin of the untimed step body (step() minus the dispatches).
+        if self._tracer is not None:
+            return self._step_traced(cycle)
+        cursor = self._fault_cursor
+        if cursor is not None:
+            due = cursor.take(cycle)
+            if due:
+                apply_fault_events(self, due)
         self._cooling_inputs.clear()
         self._cooling_outputs.clear()
         self._cooling_resources.clear()

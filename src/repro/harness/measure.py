@@ -84,6 +84,12 @@ class SimulationMeasurement:
         invariants: Attach a fresh
             :class:`repro.check.invariants.InvariantChecker` per run
             (scalar path only, like ``tracer_factory``).
+        perf_factory: ``callable() -> PerfCounters`` attached to each
+            run through the ``perf=`` hook.  Fleet-capable factories
+            (:class:`repro.obs.perf.PerfCountersFactory`) ride the
+            fleet — one counters object profiles the whole batch; a
+            factory without ``fleet_capable`` forces the scalar path
+            with an explicit ``RuntimeWarning`` naming it.
     """
 
     def __init__(
@@ -100,6 +106,7 @@ class SimulationMeasurement:
         tracer_factory=None,
         invariants: bool = False,
         latency_sample_limit: Optional[int] = DEFAULT_LATENCY_SAMPLE_LIMIT,
+        perf_factory=None,
     ) -> None:
         if metric not in METRICS:
             raise ValueError(f"unknown metric {metric!r} (one of {METRICS})")
@@ -115,6 +122,7 @@ class SimulationMeasurement:
         self.tracer_factory = tracer_factory
         self.invariants = invariants
         self.latency_sample_limit = latency_sample_limit
+        self.perf_factory = perf_factory
 
     # ------------------------------------------------------------------
     # Task resolution
@@ -157,8 +165,12 @@ class SimulationMeasurement:
             from repro.check.invariants import InvariantChecker
 
             checker = InvariantChecker()
+        perf = (
+            self.perf_factory() if self.perf_factory is not None else None
+        )
         switch = HiRiseSwitch(
-            config, tracer=tracer, faults=self.faults, invariants=checker
+            config, tracer=tracer, faults=self.faults, invariants=checker,
+            perf=perf,
         )
         traffic = self._traffic_factory(config, load, traffic_seed)()
         simulation = Simulation(
@@ -189,6 +201,29 @@ class SimulationMeasurement:
             factory, "fleet_capable", False
         ):
             return None
+        perf_factory = self.perf_factory
+        if perf_factory is not None and not getattr(
+            perf_factory, "fleet_capable", False
+        ):
+            # Perf attachments must never *silently* force the scalar
+            # path — fleet dispatch is a 5x-class optimisation, and a
+            # profiling hook quietly disabling it would poison the very
+            # numbers it exists to collect.
+            import warnings
+
+            name = (
+                getattr(perf_factory, "__name__", None)
+                or type(perf_factory).__name__
+            )
+            warnings.warn(
+                f"perf attachment {name} is not fleet-capable "
+                "(no fleet_capable=True marker): falling back to the "
+                "scalar kernel; use repro.obs.perf.PerfCountersFactory "
+                "to profile fleet dispatches natively",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         from repro.core.fleet import LanePlan, fleet_supports
 
         config, load, traffic_seed = self._resolve(seed, overrides)
@@ -205,6 +240,7 @@ class SimulationMeasurement:
             drain=self.drain,
             latency_sample_limit=self.latency_sample_limit,
             tracer_factory=factory,
+            perf_factory=perf_factory,
         )
 
     def task_fingerprint(self, seed: int = 0, **overrides) -> Tuple:
@@ -225,6 +261,7 @@ class SimulationMeasurement:
             self.metric,
             id(self.tracer_factory) if self.tracer_factory else None,
             self.invariants,
+            id(self.perf_factory) if self.perf_factory else None,
         )
 
     # ------------------------------------------------------------------

@@ -69,20 +69,35 @@ def _run_measurement_timed(task: _Task) -> Tuple[float, float]:
 
 
 def _report(telemetry, task: _Task, index: int, total: int,
-            value: float, wall_s: float) -> None:
+            value: float, wall_s: float, lanes: int = 1) -> None:
     """Deliver one heartbeat for a completed task."""
     from repro.obs.telemetry import Heartbeat
 
     _measurement, parameters, seed = task
     telemetry.record(Heartbeat(
         index=index, total=total, parameters=dict(parameters),
-        seed=seed, value=value, wall_s=wall_s,
+        seed=seed, value=value, wall_s=wall_s, lanes=lanes,
     ))
+
+
+def _note_failure(telemetry, cause: BaseException) -> None:
+    """Classify one executor failure onto the telemetry counters."""
+    if telemetry is None:
+        return
+    record_failure = getattr(telemetry, "record_failure", None)
+    if record_failure is None:
+        return
+    if isinstance(cause, BrokenProcessPool):
+        record_failure("crash")
+    elif isinstance(cause, TimeoutError):
+        record_failure("timeout")
+    else:
+        record_failure("retry")
 
 
 def _fleet_prepass(
     tasks: Sequence[_Task], skip=(),
-) -> Tuple[List[Optional[float]], List[Optional[float]]]:
+) -> Tuple[List[Optional[float]], List[Optional[float]], List[int]]:
     """Batch compatible tasks through the fleet kernel before dispatch.
 
     A task participates when its measurement exposes ``fleet_plan`` (see
@@ -91,18 +106,22 @@ def _fleet_prepass(
     fleet-supported, numpy is present, and any attachment is one the
     batched kernel can host (fleet-capable binary tracers ride along;
     invariant checkers and other tracers force scalar).  Plans are
-    grouped by (config, windows, tracer factory); every group of two or
-    more lanes runs through one batched kernel, each lane result being
-    bit-identical to the scalar run the task would otherwise do.
+    grouped by (config, windows, tracer factory, perf factory); every
+    group of two or more lanes runs through one batched kernel, each
+    lane result being bit-identical to the scalar run the task would
+    otherwise do.
 
-    Returns per-task ``(values, wall_seconds)`` lists — ``None`` entries
-    mean the task was not batched (no plan, a singleton group, or a
-    fleet failure) and must run on the scalar path.  Each batched task's
-    wall time is its group's wall clock divided by the lane count.
+    Returns per-task ``(values, wall_seconds, lanes)`` lists — ``None``
+    value entries mean the task was not batched (no plan, a singleton
+    group, or a fleet failure) and must run on the scalar path.  Each
+    batched task's wall time is its group's wall clock divided by the
+    lane count; ``lanes`` records that count (1 for unbatched tasks),
+    feeding the telemetry's fleet-occupancy view.
     """
     total = len(tasks)
     values: List[Optional[float]] = [None] * total
     walls: List[Optional[float]] = [None] * total
+    lanes: List[int] = [1] * total
     groups: Dict[tuple, list] = {}
     for index, task in enumerate(tasks):
         if index in skip:
@@ -120,14 +139,15 @@ def _fleet_prepass(
         key = (
             plan.config, plan.warmup_cycles, plan.measure_cycles,
             plan.drain, plan.latency_sample_limit, plan.tracer_factory,
+            getattr(plan, "perf_factory", None),
         )
         groups.setdefault(key, []).append((index, measurement, plan))
     if not groups:
-        return values, walls
+        return values, walls, lanes
     try:
         from repro.core.fleet import run_fleet_plans
     except Exception:
-        return values, walls
+        return values, walls, lanes
     for group in groups.values():
         if len(group) < 2:
             continue  # a lone lane gains nothing over the scalar kernel
@@ -144,7 +164,8 @@ def _fleet_prepass(
                 value = measurement.value_from_result(result)
             values[index] = float(value)
             walls[index] = wall_each
-    return values, walls
+            lanes[index] = len(group)
+    return values, walls, lanes
 
 
 def _task_fingerprint(task: _Task):
@@ -195,7 +216,7 @@ def _execute_tasks(
         raise ValueError("workers must be >= 1")
     if telemetry is not None:
         return _execute_tasks_telemetered(tasks, workers, telemetry)
-    values, _walls = _fleet_prepass(tasks)
+    values, _walls, _lanes = _fleet_prepass(tasks)
     pending = [index for index in range(len(tasks)) if values[index] is None]
     if pending:
         rest = _execute_tasks_plain([tasks[i] for i in pending], workers)
@@ -241,13 +262,13 @@ def _execute_tasks_telemetered(
     total = len(tasks)
     telemetry.start(total)
     values: List[Optional[float]] = [None] * total
-    fleet_values, fleet_walls = _fleet_prepass(tasks)
+    fleet_values, fleet_walls, fleet_lanes = _fleet_prepass(tasks)
     for index, value in enumerate(fleet_values):
         if value is not None:
             values[index] = value
             _report(
                 telemetry, tasks[index], index, total, value,
-                fleet_walls[index],
+                fleet_walls[index], lanes=fleet_lanes[index],
             )
     pending = [index for index in range(total) if values[index] is None]
 
@@ -291,7 +312,7 @@ def _execute_tasks_telemetered(
                 # reports the rest as it computes them.
                 _report(
                     telemetry, tasks[index], index, total, value,
-                    fleet_walls[index] or 0.0,
+                    fleet_walls[index] or 0.0, lanes=fleet_lanes[index],
                 )
         return serial()
     finally:
@@ -507,15 +528,21 @@ def _execute_tasks_resilient(
             if telemetry is not None:
                 _report(telemetry, tasks[index], index, total, value, wall_s)
 
-    def record(index: int, value: float, wall_s: float) -> None:
+    def record(
+        index: int, value: float, wall_s: float, lanes: int = 1
+    ) -> None:
         values[index] = value
         if checkpoint is not None:
             checkpoint.append(index, value, attempts[index] + 1, wall_s)
         if telemetry is not None:
-            _report(telemetry, tasks[index], index, total, value, wall_s)
+            _report(
+                telemetry, tasks[index], index, total, value, wall_s,
+                lanes=lanes,
+            )
 
     def charge(index: int, cause: BaseException) -> float:
         """Count one failed attempt; return the backoff delay."""
+        _note_failure(telemetry, cause)
         attempts[index] += 1
         if attempts[index] > policy.max_retries:
             raise TaskFailure(index, tasks[index], attempts[index], cause)
@@ -530,10 +557,12 @@ def _execute_tasks_resilient(
     done_already = frozenset(
         index for index in range(total) if values[index] is not None
     )
-    fleet_values, fleet_walls = _fleet_prepass(tasks, skip=done_already)
+    fleet_values, fleet_walls, fleet_lanes = _fleet_prepass(
+        tasks, skip=done_already
+    )
     for index, value in enumerate(fleet_values):
         if value is not None:
-            record(index, value, fleet_walls[index])
+            record(index, value, fleet_walls[index], fleet_lanes[index])
 
     def serial() -> List[float]:
         # In-process fallback: retries and checkpointing still apply;

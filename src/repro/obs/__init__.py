@@ -16,7 +16,12 @@ Three layers, all opt-in and all zero-cost when unused:
   that simulation results, probes, and the many-core trackers export
   onto (``.to_stats(registry)``).
 * :mod:`repro.obs.telemetry` — :class:`SweepTelemetry` heartbeats for
-  ``run_sweep``/``replicate`` workers (progress, wall-clock, cycles/s).
+  ``run_sweep``/``replicate`` workers (progress, wall-clock, cycles/s,
+  fleet lane occupancy, executor failure counts).
+* :mod:`repro.obs.perf` — :class:`PerfCounters` phase-level
+  self-profiling for all three kernels (``perf=`` hook, sampled
+  monotonic timing), plus the append-only ``repro.perf/v1`` cross-run
+  ledger and :func:`compare_perf` direction-aware regression checks.
 * :mod:`repro.obs.snapshot` — point-in-time occupancy/ownership
   snapshots (embedded in drain-stall errors).
 * :mod:`repro.obs.analyze` — single-pass, bounded-memory
@@ -45,16 +50,35 @@ from repro.obs.analyze import (
     summarize_records,
     validate_audit_summary,
 )
+from repro.obs.perf import (
+    LEDGER_FORMAT,
+    PerfCounters,
+    PerfCountersFactory,
+    PerfRegression,
+    append_ledger_entry,
+    compare_perf,
+    config_fingerprint,
+    filter_entries,
+    host_info,
+    make_ledger_entry,
+    read_ledger,
+    run_micro_benchmark,
+)
 from repro.obs.snapshot import render_snapshot, telemetry_snapshot
 from repro.obs.stats import (
+    PROMETHEUS_CONTENT_TYPE,
     DistributionStat,
     FormulaStat,
     ScalarStat,
     Stat,
     StatsRegistry,
     VectorStat,
+    escape_label_value,
+    render_prometheus,
+    sanitize_metric_name,
+    validate_prometheus,
 )
-from repro.obs.telemetry import Heartbeat, SweepTelemetry
+from repro.obs.telemetry import TELEMETRY_FORMAT, Heartbeat, SweepTelemetry
 from repro.obs.trace import (
     EVENT_FIELDS,
     EVENT_NAMES,
@@ -103,21 +127,39 @@ __all__ = [
     "FleetTracer",
     "FormulaStat",
     "Heartbeat",
+    "LEDGER_FORMAT",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PerfCounters",
+    "PerfCountersFactory",
+    "PerfRegression",
     "ScalarStat",
     "Stat",
     "StatsRegistry",
     "SweepTelemetry",
     "SwitchTracer",
+    "TELEMETRY_FORMAT",
     "TraceColumns",
     "VectorStat",
+    "append_ledger_entry",
+    "compare_perf",
+    "config_fingerprint",
+    "escape_label_value",
+    "filter_entries",
+    "host_info",
     "iter_chrome_events",
+    "make_ledger_entry",
+    "read_ledger",
     "read_tracebin",
+    "render_prometheus",
     "render_snapshot",
+    "run_micro_benchmark",
+    "sanitize_metric_name",
     "sniff_tracebin",
     "telemetry_snapshot",
     "validate_chrome",
     "validate_chrome_path",
     "validate_jsonl_path",
+    "validate_prometheus",
     "validate_records",
     "write_chrome_stream",
 ]

@@ -16,6 +16,7 @@ region.
 """
 
 import math
+import re
 from typing import Callable, Dict, IO, Iterable, List, Optional, Union
 
 Number = Union[int, float]
@@ -307,6 +308,206 @@ class StatsRegistry:
         if file is not None:
             file.write(text + "\n")
         return text
+
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """Prometheus text-format exposition of every registered stat."""
+        return render_prometheus(self, namespace=namespace)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format exposition (version 0.0.4)
+# ----------------------------------------------------------------------
+#: Content type a scrape endpoint should serve this text under.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_INVALID_METRIC_CHAR_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, namespace: str = "") -> str:
+    """Coerce a dotted stat name into a legal Prometheus metric name.
+
+    Dots (and every other illegal character) become underscores, runs
+    collapse, and a leading digit gets an underscore prefix — so
+    ``sim.latency.p99`` under namespace ``repro`` renders as
+    ``repro_sim_latency_p99``.
+    """
+    if namespace:
+        name = f"{namespace}.{name}"
+    sanitized = _INVALID_METRIC_CHAR_RE.sub("_", name)
+    sanitized = re.sub(r"__+", "_", sanitized).strip("_") or "metric"
+    if sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the text-format rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_metric_value(value: Number) -> str:
+    """Render a sample value (NaN/±Inf use the Prometheus spellings)."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(registry: StatsRegistry, namespace: str = "repro") -> str:
+    """Render a :class:`StatsRegistry` as Prometheus exposition text.
+
+    Scalars and formulas become gauges; vectors become one gauge family
+    with an ``index`` label; distributions become a summary family
+    (``_sum``/``_count``) plus ``_min``/``_max`` gauges.  Sanitized
+    names that collide get a numeric suffix so no family is emitted
+    twice (which scrapers reject).
+    """
+    lines: List[str] = []
+    seen: Dict[str, int] = {}
+
+    def family(name: str) -> str:
+        base = sanitize_metric_name(name, namespace)
+        count = seen.get(base, 0)
+        seen[base] = count + 1
+        return base if count == 0 else f"{base}_{count + 1}"
+
+    def gauge(metric: str, desc: str, samples: List[str]) -> None:
+        if desc:
+            lines.append(f"# HELP {metric} {escape_help(desc)}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.extend(samples)
+
+    for name in registry.names():
+        stat = registry[name]
+        metric = family(name)
+        if isinstance(stat, ScalarStat):
+            gauge(metric, stat.desc,
+                  [f"{metric} {format_metric_value(stat.value())}"])
+        elif isinstance(stat, FormulaStat):
+            gauge(metric, stat.desc,
+                  [f"{metric} {format_metric_value(stat.evaluate(registry))}"])
+        elif isinstance(stat, VectorStat):
+            gauge(metric, stat.desc, [
+                f'{metric}{{index="{index}"}} {format_metric_value(value)}'
+                for index, value in enumerate(stat.value())
+            ])
+        elif isinstance(stat, DistributionStat):
+            if stat.desc:
+                lines.append(f"# HELP {metric} {escape_help(stat.desc)}")
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(
+                f"{metric}_sum {format_metric_value(float(stat.total))}"
+            )
+            lines.append(f"{metric}_count {stat.count}")
+            summary = stat.value()
+            for leaf in ("min", "max"):
+                leaf_metric = family(f"{name}.{leaf}")
+                gauge(leaf_metric, "", [
+                    f"{leaf_metric} {format_metric_value(summary[leaf])}"
+                ])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def validate_prometheus(text: str) -> int:
+    """Validate exposition text line-grammar; returns the sample count.
+
+    Checks metric/label name legality, value parseability, TYPE
+    validity, and that no family is declared twice.  Raises
+    ``ValueError`` on the first violation — the format-validity gate
+    for everything the repo exposes.
+    """
+    sample_re = re.compile(
+        r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+        r"(?:\{(?P<labels>[^{}]*)\})?"
+        r" (?P<value>\S+)"
+        r"(?: (?P<timestamp>-?\d+))?\Z"
+    )
+    label_re = re.compile(
+        r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"\Z'
+    )
+    declared_types: Dict[str, str] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not _METRIC_NAME_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: bad metric name: {line!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(f"line {lineno}: bad TYPE: {line!r}")
+                if parts[2] in declared_types:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for {parts[2]}"
+                    )
+                declared_types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        match = sample_re.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_label_pairs(labels):
+                if not label_re.match(pair):
+                    raise ValueError(
+                        f"line {lineno}: bad label pair: {pair!r}"
+                    )
+        value = match.group("value")
+        if value not in ("NaN", "+Inf", "-Inf"):
+            try:
+                float(value)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad sample value: {value!r}"
+                ) from None
+        samples += 1
+    return samples
+
+
+def _split_label_pairs(labels: str) -> List[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    pairs: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for char in labels:
+        if escaped:
+            current.append(char)
+            escaped = False
+        elif char == "\\":
+            current.append(char)
+            escaped = True
+        elif char == '"':
+            current.append(char)
+            in_quotes = not in_quotes
+        elif char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs
 
 
 def _format_line(name: str, value: Number, desc: str) -> str:

@@ -18,6 +18,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+#: Schema version stamped into :meth:`SweepTelemetry.snapshot`.
+TELEMETRY_FORMAT = "repro.telemetry/v1"
+
 
 @dataclass(frozen=True)
 class Heartbeat:
@@ -30,6 +33,9 @@ class Heartbeat:
         seed: The seed the task ran with.
         value: The measurement's scalar result.
         wall_s: Wall-clock seconds the measurement took in its worker.
+        lanes: Batched lanes the task shared a fleet dispatch with (1
+            for scalar tasks) — the divisor behind its effective wall
+            time, and the sweep's fleet-occupancy signal.
     """
 
     index: int
@@ -38,6 +44,7 @@ class Heartbeat:
     seed: int
     value: float
     wall_s: float
+    lanes: int = 1
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable form (inverse of :meth:`from_dict`)."""
@@ -48,11 +55,15 @@ class Heartbeat:
             "seed": self.seed,
             "value": self.value,
             "wall_s": self.wall_s,
+            "lanes": self.lanes,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Heartbeat":
-        """Rebuild a heartbeat from its :meth:`to_dict` form."""
+        """Rebuild a heartbeat from its :meth:`to_dict` form.
+
+        ``lanes`` defaults to 1 so pre-versioned archives still load.
+        """
         return cls(
             index=data["index"],
             total=data["total"],
@@ -60,6 +71,7 @@ class Heartbeat:
             seed=data["seed"],
             value=data["value"],
             wall_s=data["wall_s"],
+            lanes=data.get("lanes", 1),
         )
 
 
@@ -78,6 +90,7 @@ class SweepTelemetry:
     cycles_per_task: Optional[int] = None
     emit: Optional[Callable[[str], None]] = None
     heartbeats: List[Heartbeat] = field(default_factory=list)
+    failures: Dict[str, int] = field(default_factory=dict)
     _started_at: Optional[float] = field(default=None, repr=False)
     _total: int = field(default=0, repr=False)
 
@@ -100,6 +113,7 @@ class SweepTelemetry:
         self._started_at = time.perf_counter()
         self._total = total_tasks
         self.heartbeats.clear()
+        self.failures.clear()
 
     def record(self, heartbeat: Heartbeat) -> None:
         """Deliver one heartbeat (completion order, not submission order)."""
@@ -108,6 +122,15 @@ class SweepTelemetry:
         self.heartbeats.append(heartbeat)
         if self.emit is not None:
             self.emit(self.format_heartbeat(heartbeat))
+
+    def record_failure(self, kind: str = "retry") -> None:
+        """Count one executor failure event (``retry``/``crash``/``timeout``).
+
+        Reported by the resilient executor's charge path; a task that
+        eventually succeeds still leaves its failure counts here, so
+        the live view shows how hard the run is fighting.
+        """
+        self.failures[kind] = self.failures.get(kind, 0) + 1
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -155,6 +178,22 @@ class SweepTelemetry:
             return None
         return max(self._total - self.tasks_done, 0) / rate
 
+    @property
+    def lanes_done(self) -> int:
+        """Total batched lanes completed (equals tasks_done when scalar)."""
+        return sum(hb.lanes for hb in self.heartbeats)
+
+    @property
+    def mean_lanes(self) -> float:
+        """Mean fleet occupancy of completed tasks (1.0 = all scalar)."""
+        done = self.tasks_done
+        return self.lanes_done / done if done else 0.0
+
+    @property
+    def retries(self) -> int:
+        """Total executor failure events of every kind."""
+        return sum(self.failures.values())
+
     def format_heartbeat(self, heartbeat: Heartbeat) -> str:
         """One human-readable progress line for a heartbeat."""
         done = self.tasks_done
@@ -163,9 +202,13 @@ class SweepTelemetry:
             f"{_render_parameters(heartbeat.parameters)} seed={heartbeat.seed} "
             f"-> {heartbeat.value:.6g} ({heartbeat.wall_s:.2f}s)"
         )
+        if heartbeat.lanes > 1:
+            line += f" [fleet x{heartbeat.lanes}]"
         cycles_rate = self.cycles_per_s
         if cycles_rate is not None:
             line += f" [{cycles_rate:.0f} cycles/s]"
+        if self.failures:
+            line += f" [{self.retries} retried]"
         eta = self.eta_s
         if eta is not None and done < self._total:
             line += f" eta {eta:.0f}s"
@@ -176,26 +219,82 @@ class SweepTelemetry:
         return {
             "total_tasks": self._total,
             "tasks_done": self.tasks_done,
+            "lanes_done": self.lanes_done,
+            "mean_lanes": self.mean_lanes,
             "elapsed_s": self.elapsed_s,
             "tasks_per_s": self.tasks_per_s,
             "mean_task_wall_s": self.mean_task_wall_s,
             "cycles_per_task": self.cycles_per_task,
             "cycles_per_s": self.cycles_per_s,
             "eta_s": self.eta_s,
+            "failures": dict(self.failures),
         }
 
     def snapshot(self) -> Dict[str, object]:
         """Full JSON-serialisable state: the summary plus every heartbeat.
 
         ``json.dumps(telemetry.snapshot())`` round-trips (every value is
-        a plain int/float/str/dict/list or None), and the heartbeat list
+        a plain int/float/str/dict/list or None), the ``format`` field
+        pins the schema (``repro.telemetry/v1``), and the heartbeat list
         rebuilds via :meth:`Heartbeat.from_dict` — enough to archive a
         sweep's progress log next to its results.
         """
         snapshot = self.summary()
+        snapshot["format"] = TELEMETRY_FORMAT
         snapshot["started"] = self._started_at is not None
         snapshot["heartbeats"] = [hb.to_dict() for hb in self.heartbeats]
         return snapshot
+
+    def to_stats(self, registry, prefix: str = "sweep") -> None:
+        """Export the live aggregates onto a ``StatsRegistry``.
+
+        Pairs with ``StatsRegistry.to_prometheus()`` for a scrapeable
+        live view of a running sweep (throughput, occupancy, failures).
+        """
+        registry.scalar(
+            f"{prefix}.total_tasks", "tasks in the sweep", self._total
+        )
+        registry.scalar(
+            f"{prefix}.tasks_done", "tasks completed", self.tasks_done
+        )
+        registry.scalar(
+            f"{prefix}.lanes_done", "batched lanes completed",
+            self.lanes_done,
+        )
+        registry.scalar(
+            f"{prefix}.mean_lanes", "mean fleet occupancy per task",
+            self.mean_lanes,
+        )
+        registry.scalar(
+            f"{prefix}.elapsed_s", "wall-clock seconds since start",
+            self.elapsed_s,
+        )
+        registry.scalar(
+            f"{prefix}.tasks_per_s", "aggregate task throughput",
+            self.tasks_per_s,
+        )
+        cycles_rate = self.cycles_per_s
+        registry.scalar(
+            f"{prefix}.cycles_per_s", "aggregate simulated cycles/s",
+            cycles_rate if cycles_rate is not None else 0.0,
+        )
+        registry.scalar(
+            f"{prefix}.failures.total", "executor failure events",
+            self.retries,
+        )
+        for kind in sorted(self.failures):
+            registry.scalar(
+                f"{prefix}.failures.{kind}",
+                f"executor {kind} events", self.failures[kind],
+            )
+
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """Prometheus text exposition of the live aggregates."""
+        from repro.obs.stats import StatsRegistry
+
+        registry = StatsRegistry()
+        self.to_stats(registry)
+        return registry.to_prometheus(namespace=namespace)
 
 
 def _render_parameters(parameters: Dict[str, object]) -> str:

@@ -124,7 +124,7 @@ class BinaryTracer:
         "timeline", "cycle", "capacity", "config", "drain_interval",
         "_cycles", "_kinds", "_a", "_b", "_c", "_d",
         "_counter", "_stride", "_meta_conf", "_writer", "_spill_path",
-        "_spilled",
+        "_spilled", "perf",
     )
 
     def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY,
@@ -148,6 +148,9 @@ class BinaryTracer:
         self._writer: Optional[BinaryTraceWriter] = None
         self._spill_path = spill_path
         self._spilled = 0   # events already flushed to the spill file
+        # Optional PerfCounters: set by a kernel constructed with both
+        # perf= and this tracer; drains are then timed as "trace_drain".
+        self.perf = None
 
     def bind(self, switch) -> None:
         """Attach the switch's configuration (resource naming, meta)."""
@@ -236,8 +239,23 @@ class BinaryTracer:
         Called by the traced kernel every :attr:`drain_interval`
         timeline entries and by every read/export path; cheap when the
         timeline is empty.  Applies the capacity policy: stride
-        decimation, or a segment flush when spilling.
+        decimation, or a segment flush when spilling.  With
+        :attr:`perf` attached, non-empty drains are timed as the
+        ``trace_drain`` phase (op count = timeline entries encoded).
         """
+        if self.perf is not None and self.timeline:
+            import time as _time
+
+            entries = len(self.timeline)
+            start = _time.perf_counter_ns()
+            self._drain_timeline()
+            self.perf.add(
+                "trace_drain", _time.perf_counter_ns() - start, entries
+            )
+            return
+        self._drain_timeline()
+
+    def _drain_timeline(self) -> None:
         timeline = self.timeline
         if timeline:
             self.timeline = []

@@ -228,6 +228,99 @@ def test_verify_parity_fleet_lanes_option():
     ) == []
 
 
+# ----------------------------------------------------------------------
+# Perf counters: profiling must never perturb a single decision
+# ----------------------------------------------------------------------
+def run_profiled(switch_factory, load=0.9, seed=11):
+    switch = switch_factory()
+    traffic = UniformRandomTraffic(16, load=load, seed=seed)
+    simulation = Simulation(switch, traffic, warmup_cycles=40)
+    return simulation.run(measure_cycles=300, drain=True)
+
+
+PERF_CONFIG = HiRiseConfig(radix=16, layers=4, channel_multiplicity=2)
+
+
+def test_perf_counters_do_not_perturb_fast_kernel():
+    from repro.obs.perf import PerfCounters
+
+    plain = run_profiled(lambda: HiRiseSwitch(PERF_CONFIG))
+    perf = PerfCounters(stride=4)
+    profiled = run_profiled(
+        lambda: HiRiseSwitch(PERF_CONFIG, perf=perf)
+    )
+    assert_identical(plain, profiled)
+    assert perf.kernel == "HiRiseSwitch"
+    assert perf.cycles_total > 0
+    assert perf.cycles_sampled == -(-perf.cycles_total // 4)
+    assert {"transmit", "refill", "arbitrate", "commit"} <= set(perf.time_ns)
+
+
+def test_perf_counters_do_not_perturb_reference_kernel():
+    from repro.obs.perf import PerfCounters
+
+    plain = run_profiled(lambda: ReferenceHiRiseSwitch(PERF_CONFIG))
+    perf = PerfCounters(stride=4)
+    profiled = run_profiled(
+        lambda: ReferenceHiRiseSwitch(PERF_CONFIG, perf=perf)
+    )
+    assert_identical(plain, profiled)
+    assert perf.kernel == "ReferenceHiRiseSwitch"
+    assert {"transmit", "refill", "arbitrate", "commit"} <= set(perf.time_ns)
+    # And profiled fast vs profiled reference still agree.
+    fast = run_profiled(
+        lambda: HiRiseSwitch(PERF_CONFIG, perf=PerfCounters(stride=4))
+    )
+    assert_identical(profiled, fast)
+
+
+def test_perf_counters_compose_with_tracer_bit_identically():
+    # perf= plus a batch-capture tracer: the sampled cycles are timed
+    # whole (phase "step") and drains are attributed to "trace_drain",
+    # still without perturbing results.
+    pytest.importorskip("numpy")
+    from repro.obs.perf import PerfCounters
+    from repro.obs.tracebin import BinaryTracer
+
+    plain = run_profiled(lambda: HiRiseSwitch(PERF_CONFIG))
+    perf = PerfCounters(stride=4)
+    tracer = BinaryTracer()
+    profiled = run_profiled(
+        lambda: HiRiseSwitch(PERF_CONFIG, tracer=tracer, perf=perf)
+    )
+    assert_identical(plain, profiled)
+    assert "step" in perf.time_ns
+    # The run is shorter than the drain interval, so the capture is
+    # still in the timeline; the export-path drain is the timed one.
+    tracer.drain()
+    assert "trace_drain" in perf.time_ns
+    assert perf.ops["trace_drain"] > 0
+
+
+@pytestmark_fleet
+def test_perf_counters_do_not_perturb_fleet_lanes():
+    from repro.obs.perf import PerfCounters
+
+    def make_traffics():
+        return [
+            UniformRandomTraffic(16, load=0.9, seed=11 + lane)
+            for lane in range(3)
+        ]
+
+    plain = fleet.FleetSimulation(
+        PERF_CONFIG, make_traffics(), warmup_cycles=40
+    ).run(measure_cycles=300, drain=True)
+    perf = PerfCounters(stride=4)
+    profiled = fleet.FleetSimulation(
+        PERF_CONFIG, make_traffics(), warmup_cycles=40, perf=perf,
+    ).run(measure_cycles=300, drain=True)
+    for lane_plain, lane_profiled in zip(plain, profiled):
+        assert_identical(lane_plain, lane_profiled)
+    assert perf.kernel == "FleetKernel"
+    assert perf.lanes == 3
+    assert {"transmit", "refill", "arbitrate"} <= set(perf.time_ns)
+
+
 @pytest.mark.parametrize("load", [0.2, 1.0])
 def test_bit_identical_across_loads_default_config(load):
     # The paper's headline scheme under light and saturating traffic.

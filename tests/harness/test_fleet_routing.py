@@ -132,6 +132,44 @@ def test_binary_tracer_factory_keeps_fleet_path():
     ]
 
 
+def test_perf_counters_factory_keeps_fleet_path():
+    # A fleet-capable perf factory must not force scalar fallback: the
+    # plan carries it, one counters object profiles the whole batch,
+    # and every value stays bit-identical to the unprofiled path.
+    from repro.obs.perf import PerfCountersFactory
+
+    profiled = make_measurement(perf_factory=PerfCountersFactory())
+    plan = profiled.fleet_plan(seed=0)
+    assert plan is not None
+    assert plan.perf_factory == PerfCountersFactory()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # no fallback warning may fire
+        fleet_points = run_sweep(profiled, GRID, replications=3)
+    baseline = run_sweep(make_measurement(), GRID, replications=3)
+    assert [p.value for p in fleet_points] == [
+        p.value for p in baseline
+    ]
+
+
+def test_non_fleet_capable_perf_factory_warns_and_runs_scalar():
+    # A perf attachment without the fleet_capable marker must not
+    # *silently* disable fleet batching — the fallback is explicit, and
+    # the scalar run still produces identical values.
+    from repro.obs.perf import PerfCounters
+
+    def bare_factory():
+        return PerfCounters()
+
+    profiled = make_measurement(perf_factory=bare_factory)
+    with pytest.warns(RuntimeWarning, match="bare_factory"):
+        assert profiled.fleet_plan(seed=0) is None
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        points = run_sweep(profiled, GRID, replications=2)
+    baseline = run_sweep(make_measurement(), GRID, replications=2)
+    assert [p.value for p in points] == [p.value for p in baseline]
+
+
 def test_invariants_attachment_forces_scalar_but_same_values():
     checked = make_measurement(invariants=True)
     assert checked.fleet_plan(seed=0) is None

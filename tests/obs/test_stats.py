@@ -8,7 +8,13 @@ from repro.core import HiRiseConfig, HiRiseSwitch
 from repro.core.reference import ReferenceHiRiseSwitch
 from repro.metrics import ProbedSwitch
 from repro.network.engine import Simulation
-from repro.obs import StatsRegistry
+from repro.obs import (
+    StatsRegistry,
+    escape_label_value,
+    render_prometheus,
+    sanitize_metric_name,
+    validate_prometheus,
+)
 from repro.traffic import UniformRandomTraffic
 
 
@@ -140,3 +146,88 @@ class TestExporters:
         assert text.splitlines()[0].startswith("---------- Begin")
         assert "sim.latency.mean" in text
         assert "switch.flits_out_by_port.total" in text
+
+
+class TestPrometheus:
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("sim.latency.p99", "repro") == (
+            "repro_sim_latency_p99"
+        )
+        assert sanitize_metric_name("a..b--c") == "a_b_c"
+        assert sanitize_metric_name("99th") == "_99th"
+        assert sanitize_metric_name("...") == "metric"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_every_stat_kind_renders_and_validates(self):
+        registry = StatsRegistry()
+        registry.scalar("sim.cycles", "cycles simulated").set(100)
+        registry.vector("sim.per_port", 3, "per-port grants").load([1, 2, 3])
+        registry.distribution("sim.latency", "latency").add_samples([2, 4, 9])
+        registry.formula(
+            "sim.rate", lambda r: r.get("sim.cycles") / 10.0, "rate"
+        )
+        text = registry.to_prometheus()
+        assert "# TYPE repro_sim_cycles gauge" in text
+        assert 'repro_sim_per_port{index="1"} 2' in text
+        assert "# TYPE repro_sim_latency summary" in text
+        assert "repro_sim_latency_sum 15.0" in text
+        assert "repro_sim_latency_count 3" in text
+        assert "repro_sim_latency_min 2" in text
+        assert "repro_sim_rate 10.0" in text
+        # scalar + 3 vector + sum/count + min/max + formula
+        assert validate_prometheus(text) == 9
+
+    def test_nan_and_inf_spellings(self):
+        registry = StatsRegistry()
+        registry.scalar("a").set(float("nan"))
+        registry.scalar("b").set(float("inf"))
+        registry.scalar("c").set(float("-inf"))
+        text = render_prometheus(registry, namespace="")
+        assert "a NaN" in text and "b +Inf" in text and "c -Inf" in text
+        assert validate_prometheus(text) == 3
+
+    def test_colliding_sanitized_names_stay_unique(self):
+        registry = StatsRegistry()
+        registry.scalar("a.b").set(1)
+        registry.scalar("a__b").set(2)
+        text = render_prometheus(registry, namespace="")
+        # Duplicate families are what scrapers reject; the validator
+        # must accept the suffixed rendering.
+        assert validate_prometheus(text) == 2
+        assert "a_b 1" in text and "a_b_2 2" in text
+
+    def test_help_escapes_newlines(self):
+        registry = StatsRegistry()
+        registry.scalar("x", "line one\nline two").set(1)
+        text = render_prometheus(registry, namespace="")
+        assert "# HELP x line one\\nline two" in text
+        validate_prometheus(text)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(StatsRegistry()) == ""
+        assert validate_prometheus("") == 0
+
+    def test_validator_rejects_bad_text(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            validate_prometheus("this is { not a sample\n")
+        with pytest.raises(ValueError, match="bad sample value"):
+            validate_prometheus("metric one\n")
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            validate_prometheus(
+                "# TYPE m gauge\nm 1\n# TYPE m gauge\nm 2\n"
+            )
+        with pytest.raises(ValueError, match="bad TYPE"):
+            validate_prometheus("# TYPE m sparkline\n")
+
+    def test_probed_simulation_exposition_is_valid(self):
+        # The full stats surface of a probed run must pass the format
+        # gate: dotted names, per-port vectors, latency distributions.
+        config = HiRiseConfig(radix=8, layers=2, channel_multiplicity=2)
+        probe, result = run_probed(HiRiseSwitch(config))
+        registry = StatsRegistry()
+        result.to_stats(registry, num_ports=8)
+        probe.to_stats(registry)
+        text = registry.to_prometheus()
+        assert validate_prometheus(text) > 50

@@ -6,7 +6,7 @@ import pytest
 
 from repro.harness.sweep import parameter_grid, run_sweep
 from repro.harness.parallel import replicate
-from repro.obs import Heartbeat, SweepTelemetry
+from repro.obs import TELEMETRY_FORMAT, Heartbeat, SweepTelemetry
 
 
 def measurement(seed, load=0.5, radix=8):
@@ -166,6 +166,82 @@ class TestSnapshot:
     def test_heartbeat_dict_round_trip(self):
         beat = Heartbeat(
             index=4, total=9, parameters={"load": 0.2}, seed=7,
-            value=1.25, wall_s=0.5,
+            value=1.25, wall_s=0.5, lanes=6,
         )
         assert Heartbeat.from_dict(beat.to_dict()) == beat
+
+    def test_snapshot_carries_schema_version(self):
+        snapshot = SweepTelemetry().snapshot()
+        assert snapshot["format"] == TELEMETRY_FORMAT == "repro.telemetry/v1"
+
+    def test_pre_versioned_heartbeat_dicts_still_load(self):
+        # Archives written before the lanes field default to scalar.
+        data = Heartbeat(
+            index=0, total=1, parameters={}, seed=0, value=1.0, wall_s=0.1,
+        ).to_dict()
+        del data["lanes"]
+        assert Heartbeat.from_dict(data).lanes == 1
+
+
+class TestFleetAndFailureAggregates:
+    def beat(self, index, lanes=1):
+        return Heartbeat(
+            index=index, total=4, parameters={}, seed=index, value=1.0,
+            wall_s=0.25, lanes=lanes,
+        )
+
+    def test_lane_occupancy_aggregates(self):
+        telemetry = SweepTelemetry()
+        telemetry.start(4)
+        telemetry.record(self.beat(0, lanes=3))
+        telemetry.record(self.beat(1, lanes=3))
+        telemetry.record(self.beat(2))
+        assert telemetry.lanes_done == 7
+        assert telemetry.mean_lanes == pytest.approx(7 / 3)
+        summary = telemetry.summary()
+        assert summary["lanes_done"] == 7
+        assert summary["mean_lanes"] == pytest.approx(7 / 3)
+
+    def test_fleet_heartbeat_line_shows_lane_count(self):
+        lines = []
+        telemetry = SweepTelemetry(emit=lines.append)
+        telemetry.start(1)
+        telemetry.record(self.beat(0, lanes=4))
+        assert "[fleet x4]" in lines[0]
+
+    def test_failure_counters(self):
+        telemetry = SweepTelemetry()
+        telemetry.start(2)
+        telemetry.record_failure("retry")
+        telemetry.record_failure("retry")
+        telemetry.record_failure("crash")
+        assert telemetry.retries == 3
+        assert telemetry.failures == {"retry": 2, "crash": 1}
+        assert telemetry.summary()["failures"] == {"retry": 2, "crash": 1}
+        telemetry.start(2)  # a new run clears the counts
+        assert telemetry.failures == {}
+
+    def test_failures_appear_in_heartbeat_lines(self):
+        lines = []
+        telemetry = SweepTelemetry(emit=lines.append)
+        telemetry.start(2)
+        telemetry.record_failure()
+        telemetry.record(self.beat(0))
+        assert "[1 retried]" in lines[0]
+
+    def test_to_stats_and_prometheus_exposition(self):
+        from repro.obs import StatsRegistry, validate_prometheus
+
+        telemetry = SweepTelemetry(cycles_per_task=100)
+        telemetry.start(3)
+        telemetry.record(self.beat(0, lanes=2))
+        telemetry.record_failure("timeout")
+        registry = StatsRegistry()
+        telemetry.to_stats(registry)
+        assert registry.get("sweep.total_tasks") == 3
+        assert registry.get("sweep.lanes_done") == 2
+        assert registry.get("sweep.failures.total") == 1
+        assert registry.get("sweep.failures.timeout") == 1
+        text = telemetry.to_prometheus()
+        assert "repro_sweep_tasks_done 1" in text
+        assert validate_prometheus(text) > 5
