@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""CI service smoke: the sweep daemon's whole robustness story, end to end.
+
+Drives `python -m repro serve` the way CI wants it — fast,
+deterministic, loud on failure — and gates the service's headline
+claims:
+
+1. **Campaign + cache** — submit a mixed simulate/sweep/audit/chaos
+   campaign, collect every result, then submit the identical campaign
+   again: the second pass must be 100% cache hits with the simulation
+   counter frozen.
+2. **Forced worker crash** — a `chaos` job calls `os._exit` in its
+   worker on first attempt; the daemon must rebuild the pool, retry,
+   and still produce the baseline answer (crash counter > 0).
+3. **kill -9 + restart** — the daemon is SIGKILLed mid-campaign and
+   restarted on the same state directory; every result (recovered or
+   replayed) must be bit-identical to a direct, uninterrupted
+   computation of the same specs, with zero re-simulation of work
+   that had already settled.
+4. **Artifacts** — the write-ahead journal and a Prometheus scrape of
+   the service counters land in the out dir for upload.
+
+Usage:
+    python scripts/service_smoke.py                # writes into ./service-smoke
+    python scripts/service_smoke.py --out-dir DIR
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import (  # noqa: E402
+    ServiceClient,
+    job_fingerprint,
+    run_job,
+)
+
+SERVE_PATTERN = re.compile(r"serving on [^:]+:(\d+)")
+
+
+def fail(message):
+    print(f"service_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_daemon(state_dir, log_path):
+    log = open(log_path, "a", encoding="utf-8")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state", str(state_dir), "--workers", "2", "--max-batch", "2"],
+        stdout=subprocess.PIPE, stderr=log, text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    line = process.stdout.readline()
+    log.write(line)
+    log.flush()
+    match = SERVE_PATTERN.search(line)
+    if not match:
+        process.kill()
+        fail(f"daemon did not start: {line!r}")
+    client = ServiceClient("127.0.0.1", int(match.group(1)), timeout=120.0)
+    client.wait_until_up(deadline_s=30.0)
+    return process, client
+
+
+def campaign_specs():
+    """Small but mixed: every job kind, plus a scripted worker crash."""
+    return [
+        {"kind": "chaos", "seed": 1},
+        {"kind": "chaos", "seed": 2},
+        {"kind": "chaos", "seed": 5, "mode": "crash_once"},
+        {"kind": "simulate", "load": 0.2, "cycles": 200, "warmup": 20},
+        {"kind": "simulate", "load": 0.35, "cycles": 200, "warmup": 20,
+         "traffic": "hotspot", "seed": 2},
+        {"kind": "sweep", "loads": [0.1, 0.3], "cycles": 120,
+         "warmup": 10, "replications": 2},
+        {"kind": "audit", "cycles": 150, "warmup": 20, "window": 32},
+        {"kind": "fuzz", "seed": 3, "cases": 2, "max_radix": 8},
+    ]
+
+
+def collect(client, baselines):
+    """Fetch every fingerprint's result and gate it against baseline."""
+    for fingerprint, baseline in baselines.items():
+        outcome = client.result(fingerprint=fingerprint, wait_s=600)
+        if outcome.get("payload") != baseline:
+            fail(f"result diverged from baseline for {fingerprint}:\n"
+                 f"  got      {outcome.get('payload')!r}\n"
+                 f"  expected {baseline!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default="service-smoke")
+    args = parser.parse_args()
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    state = out_dir / "state"
+    log_path = out_dir / "daemon.log"
+
+    specs = campaign_specs()
+    print(f"computing {len(specs)} baselines (uninterrupted, direct)...")
+    baselines = {job_fingerprint(s): run_job(s) for s in specs}
+
+    # ------------------------------------------------------------------
+    # Phase 1: campaign with a forced worker crash, then a pure-cache
+    # second pass.
+    # ------------------------------------------------------------------
+    process, client = start_daemon(state, log_path)
+    print(f"phase 1: daemon pid {process.pid}, campaign of {len(specs)}")
+    for spec in specs:
+        client.submit_with_backpressure(spec)
+    collect(client, baselines)
+    counters = client.metrics()["counters"]
+    if counters["crashes"] < 1:
+        fail("the crash_once drill never crashed a worker")
+    if counters["simulations"] < len(specs):
+        fail(f"expected >= {len(specs)} simulations, "
+             f"got {counters['simulations']}")
+    print(f"phase 1 ok: {counters['simulations']} computed, "
+          f"{counters['crashes']} worker crash(es) survived")
+
+    simulations_before = counters["simulations"]
+    for spec in specs:
+        response = client.submit(spec)
+        if response.get("cache_hit") is not True:
+            fail(f"second pass missed the cache for {spec}")
+    counters = client.metrics()["counters"]
+    if counters["simulations"] != simulations_before:
+        fail("second pass re-simulated despite the cache")
+    if counters["cache_hits"] < len(specs):
+        fail(f"expected >= {len(specs)} cache hits, "
+             f"got {counters['cache_hits']}")
+    print(f"phase 2 ok: second pass 100% cache hits "
+          f"({counters['cache_hits']} hits, simulations frozen at "
+          f"{counters['simulations']})")
+
+    # ------------------------------------------------------------------
+    # Phase 3: kill -9 mid-campaign on a fresh state, restart, recover.
+    # ------------------------------------------------------------------
+    client.shutdown()
+    process.wait(timeout=60)
+    shutil.rmtree(state)
+
+    process, client = start_daemon(state, log_path)
+    print(f"phase 3: daemon pid {process.pid}, kill -9 mid-campaign")
+    for spec in specs:
+        client.submit_with_backpressure(spec)
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        if client.metrics()["counters"]["completed"] >= 2:
+            break
+        time.sleep(0.05)
+    else:
+        fail("campaign made no progress before the kill")
+    os.kill(process.pid, signal.SIGKILL)
+    process.wait(timeout=60)
+    print("daemon SIGKILLed; restarting on the same state...")
+
+    process, client = start_daemon(state, log_path)
+    collect(client, baselines)
+    simulations_before = client.metrics()["counters"]["simulations"]
+    for spec in specs:
+        response = client.submit(spec)
+        if response.get("cache_hit") is not True:
+            fail(f"post-recovery pass missed the cache for {spec}")
+    counters = client.metrics()["counters"]
+    if counters["simulations"] != simulations_before:
+        fail("post-recovery pass re-simulated despite the cache")
+    print(f"phase 3 ok: recovery bit-identical; restarted daemon "
+          f"computed {simulations_before} job(s), served the rest "
+          f"from cache")
+
+    # ------------------------------------------------------------------
+    # Artifacts: journal + Prometheus scrape.
+    # ------------------------------------------------------------------
+    metrics = client.metrics()
+    (out_dir / "service.prom").write_text(
+        str(metrics["prometheus"]), encoding="utf-8"
+    )
+    (out_dir / "counters.json").write_text(
+        json.dumps(metrics["counters"], indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    shutil.copyfile(state / "journal.jsonl", out_dir / "journal.jsonl")
+    client.shutdown()
+    process.wait(timeout=60)
+    print(f"service_smoke: OK (artifacts in {out_dir})")
+
+
+if __name__ == "__main__":
+    main()

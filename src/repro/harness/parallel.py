@@ -342,19 +342,45 @@ class ResiliencePolicy:
             anticipated crash for innocent bystanders.
         backoff_base: First retry delay in seconds; attempt ``k``
             waits ``backoff_base * 2**(k-1)``, capped at
-            ``backoff_cap``.
-        backoff_cap: Upper bound on any single retry delay.
+            ``backoff_cap`` and then jittered (see ``backoff_jitter``).
+        backoff_cap: Upper bound on any single retry delay (before
+            jitter, which only ever shortens it).
+        backoff_jitter: Fraction of each retry delay to randomise away,
+            in ``[0, 1]``.  Attempt ``k`` of task ``key`` sleeps
+            ``delay * (1 - backoff_jitter * u)`` where ``u ∈ [0, 1)``
+            is drawn *deterministically* from ``(jitter_seed, key,
+            k)`` — so N workers that failed together fan back out
+            instead of re-colliding in lockstep (the classic retry
+            storm), yet the same run replays with the same delays.
+            Jitter shapes only the sleep schedule, never task inputs:
+            results stay bit-identical to an unjittered run.
+        jitter_seed: Seed folded into the jitter draw.
         checkpoint: Optional path of an append-only JSONL journal of
             completed tasks.  If the file already exists it must match
             the task list's fingerprint, and its completed tasks are
             not re-run (checkpoint/resume).
+        breaker: Optional circuit breaker (duck-typed, e.g.
+            :class:`repro.service.breaker.CircuitBreaker`) consulted on
+            worker *crashes*: ``record_crash(key)`` is called per
+            charged crash and, when it returns True (the breaker
+            opened), the task fails immediately instead of burning the
+            rest of its retry budget on a fingerprint that keeps
+            killing workers.  ``record_success(key)`` resets the streak
+            when the task completes.
+        breaker_keys: Per-task breaker keys, aligned with the task
+            list (e.g. job fingerprints, so a crashy job is quarantined
+            across batches).  Defaults to the task index.
     """
 
     task_timeout: Optional[float] = None
     max_retries: int = 2
     backoff_base: float = 0.1
     backoff_cap: float = 5.0
+    backoff_jitter: float = 0.5
+    jitter_seed: int = 0
     checkpoint: Optional[Union[str, Path]] = None
+    breaker: Optional[object] = None
+    breaker_keys: Optional[Tuple[object, ...]] = None
 
     def __post_init__(self) -> None:
         if self.task_timeout is not None and self.task_timeout <= 0:
@@ -363,6 +389,35 @@ class ResiliencePolicy:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_base < 0 or self.backoff_cap < 0:
             raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be within [0, 1]")
+
+    def breaker_key(self, index: int) -> object:
+        """The breaker/jitter identity of task ``index``."""
+        if self.breaker_keys is not None and index < len(self.breaker_keys):
+            return self.breaker_keys[index]
+        return index
+
+    def backoff_delay(self, attempt: int, key: object = 0) -> float:
+        """Jittered delay before retry ``attempt`` (1-based) of ``key``.
+
+        Deterministic: the same ``(jitter_seed, key, attempt)`` always
+        yields the same delay, so resilient runs stay replayable; and
+        distinct keys de-synchronise, so a crowd of tasks failed by one
+        crash does not retry as a crowd.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(self.backoff_base * (2 ** (attempt - 1)),
+                    self.backoff_cap)
+        if self.backoff_jitter > 0.0 and delay > 0.0:
+            token = f"{self.jitter_seed}|{key!r}|{attempt}".encode()
+            draw = int.from_bytes(
+                hashlib.sha256(token).digest()[:8], "big"
+            )
+            unit = draw / float(1 << 64)  # [0, 1)
+            delay *= 1.0 - self.backoff_jitter * unit
+        return delay
 
 
 class TaskFailure(RuntimeError):
@@ -425,11 +480,12 @@ class SweepCheckpoint:
             self._handle.flush()
 
     def _load(self) -> bool:
-        with open(self.path, "r", encoding="utf-8") as handle:
-            lines = [line for line in handle if line.strip()]
-        if not lines:
+        from repro.util.jsonl import read_jsonl
+
+        rows = [row for row in read_jsonl(self.path) if isinstance(row, dict)]
+        if not rows:
             return False
-        header = json.loads(lines[0])
+        header = rows[0]
         if header.get("format") != CHECKPOINT_FORMAT:
             raise CheckpointMismatch(
                 f"{self.path}: not a {CHECKPOINT_FORMAT} checkpoint"
@@ -442,11 +498,7 @@ class SweepCheckpoint:
                 f"{self.path}: checkpoint was written for a different "
                 f"task list (delete it or pick another path)"
             )
-        for line in lines[1:]:
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn trailing line from a crashed writer
+        for row in rows[1:]:
             index = row.get("index")
             if isinstance(index, int) and 0 <= index < self.total:
                 self.completed[index] = (
@@ -534,6 +586,8 @@ def _execute_tasks_resilient(
         values[index] = value
         if checkpoint is not None:
             checkpoint.append(index, value, attempts[index] + 1, wall_s)
+        if policy.breaker is not None:
+            policy.breaker.record_success(policy.breaker_key(index))
         if telemetry is not None:
             _report(
                 telemetry, tasks[index], index, total, value, wall_s,
@@ -541,15 +595,22 @@ def _execute_tasks_resilient(
             )
 
     def charge(index: int, cause: BaseException) -> float:
-        """Count one failed attempt; return the backoff delay."""
+        """Count one failed attempt; return the jittered backoff delay."""
         _note_failure(telemetry, cause)
         attempts[index] += 1
+        key = policy.breaker_key(index)
+        if (
+            policy.breaker is not None
+            and isinstance(cause, BrokenProcessPool)
+            and policy.breaker.record_crash(key)
+        ):
+            # The breaker opened: this key keeps killing workers, and
+            # another retry would just crash another pool.  Fail now,
+            # retry budget notwithstanding.
+            raise TaskFailure(index, tasks[index], attempts[index], cause)
         if attempts[index] > policy.max_retries:
             raise TaskFailure(index, tasks[index], attempts[index], cause)
-        return min(
-            policy.backoff_base * (2 ** (attempts[index] - 1)),
-            policy.backoff_cap,
-        )
+        return policy.backoff_delay(attempts[index], key=key)
 
     # Fleet-batch whatever the checkpoint didn't already cover; batched
     # lanes are journaled and reported exactly like scalar completions,

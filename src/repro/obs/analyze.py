@@ -119,12 +119,16 @@ def resource_label(
 
 
 def iter_jsonl(path) -> Iterator[Dict[str, object]]:
-    """Stream records from a JSONL trace file, one line at a time."""
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield json.loads(line)
+    """Stream records from a JSONL trace file, one line at a time.
+
+    Strict: a garbled line raises — a JSONL trace is a machine-written
+    export, so damage means a bug, not an interrupted append (the
+    crash-tolerant journals use :mod:`repro.util.jsonl`'s tolerant
+    reader instead).
+    """
+    from repro.util.jsonl import iter_jsonl_strict
+
+    return iter_jsonl_strict(path)
 
 
 def filter_records(

@@ -290,42 +290,33 @@ def append_ledger_entry(path, entry: Dict[str, object]) -> None:
             f"refusing to append non-{LEDGER_FORMAT} entry "
             f"(format={entry.get('format')!r})"
         )
-    line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(line + "\n")
-        handle.flush()
+    from repro.util.jsonl import append_jsonl
+
+    append_jsonl(path, entry)
+
 
 def read_ledger(path) -> List[Dict[str, object]]:
     """Read every well-formed entry from a ledger file.
 
     Torn or garbled lines (a crashed writer's partial append) are
-    skipped; a line that decodes cleanly but is not a ``repro.perf/v1``
-    entry raises ``ValueError`` — that is a wrong-file mistake, not
+    skipped by the shared tolerant reader (:mod:`repro.util.jsonl`); a
+    line that decodes cleanly but is not a ``repro.perf/v1`` entry
+    raises ``ValueError`` — that is a wrong-file mistake, not
     corruption, and silently skipping it would hide it.
     Missing files read as an empty history.
     """
+    from repro.util.jsonl import read_jsonl
+
     entries: List[Dict[str, object]] = []
-    try:
-        handle = open(path, "r", encoding="utf-8")
-    except FileNotFoundError:
-        return entries
-    with handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn trailing line from an interrupted append
-            if not isinstance(entry, dict):
-                continue
-            if entry.get("format") != LEDGER_FORMAT:
-                raise ValueError(
-                    f"{path}: not a {LEDGER_FORMAT} ledger "
-                    f"(found format={entry.get('format')!r})"
-                )
-            entries.append(entry)
+    for entry in read_jsonl(path, missing_ok=True):
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("format") != LEDGER_FORMAT:
+            raise ValueError(
+                f"{path}: not a {LEDGER_FORMAT} ledger "
+                f"(found format={entry.get('format')!r})"
+            )
+        entries.append(entry)
     return entries
 
 

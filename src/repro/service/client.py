@@ -1,0 +1,154 @@
+"""Client for the sweep service's NDJSON protocol.
+
+One TCP connection per request keeps the client stateless and immune to
+daemon restarts between calls — exactly the property the crash-recovery
+story needs: a client that submitted before a ``kill -9`` can poll the
+restarted daemon for the same fingerprints and get the same results.
+
+:class:`ServiceError` carries the structured rejection fields, so
+callers handle backpressure as data::
+
+    try:
+        client.submit(spec)
+    except ServiceError as error:
+        if error.code == "overloaded":
+            time.sleep(error.retry_after_s)
+"""
+
+import json
+import socket
+import time
+from typing import Dict, List, Optional
+
+from repro.service import protocol
+
+
+class ServiceError(RuntimeError):
+    """A structured error response from the daemon."""
+
+    def __init__(self, response: Dict[str, object]) -> None:
+        self.code = str(response.get("error", "internal"))
+        self.response = response
+        detail = response.get("message")
+        super().__init__(
+            f"{self.code}" + (f": {detail}" if detail else "")
+        )
+
+    @property
+    def retry_after_s(self) -> float:
+        """Backpressure hint (0 when the response carried none)."""
+        value = self.response.get("retry_after_s", 0.0)
+        return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+class ServiceClient:
+    """Talks ``repro.service/v1`` to a daemon at ``(host, port)``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7451,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: object) -> Dict[str, object]:
+        """One request/response round trip; raises on structured errors.
+
+        Raises:
+            ServiceError: The daemon answered with ``ok: false``.
+            OSError: The daemon is unreachable (connection refused, …).
+        """
+        message: Dict[str, object] = {"op": op}
+        message.update(fields)
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            sock.sendall(protocol.encode(message))
+            with sock.makefile("rb") as stream:
+                line = stream.readline()
+        if not line:
+            raise ServiceError(protocol.error(
+                "internal", "daemon closed the connection mid-request"
+            ))
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise ServiceError(response)
+        return response
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        """Liveness probe; returns the daemon's pid and job count."""
+        return self.request("ping")
+
+    def submit(self, spec: Dict[str, object],
+               priority: int = 0) -> Dict[str, object]:
+        """Submit a job; returns the job record (may be a cache hit)."""
+        return self.request("submit", spec=spec, priority=priority)
+
+    def submit_with_backpressure(
+        self, spec: Dict[str, object], priority: int = 0,
+        attempts: int = 20, max_sleep_s: float = 5.0,
+    ) -> Dict[str, object]:
+        """Submit, honouring ``overloaded`` rejections by waiting.
+
+        The well-behaved client loop: on backpressure, sleep the
+        daemon's ``retry_after_s`` hint (bounded) and try again.  Any
+        other error propagates immediately.
+        """
+        last: Optional[ServiceError] = None
+        for _ in range(max(1, attempts)):
+            try:
+                return self.submit(spec, priority=priority)
+            except ServiceError as err:
+                if err.code != "overloaded":
+                    raise
+                last = err
+                time.sleep(min(max(err.retry_after_s, 0.05), max_sleep_s))
+        raise last  # type: ignore[misc]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """One job's current state snapshot (no payload)."""
+        return self.request("status", job_id=job_id)
+
+    def result(self, job_id: Optional[str] = None,
+               fingerprint: Optional[str] = None,
+               wait_s: float = 30.0) -> Dict[str, object]:
+        """A terminal job's payload, waiting up to ``wait_s``.
+
+        Raises ``ServiceError('timeout')`` if the job is still live
+        when the wait expires.
+        """
+        fields: Dict[str, object] = {"wait_s": wait_s}
+        if job_id is not None:
+            fields["job_id"] = job_id
+        if fingerprint is not None:
+            fields["fingerprint"] = fingerprint
+        return self.request("result", **fields)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """Snapshots of every job the daemon knows about."""
+        return list(self.request("jobs")["jobs"])
+
+    def metrics(self) -> Dict[str, object]:
+        """Service counters plus their Prometheus exposition."""
+        return self.request("metrics")
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the daemon to stop serving and exit."""
+        return self.request("shutdown")
+
+    def wait_until_up(self, deadline_s: float = 10.0) -> None:
+        """Poll ``ping`` until the daemon answers (startup races)."""
+        deadline = time.monotonic() + deadline_s
+        while True:
+            try:
+                self.ping()
+                return
+            except (OSError, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)

@@ -1,0 +1,124 @@
+"""Write-ahead job journal (``repro.service/v1`` JSONL).
+
+The journal is what makes the daemon crash-safe: a job is **journaled
+before it is queued** (write-ahead), and journaled again when it
+reaches a terminal state.  After a ``kill -9``, replaying the journal
+partitions history into *settled* jobs (an ``accepted`` line with a
+matching ``done`` line — their results live in the content-addressed
+cache) and *unsettled* jobs (``accepted`` without ``done``) that the
+restarted daemon re-enqueues.  Jobs being pure functions of their
+specs, the replayed run's results are bit-identical to the run the
+crash interrupted.
+
+The file format follows the house crash-journal rules (shared reader in
+:mod:`repro.util.jsonl`): a header line pinning the format tag, one
+flushed JSON line per event, torn trailing lines tolerated and dropped.
+A torn ``accepted`` line means the client never got its acknowledgment
+(the response is sent only after the journal write returns), so
+dropping it breaks no promise; a torn ``done`` line re-runs one job
+into a cache hit.
+"""
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.service.jobs import SERVICE_FORMAT
+from repro.util.jsonl import append_jsonl, read_jsonl
+
+
+class JobJournal:
+    """Append-only write-ahead log of job admissions and completions."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            append_jsonl(self._handle, {
+                "format": SERVICE_FORMAT, "event": "header",
+            })
+
+    # ------------------------------------------------------------------
+    # Write-ahead events
+    # ------------------------------------------------------------------
+    def accepted(self, job_id: str, fingerprint: str,
+                 spec: Dict[str, object], priority: int) -> None:
+        """Journal an admission — called BEFORE the job is queued."""
+        append_jsonl(self._handle, {
+            "event": "accepted", "job_id": job_id,
+            "fingerprint": fingerprint, "priority": priority,
+            "spec": spec,
+        })
+
+    def done(self, job_id: str, state: str, source: str,
+             error: Optional[str] = None) -> None:
+        """Journal a terminal state (``completed`` or ``failed``)."""
+        append_jsonl(self._handle, {
+            "event": "done", "job_id": job_id, "state": state,
+            "source": source, "error": error,
+        })
+
+    def close(self) -> None:
+        """Release the journal's append handle."""
+        self._handle.close()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay(cls, path: Union[str, Path]) -> Tuple[
+        List[Dict[str, object]], Dict[str, Dict[str, object]], int
+    ]:
+        """Recover ``(unsettled, settled, next_sequence)`` from a journal.
+
+        ``unsettled`` is the accepted-but-unfinished jobs in admission
+        order (each the journaled admission record); ``settled`` maps
+        job id to its terminal record merged over the admission.
+        ``next_sequence`` is one past the highest numeric suffix of any
+        ``job-N`` id, so a restarted daemon never reuses an id.  A
+        missing journal replays as empty.  Lines that decode but are
+        not this format's events raise ``ValueError`` (wrong file —
+        not corruption, which the tolerant reader already dropped).
+        """
+        accepted: Dict[str, Dict[str, object]] = {}
+        order: List[str] = []
+        settled: Dict[str, Dict[str, object]] = {}
+        next_sequence = 0
+        rows = read_jsonl(path, missing_ok=True)
+        for row in rows:
+            if not isinstance(row, dict):
+                continue
+            event = row.get("event")
+            if event == "header":
+                if row.get("format") != SERVICE_FORMAT:
+                    raise ValueError(
+                        f"{path}: not a {SERVICE_FORMAT} journal "
+                        f"(format={row.get('format')!r})"
+                    )
+                continue
+            if event == "accepted":
+                job_id = row.get("job_id")
+                if not isinstance(job_id, str):
+                    continue
+                accepted[job_id] = row
+                order.append(job_id)
+                if job_id.startswith("job-"):
+                    try:
+                        next_sequence = max(
+                            next_sequence, int(job_id[4:]) + 1
+                        )
+                    except ValueError:
+                        pass
+            elif event == "done":
+                job_id = row.get("job_id")
+                if isinstance(job_id, str) and job_id in accepted:
+                    settled[job_id] = {**accepted[job_id], **row}
+            else:
+                raise ValueError(
+                    f"{path}: unknown journal event {event!r}"
+                )
+        unsettled = [
+            accepted[job_id] for job_id in order if job_id not in settled
+        ]
+        return unsettled, settled, next_sequence

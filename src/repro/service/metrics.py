@@ -1,0 +1,128 @@
+"""Service-level counters, exported through the Prometheus renderer.
+
+One :class:`ServiceMetrics` per daemon: monotonic counters for the
+admission path (accepted / shed / quarantined-rejected), the execution
+path (completed, failed, simulations actually run, executor retries /
+crashes / timeouts), and the cache (hits, misses, corrupt entries
+quarantined), plus live gauges (queue depth, in-flight jobs, open
+breaker circuits).  Exported onto a
+:class:`~repro.obs.stats.StatsRegistry` under the ``service.`` prefix,
+which the existing Prometheus text renderer turns into a scrape —
+the service's live view is the same machinery every other subsystem
+already reports through.
+
+The counters are also the test surface for the service's headline
+claims: "zero re-simulations after restart" is literally
+``simulations == 0`` with ``cache_hits > 0``.
+"""
+
+import threading
+from typing import Callable, Dict, Optional
+
+_COUNTERS = (
+    "accepted",
+    "rejected_overload",
+    "rejected_quarantined",
+    "rejected_invalid",
+    "coalesced",
+    "completed",
+    "failed",
+    "simulations",
+    "cache_hits",
+    "cache_misses",
+    "cache_corrupt",
+    "retries",
+    "crashes",
+    "timeouts",
+)
+
+_COUNTER_HELP = {
+    "accepted": "jobs admitted to the queue",
+    "rejected_overload": "submissions shed by queue backpressure",
+    "rejected_quarantined": "submissions refused by an open circuit",
+    "rejected_invalid": "submissions refused by spec validation",
+    "coalesced": "submissions attached to an in-flight duplicate",
+    "completed": "jobs finished successfully",
+    "failed": "jobs that reached the failed state",
+    "simulations": "jobs actually computed (not served from cache)",
+    "cache_hits": "results served from the content-addressed cache",
+    "cache_misses": "cache lookups that missed",
+    "cache_corrupt": "corrupt cache entries detected and quarantined",
+    "retries": "executor retry events",
+    "crashes": "worker crash events",
+    "timeouts": "task timeout events",
+}
+
+
+class ServiceMetrics:
+    """Thread-safe counter/gauge bundle for one daemon instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {name: 0 for name in _COUNTERS}
+        self.queue_depth_fn: Optional[Callable[[], int]] = None
+        self.inflight_fn: Optional[Callable[[], int]] = None
+        self.breaker_open_fn: Optional[Callable[[], int]] = None
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a counter (``ValueError`` on unknown names)."""
+        if name not in self._counts:
+            raise ValueError(f"unknown service counter {name!r}")
+        with self._lock:
+            self._counts[name] += amount
+
+    def value(self, name: str) -> int:
+        """One counter's current value."""
+        with self._lock:
+            return self._counts[name]
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of every counter (a fresh dict)."""
+        with self._lock:
+            return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def _gauges(self) -> Dict[str, int]:
+        return {
+            "queue_depth": self.queue_depth_fn() if self.queue_depth_fn else 0,
+            "inflight": self.inflight_fn() if self.inflight_fn else 0,
+            "breaker_open": (
+                self.breaker_open_fn() if self.breaker_open_fn else 0
+            ),
+        }
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters and gauges in one flat dict (wire/metrics op)."""
+        snapshot = self.counters()
+        snapshot.update(self._gauges())
+        return snapshot
+
+    def to_stats(self, registry, prefix: str = "service") -> None:
+        """Export onto a :class:`~repro.obs.stats.StatsRegistry`."""
+        for name, value in self.counters().items():
+            registry.scalar(
+                f"{prefix}.{name}", _COUNTER_HELP[name], value
+            )
+        gauges = self._gauges()
+        registry.scalar(
+            f"{prefix}.queue_depth", "jobs waiting in the bounded queue",
+            gauges["queue_depth"],
+        )
+        registry.scalar(
+            f"{prefix}.inflight", "jobs currently dispatched",
+            gauges["inflight"],
+        )
+        registry.scalar(
+            f"{prefix}.breaker_open", "fingerprints with an open circuit",
+            gauges["breaker_open"],
+        )
+
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """Prometheus text exposition of the live counters and gauges."""
+        from repro.obs.stats import StatsRegistry
+
+        registry = StatsRegistry()
+        self.to_stats(registry)
+        return registry.to_prometheus(namespace=namespace)

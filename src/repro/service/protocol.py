@@ -1,0 +1,88 @@
+"""Newline-delimited JSON wire protocol (``repro.service/v1``).
+
+One request per line, one response line per request, UTF-8, over a
+plain TCP stream — debuggable with ``nc`` and implementable from any
+language's stdlib.  A connection may carry any number of sequential
+requests.  Responses always carry ``ok``; failures add a stable
+``error`` code plus machine-usable detail (``retry_after_s`` on
+``overloaded``, the fingerprint on ``quarantined``), because the whole
+point of *structured* rejection is that a client can react to it
+programmatically instead of parsing prose.
+
+Requests::
+
+    {"op": "ping"}
+    {"op": "submit", "spec": {...}, "priority": 0}
+    {"op": "status", "job_id": "job-0"}
+    {"op": "result", "job_id": "job-0", "wait_s": 10.0}
+    {"op": "result", "fingerprint": "...", "wait_s": 10.0}
+    {"op": "jobs"}
+    {"op": "metrics"}
+    {"op": "shutdown"}
+
+Error codes: ``bad_request`` (undecodable or ill-formed),
+``invalid_spec``, ``overloaded`` (queue full; honour ``retry_after_s``),
+``quarantined`` (open circuit for this fingerprint), ``unknown_job``,
+``timeout`` (a ``result`` wait expired; the job is still live),
+``shutting_down``.
+"""
+
+import json
+from typing import Dict, Optional
+
+from repro.service.jobs import SERVICE_FORMAT
+
+#: Every request operation the daemon understands.
+OPS = (
+    "ping", "submit", "status", "result", "jobs", "metrics", "shutdown",
+)
+
+#: Stable machine-readable error codes.
+ERROR_CODES = (
+    "bad_request", "invalid_spec", "overloaded", "quarantined",
+    "unknown_job", "timeout", "shutting_down", "internal",
+)
+
+#: Hard ceiling on one request line (a defence against a client —
+#: or a port-scanner — streaming garbage at the daemon).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+def encode(message: Dict[str, object]) -> bytes:
+    """One wire line (JSON + newline) for a request or response."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    """Parse one wire line; raises ``ValueError`` on garbage."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ValueError("request line exceeds the size limit")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"undecodable request line: {error}") from error
+    if not isinstance(message, dict):
+        raise ValueError("request must be a JSON object")
+    return message
+
+
+def ok(**fields: object) -> Dict[str, object]:
+    """A success response."""
+    response: Dict[str, object] = {"ok": True, "format": SERVICE_FORMAT}
+    response.update(fields)
+    return response
+
+
+def error(code: str, message: Optional[str] = None,
+          **fields: object) -> Dict[str, object]:
+    """A structured failure response with a stable error code."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    response: Dict[str, object] = {
+        "ok": False, "format": SERVICE_FORMAT, "error": code,
+    }
+    if message is not None:
+        response["message"] = message
+    response.update(fields)
+    return response

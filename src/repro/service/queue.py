@@ -1,0 +1,91 @@
+"""Bounded priority job queue with admission control.
+
+The queue is the service's overload valve: it has a hard bound, and a
+full queue **rejects** new work at admission time instead of accepting
+unbounded liabilities — the caller turns that into a structured
+``overloaded`` + ``retry_after_s`` response, which is what "degrades
+gracefully" means at the protocol level.  Admission is O(log n), every
+accepted job is already journaled by the caller, and ordering is
+(priority, admission sequence): higher priority first, FIFO within a
+priority so equal-priority clients cannot starve each other.
+"""
+
+import heapq
+import threading
+from typing import List, Optional, Tuple
+
+
+class BoundedJobQueue:
+    """Thread-safe bounded priority queue of opaque job handles.
+
+    Args:
+        limit: Maximum queued (admitted, not yet dispatched) jobs.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self.limit = int(limit)
+        self._heap: List[Tuple[int, int, object]] = []
+        self._sequence = 0
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def offer(self, job: object, priority: int = 0) -> bool:
+        """Admit a job, or refuse (``False``) when the bound is hit.
+
+        Higher ``priority`` dispatches first; the negated priority goes
+        into the min-heap with the admission sequence as tiebreak.
+        """
+        with self._ready:
+            if self._closed or len(self._heap) >= self.limit:
+                return False
+            heapq.heappush(
+                self._heap, (-int(priority), self._sequence, job)
+            )
+            self._sequence += 1
+            self._ready.notify()
+            return True
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def take(self, max_jobs: int = 1,
+             timeout: Optional[float] = None) -> List[object]:
+        """Up to ``max_jobs`` jobs in dispatch order; blocks when empty.
+
+        Returns an empty list on timeout or when the queue is closed —
+        the dispatcher's signal to re-check for shutdown.
+        """
+        if max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+        with self._ready:
+            if not self._heap and not self._closed:
+                self._ready.wait(timeout)
+            taken: List[object] = []
+            while self._heap and len(taken) < max_jobs:
+                taken.append(heapq.heappop(self._heap)[2])
+            return taken
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        with self._lock:
+            return len(self._heap) >= self.limit
+
+    def close(self) -> None:
+        """Refuse further admissions and wake any blocked dispatcher."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()

@@ -1,0 +1,15 @@
+"""Small shared utilities with no simulation dependencies."""
+
+from repro.util.jsonl import (
+    append_jsonl,
+    iter_jsonl_strict,
+    iter_jsonl_tolerant,
+    read_jsonl,
+)
+
+__all__ = [
+    "append_jsonl",
+    "iter_jsonl_strict",
+    "iter_jsonl_tolerant",
+    "read_jsonl",
+]

@@ -81,6 +81,11 @@ def always_fail_measurement(seed):
     raise RuntimeError("instrument fault")
 
 
+def crash_always_measurement(seed):
+    """Kill the worker on every attempt (a deterministic crasher)."""
+    os._exit(1)
+
+
 class TestParallelSweep:
     def test_parallel_sweep_matches_serial(self):
         grid = parameter_grid(radix=[4, 8], load=[0.3, 0.9])
@@ -234,6 +239,148 @@ class TestResiliencePolicy:
         assert failure.attempts == 2
         assert "instrument fault" in str(failure)
         assert isinstance(failure.cause, RuntimeError)
+
+
+class TestBackoffJitter:
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            ResiliencePolicy(backoff_jitter=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            ResiliencePolicy(backoff_jitter=-0.1)
+
+    def test_deterministic_for_same_seed_key_attempt(self):
+        policy = ResiliencePolicy(backoff_base=0.5, jitter_seed=7)
+        assert policy.backoff_delay(2, key="fp") == \
+            policy.backoff_delay(2, key="fp")
+        clone = ResiliencePolicy(backoff_base=0.5, jitter_seed=7)
+        assert clone.backoff_delay(2, key="fp") == \
+            policy.backoff_delay(2, key="fp")
+
+    def test_delay_stays_within_jitter_band(self):
+        policy = ResiliencePolicy(
+            backoff_base=0.2, backoff_cap=5.0, backoff_jitter=0.5
+        )
+        for attempt in range(1, 6):
+            ceiling = min(0.2 * 2 ** (attempt - 1), 5.0)
+            for key in ("a", "b", 3):
+                delay = policy.backoff_delay(attempt, key=key)
+                assert ceiling * 0.5 <= delay <= ceiling
+
+    def test_distinct_keys_desynchronise(self):
+        # The retry-storm fix: tasks failed by the same crash must not
+        # retry in lockstep.
+        policy = ResiliencePolicy(backoff_base=1.0)
+        delays = {
+            policy.backoff_delay(1, key=f"fp-{n}") for n in range(8)
+        }
+        assert len(delays) == 8
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = ResiliencePolicy(backoff_base=0.1, backoff_jitter=0.0)
+        assert [policy.backoff_delay(a) for a in (1, 2, 3)] == \
+            [0.1, 0.2, 0.4]
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            ResiliencePolicy().backoff_delay(0)
+
+    def test_jittered_retries_pin_serial_identical_results(self, tmp_path):
+        # Jitter shifts the *sleep schedule* only; values stay
+        # bit-identical to the serial, failure-free path.
+        token = str(tmp_path / "flaky")
+        grid = [{"token": token}]
+        points = run_sweep(
+            raise_once_measurement, grid, replications=3, base_seed=0,
+            workers=2, max_retries=2, backoff_base=0.01,
+        )
+        expected = replicate(seed_polynomial, num_replications=3,
+                             base_seed=0)
+        assert points[0].interval.mean == expected.mean
+        assert points[0].interval.half_width == expected.half_width
+
+
+class TestBreakerHook:
+    class _Recorder:
+        """Minimal breaker duck-type that logs every executor call."""
+
+        def __init__(self, open_after=None):
+            self.crashes = []
+            self.successes = []
+            self.open_after = open_after
+
+        def record_crash(self, key):
+            self.crashes.append(key)
+            return (
+                self.open_after is not None
+                and self.crashes.count(key) >= self.open_after
+            )
+
+        def record_success(self, key):
+            self.successes.append(key)
+
+        def is_open(self, key):
+            return (
+                self.open_after is not None
+                and self.crashes.count(key) >= self.open_after
+            )
+
+    def test_successes_reach_the_breaker_keyed_by_breaker_keys(self):
+        breaker = self._Recorder()
+        tasks = [(seed_polynomial, {}, seed) for seed in range(3)]
+        values = parallel._execute_tasks_resilient(
+            tasks, workers=1,
+            policy=ResiliencePolicy(
+                breaker=breaker, breaker_keys=("x", "y", "z"),
+            ),
+        )
+        assert values == [seed_polynomial(seed) for seed in range(3)]
+        assert sorted(breaker.successes) == ["x", "y", "z"]
+        assert breaker.crashes == []
+
+    def test_crashes_reach_the_breaker(self, tmp_path):
+        token = str(tmp_path / "crash")
+        breaker = self._Recorder()
+        tasks = [(crash_once_measurement, {"token": token}, 0)]
+        parallel._execute_tasks_resilient(
+            tasks, workers=2,
+            policy=ResiliencePolicy(
+                max_retries=3, backoff_base=0.0,
+                breaker=breaker, breaker_keys=("the-fp",),
+            ),
+        )
+        assert breaker.crashes == ["the-fp"]
+        assert breaker.successes == ["the-fp"]
+
+    def test_open_breaker_fails_fast_despite_retry_budget(self, tmp_path):
+        breaker = self._Recorder(open_after=2)
+        tasks = [(crash_always_measurement, {}, 0)]
+        with pytest.raises(TaskFailure) as excinfo:
+            parallel._execute_tasks_resilient(
+                tasks, workers=2,
+                policy=ResiliencePolicy(
+                    max_retries=50, backoff_base=0.0,
+                    breaker=breaker, breaker_keys=("the-fp",),
+                ),
+            )
+        # Opened at the second crash: far below the 51-attempt budget.
+        assert excinfo.value.attempts == 2
+        assert breaker.crashes == ["the-fp", "the-fp"]
+
+    def test_plain_failures_do_not_count_as_crashes(self):
+        breaker = self._Recorder(open_after=1)
+        tasks = [(always_fail_measurement, {}, 0)]
+        with pytest.raises(TaskFailure) as excinfo:
+            parallel._execute_tasks_resilient(
+                tasks, workers=2,
+                policy=ResiliencePolicy(
+                    max_retries=2, backoff_base=0.0,
+                    breaker=breaker, breaker_keys=("the-fp",),
+                ),
+            )
+        # The retry budget, not the breaker, ended this task: raising
+        # an exception is not killing a worker.
+        assert excinfo.value.attempts == 3
+        assert breaker.crashes == []
 
 
 class TestCheckpointResume:

@@ -1,0 +1,125 @@
+"""Content-addressed cache: atomicity, digests, corruption quarantine."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.cache import ResultCache, payload_digest
+from repro.service.jobs import SERVICE_FORMAT
+
+FP_A = "a" * 64
+FP_B = "b" * 64
+PAYLOAD = {"kind": "chaos", "value": 1.5, "points": [1, 2, 3]}
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, PAYLOAD)
+        assert cache.get(FP_A) == PAYLOAD
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(FP_A) is None
+        assert cache.misses == 1
+
+    def test_entry_embeds_fingerprint_and_digest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(FP_A, PAYLOAD)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        assert entry["format"] == SERVICE_FORMAT
+        assert entry["fingerprint"] == FP_A
+        assert entry["sha256"] == payload_digest(PAYLOAD)
+
+    def test_put_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = cache.put(FP_A, PAYLOAD).read_bytes()
+        second = cache.put(FP_A, PAYLOAD).read_bytes()
+        assert first == second
+
+    def test_malformed_fingerprint_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.put("not-a-fingerprint", PAYLOAD)
+        with pytest.raises(ValueError):
+            cache.get("../../etc/passwd")
+
+
+class TestCorruption:
+    """Satellite: truncation and bit-flips are detected, quarantined,
+    and never served; a recompute then heals the store."""
+
+    def _corrupt_roundtrip(self, tmp_path, mutate):
+        cache = ResultCache(tmp_path)
+        path = cache.put(FP_A, PAYLOAD)
+        mutate(path)
+        assert cache.get(FP_A) is None  # never serve corrupt bytes
+        assert cache.corrupt == 1
+        assert cache.quarantined() == [f"{FP_A}.corrupt-0"]
+        assert not cache.contains(FP_A)
+        # Recompute heals: a fresh put serves again.
+        cache.put(FP_A, PAYLOAD)
+        assert cache.get(FP_A) == PAYLOAD
+
+    def test_truncation(self, tmp_path):
+        def truncate(path):
+            raw = path.read_bytes()
+            path.write_bytes(raw[: len(raw) // 2])
+
+        self._corrupt_roundtrip(tmp_path, truncate)
+
+    def test_bit_flip_in_payload(self, tmp_path):
+        def flip(path):
+            raw = bytearray(path.read_bytes())
+            # Flip a bit inside the payload value region (the entry
+            # still parses as JSON, so only the digest catches it).
+            index = raw.find(b"1.5")
+            assert index > 0
+            raw[index] = ord("9")
+            path.write_bytes(bytes(raw))
+
+        self._corrupt_roundtrip(tmp_path, flip)
+
+    def test_wrong_format_tag(self, tmp_path):
+        def retag(path):
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            entry["format"] = "repro.other/v1"
+            path.write_text(json.dumps(entry), encoding="utf-8")
+
+        self._corrupt_roundtrip(tmp_path, retag)
+
+    def test_misfiled_entry(self, tmp_path):
+        # An entry copied under the wrong name must not be served for
+        # the name it sits under.
+        cache = ResultCache(tmp_path)
+        path = cache.put(FP_A, PAYLOAD)
+        os.replace(path, cache.path_for(FP_B))
+        assert cache.get(FP_B) is None
+        assert cache.corrupt == 1
+
+    def test_each_corruption_gets_its_own_quarantine_file(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for _ in range(3):
+            path = cache.put(FP_A, PAYLOAD)
+            path.write_text("garbage", encoding="utf-8")
+            assert cache.get(FP_A) is None
+        assert len(cache.quarantined()) == 3
+
+
+class TestHousekeeping:
+    def test_fingerprints_excludes_quarantine_and_temp(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(FP_A, PAYLOAD)
+        path = cache.put(FP_B, PAYLOAD)
+        path.write_text("garbage", encoding="utf-8")
+        cache.get(FP_B)
+        (tmp_path / f".{FP_A}.tmp-99999").write_text("", encoding="utf-8")
+        assert cache.fingerprints() == [FP_A]
+
+    def test_sweep_temp(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / f".{FP_A}.tmp-99999").write_text("", encoding="utf-8")
+        assert cache.sweep_temp() == 1
+        assert cache.sweep_temp() == 0

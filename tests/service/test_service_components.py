@@ -1,0 +1,196 @@
+"""Unit coverage for the service's building blocks: queue, breaker,
+journal, protocol, metrics."""
+
+import threading
+
+import pytest
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.jobs import SERVICE_FORMAT
+from repro.service.journal import JobJournal
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import BoundedJobQueue
+from repro.service import protocol
+from repro.util.jsonl import append_jsonl
+
+
+class TestQueue:
+    def test_fifo_within_priority(self):
+        queue = BoundedJobQueue(8)
+        for name in "abc":
+            assert queue.offer(name)
+        assert queue.take(3) == ["a", "b", "c"]
+
+    def test_priority_order(self):
+        queue = BoundedJobQueue(8)
+        queue.offer("low", priority=0)
+        queue.offer("high", priority=5)
+        queue.offer("mid", priority=3)
+        assert queue.take(3) == ["high", "mid", "low"]
+
+    def test_bound_refuses(self):
+        queue = BoundedJobQueue(2)
+        assert queue.offer("a") and queue.offer("b")
+        assert queue.is_full
+        assert not queue.offer("c")
+        queue.take(1)
+        assert queue.offer("c")
+
+    def test_take_times_out_empty(self):
+        queue = BoundedJobQueue(2)
+        assert queue.take(1, timeout=0.01) == []
+
+    def test_close_refuses_and_wakes(self):
+        queue = BoundedJobQueue(2)
+        taken = []
+        thread = threading.Thread(
+            target=lambda: taken.append(queue.take(1, timeout=5.0))
+        )
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert taken == [[]]
+        assert not queue.offer("a")
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(0)
+
+
+class TestBreaker:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert not breaker.record_crash("fp")
+        assert not breaker.record_crash("fp")
+        assert breaker.record_crash("fp")
+        assert breaker.is_open("fp")
+        assert breaker.open_keys() == ["fp"]
+
+    def test_success_resets_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_crash("fp")
+        breaker.record_success("fp")
+        assert not breaker.record_crash("fp")
+        assert not breaker.is_open("fp")
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_crash("bad")
+        assert breaker.is_open("bad")
+        assert not breaker.is_open("good")
+
+    def test_reset_closes(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_crash("fp")
+        breaker.reset("fp")
+        assert not breaker.is_open("fp")
+
+
+class TestJournal:
+    def test_write_ahead_then_done_settles(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.accepted("job-0", "f" * 64, {"kind": "chaos"}, 1)
+        journal.accepted("job-1", "e" * 64, {"kind": "chaos"}, 0)
+        journal.done("job-0", "completed", "computed")
+        journal.close()
+        unsettled, settled, next_sequence = JobJournal.replay(path)
+        assert [row["job_id"] for row in unsettled] == ["job-1"]
+        assert settled["job-0"]["state"] == "completed"
+        assert settled["job-0"]["fingerprint"] == "f" * 64
+        assert next_sequence == 2
+
+    def test_torn_tail_drops_only_the_tear(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.accepted("job-0", "f" * 64, {"kind": "chaos"}, 0)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "accepted", "job_id": "job-1"')
+        unsettled, settled, next_sequence = JobJournal.replay(path)
+        assert [row["job_id"] for row in unsettled] == ["job-0"]
+        assert next_sequence == 1
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        unsettled, settled, next_sequence = JobJournal.replay(
+            tmp_path / "absent.jsonl"
+        )
+        assert unsettled == [] and settled == {} and next_sequence == 0
+
+    def test_reopen_does_not_duplicate_header(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        JobJournal(path).close()
+        JobJournal(path).close()
+        text = path.read_text(encoding="utf-8")
+        assert text.count('"header"') == 1
+
+    def test_wrong_format_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        append_jsonl(path, {"format": "repro.perf/v1", "event": "header"})
+        with pytest.raises(ValueError):
+            JobJournal.replay(path)
+
+    def test_unknown_event_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        append_jsonl(path, {"format": SERVICE_FORMAT, "event": "header"})
+        append_jsonl(path, {"event": "exploded"})
+        with pytest.raises(ValueError):
+            JobJournal.replay(path)
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"op": "submit", "spec": {"kind": "chaos"}}
+        assert protocol.decode_line(protocol.encode(message)) == message
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            protocol.decode_line(b"not json\n")
+        with pytest.raises(ValueError):
+            protocol.decode_line(b"[1, 2]\n")
+        with pytest.raises(ValueError):
+            protocol.decode_line(b"x" * (protocol.MAX_LINE_BYTES + 1))
+
+    def test_responses_are_tagged(self):
+        assert protocol.ok(x=1) == {
+            "ok": True, "format": SERVICE_FORMAT, "x": 1,
+        }
+        response = protocol.error("overloaded", retry_after_s=1.5)
+        assert response["ok"] is False
+        assert response["error"] == "overloaded"
+        assert response["retry_after_s"] == 1.5
+
+    def test_unknown_error_code_refused(self):
+        with pytest.raises(ValueError):
+            protocol.error("weird_code")
+
+
+class TestMetrics:
+    def test_bump_and_snapshot(self):
+        metrics = ServiceMetrics()
+        metrics.bump("accepted")
+        metrics.bump("cache_hits", 3)
+        snapshot = metrics.snapshot()
+        assert snapshot["accepted"] == 1
+        assert snapshot["cache_hits"] == 3
+        assert snapshot["queue_depth"] == 0
+
+    def test_unknown_counter_refused(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics().bump("made_up")
+
+    def test_gauge_callbacks(self):
+        metrics = ServiceMetrics()
+        metrics.queue_depth_fn = lambda: 4
+        metrics.inflight_fn = lambda: 2
+        snapshot = metrics.snapshot()
+        assert snapshot["queue_depth"] == 4
+        assert snapshot["inflight"] == 2
+
+    def test_prometheus_exposition(self):
+        metrics = ServiceMetrics()
+        metrics.bump("rejected_overload", 7)
+        text = metrics.to_prometheus()
+        assert "repro_service_rejected_overload 7" in text
+        assert "# HELP repro_service_rejected_overload" in text
