@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Scheduler-zoo matrix: CLRG vs LRG vs iSLIP(k) vs MWM, with CI gates.
+
+Runs :func:`repro.harness.schedulers.compare_schedulers` across the
+traffic zoo and writes the two artifacts CI uploads:
+
+* ``scheduler-matrix.json`` — the raw ``repro.schedulers/v1`` dict
+* ``scheduler-matrix.md``   — the rendered per-pattern markdown tables
+
+``--check`` turns the run into the CI ``scheduler-smoke`` gate:
+
+1. **Schema** — the result validates against ``repro.schedulers/v1``.
+2. **Legality** — every matrix cell ran with the matching invariant
+   checker attached, checked a nonzero number of cycles, and reported
+   zero violations (a violation raises inside the run, so a completed
+   matrix already proves this; the gate makes it explicit).
+3. **Iteration payoff** — overdriven uniform saturation throughput of
+   iSLIP with 4 iterations is at least that of iSLIP with 1 iteration:
+   extra request/grant/accept rounds must never lose matching quality.
+
+Usage:
+    python scripts/scheduler_matrix.py                 # full matrix
+    python scripts/scheduler_matrix.py --quick --check # CI gate
+    python scripts/scheduler_matrix.py --out-dir DIR
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness.schedulers import (  # noqa: E402
+    compare_schedulers,
+    render_markdown,
+    validate_comparison,
+)
+
+
+def run_matrix(args):
+    if args.quick:
+        kwargs = dict(
+            radix=8, layers=2, channels=2,
+            warmup_cycles=150, measure_cycles=800,
+        )
+    else:
+        kwargs = dict(
+            radix=16, layers=2, channels=2,
+            warmup_cycles=300, measure_cycles=2000,
+        )
+    return compare_schedulers(
+        load=args.load, seed=args.seed, invariants=True,
+        saturation=True, saturation_pattern="uniform", **kwargs,
+    )
+
+
+def check_gates(comparison) -> list:
+    """Return the list of gate failures (empty means all gates pass)."""
+    failures = []
+    try:
+        validate_comparison(comparison)
+    except ValueError as error:
+        failures.append(f"schema: {error}")
+        return failures
+
+    for pattern, row in comparison["matrix"].items():
+        for name, cell in row.items():
+            if cell["invariant_violations"] != 0:
+                failures.append(
+                    f"legality: {pattern}/{name} reported "
+                    f"{cell['invariant_violations']} invariant violations"
+                )
+            if cell["invariant_cycles_checked"] <= 0:
+                failures.append(
+                    f"legality: {pattern}/{name} ran without the "
+                    "matching invariant checker"
+                )
+
+    rates = comparison["saturation"]["throughput_packets_per_cycle"]
+    if "islip1" not in rates or "islip4" not in rates:
+        failures.append(
+            "iteration payoff: saturation sweep is missing islip1/islip4"
+        )
+    elif rates["islip4"] < rates["islip1"]:
+        failures.append(
+            "iteration payoff: iSLIP-4 saturation "
+            f"{rates['islip4']:.4f} pkt/cyc fell below iSLIP-1 "
+            f"{rates['islip1']:.4f}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="scheduler-matrix",
+                        help="artifact directory (default ./scheduler-matrix)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--load", type=float, default=0.3)
+    parser.add_argument("--quick", action="store_true",
+                        help="small radix / short windows for CI")
+    parser.add_argument("--check", action="store_true",
+                        help="apply the CI gates; exit 1 on failure")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    comparison = run_matrix(args)
+    markdown = render_markdown(comparison)
+
+    json_path = out_dir / "scheduler-matrix.json"
+    md_path = out_dir / "scheduler-matrix.md"
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(comparison, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(md_path, "w", encoding="utf-8") as handle:
+        handle.write(markdown)
+    print(markdown)
+    print(f"wrote {json_path} and {md_path}")
+
+    if args.check:
+        failures = check_gates(comparison)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILED: {failure}", file=sys.stderr)
+            return 1
+        rates = comparison["saturation"]["throughput_packets_per_cycle"]
+        print("gates passed: schema valid, zero invariant violations, "
+              f"islip4 saturation {rates['islip4']:.4f} >= "
+              f"islip1 {rates['islip1']:.4f} pkt/cyc")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

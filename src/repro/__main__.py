@@ -55,15 +55,18 @@ def _build_design(args):
         layers=args.layers,
         channel_multiplicity=args.channels,
         arbitration=args.arbitration,
+        islip_iterations=getattr(args, "islip_iterations", 1),
     )
 
 
 def _build_switch(args):
+    from repro.switches import make_switch
+
     if args.design == "2d":
         return SwizzleSwitch2D(args.radix)
     if args.design == "folded":
         return FoldedSwitch3D(args.radix, args.layers)
-    return HiRiseSwitch(_build_design(args))
+    return make_switch(_build_design(args))
 
 
 def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
@@ -74,8 +77,13 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--channels", type=int, default=4)
     parser.add_argument(
         "--arbitration",
-        choices=["clrg", "l2l_lrg", "wlrg", "l2l_rr", "age"],
+        choices=["clrg", "l2l_lrg", "wlrg", "l2l_rr", "age",
+                 "islip", "mwm"],
         default="clrg",
+    )
+    parser.add_argument(
+        "--islip-iterations", type=int, default=1,
+        help="request/grant/accept rounds per cycle (islip only)",
     )
 
 
@@ -110,6 +118,53 @@ def cmd_simulate(args) -> int:
     print(f"  latency    : {result.avg_latency_cycles:.1f} cycles (mean)")
     print(f"  throughput : {result.throughput_packets_per_cycle:.3f} "
           f"packets/cycle")
+    return 0
+
+
+def cmd_compare_schedulers(args) -> int:
+    import json
+
+    from repro.harness.schedulers import (
+        SCHEDULER_SPECS, compare_schedulers, render_markdown,
+        validate_comparison,
+    )
+
+    for name in args.schedulers or ():
+        if name not in SCHEDULER_SPECS:
+            print(f"compare-schedulers: unknown scheduler {name!r} "
+                  f"(one of {', '.join(SCHEDULER_SPECS)})",
+                  file=sys.stderr)
+            return 2
+    try:
+        comparison = compare_schedulers(
+            radix=args.radix,
+            layers=args.layers,
+            channels=args.channels,
+            load=args.load,
+            packet_flits=args.packet_flits,
+            seed=args.seed,
+            warmup_cycles=args.warmup,
+            measure_cycles=args.cycles,
+            schedulers=args.schedulers or None,
+            traffic=args.traffic or None,
+            invariants=not args.no_invariants,
+            saturation=not args.no_saturation,
+        )
+    except ValueError as error:
+        print(f"compare-schedulers: {error}", file=sys.stderr)
+        return 2
+    validate_comparison(comparison)
+    markdown = render_markdown(comparison)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(comparison, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote comparison JSON to {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote comparison markdown to {args.markdown}")
+    print(markdown)
     return 0
 
 
@@ -942,6 +997,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_arguments(simulate)
     _add_run_arguments(simulate)
     simulate.set_defaults(handler=cmd_simulate)
+
+    compare = commands.add_parser(
+        "compare-schedulers",
+        help="CLRG vs LRG vs iSLIP(k) vs MWM comparison matrix",
+    )
+    compare.add_argument("--radix", type=int, default=16)
+    compare.add_argument("--layers", type=int, default=2)
+    compare.add_argument("--channels", type=int, default=2)
+    compare.add_argument("--load", type=float, default=0.3)
+    compare.add_argument("--packet-flits", type=int, default=4)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument("--warmup", type=int, default=300)
+    compare.add_argument("--cycles", type=int, default=2000)
+    compare.add_argument(
+        "--scheduler", dest="schedulers", action="append", default=[],
+        metavar="NAME",
+        help="include only this scheduler (repeatable; default: all)",
+    )
+    compare.add_argument(
+        "--traffic", action="append", default=[], metavar="PATTERN",
+        help="include only this traffic pattern (repeatable; default: "
+             "uniform, hotspot, transpose)",
+    )
+    compare.add_argument("--json", metavar="PATH",
+                         help="write the repro.schedulers/v1 JSON here")
+    compare.add_argument("--markdown", metavar="PATH",
+                         help="write the markdown report here")
+    compare.add_argument("--no-invariants", action="store_true",
+                         help="skip the per-cycle matching checker")
+    compare.add_argument("--no-saturation", action="store_true",
+                         help="skip the overdriven saturation sweep")
+    compare.set_defaults(handler=cmd_compare_schedulers)
 
     trace = commands.add_parser(
         "trace", help="traced run exporting cycle-level events"

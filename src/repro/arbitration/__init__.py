@@ -18,6 +18,12 @@ Two related-work comparison arbiters round out the set for ablation
 studies: :class:`RoundRobinArbiter` (iSLIP-style pointer rotation) and
 :class:`AgeArbiter` (oldest-first, the hardware-infeasible fairness
 ideal of Section VII).
+
+The VOQ scheduler family (:mod:`repro.arbitration.islip`,
+:mod:`repro.arbitration.mwm`, :mod:`repro.arbitration.matching`) models
+the iterative schedulers the paper positions itself against: full
+iSLIP with grant/accept pointer state and an MWM oracle as the quality
+upper bound, both consumed by :class:`repro.switches.VOQSwitch`.
 """
 
 from repro.arbitration.base import Arbiter
@@ -28,6 +34,13 @@ from repro.arbitration.wlrg import WLRGArbiter
 from repro.arbitration.round_robin import RoundRobinArbiter
 from repro.arbitration.age import AgeArbiter
 from repro.arbitration.qos import QoSCLRGArbiter, WeightedClassCounterBank
+from repro.arbitration.islip import ISLIPArbiter
+from repro.arbitration.mwm import MWMOracle
+from repro.arbitration.matching import (
+    is_maximal_matching,
+    is_valid_matching,
+    matching_weight,
+)
 
 __all__ = [
     "Arbiter",
@@ -39,4 +52,9 @@ __all__ = [
     "AgeArbiter",
     "QoSCLRGArbiter",
     "WeightedClassCounterBank",
+    "ISLIPArbiter",
+    "MWMOracle",
+    "is_maximal_matching",
+    "is_valid_matching",
+    "matching_weight",
 ]

@@ -1,0 +1,137 @@
+"""iSLIP: iterative round-robin matching for VOQ input-queued switches.
+
+McKeown's iSLIP (the Tiny Tera scheduler) computes a maximal matching
+in rounds of request / grant / accept:
+
+1. **Request** — every unmatched input sends a request to every output
+   with a non-empty VOQ.
+2. **Grant** — every unmatched output grants the requesting input at or
+   after its *grant pointer* (round-robin).
+3. **Accept** — every input that received grants accepts the granting
+   output at or after its *accept pointer*; the pair is matched.
+
+The pointer update rule is what makes iSLIP stable: pointers advance to
+one past the matched partner **only when the grant is accepted in the
+first iteration**.  Later-iteration matches leave pointers untouched.
+Because an accepted output's pointer moves past the input it just
+served, under loaded uniform traffic the pointers *desynchronize* —
+after a handful of cycles no two outputs point at the same input, every
+round-1 grant is accepted, and throughput reaches 100% (the property
+battery in ``tests/arbitration/test_properties.py`` pins this).
+
+With one iteration and at most one non-empty VOQ per input, iSLIP
+degenerates to independent round-robin arbitration per output — the
+differential parity test pins that equivalence against
+:class:`repro.arbitration.RoundRobinArbiter`.
+"""
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arbitration.matching import Matching, WeightMatrix
+
+__all__ = ["ISLIPArbiter", "RoundObserver"]
+
+#: Callback invoked once per (iteration, stage) with the per-port
+#: pairings decided in that stage: ``observer(iteration, stage, pairs)``
+#: where stage is "grant" (output -> input granted) or "accept"
+#: (input -> output accepted) and pairs is a list of (port, partner).
+RoundObserver = Callable[[int, str, List[Tuple[int, int]]], None]
+
+
+class ISLIPArbiter:
+    """iSLIP scheduler over an ``num_ports`` x ``num_ports`` VOQ fabric.
+
+    Unlike the single-resource :class:`repro.arbitration.Arbiter`
+    subclasses, an iSLIP arbiter owns the whole matching problem: one
+    grant pointer per output and one accept pointer per input, advanced
+    together under the iteration-1 accept rule.
+    """
+
+    def __init__(self, num_ports: int, iterations: int = 1) -> None:
+        if num_ports < 1:
+            raise ValueError("iSLIP needs at least one port")
+        if iterations < 1:
+            raise ValueError("iSLIP needs at least one iteration")
+        self.num_ports = num_ports
+        self.iterations = iterations
+        #: Per-output round-robin pointer used in the grant stage.
+        self.grant_pointers = [0] * num_ports
+        #: Per-input round-robin pointer used in the accept stage.
+        self.accept_pointers = [0] * num_ports
+
+    def _first_at_or_after(self, pointer: int, candidates: set) -> int:
+        for offset in range(self.num_ports):
+            slot = (pointer + offset) % self.num_ports
+            if slot in candidates:
+                return slot
+        raise AssertionError("unreachable: candidates is non-empty")
+
+    def match(
+        self,
+        weights: WeightMatrix,
+        observer: Optional[RoundObserver] = None,
+    ) -> Matching:
+        """Compute a matching over the request matrix ``weights``.
+
+        ``weights[i][j] > 0`` means input ``i`` requests output ``j``
+        (the magnitude is ignored — iSLIP sees only request presence).
+        Returns input -> output; commits pointer updates for matches
+        made in iteration 1.
+        """
+        n = self.num_ports
+        if len(weights) != n or any(len(row) != n for row in weights):
+            raise ValueError(f"weights must be {n}x{n}")
+
+        matching: Matching = {}
+        matched_outputs = set()
+        for iteration in range(self.iterations):
+            # Request: unmatched inputs request all outputs with
+            # backlogged VOQs that are still unmatched.
+            requests: Dict[int, set] = {}
+            for out in range(n):
+                if out in matched_outputs:
+                    continue
+                requesting = {
+                    inp
+                    for inp in range(n)
+                    if inp not in matching and weights[inp][out] > 0
+                }
+                if requesting:
+                    requests[out] = requesting
+            if not requests:
+                break
+
+            # Grant: each output picks the requesting input at or after
+            # its grant pointer (the pointer does not move yet).
+            grants: Dict[int, List[int]] = {}
+            grant_pairs: List[Tuple[int, int]] = []
+            for out, requesting in requests.items():
+                inp = self._first_at_or_after(
+                    self.grant_pointers[out], requesting
+                )
+                grants.setdefault(inp, []).append(out)
+                grant_pairs.append((out, inp))
+            if observer is not None:
+                observer(iteration, "grant", grant_pairs)
+
+            # Accept: each granted input picks the granting output at or
+            # after its accept pointer; iteration-1 accepts commit both
+            # pointers (the desynchronization rule).
+            accept_pairs: List[Tuple[int, int]] = []
+            made_progress = False
+            for inp, granting in grants.items():
+                out = self._first_at_or_after(
+                    self.accept_pointers[inp], set(granting)
+                )
+                matching[inp] = out
+                matched_outputs.add(out)
+                accept_pairs.append((inp, out))
+                made_progress = True
+                if iteration == 0:
+                    self.grant_pointers[out] = (inp + 1) % n
+                    self.accept_pointers[inp] = (out + 1) % n
+            if observer is not None:
+                observer(iteration, "accept", accept_pairs)
+            if not made_progress:
+                break
+        return matching

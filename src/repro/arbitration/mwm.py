@@ -1,0 +1,136 @@
+"""Maximum-weight matching oracle for VOQ scheduling quality bounds.
+
+MWM scheduling (match the inputs to outputs maximizing total weight
+served — head-of-line age in :class:`repro.switches.VOQSwitch`, i.e.
+the oldest-cell-first discipline) is the classical quality upper bound
+for input-queued switches: it achieves 100% throughput for any
+admissible traffic but is far too slow for hardware — which is exactly
+why iSLIP, and in this repo's framing the paper's single-cycle CLRG,
+exist.  The oracle lets ``repro compare-schedulers`` place every
+practical scheduler between two anchors: round-robin composition at
+the bottom and MWM at the top.
+
+The solver is a scipy-free Hungarian algorithm (Jonker-Volgenant style
+shortest augmenting paths with dual potentials, O(n^3)).  Weights are
+negated into a min-cost assignment on a zero-padded square matrix, and
+zero-weight pairs are dropped from the returned matching so only real
+requests are ever matched.
+"""
+
+from typing import List
+
+from repro.arbitration.matching import Matching, WeightMatrix
+
+__all__ = ["MWMOracle", "solve_assignment"]
+
+_INF = float("inf")
+
+
+def solve_assignment(cost: List[List[float]]) -> List[int]:
+    """Minimum-cost assignment on a square matrix.
+
+    Returns ``assign`` with ``assign[row] = column``.  Classic Hungarian
+    with row/column potentials and one shortest-augmenting-path search
+    per row; exact on integer inputs (comparisons only, no scaling).
+    """
+    n = len(cost)
+    if n == 0:
+        return []
+    # 1-based potentials/links; way[j] remembers the previous column on
+    # the alternating path that reached column j.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    match_col = [0] * (n + 1)  # match_col[j] = row matched to column j
+    way = [0] * (n + 1)
+    for row in range(1, n + 1):
+        match_col[0] = row
+        j0 = 0
+        minv = [_INF] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = match_col[j0]
+            delta = _INF
+            j1 = 0
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[match_col[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match_col[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            match_col[j0] = match_col[j1]
+            j0 = j1
+    assign = [0] * n
+    for j in range(1, n + 1):
+        if match_col[j]:
+            assign[match_col[j] - 1] = j - 1
+    return assign
+
+
+class MWMOracle:
+    """Stateless maximum-weight matcher over VOQ occupancy matrices.
+
+    Mirrors the :class:`repro.arbitration.ISLIPArbiter` interface
+    (``match(weights) -> Dict[input, output]``) so the VOQ switch can
+    swap schedulers without caring which family it holds.  Ties between
+    equal-weight matchings rotate: each call relabels inputs and outputs
+    by an advancing offset before the row-major solve, so the port that
+    wins a tie cycles round-robin instead of pinning to index 0 (a fixed
+    tie-break starves high-index ports under light symmetric load, where
+    nearly every request has weight 1).  The rotation is a permutation,
+    so the matching weight is still maximal, and there is no RNG —
+    seeded runs stay reproducible.
+    """
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports < 1:
+            raise ValueError("MWM needs at least one port")
+        self.num_ports = num_ports
+        self._offset = 0
+
+    def match(self, weights: WeightMatrix, observer=None) -> Matching:
+        """Maximum-weight matching over ``weights`` (input -> output).
+
+        ``observer`` is accepted for interface parity with iSLIP and
+        ignored — MWM is single-shot, there are no rounds to trace.
+        """
+        n = self.num_ports
+        if len(weights) != n or any(len(row) != n for row in weights):
+            raise ValueError(f"weights must be {n}x{n}")
+        offset = self._offset
+        self._offset = (offset + 1) % n
+        if all(weights[i][j] <= 0 for i in range(n) for j in range(n)):
+            return {}
+        # Negate for min-cost; clamp negatives (absent requests) to 0
+        # so they never look attractive.  Rows and columns are rotated
+        # by the tie-break offset; the permutation is undone below.
+        cost = [
+            [
+                -float(max(weights[(i + offset) % n][(j + offset) % n], 0))
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        assign = solve_assignment(cost)
+        matching = {}
+        for row, col in enumerate(assign):
+            inp = (row + offset) % n
+            out = (col + offset) % n
+            if weights[inp][out] > 0:
+                matching[inp] = out
+        return matching

@@ -31,6 +31,7 @@ from repro.check.invariants import (
     InvariantChecker,
     InvariantViolation,
 )
+from repro.check.matching import MatchingInvariantChecker, checker_for
 from repro.check.minimize import case_size, minimize_case
 from repro.check.reprofile import (
     REPRO_FORMAT,
@@ -57,6 +58,8 @@ __all__ = [
     "load_repro",
     "minimize_case",
     "replay_repro",
+    "MatchingInvariantChecker",
+    "checker_for",
     "repro_payload",
     "run_case",
     "run_fuzz",

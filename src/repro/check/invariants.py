@@ -58,6 +58,10 @@ CHECK_CODES: Dict[str, int] = {
     "clrg_counters": 5,
     "lrg_order": 6,
     "drain_stall": 7,
+    # VOQ scheduler checks (repro.check.matching).
+    "matching_validity": 8,
+    "stuck_input_grant": 9,
+    "voq_occupancy": 10,
 }
 
 

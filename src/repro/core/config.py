@@ -29,6 +29,14 @@ class ArbitrationScheme(str, enum.Enum):
     schemes.  ``L2L_RR`` (iSLIP-style rotating pointer) and ``AGE``
     (oldest-first, hardware-infeasible at high radix) are the related-work
     comparison points of Section VII, included for ablation studies.
+
+    ``ISLIP`` and ``MWM`` are *virtual-output-queued* schemes (Tiny Tera
+    lineage): iterative SLIP with ``islip_iterations`` grant/accept
+    rounds, and a maximum-weight-matching oracle used as the scheduling
+    quality upper bound.  They run on the input-queued
+    :class:`repro.switches.voq.VOQSwitch` rather than the Hi-Rise
+    two-phase kernel — build switches through
+    :func:`repro.switches.make_switch` to dispatch on the scheme.
     """
 
     L2L_LRG = "l2l_lrg"
@@ -36,6 +44,13 @@ class ArbitrationScheme(str, enum.Enum):
     CLRG = "clrg"
     L2L_RR = "l2l_rr"
     AGE = "age"
+    ISLIP = "islip"
+    MWM = "mwm"
+
+
+#: Schemes scheduled by the VOQ input stage (repro.switches.voq), not by
+#: the Hi-Rise two-phase kernel.
+VOQ_SCHEMES = frozenset((ArbitrationScheme.ISLIP, ArbitrationScheme.MWM))
 
 
 @dataclass(frozen=True)
@@ -51,6 +66,9 @@ class HiRiseConfig:
             paper implements in its cross-point design).
         arbitration: Inter-layer arbitration scheme (default CLRG).
         num_classes: CLRG class count (counter range); paper default 3.
+        islip_iterations: Grant/accept rounds per cycle for the
+            ``ISLIP`` scheme (iSLIP(1), iSLIP(2), iSLIP(4), ...);
+            ignored by every other scheme.
         port_config: Input-port buffering (4 VCs x 4 flits by default).
         qos_weights: Optional per-input service weights (QoS extension,
             CLRG only): an input with weight w sustains a share of any
@@ -77,6 +95,7 @@ class HiRiseConfig:
     allocation: AllocationPolicy = AllocationPolicy.INPUT_BINNED
     arbitration: ArbitrationScheme = ArbitrationScheme.CLRG
     num_classes: int = 3
+    islip_iterations: int = 1
     port_config: PortConfig = field(default_factory=PortConfig)
     qos_weights: Optional[Tuple[float, ...]] = None
     failed_channels: Tuple[Tuple[int, int, int], ...] = ()
@@ -95,6 +114,8 @@ class HiRiseConfig:
             raise ValueError("channel multiplicity must be >= 1")
         if self.num_classes < 2:
             raise ValueError("CLRG needs at least two classes")
+        if self.islip_iterations < 1:
+            raise ValueError("iSLIP needs at least one iteration")
         # Normalise string inputs to enum members.
         object.__setattr__(
             self, "allocation", AllocationPolicy(self.allocation)
@@ -186,6 +207,14 @@ class HiRiseConfig:
             self, "slot_of_channel_table", tuple(slot_table)
         )
         object.__setattr__(self, "resource_key_table", tuple(key_table))
+
+    # ------------------------------------------------------------------
+    # Scheduling family
+    # ------------------------------------------------------------------
+    @property
+    def uses_voq(self) -> bool:
+        """True when the scheme runs on the VOQ input-queued switch."""
+        return self.arbitration in VOQ_SCHEMES
 
     # ------------------------------------------------------------------
     # Geometry

@@ -107,9 +107,15 @@ def fleet_supports(config: HiRiseConfig) -> bool:
 
     Everything the scalar fast kernel supports is covered except the
     QoS-weighted CLRG extension (float cost state with its own commit
-    rule), which stays on the scalar path.
+    rule), which stays on the scalar path, and the VOQ input-queued
+    schemes (iSLIP / MWM), which run on ``repro.switches.VOQSwitch``
+    rather than the Hi-Rise kernel family.
     """
-    return FLEET_AVAILABLE and config.qos_weights is None
+    return (
+        FLEET_AVAILABLE
+        and config.qos_weights is None
+        and not config.uses_voq
+    )
 
 
 def _group_starts(g_sorted):

@@ -41,6 +41,13 @@ from repro.harness.parallel import (
     TaskFailure,
     replicate,
 )
+from repro.harness.schedulers import (
+    SCHEDULER_SPECS,
+    SCHEDULERS_SCHEMA,
+    compare_schedulers,
+    render_markdown as render_scheduler_markdown,
+    validate_comparison,
+)
 from repro.harness.sweep import (
     SweepPoint,
     parameter_grid,
@@ -78,6 +85,11 @@ __all__ = [
     "SweepCheckpoint",
     "TaskFailure",
     "replicate",
+    "SCHEDULERS_SCHEMA",
+    "SCHEDULER_SPECS",
+    "compare_schedulers",
+    "render_scheduler_markdown",
+    "validate_comparison",
     "SweepPoint",
     "parameter_grid",
     "render_sweep",

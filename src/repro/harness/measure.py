@@ -154,7 +154,7 @@ class SimulationMeasurement:
     # ------------------------------------------------------------------
     def __call__(self, seed: int = 0, **overrides) -> float:
         config, load, traffic_seed = self._resolve(seed, overrides)
-        from repro.core.hirise import HiRiseSwitch
+        from repro.switches import make_switch
 
         tracer = (
             self.tracer_factory() if self.tracer_factory is not None
@@ -162,13 +162,13 @@ class SimulationMeasurement:
         )
         checker = None
         if self.invariants:
-            from repro.check.invariants import InvariantChecker
+            from repro.check.matching import checker_for
 
-            checker = InvariantChecker()
+            checker = checker_for(config)
         perf = (
             self.perf_factory() if self.perf_factory is not None else None
         )
-        switch = HiRiseSwitch(
+        switch = make_switch(
             config, tracer=tracer, faults=self.faults, invariants=checker,
             perf=perf,
         )

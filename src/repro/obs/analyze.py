@@ -63,6 +63,8 @@ from repro.obs.trace import (
     INJECT,
     P2_BLOCK,
     P2_GRANT,
+    SCHED_ACCEPT,
+    SCHED_GRANT,
 )
 
 try:  # pragma: no cover - exercised via the pure-python fallback tests
@@ -383,6 +385,11 @@ class TraceAnalyzer:
         self._class_grants: Dict[int, int] = {}
         self._halvings_by_output: Dict[int, int] = {}
 
+        # VOQ scheduler rounds (sched_grant / sched_accept), keyed by
+        # iteration number.
+        self._sched_grants_by_iter: Dict[int, int] = {}
+        self._sched_accepts_by_iter: Dict[int, int] = {}
+
         # Fault state reconstructed from fault_inject / fault_repair.
         self._failed_channel_ids: set = set()
         self._stuck_input_ids: set = set()
@@ -538,6 +545,14 @@ class TraceAnalyzer:
             halvings = record.get("halvings", 0)
             if halvings > self._halvings_by_output.get(output, 0):
                 self._halvings_by_output[output] = halvings
+        elif event == "sched_grant":
+            iteration = record.get("iteration", 0)
+            grants = self._sched_grants_by_iter
+            grants[iteration] = grants.get(iteration, 0) + 1
+        elif event == "sched_accept":
+            iteration = record.get("iteration", 0)
+            accepts = self._sched_accepts_by_iter
+            accepts[iteration] = accepts.get(iteration, 0) + 1
         elif event == "drain_stall":
             self._add_anomaly("drain_stall", cycle, {
                 "idle_cycles": record.get("idle_cycles", 0),
@@ -610,6 +625,12 @@ class TraceAnalyzer:
         elif kind == CLRG_HALVE:
             if b > self._halvings_by_output.get(a, 0):
                 self._halvings_by_output[a] = b
+        elif kind == SCHED_GRANT:
+            grants = self._sched_grants_by_iter
+            grants[a] = grants.get(a, 0) + 1
+        elif kind == SCHED_ACCEPT:
+            accepts = self._sched_accepts_by_iter
+            accepts[a] = accepts.get(a, 0) + 1
         else:
             self._seq_row(cycle, kind, a, b, c, d)
 
@@ -794,6 +815,15 @@ class TraceAnalyzer:
             for output, top in zip(uniq.tolist(), best.tolist()):
                 if top > halvings.get(output, 0):
                     halvings[output] = top
+        for code, bucket in (
+            (SCHED_GRANT, self._sched_grants_by_iter),
+            (SCHED_ACCEPT, self._sched_accepts_by_iter),
+        ):
+            rows = np.flatnonzero(kind == code)
+            if len(rows):
+                uniq, per = np.unique(a[rows], return_counts=True)
+                for iteration, count in zip(uniq.tolist(), per.tolist()):
+                    bucket[iteration] = bucket.get(iteration, 0) + count
 
         # Order-sensitive kinds: backlog/gap/window accumulators and
         # anomaly emission must interleave with epoch closes exactly as
@@ -1016,6 +1046,8 @@ class TraceAnalyzer:
                 }
                 for failed, cycles in sorted(self._cycles_by_failed.items())
             },
+            sched_grants_by_iteration=dict(self._sched_grants_by_iter),
+            sched_accepts_by_iteration=dict(self._sched_accepts_by_iter),
         )
         return self._finished
 
@@ -1117,6 +1149,9 @@ class AuditReport:
     final_failed_channels: List[int] = field(default_factory=list)
     final_stuck_inputs: List[int] = field(default_factory=list)
     degradation: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    # VOQ scheduler rounds (zero-valued on non-VOQ traces).
+    sched_grants_by_iteration: Dict[int, int] = field(default_factory=dict)
+    sched_accepts_by_iteration: Dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived values
@@ -1196,6 +1231,30 @@ class AuditReport:
             for failed, entry in self.degradation.items() if failed > 0
         )
         return (ejected / cycles) / healthy["throughput_flits_per_cycle"]
+
+    @property
+    def sched_grants(self) -> int:
+        """VOQ scheduler grant-stage events across all iterations."""
+        return sum(self.sched_grants_by_iteration.values())
+
+    @property
+    def sched_accepts(self) -> int:
+        """VOQ scheduler accepted pairs across all iterations."""
+        return sum(self.sched_accepts_by_iteration.values())
+
+    @property
+    def sched_first_iteration_fraction(self) -> Optional[float]:
+        """Share of accepted pairs matched in iteration 0.
+
+        Under desynchronized iSLIP pointers this approaches 1.0 (every
+        grant is accepted in the first round); extra iterations only
+        matter while pointers still collide.  ``None`` on traces with
+        no scheduler rounds.
+        """
+        total = self.sched_accepts
+        if not total:
+            return None
+        return self.sched_accepts_by_iteration.get(0, 0) / total
 
     def busiest_resources(self) -> List[Dict[str, object]]:
         """Top resources by busy cycles, labelled from the trace meta."""
@@ -1314,6 +1373,26 @@ class AuditReport:
                     str(failed): dict(entry)
                     for failed, entry in sorted(self.degradation.items())
                 },
+            },
+            # Additive (not schema-required): zero-valued on non-VOQ
+            # traces, so pre-existing baselines still compare.
+            "scheduler": {
+                "grants": self.sched_grants,
+                "accepts": self.sched_accepts,
+                "grants_by_iteration": {
+                    str(iteration): count
+                    for iteration, count in sorted(
+                        self.sched_grants_by_iteration.items()
+                    )
+                },
+                "accepts_by_iteration": {
+                    str(iteration): count
+                    for iteration, count in sorted(
+                        self.sched_accepts_by_iteration.items()
+                    )
+                },
+                "first_iteration_fraction":
+                    self.sched_first_iteration_fraction,
             },
         }
 

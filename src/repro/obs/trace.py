@@ -46,6 +46,8 @@ DRAIN_STALL = 8  #: drain loop made no progress for the idle limit
 FAULT_INJECT = 9  #: a scheduled fault was applied to the switch
 FAULT_REPAIR = 10  #: a scheduled fault was repaired (channel/input re-armed)
 INVARIANT = 11   #: a runtime invariant check failed (raised right after)
+SCHED_GRANT = 12   #: VOQ scheduler grant stage: an output granted an input
+SCHED_ACCEPT = 13  #: VOQ scheduler accept stage: an input accepted an output
 
 #: ``fault_inject``/``fault_repair`` fault-class codes (the ``fault``
 #: payload slot): what kind of component the event hit.
@@ -74,6 +76,8 @@ EVENT_NAMES: Dict[int, str] = {
     FAULT_INJECT: "fault_inject",
     FAULT_REPAIR: "fault_repair",
     INVARIANT: "invariant",
+    SCHED_GRANT: "sched_grant",
+    SCHED_ACCEPT: "sched_accept",
 }
 
 #: Event kind -> names of the payload slots ``(a, b, c, d)`` actually
@@ -102,6 +106,13 @@ EVENT_NAMES: Dict[int, str] = {
 #:   :data:`repro.check.invariants.CHECK_CODES`), first implicated flat
 #:   resource/port id (-1 if none), aux detail.  Emitted at most once
 #:   per run, immediately before the checker raises.
+#: * ``sched_grant``: iteration number, granting output, granted input,
+#:   VOQ occupancy of the granted pair (the scheduler's edge weight).
+#:   Emitted once per output per iSLIP iteration; MWM emits its final
+#:   matching as iteration-0 grants.
+#: * ``sched_accept``: iteration number, accepting input, accepted
+#:   output, VOQ occupancy of the matched pair.  An accepted pair in
+#:   iteration 0 commits the iSLIP pointer updates (desynchronization).
 EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     INJECT: ("src", "dst", "num_flits", "packet_id"),
     EJECT: ("src", "dst", "seq", "tail"),
@@ -115,6 +126,8 @@ EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     FAULT_INJECT: ("fault", "target", "aux"),
     FAULT_REPAIR: ("fault", "target"),
     INVARIANT: ("check", "resource", "aux"),
+    SCHED_GRANT: ("iteration", "output", "input", "weight"),
+    SCHED_ACCEPT: ("iteration", "input", "output", "weight"),
 }
 
 #: ``via_block`` reason codes.

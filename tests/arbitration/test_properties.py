@@ -270,3 +270,155 @@ class TestLRGOrderInvariant:
             assert arb._stamp > max(arb._rank)
             ranks = sorted(arb.rank(slot) for slot in range(num_slots))
             assert ranks == list(range(num_slots))
+
+
+# ---------------------------------------------------------------------------
+# VOQ scheduler family: iSLIP and the MWM oracle
+# ---------------------------------------------------------------------------
+from repro.arbitration.islip import ISLIPArbiter  # noqa: E402
+from repro.arbitration.matching import (  # noqa: E402
+    is_maximal_matching,
+    is_valid_matching,
+    matching_weight,
+)
+from repro.arbitration.mwm import MWMOracle  # noqa: E402
+
+
+@st.composite
+def weight_matrices(draw, max_ports=8, max_weight=9):
+    """A square VOQ occupancy/weight matrix (zeros = no request)."""
+    n = draw(st.integers(min_value=1, max_value=max_ports))
+    matrix = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=max_weight),
+                min_size=n, max_size=n,
+            ),
+            min_size=n, max_size=n,
+        )
+    )
+    return matrix
+
+
+@st.composite
+def matrix_sequences(draw, max_ports=6, max_len=8):
+    """A port count plus a sequence of weight matrices for that size.
+
+    Driving one arbiter through the whole sequence exercises matches
+    from *warmed* pointer state, not just the all-zeros reset state.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_ports))
+    matrices = draw(
+        st.lists(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=5),
+                    min_size=n, max_size=n,
+                ),
+                min_size=n, max_size=n,
+            ),
+            min_size=1, max_size=max_len,
+        )
+    )
+    return n, matrices
+
+
+class TestISLIPProperties:
+    @given(matrix_sequences(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=200, deadline=None)
+    def test_every_grant_set_is_a_valid_matching(self, case, iterations):
+        n, matrices = case
+        arb = ISLIPArbiter(n, iterations=iterations)
+        for weights in matrices:
+            matching = arb.match(weights)
+            assert is_valid_matching(matching, weights)
+
+    @given(matrix_sequences())
+    @settings(max_examples=200, deadline=None)
+    def test_matching_is_maximal_after_n_iterations(self, case):
+        n, matrices = case
+        arb = ISLIPArbiter(n, iterations=n)
+        for weights in matrices:
+            matching = arb.match(weights)
+            assert is_valid_matching(matching, weights)
+            assert is_maximal_matching(matching, weights)
+
+    @given(matrix_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_pointers_stay_in_range(self, case):
+        n, matrices = case
+        arb = ISLIPArbiter(n, iterations=2)
+        for weights in matrices:
+            arb.match(weights)
+            assert all(0 <= p < n for p in arb.grant_pointers)
+            assert all(0 <= p < n for p in arb.accept_pointers)
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=15, deadline=None)
+    def test_desynchronization_reaches_full_throughput(self, n):
+        # The iSLIP stability claim: under saturated uniform traffic
+        # (every VOQ backlogged) the accepted outputs' pointers move
+        # past the inputs they served, so after a warm-up no two
+        # outputs fight over one input and *one* iteration matches all
+        # n pairs every cycle — 100% throughput.
+        arb = ISLIPArbiter(n, iterations=1)
+        saturated = [[1] * n for _ in range(n)]
+        for _ in range(2 * n):
+            arb.match(saturated)
+        for _ in range(n):
+            matching = arb.match(saturated)
+            assert len(matching) == n
+        assert sorted(arb.grant_pointers) == list(range(n))
+
+
+class TestMWMProperties:
+    @given(weight_matrices())
+    @settings(max_examples=200, deadline=None)
+    def test_matching_is_valid(self, weights):
+        oracle = MWMOracle(len(weights))
+        matching = oracle.match(weights)
+        assert is_valid_matching(matching, weights)
+
+    @given(weight_matrices(max_ports=4, max_weight=6))
+    @settings(max_examples=200, deadline=None)
+    def test_weight_is_optimal_by_brute_force(self, weights):
+        from itertools import permutations
+
+        n = len(weights)
+        oracle = MWMOracle(n)
+        matching = oracle.match(weights)
+        best = 0
+        for perm in permutations(range(n)):
+            best = max(best, sum(
+                weights[i][perm[i]]
+                for i in range(n) if weights[i][perm[i]] > 0
+            ))
+        assert matching_weight(matching, weights) == best
+
+    @given(
+        weight_matrices(),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_weight_dominates_islip_on_identical_occupancies(
+        self, weights, iterations
+    ):
+        n = len(weights)
+        oracle = MWMOracle(n)
+        islip = ISLIPArbiter(n, iterations=iterations)
+        assert matching_weight(oracle.match(weights), weights) >= (
+            matching_weight(islip.match(weights), weights)
+        )
+
+    @given(weight_matrices())
+    @settings(max_examples=100, deadline=None)
+    def test_rotating_tie_break_preserves_weight(self, weights):
+        # The fairness rotation relabels ports before the solve; the
+        # matching weight must be offset-invariant.
+        n = len(weights)
+        oracle = MWMOracle(n)
+        results = {
+            matching_weight(oracle.match(weights), weights)
+            for _ in range(n)  # one full rotation of the offset
+        }
+        assert len(results) == 1
